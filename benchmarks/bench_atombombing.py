@@ -1,0 +1,43 @@
+"""Extension bench: AtomBombing (the paper's ref [1] attack family).
+
+The payload crosses processes through the global atom table + APCs --
+no ``NtWriteVirtualMemory``, no ``CreateRemoteThread`` -- so the
+event-signature surface sandboxes watch is empty.  FAROS' verdict is
+unchanged because the *information flow* is the same.
+"""
+
+from repro.attacks import build_atombombing_scenario
+from repro.baselines import CuckooSandbox
+from repro.faros import Faros
+from repro.guestos.syscalls import Sys
+
+
+def test_atombombing(benchmark, emit):
+    def _run():
+        attack = build_atombombing_scenario()
+        faros = Faros()
+        attack.scenario.run(plugins=[faros])
+        cuckoo = CuckooSandbox().analyze(attack.scenario)
+        return faros, cuckoo
+
+    faros, cuckoo = benchmark.pedantic(_run, rounds=3, iterations=1)
+
+    assert faros.attack_detected
+    chain = faros.report().chains()[0]
+    assert chain.process_chain == ["atombomber.exe", "explorer.exe"]
+    signature_names = {s.name for s in cuckoo.signatures}
+    assert "writes_remote_memory" not in signature_names
+    assert not cuckoo.detect_injection()
+    numbers = {e.number for e in cuckoo.api_calls}
+    assert Sys.WRITE_VM not in numbers
+
+    emit(
+        "atombombing",
+        "AtomBombing (no WriteProcessMemory anywhere)\n"
+        f"FAROS detects          : True ({chain.rule})\n"
+        f"chain                  : {chain.netflow} -> "
+        f"{' -> '.join(chain.process_chain)}\n"
+        f"Cuckoo signatures      : {sorted(signature_names)}\n"
+        f"Cuckoo injection call  : False (nothing to key on)\n\n"
+        + faros.report().render(),
+    )

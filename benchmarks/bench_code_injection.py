@@ -1,0 +1,44 @@
+"""E6: code/process injection by DarkComet and Njrat (§VI).
+
+Both RATs must be flagged, with provenance 'similar to the reflective
+DLL injection experiment' (netflow -> RAT -> victim), and the injected
+shell must demonstrably act on C2 commands from inside the victim.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_attack_analysis
+from repro.attacks import build_code_injection_scenario
+from repro.faros import Faros
+
+
+@pytest.mark.parametrize("rat", ["darkcomet", "njrat"])
+def test_code_injection_rat(benchmark, emit, rat):
+    def _run():
+        attack = build_code_injection_scenario(rat=rat)
+        faros = Faros()
+        machine = attack.scenario.run(plugins=[faros])
+        return faros, machine
+
+    faros, machine = benchmark.pedantic(_run, rounds=3, iterations=1)
+
+    assert faros.attack_detected
+    chain = faros.report().chains()[0]
+    assert chain.netflow is not None
+    assert f"{rat}.exe" in chain.process_chain
+    assert chain.executing_process == "explorer.exe"
+
+    explorer = next(
+        p for p in machine.kernel.processes.values() if p.name == "explorer.exe"
+    )
+    commands = [cmd for pid, cmd in machine.kernel.shell_log if pid == explorer.pid]
+    assert "calc.exe" in commands, "the injected shell must run C2 commands"
+
+    emit(
+        f"code_injection_{rat}",
+        f"Code injection by {rat}\n"
+        f"flagged             : True\n"
+        f"NetFlow             : {chain.netflow}\n"
+        f"process chain       : {' -> '.join(chain.process_chain)}\n"
+        f"C2 commands run by victim: {commands}\n\n" + faros.report().render(),
+    )

@@ -1,0 +1,28 @@
+"""E10 (§VI-B): FAROS vs CuckooBox vs Cuckoo+malfind.
+
+The paper's comparison, extended with transient (self-wiping) payload
+variants.  Expected shape:
+
+* Cuckoo alone flags none of the attack classes;
+* Cuckoo+malfind flags persistent payloads but provides no netflow or
+  provenance, and misses the transient variants;
+* FAROS flags everything, always with provenance.
+"""
+
+from repro.analysis.experiments import comparison_matrix
+from repro.analysis.tables import render_comparison_matrix
+
+
+def test_cuckoo_comparison_matrix(benchmark, emit):
+    rows = benchmark.pedantic(
+        lambda: comparison_matrix(include_transient=True), rounds=1, iterations=1
+    )
+
+    assert len(rows) == 6
+    assert all(r.faros_detects for r in rows)
+    assert all(r.faros_has_provenance for r in rows)
+    assert all(not r.cuckoo_detects for r in rows)
+    for r in rows:
+        assert r.malfind_detects == (not r.transient), r.attack
+
+    emit("cuckoo_comparison", render_comparison_matrix(rows))

@@ -1,0 +1,38 @@
+"""Extension bench: drop-and-reload attack with lineage stitching.
+
+Not a paper table -- the DESIGN.md extension exercising FAROS' file
+tags end-to-end: the disk hop launders direct netflow taint, detection
+survives via cross-process confluence, and the per-version file lineage
+recovers the attacker endpoint for the analyst.
+"""
+
+from repro.attacks import build_drop_reload_scenario
+from repro.faros import Faros
+
+
+def test_drop_reload_with_lineage(benchmark, emit):
+    def _run():
+        attack = build_drop_reload_scenario()
+        faros = Faros()
+        machine = attack.scenario.run(plugins=[faros])
+        return faros, machine
+
+    faros, machine = benchmark.pedantic(_run, rounds=3, iterations=1)
+
+    assert faros.attack_detected
+    chain = faros.report().chains()[0]
+    assert chain.netflow is None                    # laundered by the disk
+    assert chain.stitched_netflow is not None       # ...and recovered
+    assert "dropper.exe" in chain.upstream_processes
+    assert not machine.kernel.fs.exists("C:\\stage.bin")
+
+    emit(
+        "drop_reload_lineage",
+        "Drop-and-reload attack (extension)\n"
+        f"detected                : True ({chain.rule})\n"
+        f"direct netflow in chain : {chain.netflow}\n"
+        f"file origin             : {', '.join(chain.file_origins)}\n"
+        f"stitched netflow        : {chain.stitched_netflow}\n"
+        f"upstream processes      : {' -> '.join(chain.upstream_processes)}\n\n"
+        + faros.report().render(),
+    )

@@ -1,0 +1,55 @@
+"""E12 (§VI-D): evasion studies.
+
+1. Control-dependency taint laundering: the bit-copy loop evades
+   default FAROS (the paper's admitted limitation) and is caught after
+   the anticipated policy update (control-dependency tracking on).
+2. Tag-memory pressure: guest activity mints file/netflow tags; the
+   bench measures map growth against the 16-bit ``prov_tag`` ceiling.
+"""
+
+from repro.analysis.evasion import (
+    tag_pressure_experiment,
+    taint_laundering_experiment,
+)
+
+
+def test_evasion_taint_laundering(benchmark, emit):
+    result = benchmark.pedantic(taint_laundering_experiment, rounds=1, iterations=1)
+
+    assert result.stage_ran, "ground truth: the laundered stage executed"
+    assert result.default_policy_detected is False
+    assert result.control_dep_policy_detected is True
+
+    emit(
+        "evasion_laundering",
+        "E12a -- control-dependency taint laundering (§VI-D)\n"
+        f"stage executed (ground truth)        : {result.stage_ran}\n"
+        f"default FAROS policy detected        : {result.default_policy_detected}"
+        "   <- evasion succeeds\n"
+        f"control-dep policy detected          : {result.control_dep_policy_detected}"
+        "   <- policy update catches it",
+    )
+
+
+def test_evasion_tag_pressure(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: tag_pressure_experiment(file_rounds=40, flows=20),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert result.file_tags >= 40      # one per write version
+    assert result.netflow_tags >= 20   # one per probe flow
+    assert result.map_capacity == 65536
+    assert 0 < result.file_map_utilisation < 1
+
+    emit(
+        "evasion_tag_pressure",
+        "E12b -- tag-memory pressure (§VI-D)\n"
+        f"file tags minted     : {result.file_tags}\n"
+        f"netflow tags minted  : {result.netflow_tags}\n"
+        f"process tags         : {result.process_tags}\n"
+        f"tainted bytes        : {result.tainted_bytes}\n"
+        f"map capacity         : {result.map_capacity} per type\n"
+        f"file-map utilisation : {result.file_map_utilisation:.4%}",
+    )

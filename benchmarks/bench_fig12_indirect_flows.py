@@ -1,0 +1,34 @@
+"""E11 (Figs. 1-2): the indirect-flow under/overtainting dilemma.
+
+Runs the paper's two example programs under three policies and asserts
+the dilemma's structure: direct-only misses both copies, address-deps
+fixes Fig. 1 only, all-indirect fixes both at a shadow-footprint cost.
+"""
+
+from repro.analysis.indirect_flows import (
+    indirect_flow_experiment,
+    render_indirect_flow_table,
+)
+
+
+def test_fig12_indirect_flow_dilemma(benchmark, emit):
+    results = benchmark.pedantic(indirect_flow_experiment, rounds=1, iterations=1)
+
+    cell = {(r.figure, r.policy): r for r in results}
+    assert len(cell) == 6
+    assert all(r.output_value_correct for r in results)
+
+    assert not cell[("fig1-address-dep", "direct-only")].output_tainted
+    assert not cell[("fig2-control-dep", "direct-only")].output_tainted
+    assert cell[("fig1-address-dep", "address-deps")].output_tainted
+    assert not cell[("fig2-control-dep", "address-deps")].output_tainted
+    assert cell[("fig1-address-dep", "all-indirect")].output_tainted
+    assert cell[("fig2-control-dep", "all-indirect")].output_tainted
+
+    # Overtainting cost is visible in the shadow footprint.
+    assert (
+        cell[("fig1-address-dep", "all-indirect")].tainted_bytes
+        > cell[("fig1-address-dep", "direct-only")].tainted_bytes
+    )
+
+    emit("fig12_indirect_flows", render_indirect_flow_table(results))

@@ -1,0 +1,40 @@
+"""E1 (Fig. 7): reflective DLL injection via the Meterpreter module.
+
+Regenerates the Fig. 7 provenance diagram: a flagged mov/ld whose
+instruction bytes chain NetFlow(169.254.26.161:4444 -> victim) ->
+inject_client.exe -> notepad.exe, reading an export-table-tagged
+address.
+"""
+
+from repro.analysis.experiments import run_attack_analysis
+from repro.attacks import build_reflective_dll_scenario
+
+
+def _run():
+    return run_attack_analysis("reflective_dll_inject", build_reflective_dll_scenario())
+
+
+def test_fig7_reflective_dll_inject(benchmark, emit):
+    analysis = benchmark.pedantic(_run, rounds=3, iterations=1)
+
+    assert analysis.detected, "the attack must be flagged"
+    chain = analysis.chain
+    assert chain.netflow == "169.254.26.161:4444 -> 169.254.57.168:49152"
+    assert chain.process_chain.index("inject_client.exe") < chain.process_chain.index(
+        "notepad.exe"
+    )
+    assert chain.instruction.startswith("ld")
+    assert chain.rule == "netflow+export-table"
+
+    lines = [
+        "Fig. 7 -- provenance tracking for reflective DLL injection",
+        f"flagged instruction : {chain.instruction} @ {chain.instruction_address:#x}",
+        f"executing process   : {chain.executing_process}",
+        f"NetFlow             : {chain.netflow}",
+        f"process chain       : {' -> '.join(chain.process_chain)}",
+        f"export table read   : {chain.export_table_address:#x}",
+        f"rule                : {chain.rule}",
+        "",
+        analysis.report.render(),
+    ]
+    emit("fig7_reflective_dll", "\n".join(lines))

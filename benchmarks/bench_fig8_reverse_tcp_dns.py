@@ -1,0 +1,31 @@
+"""E2 (Fig. 8): reverse_tcp_dns -- self-injection, one process chain."""
+
+from repro.analysis.experiments import run_attack_analysis
+from repro.attacks import build_reverse_tcp_dns_scenario
+
+
+def _run():
+    return run_attack_analysis("reverse_tcp_dns", build_reverse_tcp_dns_scenario())
+
+
+def test_fig8_reverse_tcp_dns(benchmark, emit):
+    analysis = benchmark.pedantic(_run, rounds=3, iterations=1)
+
+    assert analysis.detected
+    chain = analysis.chain
+    # Fig. 8's distinguishing feature: shellcode process == target process.
+    assert chain.netflow is not None
+    assert set(chain.process_chain) == {"inject_client.exe"}
+    assert chain.executing_process == "inject_client.exe"
+
+    lines = [
+        "Fig. 8 -- reflective DLL injection via reverse_tcp_dns",
+        "(shell code and target process are the same)",
+        f"flagged instruction : {chain.instruction} @ {chain.instruction_address:#x}",
+        f"NetFlow             : {chain.netflow}",
+        f"process chain       : {' -> '.join(chain.process_chain)}",
+        f"export table read   : {chain.export_table_address:#x}",
+        "",
+        analysis.report.render(),
+    ]
+    emit("fig8_reverse_tcp_dns", "\n".join(lines))

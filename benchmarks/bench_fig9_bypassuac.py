@@ -1,0 +1,30 @@
+"""E3 (Fig. 9): bypassuac_injection targeting firefox.exe."""
+
+from repro.analysis.experiments import run_attack_analysis
+from repro.attacks import build_bypassuac_injection_scenario
+
+
+def _run():
+    return run_attack_analysis("bypassuac_injection", build_bypassuac_injection_scenario())
+
+
+def test_fig9_bypassuac_injection(benchmark, emit):
+    analysis = benchmark.pedantic(_run, rounds=3, iterations=1)
+
+    assert analysis.detected
+    chain = analysis.chain
+    assert chain.netflow is not None
+    assert "inject_client.exe" in chain.process_chain
+    assert "firefox.exe" in chain.process_chain
+    assert chain.executing_process == "firefox.exe"
+
+    lines = [
+        "Fig. 9 -- reflective DLL injection via bypassuac_injection",
+        f"flagged instruction : {chain.instruction} @ {chain.instruction_address:#x}",
+        f"NetFlow             : {chain.netflow}",
+        f"process chain       : {' -> '.join(chain.process_chain)}",
+        f"export table read   : {chain.export_table_address:#x}",
+        "",
+        analysis.report.render(),
+    ]
+    emit("fig9_bypassuac_injection", "\n".join(lines))

@@ -1,0 +1,52 @@
+"""Record vs replay cost (the §V-C workflow economics).
+
+The paper's usage model is record-cheap / replay-expensive: an analyst
+records while doing other work and pays the taint cost only at replay.
+This bench measures both phases of the same reflective-DLL recording:
+
+* ``record`` runs uninstrumented (the CPU fast path);
+* ``replay+FAROS`` pays full per-instruction instrumentation;
+
+and asserts replay-with-FAROS costs a multiple of recording, plus the
+determinism contract (identical retired-instruction counts).
+"""
+
+import time
+
+from repro.attacks import build_reflective_dll_scenario
+from repro.emulator.record_replay import record, replay
+from repro.faros import Faros
+
+
+def test_record_vs_replay_cost(benchmark, emit):
+    attack = build_reflective_dll_scenario()
+
+    def measure():
+        start = time.perf_counter()
+        recording = record(attack.scenario)
+        record_time = time.perf_counter() - start
+
+        faros = Faros()
+        start = time.perf_counter()
+        machine = replay(recording, plugins=[faros])
+        replay_time = time.perf_counter() - start
+        return recording, machine, faros, record_time, replay_time
+
+    recording, machine, faros, record_time, replay_time = benchmark.pedantic(
+        measure, rounds=3, iterations=1
+    )
+
+    assert machine.now == recording.final_instret  # determinism held
+    assert faros.attack_detected
+    assert replay_time > record_time, "analysis replay must cost more than recording"
+
+    emit(
+        "record_vs_replay",
+        "Record vs replay (§V-C workflow)\n"
+        f"recording run        : {record_time * 1000:.1f} ms "
+        f"({recording.final_instret} ticks, uninstrumented)\n"
+        f"replay w/ FAROS      : {replay_time * 1000:.1f} ms "
+        f"({faros.tracker.stats.instructions} instructions analyzed)\n"
+        f"analysis/record cost : {replay_time / record_time:.1f}x\n"
+        f"replay deterministic : True",
+    )

@@ -1,0 +1,23 @@
+"""Extension bench: snapshot timing vs a transient payload (§I claim).
+
+Quantifies "Volatility can give visibility into memory ... up to a
+certain point in time": the same attack dumped at two instants gives
+malfind opposite answers, while FAROS' whole-execution view is
+timing-independent.
+"""
+
+from repro.analysis.snapshots import (
+    render_snapshot_timing,
+    snapshot_timing_experiment,
+)
+
+
+def test_snapshot_timing(benchmark, emit):
+    result = benchmark.pedantic(snapshot_timing_experiment, rounds=3, iterations=1)
+
+    assert result.malfind_at_t1 and result.t1_code_like
+    assert not result.malfind_at_t2
+    assert result.faros_detected
+    assert result.t1_tick < result.t2_tick
+
+    emit("snapshot_timing", render_snapshot_timing(result))

@@ -1,0 +1,35 @@
+"""Extension bench: detection-characteristic curves.
+
+Three series characterising the mechanism beyond the paper's point
+measurements: detection latency vs payload size, robustness vs
+delivery fragmentation, and analysis cost vs benign noise.
+"""
+
+from repro.analysis.sweeps import (
+    detection_latency_sweep,
+    fragmentation_sweep,
+    noise_sweep,
+    render_sweeps,
+)
+
+
+def test_detection_characteristic_sweeps(benchmark, emit):
+    def _run():
+        return (
+            detection_latency_sweep((0, 256, 1024, 4096, 8192)),
+            fragmentation_sweep((8, 32, 128, 512, 0)),
+            noise_sweep((0, 2, 4, 8)),
+        )
+
+    latency, fragmentation, noise = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    assert all(p.detected for p in latency)
+    assert [p.latency_ticks for p in latency] == sorted(
+        p.latency_ticks for p in latency
+    )
+    assert all(p.detected and p.netflow_intact for p in fragmentation)
+    assert all(p.detected for p in noise)
+    costs = [p.instructions_analyzed for p in noise]
+    assert costs == sorted(costs)
+
+    emit("detection_sweeps", render_sweeps(latency, fragmentation, noise))

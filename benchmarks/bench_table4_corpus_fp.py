@@ -1,0 +1,26 @@
+"""E8 (Table IV): the full 104-sample false-positive corpus.
+
+90 non-injecting malware samples (17 RAT configurations) + 14 benign
+applications, every one run to completion under FAROS.  Expected: zero
+flags and zero crashes -- the paper's 0% corpus FP result.
+"""
+
+from repro.analysis.experiments import corpus_fp_experiment, fp_rate
+from repro.analysis.tables import render_table4, render_table4_matrix
+
+
+def test_table4_corpus_false_positives(benchmark, emit):
+    results = benchmark.pedantic(corpus_fp_experiment, rounds=1, iterations=1)
+
+    assert len(results) == 104
+    assert sum(1 for r in results if not r.sample.benign) == 90
+    assert sum(1 for r in results if r.sample.benign) == 14
+    assert all(r.exit_code == 0 for r in results), "every sample must finish"
+    flagged = [r for r in results if r.flagged]
+    assert flagged == [], f"false positives: {[r.sample.name for r in flagged]}"
+    assert fp_rate(len(flagged), len(results)) == 0.0
+
+    emit(
+        "table4_corpus_fp",
+        render_table4_matrix(results) + "\n\n" + render_table4(results),
+    )

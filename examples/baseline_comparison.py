@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""FAROS vs CuckooBox vs Cuckoo+malfind (§VI-B), including transient
+self-wiping payloads that defeat point-in-time memory forensics.
+
+Run:  python examples/baseline_comparison.py
+"""
+
+from repro.analysis.experiments import comparison_matrix
+from repro.analysis.tables import render_comparison_matrix
+
+
+def main() -> None:
+    print("[*] running 3 attack classes x {persistent, transient} under"
+          " all three tools (this takes a few seconds) ...\n")
+    rows = comparison_matrix(include_transient=True)
+    print(render_comparison_matrix(rows))
+    print()
+    print("Reading the matrix:")
+    print(" * Cuckoo alone never flags: the attacks are in-memory-only --")
+    print("   no registered DLL load, no anomalous process name, no dropped")
+    print("   payload file.")
+    print(" * Cuckoo+malfind finds payloads that are still intact in the")
+    print("   final dump, but loses the transient (self-wiping) variants,")
+    print("   and never has netflow or provenance.")
+    print(" * FAROS watches memory THROUGHOUT execution, so wiping after")
+    print("   the fact changes nothing, and every flag comes with the full")
+    print("   byte history.")
+
+
+if __name__ == "__main__":
+    main()

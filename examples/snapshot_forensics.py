@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Why one memory dump is not enough: snapshots vs a transient payload.
+
+Runs a self-wiping reflective DLL injection and dumps guest memory at
+two instants:
+
+* **T1** -- the stage is still resident (dwelling before cleanup):
+  malfind finds a PE-bearing anonymous RWX region in notepad.exe, and
+  the disassembly preview shows real code;
+* **T2** -- the stage has zeroed itself: the same scan comes back
+  clean.
+
+FAROS, watching memory *throughout* execution (the paper's §I
+argument), flags the attack no matter when anyone dumps.
+
+Run:  python examples/snapshot_forensics.py
+"""
+
+from repro import Faros, build_reflective_dll_scenario
+from repro.baselines import MemorySnapshot, malfind
+
+
+def main() -> None:
+    attack = build_reflective_dll_scenario(transient=True)
+    faros = Faros()
+    machine = attack.scenario.build((faros,))
+
+    print("[*] running until the stage is injected and dwelling ...")
+    machine.run(45_000)
+    t1 = MemorySnapshot.capture(machine)
+
+    print("[*] running to completion (the stage wipes itself) ...")
+    machine.run(400_000)
+    t2 = MemorySnapshot.capture(machine)
+
+    for label, snapshot in (("T1", t1), ("T2", t2)):
+        hits = malfind(snapshot)
+        detections = [h for h in hits if h.detected]
+        print(f"\n--- malfind over the {label} dump (tick {snapshot.tick}) ---")
+        if not hits:
+            print("    no anonymous executable memory found")
+        for hit in hits:
+            print(f"    {hit}")
+        if detections:
+            print("    disassembly preview of the finding:")
+            for line in detections[0].listing(max_lines=4).splitlines():
+                print(f"      {line}")
+        print(f"    verdict: {'DETECTED' if detections else 'clean'}")
+
+    print("\n--- FAROS (whole-execution DIFT) ---")
+    report = faros.report()
+    print(f"    verdict: {'DETECTED' if report.attack_detected else 'clean'}")
+    if report.attack_detected:
+        chain = report.chains()[0]
+        print(f"    chain: {chain.netflow} -> {' -> '.join(chain.process_chain)}")
+    print(
+        "\nTransient in-memory attacks beat point-in-time forensics; they"
+        "\ncannot beat an analysis that watched every instruction."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""FAROS reproduction: provenance-based whole-system DIFT for
+illuminating in-memory injection attacks (DSN 2018).
+
+Quick start::
+
+    from repro import Faros, build_reflective_dll_scenario, record, replay
+
+    attack = build_reflective_dll_scenario()
+    recording = record(attack.scenario)   # cheap recording run
+    faros = Faros()
+    replay(recording, plugins=[faros])    # heavyweight taint analysis
+    print(faros.report().render())        # Table II-style provenance
+
+Package map:
+
+* :mod:`repro.isa` -- the CPU/memory/assembler substrate
+* :mod:`repro.emulator` -- whole-system machine, plugins, record/replay
+* :mod:`repro.guestos` -- the Windows-like guest kernel
+* :mod:`repro.taint` -- the DIFT core (tags, shadow state, propagation)
+* :mod:`repro.faros` -- the paper's contribution: tag insertion +
+  confluence detection + provenance reporting
+* :mod:`repro.attacks` -- reflective DLL injection, process hollowing,
+  code injection, evasion variants
+* :mod:`repro.workloads` -- the Table III/IV false-positive corpora
+* :mod:`repro.baselines` -- Cuckoo sandbox and Volatility/malfind analogs
+* :mod:`repro.analysis` -- one experiment runner per paper table/figure
+"""
+
+from repro.attacks import (
+    build_bypassuac_injection_scenario,
+    build_code_injection_scenario,
+    build_process_hollowing_scenario,
+    build_reflective_dll_scenario,
+    build_reverse_tcp_dns_scenario,
+)
+from repro.emulator import Machine, MachineConfig, Scenario, record, replay
+from repro.faros import Faros, FarosReport
+from repro.taint import TaintPolicy, TaintTracker
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Faros",
+    "FarosReport",
+    "Machine",
+    "MachineConfig",
+    "Scenario",
+    "TaintPolicy",
+    "TaintTracker",
+    "build_bypassuac_injection_scenario",
+    "build_code_injection_scenario",
+    "build_process_hollowing_scenario",
+    "build_reflective_dll_scenario",
+    "build_reverse_tcp_dns_scenario",
+    "record",
+    "replay",
+]

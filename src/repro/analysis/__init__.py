@@ -1,0 +1,91 @@
+"""Experiment harness: one runner per paper table/figure.
+
+=========== ==========================================================
+Experiment  Runner
+=========== ==========================================================
+E1-E4       :func:`~repro.analysis.experiments.detection_suite`
+            (Figs. 7-10: the six in-memory injection attacks)
+E5          :func:`~repro.analysis.experiments.table2_output`
+E6          part of the detection suite (DarkComet / Njrat)
+E7          :func:`~repro.analysis.experiments.jit_fp_experiment`
+            (Table III)
+E8          :func:`~repro.analysis.experiments.corpus_fp_experiment`
+            (Table IV)
+E9          :func:`~repro.analysis.experiments.overhead_experiment`
+            (Table V)
+E10         :func:`~repro.analysis.experiments.comparison_matrix`
+            (§VI-B: FAROS vs Cuckoo vs Cuckoo+malfind)
+E11         :func:`~repro.analysis.indirect_flows.indirect_flow_experiment`
+            (Figs. 1-2: the under/overtainting dilemma)
+E12         :func:`~repro.analysis.evasion.tag_pressure_experiment` and
+            :func:`~repro.analysis.evasion.taint_laundering_experiment`
+            (§VI-D evasion studies)
+=========== ==========================================================
+"""
+
+from repro.analysis.experiments import (
+    AttackAnalysis,
+    ComparisonRow,
+    CorpusResult,
+    JitResult,
+    OverheadRow,
+    comparison_matrix,
+    corpus_fp_experiment,
+    detection_suite,
+    jit_fp_experiment,
+    overhead_experiment,
+    table2_output,
+)
+from repro.analysis.indirect_flows import indirect_flow_experiment
+from repro.analysis.evasion import (
+    stub_scanner_experiment,
+    tag_pressure_experiment,
+    taint_laundering_experiment,
+)
+from repro.analysis.lifecycle import byte_lifecycle_experiment, render_lifecycle
+from repro.analysis.snapshots import (
+    render_snapshot_timing,
+    snapshot_timing_experiment,
+)
+from repro.analysis.sweeps import (
+    detection_latency_sweep,
+    fragmentation_sweep,
+    noise_sweep,
+    render_sweeps,
+)
+from repro.analysis.tables import (
+    render_comparison_matrix,
+    render_table3,
+    render_table4,
+    render_table5,
+)
+
+__all__ = [
+    "AttackAnalysis",
+    "ComparisonRow",
+    "CorpusResult",
+    "JitResult",
+    "OverheadRow",
+    "byte_lifecycle_experiment",
+    "comparison_matrix",
+    "corpus_fp_experiment",
+    "detection_latency_sweep",
+    "detection_suite",
+    "fragmentation_sweep",
+    "indirect_flow_experiment",
+    "jit_fp_experiment",
+    "noise_sweep",
+    "overhead_experiment",
+    "render_comparison_matrix",
+    "render_lifecycle",
+    "render_snapshot_timing",
+    "render_sweeps",
+    "render_table3",
+    "render_table4",
+    "render_table5",
+    "snapshot_timing_experiment",
+    "stub_scanner_experiment",
+    "table2_output",
+    "tag_pressure_experiment",
+    "taint_laundering_experiment",
+]

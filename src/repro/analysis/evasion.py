@@ -1,0 +1,117 @@
+"""E12: evasion experiments (§VI-D).
+
+Two measurements:
+
+* :func:`taint_laundering_experiment` -- runs the control-dependency
+  launderer against default FAROS (expected: **missed**, the paper's
+  admitted limitation) and against FAROS with scoped control-dependency
+  tracking enabled (expected: **caught** -- "it will in turn be
+  possible to update the policy", §VI-B);
+* :func:`tag_pressure_experiment` -- measures tag-map and shadow-memory
+  growth under a tag-minting guest, and reports headroom against the
+  16-bit index ceiling that bounds each map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.attacks.evasion import (
+    build_laundering_attack_scenario,
+    build_stub_scanner_attack_scenario,
+    build_tag_pressure_scenario,
+)
+from repro.faros import Faros
+from repro.taint.policy import TaintPolicy
+from repro.taint.tags import MAX_TAG_INDEX
+
+
+@dataclass
+class LaunderingResult:
+    """Outcome of the §VI-D laundering attack against two policies."""
+
+    stage_ran: bool                 # ground truth: the stage executed
+    default_policy_detected: bool   # expected False (the evasion works)
+    control_dep_policy_detected: bool  # expected True (the policy answer)
+
+
+def taint_laundering_experiment() -> LaunderingResult:
+    attack = build_laundering_attack_scenario()
+
+    default_faros = Faros()
+    machine = attack.scenario.run(plugins=[default_faros])
+    client = next(
+        p
+        for p in machine.kernel.processes.values()
+        if p.name == "launder_client.exe"
+    )
+    stage_ran = any("meterpreter stage alive" in line for line in client.console)
+
+    hardened = Faros(policy=TaintPolicy(track_control_deps=True))
+    attack.scenario.run(plugins=[hardened])
+
+    return LaunderingResult(
+        stage_ran=stage_ran,
+        default_policy_detected=default_faros.attack_detected,
+        control_dep_policy_detected=hardened.attack_detected,
+    )
+
+
+@dataclass
+class StubScannerResult:
+    """Outcome of the ROP-style stub-scanning resolver (§VI-B)."""
+
+    stage_ran: bool
+    default_policy_detected: bool     # expected False: no export read
+    kernel_code_policy_detected: bool # expected True: policy update
+
+
+def stub_scanner_experiment() -> StubScannerResult:
+    """Run the export-table-avoiding resolver against both policies."""
+    attack = build_stub_scanner_attack_scenario()
+
+    default_faros = Faros()
+    machine = attack.scenario.run(plugins=[default_faros])
+    notepad = next(
+        p for p in machine.kernel.processes.values() if p.name == "notepad.exe"
+    )
+    stage_ran = any("scanner stage alive" in line for line in notepad.console)
+
+    hardened = Faros(taint_kernel_code=True)
+    attack.scenario.run(plugins=[hardened])
+
+    return StubScannerResult(
+        stage_ran=stage_ran,
+        default_policy_detected=default_faros.attack_detected,
+        kernel_code_policy_detected=hardened.attack_detected,
+    )
+
+
+@dataclass
+class TagPressureResult:
+    """Tag-memory pressure metrics after the minting workload."""
+
+    file_tags: int
+    netflow_tags: int
+    process_tags: int
+    tainted_bytes: int
+    map_capacity: int
+
+    @property
+    def file_map_utilisation(self) -> float:
+        return self.file_tags / self.map_capacity
+
+
+def tag_pressure_experiment(file_rounds: int = 40, flows: int = 20) -> TagPressureResult:
+    scenario = build_tag_pressure_scenario(file_rounds=file_rounds, flows=flows)
+    faros = Faros()
+    scenario.run(plugins=[faros])
+    sizes = faros.tags.sizes()
+    return TagPressureResult(
+        file_tags=sizes["file"],
+        netflow_tags=sizes["netflow"],
+        process_tags=sizes["process"],
+        tainted_bytes=faros.tracker.shadow.tainted_bytes,
+        map_capacity=MAX_TAG_INDEX + 1,
+    )

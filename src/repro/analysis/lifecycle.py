@@ -1,0 +1,230 @@
+"""Fig. 4: the life cycle of a byte, as a provenance list.
+
+The paper's Fig. 4 illustrates what a provenance list captures: "data
+comes in from network and goes to Process 1.  Next, it goes to Process
+2, and then it is written into File 1, which is read by Process 3."
+
+This experiment stages exactly that flow with three guest processes:
+
+* ``courier.exe`` (P1) receives the data from the network;
+* ``broker.exe`` (P2) pulls it out of P1's memory with
+  ``NtReadVirtualMemory`` and persists it to ``C:\\file1.dat``;
+* ``consumer.exe`` (P3) reads the file back.
+
+and then asserts/renders the resulting chronologies: the bytes in P2's
+buffer read ``NetFlow -> P1 -> P2 -> File1`` and the bytes in P3's
+buffer read ``File1 -> P3``, with the file-lineage record splicing the
+two at File1 -- the complete Fig. 4 river.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.attacks.common import (
+    ATTACKER_IP,
+    ATTACKER_PORT,
+    FIRST_EPHEMERAL_PORT,
+    GUEST_IP,
+    assemble_image,
+)
+from repro.emulator.devices import Packet
+from repro.emulator.record_replay import PacketEvent, Scenario
+from repro.faros import Faros
+from repro.isa.cpu import AccessKind
+from repro.taint.tags import TagType
+
+PAYLOAD = b"fig4 byte lifecycle!"
+FILE1 = "C:\\\\file1.dat"
+
+_COURIER = f"""
+start:
+    movi r0, SYS_SOCKET
+    syscall
+    mov r7, r0
+    mov r1, r7
+    movi r2, src_ip
+    movi r3, {ATTACKER_PORT}
+    movi r0, SYS_CONNECT
+    syscall
+    movi r4, buf
+    movi r5, {len(PAYLOAD)}
+rx:
+    mov r1, r7
+    mov r2, r4
+    mov r3, r5
+    movi r0, SYS_RECV
+    syscall
+    add r4, r4, r0
+    sub r5, r5, r0
+    cmpi r5, 0
+    jnz rx
+park:
+    movi r1, 1000000
+    movi r0, SYS_SLEEP
+    syscall
+    hlt
+src_ip: .asciz "{ATTACKER_IP}"
+buf: .space {len(PAYLOAD)}
+"""
+
+_BROKER = """
+start:
+    ; wait until the courier has the data
+    movi r1, 40000
+    movi r0, SYS_SLEEP
+    syscall
+    movi r1, courier
+    movi r0, SYS_FIND_PROCESS
+    syscall
+    mov r1, r0
+    movi r0, SYS_OPEN_PROCESS
+    syscall
+    mov r1, r0
+    movi r2, {courier_buf}
+    movi r3, buf
+    movi r4, {size}
+    movi r0, SYS_READ_VM
+    syscall
+    ; persist to File 1
+    movi r1, file1
+    movi r0, SYS_CREATE_FILE
+    syscall
+    mov r1, r0
+    movi r2, buf
+    movi r3, {size}
+    movi r0, SYS_WRITE_FILE
+    syscall
+park:
+    movi r1, 1000000
+    movi r0, SYS_SLEEP
+    syscall
+    hlt
+courier: .asciz "courier.exe"
+file1: .asciz "{file1}"
+buf: .space {size}
+"""
+
+_CONSUMER = """
+start:
+    movi r1, 80000
+    movi r0, SYS_SLEEP
+    syscall
+    movi r1, file1
+    movi r0, SYS_OPEN_FILE
+    syscall
+    mov r1, r0
+    movi r2, buf
+    movi r3, {size}
+    movi r0, SYS_READ_FILE
+    syscall
+    ; touch the bytes so the access is instruction-level too
+    movi r1, buf
+    ldb r2, [r1]
+park:
+    movi r1, 1000000
+    movi r0, SYS_SLEEP
+    syscall
+    hlt
+file1: .asciz "{file1}"
+buf: .space {size}
+"""
+
+
+@dataclass
+class LifecycleResult:
+    """The Fig. 4 chronologies, rendered and structured."""
+
+    broker_chronology: List[str]   # tag descriptions, oldest first
+    consumer_chronology: List[str]
+    stitched_river: List[str]      # full NetFlow->P1->P2->File1->P3 chain
+    payload_intact: bool
+
+
+def byte_lifecycle_experiment() -> LifecycleResult:
+    """Run the three-process flow and extract the provenance river."""
+    courier_prog = assemble_image(_COURIER)
+    broker_src = _BROKER.format(
+        courier_buf=courier_prog.label("buf"), size=len(PAYLOAD), file1=FILE1
+    )
+    consumer_src = _CONSUMER.format(size=len(PAYLOAD), file1=FILE1)
+
+    faros = Faros()
+
+    def setup(machine):
+        machine.kernel.register_image("courier.exe", courier_prog)
+        machine.kernel.register_image("broker.exe", assemble_image(broker_src))
+        machine.kernel.register_image("consumer.exe", assemble_image(consumer_src))
+        machine.kernel.spawn("courier.exe")
+        machine.kernel.spawn("broker.exe")
+        machine.kernel.spawn("consumer.exe")
+
+    scenario = Scenario(
+        name="fig4_lifecycle",
+        setup=setup,
+        events=[
+            (
+                15_000,
+                PacketEvent(
+                    Packet(ATTACKER_IP, ATTACKER_PORT, GUEST_IP,
+                           FIRST_EPHEMERAL_PORT, PAYLOAD)
+                ),
+            )
+        ],
+        max_instructions=400_000,
+    )
+    machine = scenario.run(plugins=[faros])
+
+    broker = next(p for p in machine.kernel.processes.values() if p.name == "broker.exe")
+    consumer = next(
+        p for p in machine.kernel.processes.values() if p.name == "consumer.exe"
+    )
+    broker_prog = machine.kernel.image_program("broker.exe")
+    consumer_prog = machine.kernel.image_program("consumer.exe")
+
+    broker_paddr = broker.aspace.translate(broker_prog.label("buf"), AccessKind.READ)
+    consumer_paddr = consumer.aspace.translate(
+        consumer_prog.label("buf"), AccessKind.READ
+    )
+    broker_prov = faros.tracker.prov_at(broker_paddr)
+    consumer_prov = faros.tracker.prov_at(consumer_paddr)
+
+    describe = faros.tags.describe
+    report = faros.report()
+
+    # Splice the full river: the consumer's file tag points back into
+    # the broker's recorded write provenance.
+    stitched: List[str] = []
+    for tag in consumer_prov:
+        if tag.type is TagType.FILE:
+            payload = faros.tags.file_payload(tag)
+            upstream = report.origin_of_file(payload.name, payload.version)
+            stitched.extend(describe(t) for t in upstream)
+            stitched.append(describe(tag))
+        else:
+            stitched.append(describe(tag))
+
+    consumer_bytes = bytes(
+        machine.memory.read_byte(
+            consumer.aspace.translate(consumer_prog.label("buf") + i, AccessKind.READ)
+        )
+        for i in range(len(PAYLOAD))
+    )
+    return LifecycleResult(
+        broker_chronology=[describe(t) for t in broker_prov],
+        consumer_chronology=[describe(t) for t in consumer_prov],
+        stitched_river=stitched,
+        payload_intact=consumer_bytes == PAYLOAD,
+    )
+
+
+def render_lifecycle(result: LifecycleResult) -> str:
+    lines = [
+        "Fig. 4 -- the life cycle of a byte, as provenance",
+        "broker buffer   : " + " -> ".join(result.broker_chronology),
+        "consumer buffer : " + " -> ".join(result.consumer_chronology),
+        "stitched river  : " + " -> ".join(result.stitched_river),
+        f"payload intact  : {result.payload_intact}",
+    ]
+    return "\n".join(lines)

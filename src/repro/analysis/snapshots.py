@@ -1,0 +1,77 @@
+"""The snapshot-timing study: why one dump is not enough (§I).
+
+"An analyst needs visibility into memory *throughout* the execution of
+the sandboxed VM environment to flag transient in-memory attacks" --
+this experiment quantifies that sentence.  A transient reflective-DLL
+attack runs once; memory is dumped twice:
+
+* **T1**, while the injected stage is dwelling before its cleanup:
+  malfind finds the PE-bearing anonymous RWX region;
+* **T2**, after the stage wiped itself: the same scan over the same
+  process comes back clean.
+
+FAROS, having watched every instruction in between, flags the attack
+regardless of when (or whether) anyone dumps memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.attacks import build_reflective_dll_scenario
+from repro.baselines import MemorySnapshot, malfind
+from repro.faros import Faros
+
+#: Dump schedule (machine ticks): after injection, during the stage's
+#: pre-cleanup dwell; and well after the self-wipe.
+T1_TICK = 45_000
+FULL_RUN = 400_000
+
+
+@dataclass
+class SnapshotTimingResult:
+    t1_tick: int
+    t2_tick: int
+    malfind_at_t1: bool     # expected True: payload resident
+    malfind_at_t2: bool     # expected False: payload wiped
+    t1_code_like: bool      # the resident payload disassembles as code
+    faros_detected: bool    # expected True regardless
+
+
+def snapshot_timing_experiment() -> SnapshotTimingResult:
+    attack = build_reflective_dll_scenario(transient=True)
+    faros = Faros()
+    machine = attack.scenario.build((faros,))
+
+    machine.run(T1_TICK)
+    snapshot_t1 = MemorySnapshot.capture(machine)
+    machine.run(FULL_RUN - T1_TICK)
+    snapshot_t2 = MemorySnapshot.capture(machine)
+
+    hits_t1: List = malfind(snapshot_t1)
+    hits_t2: List = malfind(snapshot_t2)
+    return SnapshotTimingResult(
+        t1_tick=snapshot_t1.tick,
+        t2_tick=snapshot_t2.tick,
+        malfind_at_t1=any(h.detected for h in hits_t1),
+        malfind_at_t2=any(h.detected for h in hits_t2),
+        t1_code_like=any(h.detected and h.code_like for h in hits_t1),
+        faros_detected=faros.attack_detected,
+    )
+
+
+def render_snapshot_timing(result: SnapshotTimingResult) -> str:
+    return "\n".join(
+        [
+            "Snapshot timing vs a transient payload (§I)",
+            f"dump at T1 (tick {result.t1_tick}): "
+            f"malfind {'DETECTS' if result.malfind_at_t1 else 'misses'} the stage"
+            f"{' (code-like PE region)' if result.t1_code_like else ''}",
+            f"dump at T2 (tick {result.t2_tick}): "
+            f"malfind {'DETECTS' if result.malfind_at_t2 else 'misses'} "
+            "(stage wiped itself)",
+            f"FAROS (whole execution):    "
+            f"{'DETECTS' if result.faros_detected else 'misses'}",
+        ]
+    )

@@ -1,0 +1,202 @@
+"""Parameter sweeps: how detection behaves across a dimension.
+
+The paper evaluates point configurations; these sweeps characterise the
+mechanism as a curve, the way a systems evaluation would:
+
+* :func:`detection_latency_sweep` -- ticks from payload delivery to the
+  first FAROS flag, as a function of payload size.  The latency is the
+  attack's own tempo (transfer + injection + resolution), since FAROS
+  detects *at the moment* the injected code reads the export table --
+  there is no post-hoc scanning delay to amortise.
+* :func:`fragmentation_sweep` -- detection and provenance integrity as
+  the stage is delivered in ever-smaller TCP segments.
+* :func:`noise_sweep` -- analysis cost (instructions analysed, tainted
+  bytes) as benign processes are added next to one attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.attacks.common import (
+    ATTACKER_IP,
+    ATTACKER_PORT,
+    FIRST_EPHEMERAL_PORT,
+    GUEST_IP,
+    PAYLOAD_BASE,
+    assemble_image,
+    benign_host_asm,
+)
+from repro.attacks.metasploit import _injector_asm
+from repro.attacks.payloads import build_popup_payload
+from repro.emulator.devices import Packet
+from repro.emulator.record_replay import PacketEvent, Scenario
+from repro.faros import Faros
+from repro.isa.assembler import assemble
+
+DELIVERY_TICK = 20_000
+
+
+def _padded_popup_payload(pad_bytes: int) -> bytes:
+    """The popup stage plus *pad_bytes* of trailing data (size knob)."""
+    stage = build_popup_payload(PAYLOAD_BASE)
+    if pad_bytes == 0:
+        return stage.code
+    # Padding must be part of the assembled image so labels stay valid.
+    padded = assemble(
+        f".space {pad_bytes}", base=PAYLOAD_BASE + len(stage.code)
+    ).code
+    return stage.code + padded
+
+
+def _injection_scenario(payload: bytes, extra_benign: int = 0,
+                        fragment_size: int = 0) -> Scenario:
+    def setup(machine):
+        machine.kernel.register_image(
+            "notepad.exe", assemble_image(benign_host_asm("np up"))
+        )
+        machine.kernel.spawn("notepad.exe")
+        for i in range(extra_benign):
+            name = f"office{i}.exe"
+            machine.kernel.register_image(
+                name, assemble_image(benign_host_asm(f"{name} up"))
+            )
+            machine.kernel.spawn(name)
+        machine.kernel.register_image(
+            "inject_client.exe",
+            assemble_image(_injector_asm(len(payload), "notepad.exe")),
+        )
+        machine.kernel.spawn("inject_client.exe")
+
+    events = []
+    if fragment_size <= 0:
+        fragment_size = len(payload)
+    tick = DELIVERY_TICK
+    for offset in range(0, len(payload), fragment_size):
+        events.append(
+            (
+                tick,
+                PacketEvent(
+                    Packet(
+                        ATTACKER_IP,
+                        ATTACKER_PORT,
+                        GUEST_IP,
+                        FIRST_EPHEMERAL_PORT,
+                        payload[offset : offset + fragment_size],
+                    )
+                ),
+            )
+        )
+        tick += 200
+    return Scenario(
+        name="sweep_injection", setup=setup, events=events, max_instructions=700_000
+    )
+
+
+@dataclass
+class LatencyPoint:
+    payload_bytes: int
+    detected: bool
+    latency_ticks: int  # first flag tick - delivery tick
+
+
+def detection_latency_sweep(
+    pad_sizes: Sequence[int] = (0, 256, 1024, 4096, 8192),
+) -> List[LatencyPoint]:
+    points = []
+    for pad in pad_sizes:
+        payload = _padded_popup_payload(pad)
+        faros = Faros()
+        # Fixed-size segments so transfer time scales with payload size
+        # (a single jumbo packet would hide the size dimension).
+        _injection_scenario(payload, fragment_size=256).run(plugins=[faros])
+        detected = faros.attack_detected
+        latency = (
+            faros.detector.flagged[0].tick - DELIVERY_TICK if detected else -1
+        )
+        points.append(
+            LatencyPoint(
+                payload_bytes=len(payload), detected=detected, latency_ticks=latency
+            )
+        )
+    return points
+
+
+@dataclass
+class FragmentationPoint:
+    fragment_bytes: int
+    segments: int
+    detected: bool
+    netflow_intact: bool
+
+
+def fragmentation_sweep(
+    fragment_sizes: Sequence[int] = (8, 32, 128, 512, 0),
+) -> List[FragmentationPoint]:
+    payload = build_popup_payload(PAYLOAD_BASE).code
+    points = []
+    for size in fragment_sizes:
+        effective = size if size > 0 else len(payload)
+        faros = Faros()
+        _injection_scenario(payload, fragment_size=size).run(plugins=[faros])
+        chain = faros.report().chains()
+        points.append(
+            FragmentationPoint(
+                fragment_bytes=effective,
+                segments=-(-len(payload) // effective),
+                detected=faros.attack_detected,
+                netflow_intact=bool(chain and chain[0].netflow),
+            )
+        )
+    return points
+
+
+@dataclass
+class NoisePoint:
+    benign_processes: int
+    detected: bool
+    instructions_analyzed: int
+    tainted_bytes: int
+
+
+def noise_sweep(process_counts: Sequence[int] = (0, 2, 4, 8)) -> List[NoisePoint]:
+    payload = build_popup_payload(PAYLOAD_BASE).code
+    points = []
+    for count in process_counts:
+        faros = Faros()
+        _injection_scenario(payload, extra_benign=count).run(plugins=[faros])
+        points.append(
+            NoisePoint(
+                benign_processes=count,
+                detected=faros.attack_detected,
+                instructions_analyzed=faros.tracker.stats.instructions,
+                tainted_bytes=faros.tracker.shadow.tainted_bytes,
+            )
+        )
+    return points
+
+
+def render_sweeps(
+    latency: Sequence[LatencyPoint],
+    fragmentation: Sequence[FragmentationPoint],
+    noise: Sequence[NoisePoint],
+) -> str:
+    lines = ["Detection characteristics (parameter sweeps)"]
+    lines.append("\npayload size -> detection latency (ticks after delivery)")
+    lines.append(f"{'payload bytes':<15}{'detected':<10}latency")
+    for p in latency:
+        lines.append(f"{p.payload_bytes:<15}{str(p.detected):<10}{p.latency_ticks}")
+    lines.append("\ndelivery fragmentation -> detection / provenance integrity")
+    lines.append(f"{'fragment bytes':<16}{'segments':<10}{'detected':<10}netflow intact")
+    for f in fragmentation:
+        lines.append(
+            f"{f.fragment_bytes:<16}{f.segments:<10}{str(f.detected):<10}{f.netflow_intact}"
+        )
+    lines.append("\nbenign noise -> analysis cost")
+    lines.append(f"{'benign procs':<14}{'detected':<10}{'instructions':<14}tainted bytes")
+    for n in noise:
+        lines.append(
+            f"{n.benign_processes:<14}{str(n.detected):<10}{n.instructions_analyzed:<14}{n.tainted_bytes}"
+        )
+    return "\n".join(lines)

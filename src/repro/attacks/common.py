@@ -1,0 +1,85 @@
+"""Shared building blocks for attack scenarios.
+
+Network constants follow the paper's testbed: the attacker machine is
+``169.254.26.161`` serving payloads from port ``4444`` and the victim VM
+is ``169.254.57.168``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.guestos import layout
+from repro.guestos.asmlib import program
+from repro.isa.assembler import Program, assemble
+
+ATTACKER_IP = "169.254.26.161"
+ATTACKER_PORT = 4444
+GUEST_IP = "169.254.57.168"
+
+#: Where injectors place payloads in a target's address space.  Inside
+#: the heap window so ``NtAllocateVirtualMemory(addr_hint=...)`` works,
+#: high enough that ordinary heap allocations never collide with it.
+PAYLOAD_BASE = 0x0006_0000
+
+#: First ephemeral port the guest netstack hands out; attack scenarios
+#: use it to aim the payload packet at the client's connect-back socket.
+FIRST_EPHEMERAL_PORT = 49152
+
+
+def assemble_image(*sections: str) -> Program:
+    """Assemble a guest executable (standard prelude, image base)."""
+    return assemble(program(*sections), base=layout.IMAGE_BASE)
+
+
+def bytes_to_asm(data: bytes, per_line: int = 16) -> str:
+    """Render raw bytes as ``.byte`` directives (payload embedding)."""
+    lines: List[str] = []
+    for start in range(0, len(data), per_line):
+        chunk = data[start : start + per_line]
+        lines.append("    .byte " + ", ".join(str(b) for b in chunk))
+    return "\n".join(lines)
+
+
+def benign_host_asm(console_banner: str = "ready") -> str:
+    """A benign host process (notepad.exe, firefox.exe, explorer.exe...).
+
+    Prints a banner, then idles in a sleep loop -- a realistic
+    injection target that stays alive for the attack's duration.
+    """
+    return f"""
+    start:
+        movi r1, banner
+        movi r2, {len(console_banner)}
+        movi r0, SYS_WRITE_CONSOLE
+        syscall
+    idle:
+        movi r1, 20000
+        movi r0, SYS_SLEEP
+        syscall
+        jmp idle
+    banner: .ascii "{console_banner}"
+    """
+
+
+def recv_exact_asm(sock_reg: str, buf_label: str, length: int, uid: str) -> str:
+    """Receive exactly *length* bytes into *buf_label* from *sock_reg*.
+
+    Loops on SYS_RECV until the full payload has arrived, tolerating
+    arbitrary packet segmentation.  Clobbers r0-r5; *sock_reg* must not
+    be one of r0-r5.
+    """
+    return f"""
+    movi r4, {buf_label}
+    movi r5, {length}
+recv_loop_{uid}:
+    mov r1, {sock_reg}
+    mov r2, r4
+    mov r3, r5
+    movi r0, SYS_RECV
+    syscall
+    add r4, r4, r0
+    sub r5, r5, r0
+    cmpi r5, 0
+    jnz recv_loop_{uid}
+"""

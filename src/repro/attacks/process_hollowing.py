@@ -1,0 +1,105 @@
+"""Process hollowing / replacement (§II, Fig. 10).
+
+``process_hollowing.exe`` (the Lab 3-3 analog) carries a keylogger
+stage embedded in its own image, then:
+
+1. ``CreateProcess("svchost.exe", CREATE_SUSPENDED)``
+2. ``NtUnmapViewOfSection`` on the child's image base
+3. ``VirtualAllocEx`` fresh RWX memory at the same base
+4. ``WriteProcessMemory`` the stage over it
+5. ``SetThreadContext`` the main thread to the stage's entry
+6. ``ResumeThread``
+
+The child keeps its name and its place in the process tree; only its
+memory is someone else.  No network is involved, which is why the
+provenance chain FAROS reports is the paper's Fig. 10 shape --
+``process_hollowing.exe -> svchost.exe`` plus the export-table read --
+with file tags showing the stage came out of the malware's own image.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.common import assemble_image, benign_host_asm, bytes_to_asm
+from repro.attacks.metasploit import AttackScenario
+from repro.attacks.payloads import PAYLOAD_ENTRY_OFFSET, build_keylogger_payload
+from repro.emulator.record_replay import KeystrokeEvent, Scenario
+from repro.guestos import layout
+
+
+def _hollower_asm(payload: bytes) -> str:
+    return f"""
+    start:
+        ; fork the benign child, suspended
+        movi r1, child_image
+        movi r2, 1                  ; CREATE_SUSPENDED
+        movi r0, SYS_CREATE_PROCESS
+        syscall
+        mov r7, r0
+        ; carve out its image
+        mov r1, r7
+        movi r2, IMAGE_BASE
+        movi r0, SYS_UNMAP_VM
+        syscall
+        ; fresh RWX memory at the same base
+        mov r1, r7
+        movi r2, {len(payload)}
+        movi r3, PERM_RWX
+        movi r4, IMAGE_BASE
+        movi r0, SYS_ALLOC_VM
+        syscall
+        ; write the keylogger image over it
+        mov r1, r7
+        movi r2, IMAGE_BASE
+        movi r3, payload_blob
+        movi r4, {len(payload)}
+        movi r0, SYS_WRITE_VM
+        syscall
+        ; point the suspended main thread at the new entry
+        mov r1, r7
+        movi r2, IMAGE_BASE+{PAYLOAD_ENTRY_OFFSET}
+        movi r0, SYS_SET_CONTEXT
+        syscall
+        ; let it run
+        mov r1, r7
+        movi r0, SYS_RESUME_THREAD
+        syscall
+        movi r1, 0
+        movi r0, SYS_EXIT
+        syscall
+    child_image: .asciz "svchost.exe"
+    payload_blob:
+{bytes_to_asm(payload)}
+    """
+
+
+def build_process_hollowing_scenario(
+    transient: bool = False,
+    keystrokes: bytes = b"hunter2",
+) -> AttackScenario:
+    """The Fig. 10 experiment: hollow svchost.exe into a keylogger."""
+    stage = build_keylogger_payload(layout.IMAGE_BASE, transient=transient)
+    payload = stage.code
+
+    def setup(machine) -> None:
+        machine.kernel.register_image(
+            "svchost.exe", assemble_image(benign_host_asm("svchost service up"))
+        )
+        machine.kernel.register_image(
+            "process_hollowing.exe", assemble_image(_hollower_asm(payload))
+        )
+        machine.kernel.spawn("process_hollowing.exe")
+
+    events = [(30_000, KeystrokeEvent(keystrokes))]
+    return AttackScenario(
+        scenario=Scenario(
+            name="process_hollowing",
+            setup=setup,
+            events=events,
+            max_instructions=400_000,
+        ),
+        client_process="process_hollowing.exe",
+        target_process="svchost.exe",
+        payload_size=len(payload),
+        attacker_endpoint="(no network)",
+        module="process_hollowing",
+    )

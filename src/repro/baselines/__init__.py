@@ -1,0 +1,43 @@
+"""Baseline analysis tools the paper compares FAROS against (§VI-B).
+
+* :mod:`~repro.baselines.volatility` -- memory-snapshot forensics:
+  ``pslist``, ``vadinfo``, and the ``malfind`` scan for suspicious
+  private+executable memory;
+* :mod:`~repro.baselines.cuckoo` -- an event-based sandbox: API traces,
+  file/network artifacts, generic behavioural signatures, and an
+  optional malfind pass over the final memory dump.
+
+Both are honest implementations of those tools' actual methodology --
+they see what those tools see (events and one point-in-time snapshot),
+and therefore miss what the paper says they miss: in-memory-only
+behaviour, transient payloads, and all provenance.
+"""
+
+from repro.baselines.cuckoo import CuckooReport, CuckooSandbox
+from repro.baselines.snapshot import MemorySnapshot
+from repro.baselines.volatility import (
+    DllListEntry,
+    MalfindHit,
+    PsListEntry,
+    VadInfoEntry,
+    dlllist,
+    hexdump,
+    malfind,
+    pslist,
+    vadinfo,
+)
+
+__all__ = [
+    "CuckooReport",
+    "CuckooSandbox",
+    "DllListEntry",
+    "MalfindHit",
+    "MemorySnapshot",
+    "PsListEntry",
+    "VadInfoEntry",
+    "dlllist",
+    "hexdump",
+    "malfind",
+    "pslist",
+    "vadinfo",
+]

@@ -1,0 +1,237 @@
+"""The CuckooBox analog: event-based sandbox analysis (§VI-B).
+
+Cuckoo's visibility is (i) hooked API calls, (ii) file-system
+artifacts, (iii) network traffic, (iv) the process tree, and (v) one
+final memory dump it can hand to Volatility plugins.  This class
+reproduces that pipeline over our guest: it runs a scenario with the
+``syscalls2`` tracer and OSI attached (no taint -- Cuckoo has none) and
+produces a behaviour report with generic signatures.
+
+Its injection verdict follows the paper's experiments:
+
+* **without malfind** it looks for the evidence those experiments
+  looked for -- an injected DLL in a module list, an anomalous process
+  in ``pslist`` -- and comes up empty for all three attack classes;
+* **with malfind** it scans the final dump for PE-bearing anonymous
+  executable memory, which finds *persistent* payloads but yields "no
+  netflow, memory addresses, or full provenance history", and misses
+  payloads that wiped themselves before the dump.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.baselines.volatility import MalfindHit, PsListEntry, malfind, pslist
+from repro.emulator.record_replay import Scenario
+from repro.faros.osi import OSIPlugin
+from repro.faros.syscalls2 import SyscallEvent, Syscalls2Plugin
+from repro.guestos.syscalls import Sys
+
+#: Image names every Windows box has; anything else in pslist is "new".
+_WELL_KNOWN = {
+    "svchost.exe",
+    "explorer.exe",
+    "notepad.exe",
+    "firefox.exe",
+    "calc.exe",
+    "winlogon.exe",
+}
+
+
+@dataclass
+class Signature:
+    """One triggered behavioural signature (Cuckoo's 'signatures' pane)."""
+
+    name: str
+    description: str
+    process: str
+
+    def __str__(self) -> str:
+        return f"[{self.name}] {self.process}: {self.description}"
+
+
+@dataclass
+class CuckooReport:
+    """The artifact of one sandbox run."""
+
+    scenario_name: str
+    api_calls: List[SyscallEvent]
+    processes: List[PsListEntry]
+    files_created: List[str]
+    files_deleted: List[str]
+    netflows: List[Tuple[str, int, str, int]]
+    tx_packets: int
+    registered_dll_loads: List[Tuple[str, str]]  # (process, dll path)
+    signatures: List[Signature]
+    console: List[Tuple[int, str]]
+    #: The final machine state -- Cuckoo's full memory dump.
+    dump: object = None
+
+    # ------------------------------------------------------------------
+    # the §VI-B injection verdicts
+    # ------------------------------------------------------------------
+
+    def detect_injection(self) -> bool:
+        """Cuckoo's own (malfind-less) verdict.
+
+        Methodology as in the paper's experiments: look for the injected
+        DLL in any module list, and for unexpected processes in pslist.
+        Reflective loading registers nothing; hollowing hides behind a
+        well-known name; code injection leaves the victim's module list
+        untouched -- so this returns False for all three attack classes.
+        """
+        for process, dll in self.registered_dll_loads:
+            if not self._dll_is_known(dll):
+                return True
+        for entry in self.processes:
+            if entry.name.lower() not in _WELL_KNOWN and entry.parent_pid is not None:
+                # An unknown *child* process would warrant a look, but is
+                # not injection evidence by itself; Cuckoo lists it only.
+                continue
+        return False
+
+    def detect_injection_with_malfind(self) -> Tuple[bool, List[MalfindHit]]:
+        """The Cuckoo + Volatility/malfind pipeline over the final dump."""
+        if self.dump is None:
+            return False, []
+        hits = malfind(self.dump)
+        return any(h.detected for h in hits), hits
+
+    def _dll_is_known(self, path: str) -> bool:
+        return path.lower().endswith((".dll",)) and "kernel32" in path.lower()
+
+    # ------------------------------------------------------------------
+    # rendering (the Cuckoo web-report analog)
+    # ------------------------------------------------------------------
+
+    def render(self, max_api_rows: int = 25) -> str:
+        lines = [f"=== Cuckoo analysis report: {self.scenario_name} ==="]
+        lines.append("\n-- processes --")
+        lines.extend(f"  {entry}" for entry in self.processes)
+        lines.append("\n-- signatures --")
+        if self.signatures:
+            lines.extend(f"  {sig}" for sig in self.signatures)
+        else:
+            lines.append("  (none triggered)")
+        lines.append("\n-- network --")
+        if self.netflows:
+            for src_ip, src_port, dst_ip, dst_port in self.netflows:
+                lines.append(f"  {src_ip}:{src_port} -> {dst_ip}:{dst_port}")
+        lines.append(f"  {self.tx_packets} packets transmitted by the guest")
+        lines.append("\n-- filesystem --")
+        for path in self.files_created:
+            lines.append(f"  created: {path}")
+        for path in self.files_deleted:
+            lines.append(f"  deleted: {path}")
+        lines.append(f"\n-- api calls (first {max_api_rows}) --")
+        lines.extend(f"  {event}" for event in self.api_calls[:max_api_rows])
+        if len(self.api_calls) > max_api_rows:
+            lines.append(f"  ... {len(self.api_calls) - max_api_rows} more")
+        verdict = self.detect_injection()
+        malfind_verdict, _ = self.detect_injection_with_malfind()
+        lines.append(
+            f"\nverdicts: injection={verdict} injection_with_malfind={malfind_verdict}"
+        )
+        return "\n".join(lines)
+
+
+class CuckooSandbox:
+    """Run scenarios the way Cuckoo runs samples."""
+
+    def analyze(self, scenario: Scenario) -> CuckooReport:
+        """Execute *scenario* with event tracing and build the report."""
+        tracer = Syscalls2Plugin()
+        osi = OSIPlugin()
+        machine = scenario.run(plugins=[tracer, osi])
+        return self._build_report(scenario, machine, tracer)
+
+    def _build_report(self, scenario, machine, tracer) -> CuckooReport:
+        created = [
+            path for op, path in machine.kernel.fs.audit_log if op == "create"
+        ]
+        deleted = [
+            path for op, path in machine.kernel.fs.audit_log if op == "delete"
+        ]
+        dll_loads = [
+            (e.process, str(e.args.get("path", "")))
+            for e in tracer.events
+            if e.number == Sys.LOAD_DLL
+        ]
+        report = CuckooReport(
+            scenario_name=scenario.name,
+            api_calls=list(tracer.events),
+            processes=pslist(machine),
+            files_created=created,
+            files_deleted=deleted,
+            netflows=list(machine.kernel.netstack.seen_flows),
+            tx_packets=len(machine.devices.nic.tx_log),
+            registered_dll_loads=dll_loads,
+            signatures=[],
+            console=list(machine.kernel.console_log),
+            dump=machine,
+        )
+        report.signatures = self._run_signatures(report)
+        return report
+
+    # ------------------------------------------------------------------
+    # generic behaviour signatures (observations, not injection verdicts)
+    # ------------------------------------------------------------------
+
+    def _run_signatures(self, report: CuckooReport) -> List[Signature]:
+        signatures: List[Signature] = []
+        by_process: dict = {}
+        for event in report.api_calls:
+            by_process.setdefault(event.process, []).append(event)
+        for process, events in by_process.items():
+            numbers = {e.number for e in events}
+            if Sys.WRITE_VM in numbers:
+                signatures.append(
+                    Signature(
+                        "writes_remote_memory",
+                        "writes into another process' memory "
+                        "(also common benign behaviour, e.g. debugging)",
+                        process,
+                    )
+                )
+            if Sys.CREATE_REMOTE_THREAD in numbers:
+                signatures.append(
+                    Signature(
+                        "creates_remote_thread",
+                        "creates a thread in another process",
+                        process,
+                    )
+                )
+            if Sys.CREATE_PROCESS in numbers:
+                suspended = any(
+                    e.number == Sys.CREATE_PROCESS and e.args.get("suspended")
+                    for e in events
+                )
+                if suspended:
+                    signatures.append(
+                        Signature(
+                            "creates_suspended_process",
+                            "spawns a process in the suspended state",
+                            process,
+                        )
+                    )
+            if Sys.DELETE_FILE in numbers:
+                own_deletes = [
+                    e for e in events
+                    if e.number == Sys.DELETE_FILE
+                    and str(e.args.get("path", "")).lower() == process.lower()
+                ]
+                if own_deletes:
+                    signatures.append(
+                        Signature("deletes_self", "deletes its own image from disk", process)
+                    )
+            if Sys.CONNECT in numbers:
+                signatures.append(
+                    Signature("network_connection", "connects to a remote host", process)
+                )
+            if Sys.READ_KEYS in numbers:
+                signatures.append(
+                    Signature("reads_keystrokes", "polls the keyboard state", process)
+                )
+        return signatures

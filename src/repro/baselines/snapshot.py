@@ -1,0 +1,118 @@
+"""Point-in-time memory snapshots (what Volatility actually analyses).
+
+The live-machine convenience of :mod:`repro.baselines.volatility` blurs
+one thing the paper leans on hard: forensic tools see memory **at one
+instant**, and "in-memory injection attacks are typically transient ...
+there is nothing stopping the attacker from cleaning up memory before
+the VM is stopped" (§I).
+
+:class:`MemorySnapshot` makes the instant explicit: it deep-copies guest
+physical memory and freezes the kernel's process/VAD tables, so an
+analyst can snapshot at T1, let the guest run on, snapshot at T2, and
+watch the payload exist in one dump and not the other -- while FAROS,
+which watched the whole execution, still has everything.
+
+Snapshots quack like a machine (``.memory``, ``.kernel.processes``), so
+every Volatility-style function accepts either a live machine or a
+snapshot.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.guestos.addrspace import VirtualArea
+from repro.isa.cpu import AccessKind
+from repro.isa.errors import PageFault
+from repro.isa.memory import PAGE_SHIFT, PAGE_SIZE
+
+
+class _FrozenMemory:
+    """Read-only copy of physical memory at capture time."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self.size = len(data)
+
+    def read_byte(self, paddr: int) -> int:
+        return self._data[paddr]
+
+    def read_bytes(self, paddr: int, n: int) -> bytes:
+        return self._data[paddr : paddr + n]
+
+
+class _FrozenAddressSpace:
+    """Immutable page-table view for one snapshotted process."""
+
+    def __init__(self, asid: int, pages: Dict[int, tuple], areas: List[VirtualArea]) -> None:
+        self.asid = asid
+        self._pages = pages  # vpn -> (frame, perms)
+        self.areas = areas
+
+    def translate(self, vaddr: int, access: AccessKind) -> int:
+        entry = self._pages.get(vaddr >> PAGE_SHIFT)
+        if entry is None:
+            raise PageFault(vaddr, access.value, "unmapped (snapshot)")
+        frame, _perms = entry
+        return (frame << PAGE_SHIFT) | (vaddr & (PAGE_SIZE - 1))
+
+    def translate_range(self, vaddr: int, n: int, access: AccessKind):
+        return tuple(self.translate(vaddr + i, access) for i in range(n))
+
+
+@dataclass
+class _FrozenProcess:
+    """One process row of the frozen kernel table."""
+
+    pid: int
+    name: str
+    parent_pid: Optional[int]
+    alive: bool
+    exit_code: Optional[int]
+    threads: list
+    modules: list
+    aspace: _FrozenAddressSpace
+
+    @property
+    def cr3(self) -> int:
+        return self.aspace.asid
+
+
+class _FrozenKernel:
+    def __init__(self, processes: Dict[int, _FrozenProcess]) -> None:
+        self.processes = processes
+
+
+class MemorySnapshot:
+    """A full guest memory dump plus reconstructed kernel structures."""
+
+    def __init__(self, tick: int, memory: _FrozenMemory, kernel: _FrozenKernel) -> None:
+        #: Machine clock value at capture time.
+        self.tick = tick
+        self.memory = memory
+        self.kernel = kernel
+
+    @classmethod
+    def capture(cls, machine) -> "MemorySnapshot":
+        """Dump *machine* right now (the 'stop the VM and dump' moment)."""
+        memory = _FrozenMemory(machine.memory.read_bytes(0, machine.memory.size))
+        processes: Dict[int, _FrozenProcess] = {}
+        for pid, proc in machine.kernel.processes.items():
+            pages = {
+                vpn: (entry.frame, entry.perms)
+                for vpn, entry in proc.aspace._pages.items()
+            }
+            areas = [copy.copy(area) for area in proc.aspace.areas]
+            processes[pid] = _FrozenProcess(
+                pid=proc.pid,
+                name=proc.name,
+                parent_pid=proc.parent_pid,
+                alive=proc.alive,
+                exit_code=proc.exit_code,
+                threads=list(proc.threads),
+                modules=list(proc.modules),
+                aspace=_FrozenAddressSpace(proc.aspace.asid, pages, areas),
+            )
+        return cls(tick=machine.now, memory=memory, kernel=_FrozenKernel(processes))

@@ -1,0 +1,225 @@
+"""Memory-snapshot forensics: the Volatility / malfind analog (§VI-B).
+
+These functions analyse one **point-in-time memory snapshot** -- the
+state of a machine when the analyst stops the VM.  That is exactly the
+visibility limit the paper exploits: the tools reconstruct kernel
+structures and scan memory content, but know nothing about how any byte
+got where it is, and see nothing that was cleaned up before the dump.
+
+* :func:`pslist` -- walk the process table (finds hollowed processes'
+  *names* looking perfectly normal);
+* :func:`vadinfo` -- dump a process' VADs (the analyst's manual
+  "one svchost was different from the rest" comparison);
+* :func:`malfind` -- flag private, executable regions not backed by a
+  registered module, and check them for a PE-style (``MZ``) header.
+  A *detection* in the paper's sense requires the header: malfind
+  "assumes that the Portable Executable format of a binary file will be
+  intact and that important memory artifacts will not be destroyed".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.guestos.addrspace import PERM_X, perm_str
+from repro.isa.cpu import AccessKind
+from repro.isa.disasm import looks_like_code, render_listing
+from repro.isa.errors import GuestFault
+
+
+@dataclass
+class PsListEntry:
+    """One ``pslist`` row."""
+
+    pid: int
+    name: str
+    parent_pid: Optional[int]
+    threads: int
+    alive: bool
+    exit_code: Optional[int]
+
+    def __str__(self) -> str:
+        state = "running" if self.alive else f"exited({self.exit_code})"
+        return f"{self.pid:>6}  {self.name:<24} ppid={self.parent_pid} thr={self.threads} {state}"
+
+
+@dataclass
+class VadInfoEntry:
+    """One ``vadinfo`` row."""
+
+    pid: int
+    start: int
+    end: int
+    perms: str
+    name: str
+    module: Optional[str]
+    private: bool
+
+    def __str__(self) -> str:
+        backing = self.module or ("private" if self.private else "shared")
+        return f"{self.start:#010x}-{self.end:#010x} {self.perms} {self.name} <{backing}>"
+
+
+@dataclass
+class MalfindHit:
+    """One suspicious region found by the malfind scan."""
+
+    pid: int
+    process: str
+    start: int
+    size: int
+    perms: str
+    has_pe_header: bool
+    preview: bytes  # first bytes of the region (the hexdump malfind prints)
+    #: Disassembly heuristic: does the region content decode as code?
+    code_like: bool = False
+
+    @property
+    def detected(self) -> bool:
+        """True when malfind's PE-format assumption holds (a real find)."""
+        return self.has_pe_header
+
+    def listing(self, max_lines: int = 8) -> str:
+        """Disassembly preview of the region (what real malfind prints)."""
+        return render_listing(self.preview, base=self.start, max_lines=max_lines)
+
+    def __str__(self) -> str:
+        verdict = "PE header" if self.has_pe_header else "no PE header"
+        code = ", code-like" if self.code_like else ""
+        return (
+            f"{self.process}({self.pid}) {self.start:#x}+{self.size:#x} "
+            f"{self.perms} [{verdict}{code}] {self.preview[:8].hex()}"
+        )
+
+
+@dataclass
+class DllListEntry:
+    """One ``dlllist`` row: a module *registered with the loader*.
+
+    Reflectively-loaded DLLs never appear here -- which is the paper's
+    first CuckooBox experiment: "we failed to identify a trace of our
+    DLL under the DLL list either under the injector or the victim".
+    """
+
+    pid: int
+    process: str
+    base: int
+    size: int
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.process}({self.pid}) {self.base:#010x} {self.size:>8} {self.name}"
+
+
+def dlllist(machine, pid: Optional[int] = None) -> List[DllListEntry]:
+    """Walk loader-registered modules per process (like ``dlllist``)."""
+    out: List[DllListEntry] = []
+    for proc in machine.kernel.processes.values():
+        if pid is not None and proc.pid != pid:
+            continue
+        for module in proc.modules:
+            out.append(
+                DllListEntry(
+                    pid=proc.pid,
+                    process=proc.name,
+                    base=module.base,
+                    size=module.size,
+                    name=module.name,
+                )
+            )
+    return out
+
+
+def hexdump(machine, proc, vaddr: int, n: int = 64) -> str:
+    """Render *n* bytes of a live process' memory, malfind-style."""
+    data = _read_region(machine, proc, vaddr, n)
+    lines = []
+    for off in range(0, len(data), 16):
+        chunk = data[off : off + 16]
+        hexpart = " ".join(f"{b:02x}" for b in chunk)
+        asciipart = "".join(chr(b) if 32 <= b < 127 else "." for b in chunk)
+        lines.append(f"{vaddr + off:#010x}  {hexpart:<47}  {asciipart}")
+    return "\n".join(lines)
+
+
+def pslist(machine) -> List[PsListEntry]:
+    """Walk the snapshot's process table (live and exited processes)."""
+    out = []
+    for pid in sorted(machine.kernel.processes):
+        proc = machine.kernel.processes[pid]
+        out.append(
+            PsListEntry(
+                pid=proc.pid,
+                name=proc.name,
+                parent_pid=proc.parent_pid,
+                threads=len(proc.threads),
+                alive=proc.alive,
+                exit_code=proc.exit_code,
+            )
+        )
+    return out
+
+
+def vadinfo(machine, pid: int) -> List[VadInfoEntry]:
+    """Dump the VADs of one process in the snapshot."""
+    proc = machine.kernel.processes.get(pid)
+    if proc is None:
+        raise KeyError(f"no process {pid} in snapshot")
+    return [
+        VadInfoEntry(
+            pid=pid,
+            start=area.start,
+            end=area.end,
+            perms=perm_str(area.perms),
+            name=area.name,
+            module=area.module,
+            private=area.private,
+        )
+        for area in proc.aspace.areas
+    ]
+
+
+def malfind(machine, preview_bytes: int = 64) -> List[MalfindHit]:
+    """Scan every live process for private+executable anonymous memory.
+
+    Exited processes' memory is gone from the snapshot (their frames
+    were recycled), which is precisely why transient attacks evade this
+    scan: "once the malicious payload is injected and executed, there is
+    nothing stopping the attacker from cleaning up memory before the VM
+    is stopped" (§I).
+    """
+    hits: List[MalfindHit] = []
+    for proc in machine.kernel.processes.values():
+        if not proc.alive:
+            continue
+        for area in proc.aspace.areas:
+            if not area.private or area.module is not None:
+                continue
+            if not area.perms & PERM_X:
+                continue
+            preview = _read_region(machine, proc, area.start, min(preview_bytes, area.size))
+            hits.append(
+                MalfindHit(
+                    pid=proc.pid,
+                    process=proc.name,
+                    start=area.start,
+                    size=area.size,
+                    perms=perm_str(area.perms),
+                    has_pe_header=preview.startswith(b"MZ"),
+                    preview=preview,
+                    code_like=looks_like_code(preview[8:] if preview.startswith(b"MZ") else preview),
+                )
+            )
+    return hits
+
+
+def _read_region(machine, proc, vaddr: int, n: int) -> bytes:
+    out = bytearray()
+    for i in range(n):
+        try:
+            paddr = proc.aspace.translate(vaddr + i, AccessKind.READ)
+        except GuestFault:
+            break
+        out.append(machine.memory.read_byte(paddr))
+    return bytes(out)

@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+One subcommand per paper artifact, so the whole evaluation can be
+regenerated from a shell::
+
+    python -m repro detect        # Figs. 7-10: the six attacks
+    python -m repro table2        # FAROS output sample
+    python -m repro table3        # JIT false positives
+    python -m repro table4        # corpus false positives (--full: all 104)
+    python -m repro table5        # overhead measurement
+    python -m repro compare       # FAROS vs Cuckoo vs Cuckoo+malfind
+    python -m repro indirect      # Figs. 1-2 policy dilemma
+    python -m repro evasion       # §VI-D evasion studies
+    python -m repro all           # everything above
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+
+def _cmd_detect(args: argparse.Namespace) -> None:
+    from repro.analysis.experiments import detection_suite
+    from repro.analysis.tables import render_detection_suite
+
+    print(render_detection_suite(detection_suite()))
+
+
+def _cmd_table2(args: argparse.Namespace) -> None:
+    from repro.analysis.experiments import table2_output
+
+    print(table2_output())
+
+
+def _cmd_table3(args: argparse.Namespace) -> None:
+    from repro.analysis.experiments import jit_fp_experiment
+    from repro.analysis.tables import render_table3
+
+    print(render_table3(jit_fp_experiment()))
+
+
+def _cmd_table4(args: argparse.Namespace) -> None:
+    from repro.analysis.experiments import corpus_fp_experiment
+    from repro.analysis.tables import render_table4
+
+    limit = None if args.full else 21
+    if not args.full:
+        print("(one variant per family; pass --full for all 104 samples)")
+    print(render_table4(corpus_fp_experiment(limit=limit)))
+
+
+def _cmd_table5(args: argparse.Namespace) -> None:
+    from repro.analysis.experiments import overhead_experiment
+    from repro.analysis.tables import render_table5
+
+    print(render_table5(overhead_experiment(repeat=args.repeat)))
+
+
+def _cmd_compare(args: argparse.Namespace) -> None:
+    from repro.analysis.experiments import comparison_matrix
+    from repro.analysis.tables import render_comparison_matrix
+
+    print(render_comparison_matrix(comparison_matrix(include_transient=True)))
+
+
+def _cmd_indirect(args: argparse.Namespace) -> None:
+    from repro.analysis.indirect_flows import (
+        indirect_flow_experiment,
+        render_indirect_flow_table,
+    )
+
+    print(render_indirect_flow_table(indirect_flow_experiment()))
+
+
+def _cmd_evasion(args: argparse.Namespace) -> None:
+    from repro.analysis.evasion import (
+        stub_scanner_experiment,
+        tag_pressure_experiment,
+        taint_laundering_experiment,
+    )
+
+    laundering = taint_laundering_experiment()
+    print("E12a -- control-dependency taint laundering (§VI-D)")
+    print(f"  stage executed            : {laundering.stage_ran}")
+    print(f"  default policy detected   : {laundering.default_policy_detected}")
+    print(f"  control-dep policy caught : {laundering.control_dep_policy_detected}")
+    print()
+    scanner = stub_scanner_experiment()
+    print("E12b -- stub-scanning resolver (export table avoided)")
+    print(f"  stage executed            : {scanner.stage_ran}")
+    print(f"  default policy detected   : {scanner.default_policy_detected}")
+    print(f"  kernel-code policy caught : {scanner.kernel_code_policy_detected}")
+    print()
+    pressure = tag_pressure_experiment()
+    print("E12c -- tag-memory pressure")
+    print(f"  file tags minted          : {pressure.file_tags}")
+    print(f"  netflow tags minted       : {pressure.netflow_tags}")
+    print(f"  map capacity (per type)   : {pressure.map_capacity}")
+
+
+_TIMELINE_ATTACKS = {
+    "reflective": "build_reflective_dll_scenario",
+    "hollowing": "build_process_hollowing_scenario",
+    "code": "build_code_injection_scenario",
+    "dropper": "build_drop_reload_scenario",
+    "atombombing": "build_atombombing_scenario",
+}
+
+
+def _cmd_timeline(args: argparse.Namespace) -> None:
+    import repro.attacks as attacks
+    from repro.faros import Faros
+
+    builder = getattr(attacks, _TIMELINE_ATTACKS[args.attack])
+    attack = builder()
+    faros = Faros()
+    attack.scenario.run(plugins=[faros])
+    if getattr(args, "json", False):
+        import json
+
+        print(json.dumps(faros.report().to_dict(), indent=2))
+        return
+    print(faros.render_timeline())
+    print()
+    print(faros.report().render())
+
+
+def _cmd_all(args: argparse.Namespace) -> None:
+    for name in ("detect", "table2", "table3", "table4", "table5", "compare",
+                 "indirect", "evasion"):
+        print(f"\n{'=' * 70}\n== {name}\n{'=' * 70}")
+        _COMMANDS[name](args)
+
+
+_COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
+    "detect": _cmd_detect,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "table4": _cmd_table4,
+    "table5": _cmd_table5,
+    "compare": _cmd_compare,
+    "indirect": _cmd_indirect,
+    "evasion": _cmd_evasion,
+    "timeline": _cmd_timeline,
+    "all": _cmd_all,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FAROS reproduction: regenerate the paper's evaluation artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("detect", help="run the six in-memory attacks under FAROS")
+    sub.add_parser("table2", help="FAROS provenance output sample")
+    sub.add_parser("table3", help="JIT false-positive study")
+    table4 = sub.add_parser("table4", help="corpus false-positive study")
+    table4.add_argument("--full", action="store_true", help="run all 104 samples")
+    table5 = sub.add_parser("table5", help="FAROS overhead measurement")
+    table5.add_argument("--repeat", type=int, default=3, help="timing repetitions")
+    sub.add_parser("compare", help="FAROS vs Cuckoo vs Cuckoo+malfind")
+    sub.add_parser("indirect", help="Figs. 1-2 indirect-flow dilemma")
+    sub.add_parser("evasion", help="§VI-D evasion studies")
+    timeline = sub.add_parser("timeline", help="analysis timeline for one attack")
+    timeline.add_argument(
+        "attack",
+        choices=sorted(_TIMELINE_ATTACKS),
+        help="which attack scenario to analyse",
+    )
+    timeline.add_argument(
+        "--json", action="store_true", help="emit the machine-readable report"
+    )
+    everything = sub.add_parser("all", help="regenerate every artifact")
+    everything.add_argument("--full", action="store_true", help="full corpus")
+    everything.add_argument("--repeat", type=int, default=3)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""The whole-system emulator: machine, devices, plugins, record/replay.
+
+This package plays the role QEMU+PANDA play for the original FAROS:
+
+* :class:`~repro.emulator.machine.Machine` owns physical memory, the CPU,
+  the device models and the guest kernel, and drives the execution loop.
+* :class:`~repro.emulator.plugins.Plugin` defines the callback surface
+  through which analyses observe execution without perturbing it --
+  per-instruction effects, syscall entry/exit, process lifecycle, module
+  loads, packet delivery, and kernel-mediated physical copies.
+* :mod:`~repro.emulator.record_replay` provides PANDA-style deterministic
+  record/replay: a scenario is executed once while journaling all
+  nondeterministic inputs, then replayed with heavyweight analysis
+  plugins (FAROS) attached.
+"""
+
+from repro.emulator.devices import (
+    AudioSource,
+    Keyboard,
+    NetworkInterface,
+    Packet,
+    ScreenDevice,
+)
+from repro.emulator.machine import Machine, MachineConfig
+from repro.emulator.plugins import Plugin, PluginManager
+from repro.emulator.record_replay import (
+    KeystrokeEvent,
+    PacketEvent,
+    Recording,
+    ReplayDivergence,
+    Scenario,
+    record,
+    replay,
+)
+
+__all__ = [
+    "AudioSource",
+    "Keyboard",
+    "KeystrokeEvent",
+    "Machine",
+    "MachineConfig",
+    "NetworkInterface",
+    "Packet",
+    "PacketEvent",
+    "Plugin",
+    "PluginManager",
+    "Recording",
+    "ReplayDivergence",
+    "Scenario",
+    "ScreenDevice",
+    "record",
+    "replay",
+]

@@ -1,0 +1,140 @@
+"""Device models: NIC, keyboard, audio source, screen.
+
+Devices are the machine's sources of nondeterminism.  Each one is a plain
+queue or generator the kernel drains through syscalls; the record/replay
+journal captures everything that enters these queues, which is what makes
+replay deterministic (the PANDA property FAROS depends on).
+
+Network addressing uses dotted-quad strings and integer ports so reports
+read like the paper's (e.g. ``169.254.26.161:4444``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One network datagram/segment as seen on the wire."""
+
+    src_ip: str
+    src_port: int
+    dst_ip: str
+    dst_port: int
+    payload: bytes
+
+    @property
+    def flow(self) -> Tuple[str, int, str, int]:
+        """The 4-tuple identifying this packet's netflow."""
+        return (self.src_ip, self.src_port, self.dst_ip, self.dst_port)
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet({self.src_ip}:{self.src_port} -> "
+            f"{self.dst_ip}:{self.dst_port}, {len(self.payload)} bytes)"
+        )
+
+
+class NetworkInterface:
+    """The guest NIC: a receive queue and a transmit log.
+
+    Received packets are queued by the machine's event delivery and
+    drained by the kernel's network stack; transmitted packets accumulate
+    in :attr:`tx_log` where sandbox baselines (and tests) can observe
+    guest traffic, mirroring Cuckoo's packet capture.
+    """
+
+    def __init__(self, ip: str = "169.254.57.168") -> None:
+        self.ip = ip
+        self.rx_queue: List[Packet] = []
+        self.tx_log: List[Packet] = []
+
+    def receive(self, packet: Packet) -> None:
+        """Queue an inbound packet for the kernel to deliver."""
+        self.rx_queue.append(packet)
+
+    def transmit(self, packet: Packet) -> None:
+        """Record an outbound packet."""
+        self.tx_log.append(packet)
+
+    def pop_rx(self) -> Optional[Packet]:
+        """Dequeue the oldest pending inbound packet, if any."""
+        return self.rx_queue.pop(0) if self.rx_queue else None
+
+
+class Keyboard:
+    """A keystroke source; the host (or journal) types into it."""
+
+    def __init__(self) -> None:
+        self._pending = bytearray()
+
+    def type_keys(self, text: bytes) -> None:
+        """Queue *text* as if the user typed it."""
+        self._pending += text
+
+    def read(self, n: int) -> bytes:
+        """Consume up to *n* queued keystrokes."""
+        out = bytes(self._pending[:n])
+        del self._pending[:n]
+        return out
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+
+class AudioSource:
+    """A deterministic microphone: an LCG-generated sample stream.
+
+    Real audio input is nondeterministic; here the stream is a pure
+    function of the seed so recordings replay exactly.  The generator
+    state is part of the device, so successive reads return successive
+    samples as a real capture device would.
+    """
+
+    def __init__(self, seed: int = 0x5EED) -> None:
+        self._state = seed & 0xFFFFFFFF
+
+    def read(self, n: int) -> bytes:
+        out = bytearray(n)
+        state = self._state
+        for i in range(n):
+            state = (1103515245 * state + 12345) & 0xFFFFFFFF
+            out[i] = (state >> 16) & 0xFF
+        self._state = state
+        return bytes(out)
+
+
+class ScreenDevice:
+    """A tiny framebuffer the guest can read (remote-desktop workloads).
+
+    Guests 'draw' by writing via a syscall and capture via reads, which
+    is all the remote-desktop behaviour simulation needs: bytes flowing
+    from a local device out over a socket.
+    """
+
+    def __init__(self, size: int = 1024) -> None:
+        self.framebuffer = bytearray(size)
+
+    def draw(self, offset: int, data: bytes) -> None:
+        end = offset + len(data)
+        if offset < 0 or end > len(self.framebuffer):
+            raise ValueError("draw outside framebuffer")
+        self.framebuffer[offset:end] = data
+
+    def capture(self, offset: int, n: int) -> bytes:
+        if offset < 0 or offset + n > len(self.framebuffer):
+            raise ValueError("capture outside framebuffer")
+        return bytes(self.framebuffer[offset : offset + n])
+
+
+@dataclass
+class DeviceBoard:
+    """All devices of one machine, grouped for construction/reset."""
+
+    nic: NetworkInterface = field(default_factory=NetworkInterface)
+    keyboard: Keyboard = field(default_factory=Keyboard)
+    audio: AudioSource = field(default_factory=AudioSource)
+    screen: ScreenDevice = field(default_factory=ScreenDevice)

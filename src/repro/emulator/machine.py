@@ -1,0 +1,229 @@
+"""The whole-system machine: memory + CPU + devices + kernel + plugins.
+
+:class:`Machine` is the QEMU analog.  It owns the physical resources,
+drives the scheduler loop, delivers scheduled external events (packets,
+keystrokes) at deterministic instruction-count timestamps, and fans every
+observable out to plugins.
+
+Determinism contract: given the same guest setup and the same scheduled
+events, two machines execute identical instruction streams.  Everything
+nondeterministic enters through :meth:`schedule`, and each delivery is
+journaled -- which is what makes PANDA-style record/replay work
+(:mod:`repro.emulator.record_replay`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.emulator.devices import DeviceBoard, NetworkInterface, Packet
+from repro.emulator.plugins import PluginManager
+from repro.guestos import layout
+from repro.guestos.process import ThreadState
+from repro.isa.cpu import CPU
+from repro.isa.errors import GuestFault
+from repro.isa.memory import FrameAllocator, PhysicalMemory
+from repro.isa.registers import Reg
+
+
+@dataclass
+class MachineConfig:
+    """Construction parameters for one machine."""
+
+    mem_size: int = 1 << 20          # 1 MiB of guest RAM
+    quantum: int = 100               # instructions per scheduler slice
+    guest_ip: str = "169.254.57.168" # the victim VM's address in the paper
+
+
+@dataclass
+class RunStats:
+    """What one :meth:`Machine.run` call did."""
+
+    instructions: int = 0
+    stop_reason: str = ""
+
+
+class Machine:
+    """One emulated guest machine."""
+
+    def __init__(self, config: Optional[MachineConfig] = None) -> None:
+        self.config = config or MachineConfig()
+        self.memory = PhysicalMemory(self.config.mem_size)
+        self.allocator = FrameAllocator(self.memory, reserved_low=layout.KERNEL_RESERVED)
+        self.cpu = CPU(self.memory)
+        self.plugins = PluginManager()
+        self.devices = DeviceBoard(nic=NetworkInterface(self.config.guest_ip))
+        self._dma_next = layout.DMA_BASE
+        self.allocator.on_free = self._frame_freed
+        # Imported here: Kernel and Machine are mutually aware, and the
+        # package must be importable from either end of that edge.
+        from repro.guestos.kernel import Kernel
+
+        self.kernel = Kernel(self)
+        self._events: List[Tuple[int, int, object]] = []  # (at, seq, event) heap
+        self._event_seq = 0
+        #: Chronological record of delivered events: (instret, event).
+        self.journal: List[Tuple[int, object]] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # time & events
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """The machine clock: retired instructions since boot."""
+        return self.cpu.instret
+
+    def schedule(self, at: int, event: object) -> None:
+        """Deliver *event* once the clock reaches *at* (absolute ticks).
+
+        *event* must expose ``deliver(machine)``; see
+        :mod:`repro.emulator.record_replay` for the standard event types.
+        """
+        heapq.heappush(self._events, (at, self._event_seq, event))
+        self._event_seq += 1
+
+    def _next_event_at(self) -> Optional[int]:
+        return self._events[0][0] if self._events else None
+
+    def _deliver_due_events(self) -> None:
+        while self._events and self._events[0][0] <= self.now:
+            _at, _seq, event = heapq.heappop(self._events)
+            self.journal.append((self.now, event))
+            event.deliver(self)
+
+    # ------------------------------------------------------------------
+    # instrumented physical-memory operations (the kernel's data paths)
+    # ------------------------------------------------------------------
+
+    def phys_write(self, paddrs, data: bytes, source: str) -> None:
+        """Write external *data* (device input, file content) into memory."""
+        for paddr, byte in zip(paddrs, data):
+            self.memory.write_byte(paddr, byte)
+        self.plugins.dispatch("on_phys_write", self, tuple(paddrs), source)
+
+    def phys_copy(self, dst_paddrs, src_paddrs, actor=None) -> None:
+        """Kernel-mediated byte move: ``dst[i] <- src[i]`` with taint.
+
+        *actor* is the guest process the kernel acts for (syscall
+        requester); provenance plugins tag moved bytes with it.
+        """
+        if len(dst_paddrs) != len(src_paddrs):
+            raise ValueError("phys_copy length mismatch")
+        for dst, src in zip(dst_paddrs, src_paddrs):
+            self.memory.write_byte(dst, self.memory.read_byte(src))
+        self.plugins.dispatch(
+            "on_phys_copy", self, tuple(dst_paddrs), tuple(src_paddrs), actor
+        )
+
+    def _frame_freed(self, frame: int) -> None:
+        self.plugins.dispatch("on_frames_freed", self, (frame,))
+
+    def dma_alloc(self, n: int) -> Tuple[int, ...]:
+        """Reserve *n* bytes of the NIC DMA ring (wraps around)."""
+        if n > layout.DMA_SIZE:
+            raise MemoryError(f"packet of {n} bytes exceeds DMA ring")
+        if self._dma_next + n > layout.DMA_BASE + layout.DMA_SIZE:
+            self._dma_next = layout.DMA_BASE
+        start = self._dma_next
+        self._dma_next += n
+        return tuple(range(start, start + n))
+
+    def send_packet(self, packet: Packet) -> None:
+        """Transmit *packet* out of the guest (NIC tx path)."""
+        self.devices.nic.transmit(packet)
+        self.plugins.dispatch("on_packet_send", self, packet)
+
+    # ------------------------------------------------------------------
+    # the execution loop
+    # ------------------------------------------------------------------
+
+    def run(self, max_instructions: int = 2_000_000) -> RunStats:
+        """Run until idle or until *max_instructions* more retire."""
+        if not self._started:
+            self._started = True
+            self.plugins.dispatch("on_machine_start", self)
+        stats = RunStats()
+        deadline = self.now + max_instructions
+        while self.now < deadline:
+            self._deliver_due_events()
+            thread = self.kernel.pick_thread()
+            if thread is None:
+                if not self._skip_idle_time(deadline):
+                    stats.stop_reason = "idle"
+                    break
+                continue
+            self._run_thread(thread, min(self.config.quantum, deadline - self.now))
+        else:
+            stats.stop_reason = "budget"
+        if not stats.stop_reason:
+            stats.stop_reason = "budget" if self.now >= deadline else "idle"
+        stats.instructions = self.now
+        self.plugins.dispatch("on_machine_stop", self)
+        return stats
+
+    def _skip_idle_time(self, deadline: int) -> bool:
+        """Advance the clock to the next wake source; False if none exists."""
+        candidates = []
+        event_at = self._next_event_at()
+        if event_at is not None:
+            candidates.append(event_at)
+        wake_at = self.kernel.next_wake_at()
+        if wake_at is not None:
+            candidates.append(wake_at)
+        if not candidates:
+            return False
+        target = min(candidates)
+        if target > deadline:
+            # The next wake source is beyond this run's budget.
+            self.cpu.instret = deadline
+            return False
+        self.cpu.instret = max(self.now + 1, target)
+        return True
+
+    def _run_thread(self, thread, quantum: int) -> None:
+        cpu = self.cpu
+        cpu.mmu = thread.process.aspace
+        cpu.restore_context(thread.context)
+        cpu.halted = False
+        thread.state = ThreadState.RUNNING
+        # Pick the execution path once per slice: instrumented stepping
+        # only when some plugin actually consumes per-instruction
+        # effects (PANDA-style), the uninstrumented fast path otherwise.
+        instrumented = self.plugins.needs_insn_effects()
+        step = cpu.step if instrumented else cpu.step_fast
+        executed = 0
+        while executed < quantum:
+            try:
+                fx = step()
+            except GuestFault as fault:
+                self.plugins.dispatch("on_guest_fault", self, thread, fault)
+                self.kernel.crash_process(thread.process, fault)
+                return
+            executed += 1
+            if instrumented:
+                self.plugins.dispatch_insn(self, thread, fx)
+
+            if fx.syscall:
+                number = cpu.regs.read(Reg.R0)
+                args = tuple(cpu.regs.read(r) for r in (Reg.R1, Reg.R2, Reg.R3, Reg.R4, Reg.R5))
+                thread.context = cpu.context()
+                self.plugins.dispatch("on_syscall_enter", self, thread, number, args)
+                result = self.kernel.syscall(thread, number, args)
+                if result is None:
+                    return  # blocked or terminated; kernel owns the thread now
+                thread.context["regs"][Reg.R0] = result & 0xFFFFFFFF
+                self.plugins.dispatch("on_syscall_return", self, thread, number, result)
+                if thread.state is not ThreadState.RUNNING:
+                    return  # suspended/killed by its own syscall
+                cpu.restore_context(thread.context)
+                continue
+            if fx.halted:
+                thread.context = cpu.context()
+                self.kernel.terminate_process(thread.process, cpu.regs.read(Reg.R0))
+                return
+        thread.context = cpu.context()
+        self.kernel.requeue(thread)

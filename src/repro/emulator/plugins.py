@@ -1,0 +1,191 @@
+"""The plugin callback architecture (PANDA analog).
+
+PANDA's key architectural contribution is a callback registry that lets
+analysis plugins observe whole-system execution -- instruction execution,
+syscalls, OS events -- without modifying the emulator.  This module
+reproduces that shape: :class:`Plugin` declares every observation point as
+a no-op method, and :class:`PluginManager` fans events out to registered
+plugins in registration order.
+
+Registration order matters for FAROS: the taint tracker must see each
+instruction *after* detection logic has inspected pre-propagation shadow
+state, so the FAROS plugin registers its detector with the tracker rather
+than ordering against it (see :mod:`repro.taint.tracker`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards, typing only
+    from repro.emulator.devices import Packet
+    from repro.emulator.machine import Machine
+    from repro.guestos.loader import Module
+    from repro.guestos.process import Process, Thread
+    from repro.isa.cpu import InstructionEffects
+
+
+class Plugin:
+    """Base class for emulator plugins; override the callbacks you need.
+
+    Every callback receives the :class:`~repro.emulator.machine.Machine`
+    first, mirroring PANDA's convention of passing the CPU state pointer
+    to every callback.
+    """
+
+    #: Human-readable plugin name (defaults to the class name).
+    name: str = ""
+
+    def __init__(self) -> None:
+        if not self.name:
+            self.name = type(self).__name__
+
+    # -- machine lifecycle -------------------------------------------------------
+
+    def on_machine_start(self, machine: "Machine") -> None:
+        """The machine is about to execute its first instruction."""
+
+    def on_machine_stop(self, machine: "Machine") -> None:
+        """The machine stopped (all work done or budget exhausted)."""
+
+    # -- execution ----------------------------------------------------------------
+
+    def on_insn_exec(
+        self, machine: "Machine", thread: "Thread", fx: "InstructionEffects"
+    ) -> None:
+        """One instruction retired on *thread*; *fx* describes its effects."""
+
+    def on_guest_fault(self, machine: "Machine", thread: "Thread", fault: Exception) -> None:
+        """*thread* raised a guest fault (the kernel will kill the process)."""
+
+    # -- syscalls (the syscalls2 surface) ------------------------------------------
+
+    def on_syscall_enter(
+        self, machine: "Machine", thread: "Thread", number: int, args: Sequence[int]
+    ) -> None:
+        """A SYSCALL instruction trapped, before the kernel runs it."""
+
+    def on_syscall_return(
+        self, machine: "Machine", thread: "Thread", number: int, result: int
+    ) -> None:
+        """The kernel finished a syscall (blocking calls report on completion)."""
+
+    # -- OS introspection (the OSI surface) -----------------------------------------
+
+    def on_process_create(self, machine: "Machine", process: "Process") -> None:
+        """A new process exists (possibly created suspended)."""
+
+    def on_process_exit(self, machine: "Machine", process: "Process", status: int) -> None:
+        """A process terminated with *status*."""
+
+    def on_module_load(self, machine: "Machine", process: "Process", module: "Module") -> None:
+        """*module* (and its export table) became mapped into *process*."""
+
+    # -- data movement the CPU does not see ------------------------------------------
+
+    def on_phys_write(
+        self, machine: "Machine", paddrs: Sequence[int], source: str
+    ) -> None:
+        """External data (DMA, device input, image load) landed at *paddrs*.
+
+        *source* is a short origin label, e.g. ``"nic"``, ``"keyboard"``,
+        ``"image:evil.exe"``; taint plugins decide from it whether the
+        write clears or seeds shadow state.
+        """
+
+    def on_phys_copy(
+        self,
+        machine: "Machine",
+        dst_paddrs: Sequence[int],
+        src_paddrs: Sequence[int],
+        actor: "Process" = None,
+    ) -> None:
+        """The kernel moved bytes (syscall buffer copy, cross-process write).
+
+        ``dst_paddrs[i]`` received the byte at ``src_paddrs[i]``; whole-
+        system taint engines must apply their copy rule per byte here,
+        because these moves happen inside the kernel where no guest
+        instruction is executed.  *actor* is the process on whose behalf
+        the kernel moved the bytes (the syscall requester), so provenance
+        engines can append its process tag -- that is how the injecting
+        process ends up in an injected byte's chronology.
+        """
+
+    def on_frames_freed(self, machine: "Machine", frames: Sequence[int]) -> None:
+        """Physical *frames* were returned to the allocator (process exit,
+        unmap).  Shadow state for those bytes is now stale and must drop."""
+
+    # -- network / file observation ---------------------------------------------------
+
+    def on_packet_receive(
+        self, machine: "Machine", packet: "Packet", paddrs: Sequence[int]
+    ) -> None:
+        """*packet* arrived; its payload now occupies the DMA bytes *paddrs*."""
+
+    def on_packet_send(self, machine: "Machine", packet: "Packet") -> None:
+        """The guest transmitted *packet* (observable by sandboxes)."""
+
+    def on_file_read(
+        self,
+        machine: "Machine",
+        process: "Process",
+        path: str,
+        version: int,
+        paddrs: Sequence[int],
+    ) -> None:
+        """File *path* content was read into memory at *paddrs*."""
+
+    def on_file_write(
+        self,
+        machine: "Machine",
+        process: "Process",
+        path: str,
+        version: int,
+        paddrs: Sequence[int],
+    ) -> None:
+        """Buffer bytes at *paddrs* were written into file *path*."""
+
+
+class PluginManager:
+    """Dispatches machine events to plugins in registration order."""
+
+    def __init__(self) -> None:
+        self._plugins: List[Plugin] = []
+
+    @property
+    def plugins(self) -> Tuple[Plugin, ...]:
+        return tuple(self._plugins)
+
+    def register(self, plugin: Plugin) -> Plugin:
+        """Attach *plugin*; returns it for chaining."""
+        self._plugins.append(plugin)
+        return plugin
+
+    def register_all(self, plugins: Iterable[Plugin]) -> None:
+        for plugin in plugins:
+            self.register(plugin)
+
+    def unregister(self, plugin: Plugin) -> None:
+        self._plugins.remove(plugin)
+
+    def dispatch(self, callback: str, *args) -> None:
+        """Invoke *callback* on every plugin that overrides it."""
+        for plugin in self._plugins:
+            getattr(plugin, callback)(*args)
+
+    # Hot path: inlined loop, called once per retired instruction.
+    def dispatch_insn(self, machine: "Machine", thread: "Thread", fx) -> None:
+        for plugin in self._plugins:
+            plugin.on_insn_exec(machine, thread, fx)
+
+    def needs_insn_effects(self) -> bool:
+        """True if any plugin overrides ``on_insn_exec``.
+
+        When nothing instruments instructions the machine runs the
+        CPU's uninstrumented fast path -- the analog of QEMU executing
+        translated blocks without PANDA callbacks compiled in.
+        """
+        return any(
+            type(plugin).on_insn_exec is not Plugin.on_insn_exec
+            for plugin in self._plugins
+        )

@@ -1,0 +1,148 @@
+"""PANDA-style deterministic record/replay.
+
+The paper's workflow (§V-C): run the malware once in a recording VM
+(cheap), then *replay* the recording with the heavyweight FAROS taint
+plugin attached.  This module reproduces that shape:
+
+* a :class:`Scenario` bundles the guest setup (images, processes) with
+  the scheduled nondeterministic inputs (packets, keystrokes);
+* :func:`record` executes it once and captures the delivery journal;
+* :func:`replay` re-executes with analysis plugins attached and verifies
+  the execution did not diverge (same final instruction count), raising
+  :class:`ReplayDivergence` otherwise.
+
+Because every nondeterministic input enters through the machine's event
+queue at an instruction-count timestamp, replays are bit-identical --
+the property whole-system taint analysis needs to observe "the same"
+execution it recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.emulator.devices import Packet
+from repro.emulator.machine import Machine, MachineConfig, RunStats
+from repro.emulator.plugins import Plugin
+
+
+@dataclass(frozen=True)
+class PacketEvent:
+    """An inbound packet from the outside world (the attacker machine)."""
+
+    packet: Packet
+
+    def deliver(self, machine: Machine) -> None:
+        machine.kernel.deliver_packet(self.packet)
+
+    def __repr__(self) -> str:
+        return f"PacketEvent({self.packet!r})"
+
+
+@dataclass(frozen=True)
+class KeystrokeEvent:
+    """The (simulated) user typing at the guest keyboard."""
+
+    text: bytes
+
+    def deliver(self, machine: Machine) -> None:
+        machine.devices.keyboard.type_keys(self.text)
+
+    def __repr__(self) -> str:
+        return f"KeystrokeEvent({self.text!r})"
+
+
+@dataclass
+class Scenario:
+    """A reproducible guest workload.
+
+    :ivar setup: callable that prepares the machine -- registers images,
+        spawns processes, seeds files.  It must be deterministic.
+    :ivar events: ``(at_tick, event)`` pairs delivered during execution.
+    :ivar max_instructions: execution budget per run.
+    """
+
+    name: str
+    setup: Callable[[Machine], None]
+    events: Sequence[Tuple[int, object]] = ()
+    config: Optional[MachineConfig] = None
+    max_instructions: int = 2_000_000
+
+    def build(self, plugins: Sequence[Plugin] = ()) -> Machine:
+        """Construct a fresh machine with *plugins* attached.
+
+        Plugins are registered *before* setup so they observe boot-time
+        events (initial process creation, module loads) -- FAROS needs
+        the kernel-module load event to plant export-table tags.
+        """
+        machine = Machine(self.config)
+        for plugin in plugins:
+            machine.plugins.register(plugin)
+        self.setup(machine)
+        for at, event in self.events:
+            machine.schedule(at, event)
+        return machine
+
+    def run(self, plugins: Sequence[Plugin] = ()) -> Machine:
+        """Build and run to completion; returns the finished machine."""
+        machine = self.build(plugins)
+        machine.run(self.max_instructions)
+        return machine
+
+
+@dataclass
+class Recording:
+    """The artifact of :func:`record`: scenario + what actually happened."""
+
+    scenario: Scenario
+    journal: List[Tuple[int, object]]
+    final_instret: int
+    stats: RunStats
+
+
+class ReplayDivergence(Exception):
+    """A replay did not reproduce the recorded execution."""
+
+
+def record(scenario: Scenario, plugins: Sequence[Plugin] = ()) -> Recording:
+    """Execute *scenario* once (cheaply) and capture its journal.
+
+    *plugins* here are lightweight observers (e.g. a syscall tracer);
+    the expensive analysis belongs in :func:`replay`.
+    """
+    machine = scenario.build(plugins)
+    stats = machine.run(scenario.max_instructions)
+    return Recording(
+        scenario=scenario,
+        journal=list(machine.journal),
+        final_instret=machine.now,
+        stats=stats,
+    )
+
+
+def replay(
+    recording: Recording,
+    plugins: Sequence[Plugin] = (),
+    verify: bool = True,
+) -> Machine:
+    """Re-execute a recording with analysis *plugins* attached.
+
+    With *verify* (default), raises :class:`ReplayDivergence` if the
+    replay retires a different number of instructions or delivers a
+    different event sequence than the recording -- the smoke test that
+    determinism held.
+    """
+    machine = recording.scenario.build(plugins)
+    machine.run(recording.scenario.max_instructions)
+    if verify:
+        if machine.now != recording.final_instret:
+            raise ReplayDivergence(
+                f"replay retired {machine.now} instructions, "
+                f"recording retired {recording.final_instret}"
+            )
+        recorded = [(at, repr(ev)) for at, ev in recording.journal]
+        replayed = [(at, repr(ev)) for at, ev in machine.journal]
+        if recorded != replayed:
+            raise ReplayDivergence("replay delivered a different event sequence")
+    return machine

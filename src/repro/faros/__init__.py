@@ -1,0 +1,52 @@
+"""FAROS: the provenance-based in-memory-injection detector (the paper's
+primary contribution).
+
+:class:`~repro.faros.plugin.Faros` is an emulator plugin that combines:
+
+1. **whole-system taint analysis** -- it drives a
+   :class:`~repro.taint.tracker.TaintTracker` over every instruction and
+   kernel-mediated copy;
+2. **per-security-policy indirect-flow handling** -- no global
+   address/control dependency propagation; instead the detection
+   invariant is defined over *tag-type confluence* at a memory location;
+3. **fine-grained provenance tags** -- netflow / process / file /
+   export-table tags with full per-byte chronology.
+
+The detection invariant (§V-B): flag a load instruction when the
+instruction's *own bytes* carry a netflow tag plus process tag(s) (it is
+injected, network-derived code) and the location it reads carries an
+*export-table* tag (it is resolving imports the way shellcode does).
+A second confluence rule covers network-less injections such as the
+Lab 3-3 process-hollowing sample (Fig. 10), whose provenance shows only
+``process -> process -> export table``.
+
+Typical usage mirrors the paper's §V-C::
+
+    recording = record(scenario)                 # cheap recording run
+    faros = Faros()
+    replay(recording, plugins=[faros])           # heavyweight analysis
+    report = faros.report()
+    print(report.render())                       # Table II-style output
+"""
+
+from repro.faros.detector import DetectionConfig, Detector, FlaggedInstruction
+from repro.faros.osi import OSIPlugin
+from repro.faros.plugin import Faros
+from repro.faros.report import FarosReport, render_provenance
+from repro.faros.syscalls2 import SyscallEvent, Syscalls2Plugin
+from repro.faros.whitelist import DEFAULT_JIT_RUNTIMES, TriagedFlag, Whitelist
+
+__all__ = [
+    "DEFAULT_JIT_RUNTIMES",
+    "DetectionConfig",
+    "Detector",
+    "Faros",
+    "FarosReport",
+    "FlaggedInstruction",
+    "OSIPlugin",
+    "SyscallEvent",
+    "Syscalls2Plugin",
+    "TriagedFlag",
+    "Whitelist",
+    "render_provenance",
+]

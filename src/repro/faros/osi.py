@@ -1,0 +1,78 @@
+"""OS introspection (the PANDA ``OSI``/``Win7x86intro`` analog).
+
+FAROS needs to translate architectural identities (CR3 values) into the
+process names an analyst reads in reports, and to know when processes
+appear and disappear.  This plugin watches the process-lifecycle
+callbacks and maintains that mapping -- the same information PANDA's OSI
+plugins recover by parsing ``EPROCESS`` structures in guest memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.emulator.plugins import Plugin
+
+
+@dataclass
+class ProcessInfo:
+    """A point-in-time view of one guest process."""
+
+    pid: int
+    name: str
+    cr3: int
+    parent_pid: Optional[int]
+    created_at: int
+    exited_at: Optional[int] = None
+    exit_code: Optional[int] = None
+    created_suspended: bool = False
+
+    @property
+    def alive(self) -> bool:
+        return self.exited_at is None
+
+
+class OSIPlugin(Plugin):
+    """Tracks the guest process table via lifecycle callbacks."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._by_pid: Dict[int, ProcessInfo] = {}
+        self._by_cr3: Dict[int, ProcessInfo] = {}
+
+    # -- callbacks ---------------------------------------------------------------
+
+    def on_process_create(self, machine, process) -> None:
+        info = ProcessInfo(
+            pid=process.pid,
+            name=process.name,
+            cr3=process.cr3,
+            parent_pid=process.parent_pid,
+            created_at=machine.now,
+            created_suspended=process.created_suspended,
+        )
+        self._by_pid[info.pid] = info
+        self._by_cr3[info.cr3] = info
+
+    def on_process_exit(self, machine, process, status) -> None:
+        info = self._by_pid.get(process.pid)
+        if info is not None:
+            info.exited_at = machine.now
+            info.exit_code = status
+
+    # -- queries -----------------------------------------------------------------
+
+    def process_list(self) -> List[ProcessInfo]:
+        """All processes ever seen, in pid order (the ``pslist`` view)."""
+        return [self._by_pid[pid] for pid in sorted(self._by_pid)]
+
+    def by_cr3(self, cr3: int) -> Optional[ProcessInfo]:
+        return self._by_cr3.get(cr3)
+
+    def by_pid(self, pid: int) -> Optional[ProcessInfo]:
+        return self._by_pid.get(pid)
+
+    def name_for_cr3(self, cr3: int) -> str:
+        info = self._by_cr3.get(cr3)
+        return info.name if info else f"cr3={cr3:#x}"

@@ -1,0 +1,82 @@
+"""Analyst whitelisting of known JIT runtimes (§VI-A).
+
+The paper's false positives "always involve well-known Just-In-Time
+compilers (e.g., Java)" and "can be dismissed/whitelisted by an analyst
+in a straightforward fashion".  This module is that dismissal step: a
+:class:`Whitelist` of process names whose flags are reclassified as
+benign JIT activity rather than dropped — an analyst wants to see that
+the JIT did JIT things, not to un-know it.
+
+A whitelist matches on the *executing* process (the one running the
+generated code).  It deliberately does not match on the injector side:
+a malicious process injecting into ``java.exe`` still produces a
+cross-process chain whose injector is not whitelisted, and stays
+flagged — see the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Set
+
+from repro.faros.detector import FlaggedInstruction
+from repro.taint.tags import TagType
+
+#: Runtimes the paper's analyst would whitelist out of the box.
+DEFAULT_JIT_RUNTIMES = frozenset({"java.exe", "browser.exe"})
+
+
+@dataclass
+class TriagedFlag:
+    """One flag after whitelist triage."""
+
+    flag: FlaggedInstruction
+    dismissed: bool
+    reason: str
+
+
+class Whitelist:
+    """Process-name whitelist for JIT-style self-generating code."""
+
+    def __init__(self, process_names: Iterable[str] = DEFAULT_JIT_RUNTIMES) -> None:
+        self._names: Set[str] = {name.lower() for name in process_names}
+
+    def add(self, process_name: str) -> None:
+        self._names.add(process_name.lower())
+
+    def covers(self, process_name: str) -> bool:
+        return process_name.lower() in self._names
+
+    def triage(self, flags: Iterable[FlaggedInstruction]) -> List[TriagedFlag]:
+        """Classify each flag; only *self-generated* code in a
+        whitelisted process is dismissed."""
+        out: List[TriagedFlag] = []
+        for flag in flags:
+            process_tags = {
+                t for t in flag.insn_prov if t.type is TagType.PROCESS
+            }
+            self_generated = len(process_tags) <= 1
+            if self.covers(flag.executing_process) and self_generated:
+                out.append(
+                    TriagedFlag(
+                        flag=flag,
+                        dismissed=True,
+                        reason=(
+                            f"{flag.executing_process} is a whitelisted JIT "
+                            "runtime executing its own generated code"
+                        ),
+                    )
+                )
+            else:
+                reason = "not whitelisted"
+                if self.covers(flag.executing_process) and not self_generated:
+                    reason = (
+                        "whitelisted process, but the code was written by "
+                        "another process (injection, not JIT)"
+                    )
+                out.append(TriagedFlag(flag=flag, dismissed=False, reason=reason))
+        return out
+
+    def remaining(self, flags: Iterable[FlaggedInstruction]) -> List[FlaggedInstruction]:
+        """Flags that survive triage (true detections)."""
+        return [t.flag for t in self.triage(flags) if not t.dismissed]

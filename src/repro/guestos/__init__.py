@@ -1,0 +1,61 @@
+"""A Windows-like guest operating system model.
+
+This package is the substrate the paper's attacks run against: a kernel
+with an ``Nt*``-style syscall table, processes identified by CR3-like
+address-space ids, a PE-like module loader with **export tables** mapped
+into every process, a filesystem, and a small TCP-like network stack.
+
+Fidelity is scoped to what FAROS' mechanism exercises:
+
+* every byte of guest code/data lives in emulated physical memory;
+* all kernel-mediated data movement (packet delivery, file I/O,
+  ``NtWriteVirtualMemory``) flows through the machine's instrumented
+  physical-copy path so whole-system DIFT sees it;
+* in-memory injection primitives exist with their real syscall shapes --
+  suspended process creation, section unmapping, cross-process memory
+  writes, remote thread creation, thread context modification.
+"""
+
+from repro.guestos.addrspace import (
+    PERM_R,
+    PERM_RW,
+    PERM_RWX,
+    PERM_RX,
+    PERM_W,
+    PERM_X,
+    AddressSpace,
+    VirtualArea,
+)
+from repro.guestos.files import FileNode, FileSystem
+from repro.guestos.kernel import Kernel
+from repro.guestos.loader import KERNEL_SHARED_BASE, Module, fnv1a32, stub_address
+from repro.guestos.netstack import NetStack, Socket
+from repro.guestos.process import Process, Thread, ThreadState, WaitReason
+from repro.guestos.syscalls import Sys, WINDOWS_NAMES, syscall_name
+
+__all__ = [
+    "AddressSpace",
+    "FileNode",
+    "FileSystem",
+    "KERNEL_SHARED_BASE",
+    "Kernel",
+    "Module",
+    "NetStack",
+    "PERM_R",
+    "PERM_RW",
+    "PERM_RWX",
+    "PERM_RX",
+    "PERM_W",
+    "PERM_X",
+    "Process",
+    "Socket",
+    "Sys",
+    "Thread",
+    "ThreadState",
+    "VirtualArea",
+    "WINDOWS_NAMES",
+    "WaitReason",
+    "fnv1a32",
+    "stub_address",
+    "syscall_name",
+]

@@ -1,0 +1,101 @@
+"""The guest filesystem.
+
+A flat path -> :class:`FileNode` store standing in for NTFS.  Two details
+matter to the reproduction:
+
+* every node keeps an **access version counter**: the paper's *file* tags
+  carry ``(file name, version)`` where the version counts accesses, so
+  provenance can distinguish "the bytes read on the 3rd open" from later
+  reads of a modified file;
+* all content enters and leaves guest memory through the kernel, which
+  fires ``on_file_read`` / ``on_file_write`` plugin events with the
+  physical addresses involved -- FAROS' file-tag insertion point.
+
+Executable images also live here, so sandbox baselines observe the same
+artifacts a real Cuckoo run would (files created, read, deleted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class FileError(Exception):
+    """Guest-visible filesystem failure (maps to an NTSTATUS error)."""
+
+
+@dataclass
+class FileNode:
+    """One file: content plus the access-version counter used by file tags."""
+
+    path: str
+    data: bytearray = field(default_factory=bytearray)
+    version: int = 0
+
+    def touch(self) -> int:
+        """Count one access and return the new version (tag payload)."""
+        self.version += 1
+        return self.version
+
+
+class FileSystem:
+    """A flat, case-insensitive path namespace (Windows-flavoured)."""
+
+    def __init__(self) -> None:
+        self._files: Dict[str, FileNode] = {}
+        #: Chronological audit trail: (op, path) pairs, for sandbox baselines.
+        self.audit_log: List[tuple] = []
+
+    @staticmethod
+    def _key(path: str) -> str:
+        return path.lower()
+
+    def create(self, path: str, data: bytes = b"") -> FileNode:
+        """Create (or truncate) *path* with *data*."""
+        node = FileNode(path, bytearray(data))
+        self._files[self._key(path)] = node
+        self.audit_log.append(("create", path))
+        return node
+
+    def open(self, path: str) -> FileNode:
+        """Return the node for *path* or raise :class:`FileError`."""
+        node = self._files.get(self._key(path))
+        if node is None:
+            raise FileError(f"no such file: {path}")
+        return node
+
+    def exists(self, path: str) -> bool:
+        return self._key(path) in self._files
+
+    def delete(self, path: str) -> None:
+        """Remove *path* -- the 'loader deletes itself' anti-forensics step."""
+        if self._key(path) not in self._files:
+            raise FileError(f"no such file: {path}")
+        del self._files[self._key(path)]
+        self.audit_log.append(("delete", path))
+
+    def read(self, path: str, offset: int, n: int) -> bytes:
+        """Read up to *n* bytes at *offset*; bumps the access version."""
+        node = self.open(path)
+        node.touch()
+        self.audit_log.append(("read", path))
+        return bytes(node.data[offset : offset + n])
+
+    def write(self, path: str, offset: int, data: bytes) -> int:
+        """Write *data* at *offset*, extending the file; bumps the version."""
+        node = self.open(path)
+        node.touch()
+        end = offset + len(data)
+        if len(node.data) < end:
+            node.data.extend(b"\x00" * (end - len(node.data)))
+        node.data[offset:end] = data
+        self.audit_log.append(("write", path))
+        return len(data)
+
+    def list_paths(self) -> List[str]:
+        """All current paths (original casing)."""
+        return sorted(node.path for node in self._files.values())
+
+    def get(self, path: str) -> Optional[FileNode]:
+        return self._files.get(self._key(path))

@@ -1,0 +1,786 @@
+"""The guest kernel: syscalls, scheduling, and device plumbing.
+
+Every path data can take between guest-visible locations runs through
+methods here, and each one is instrumented for whole-system DIFT:
+
+* packet payloads land in the NIC DMA ring via
+  :meth:`Machine.phys_write` (``source="nic"``) and are announced with
+  ``on_packet_receive`` -- FAROS' netflow-tag insertion point;
+* ``recv``/``NtReadFile``/``NtWriteVirtualMemory`` move bytes with
+  :meth:`Machine.phys_copy`, which applies the taint copy rule per byte;
+* file reads/writes announce the guest buffer's physical addresses via
+  ``on_file_read``/``on_file_write`` -- the file-tag insertion points;
+* module loads announce export tables via ``on_module_load``.
+
+Blocking syscalls use a restart model: a blocked thread stores its
+syscall number+args and the kernel simply re-runs the handler when the
+wait condition may have changed (packet arrival, timer expiry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from collections import deque
+
+from repro.emulator.devices import Packet
+from repro.guestos import layout
+from repro.guestos.addrspace import (
+    PERM_R,
+    PERM_RW,
+    PERM_RWX,
+    PERM_RX,
+    PERM_W,
+    PERM_X,
+    AddressSpace,
+)
+from repro.guestos.files import FileError, FileNode, FileSystem
+from repro.guestos.loader import Module, build_kernel_module, fnv1a32
+from repro.guestos.netstack import NetError, NetStack, Socket
+from repro.guestos.process import (
+    Process,
+    Thread,
+    ThreadState,
+    Wait,
+    WaitReason,
+    fresh_context,
+)
+from repro.guestos.syscalls import ERR, Sys
+from repro.isa.assembler import Program
+from repro.isa.cpu import AccessKind
+from repro.isa.errors import GuestFault
+from repro.isa.memory import PAGE_SHIFT, PAGE_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.emulator.machine import Machine
+
+#: Default stack size per thread, in pages.
+STACK_BYTES = layout.STACK_PAGES * PAGE_SIZE
+
+
+@dataclass
+class FileHandle:
+    """An open file: the node plus this handle's sequential offset."""
+
+    node: FileNode
+    offset: int = 0
+
+
+class Kernel:
+    """The guest OS kernel for one machine."""
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        self.fs = FileSystem()
+        self.netstack = NetStack(machine.devices.nic.ip)
+        self.processes: Dict[int, Process] = {}
+        self._images: Dict[str, Program] = {}
+        self._next_pid = 100
+        self._next_tid = 1000
+        self._ready: deque = deque()
+        self._blocked: List[Thread] = []
+        #: Commands passed to WinExec, for sandbox observation.
+        self.shell_log: List[Tuple[int, str]] = []
+        #: (pid, text) console lines across all processes.
+        self.console_log: List[Tuple[int, str]] = []
+        #: Global atom table: atom id -> (kernel paddrs, length).  Atoms
+        #: live in kernel-owned frames -- user data parked in kernel
+        #: memory, which is what AtomBombing abuses as a covert
+        #: cross-process channel.
+        self._atoms: Dict[int, Tuple[Tuple[int, ...], int]] = {}
+        self._next_atom = 0xC000
+        self.kernel_module = self._install_kernel_module()
+
+    # ------------------------------------------------------------------
+    # boot-time setup
+    # ------------------------------------------------------------------
+
+    def _install_kernel_module(self) -> Module:
+        """Place the shared kernel module into reserved physical frames."""
+        module = build_kernel_module()
+        n_pages = (module.size + PAGE_SIZE - 1) >> PAGE_SHIFT
+        # Reserved low memory, above the DMA ring: no user frames live here.
+        base_paddr = layout.DMA_BASE + layout.DMA_SIZE
+        if base_paddr + n_pages * PAGE_SIZE > layout.KERNEL_RESERVED:
+            raise MemoryError("kernel module does not fit in reserved memory")
+        self._kernel_frames = [
+            (base_paddr >> PAGE_SHIFT) + i for i in range(n_pages)
+        ]
+        paddrs = tuple(range(base_paddr, base_paddr + module.size))
+        self.machine.phys_write(paddrs, module.image, source="kernel")
+        return module
+
+    def register_image(self, path: str, program: Program) -> None:
+        """Install an executable image on disk (and remember its entry)."""
+        if program.base != layout.IMAGE_BASE:
+            raise ValueError(
+                f"images must be assembled for base {layout.IMAGE_BASE:#x}"
+            )
+        self.fs.create(path, program.code)
+        self._images[path.lower()] = program
+
+    def image_program(self, path: str) -> Optional[Program]:
+        return self._images.get(path.lower())
+
+    # ------------------------------------------------------------------
+    # process lifecycle
+    # ------------------------------------------------------------------
+
+    def spawn(
+        self,
+        image_path: str,
+        name: Optional[str] = None,
+        suspended: bool = False,
+        parent: Optional[Process] = None,
+    ) -> Process:
+        """Create a process from a registered image.
+
+        The image content is *read from the filesystem* into the new
+        address space through the instrumented write path, so the new
+        process' code bytes start life carrying a file tag -- exactly as
+        a real loader's ``NtReadFile``-backed section mapping would under
+        whole-system DIFT.
+        """
+        program = self.image_program(image_path)
+        if program is None:
+            raise FileError(f"no such image: {image_path}")
+        pid = self._next_pid
+        self._next_pid += 1
+        aspace = AddressSpace(asid=0x1000 + pid * 0x10, allocator=self.machine.allocator)
+        proc = Process(
+            pid=pid,
+            name=name or image_path.rsplit("\\", 1)[-1],
+            image_path=image_path,
+            aspace=aspace,
+            parent_pid=parent.pid if parent else None,
+        )
+        proc.created_suspended = suspended
+        self.processes[pid] = proc
+
+        # Shared kernel module (stubs + export table), read+execute.
+        aspace.map_shared(
+            layout.KERNEL_SHARED_BASE,
+            self._kernel_frames,
+            PERM_RX,
+            name="kernel32.dll",
+            module="kernel32.dll",
+        )
+        # Image: module-backed (so malfind ignores it), RWX for data writes.
+        image_size = max(len(program.code), 1)
+        aspace.map_region(layout.IMAGE_BASE, image_size, PERM_RWX, name="image")
+        for area in aspace.areas:
+            if area.name == "image":
+                area.module = proc.name
+        # Stack.
+        aspace.map_region(
+            layout.STACK_TOP - STACK_BYTES, STACK_BYTES, PERM_RW, name="stack"
+        )
+
+        # Copy the image through the instrumented path: a file read.
+        node = self.fs.open(image_path)
+        version = node.touch()
+        paddrs = aspace.translate_range(
+            layout.IMAGE_BASE, len(program.code), AccessKind.WRITE
+        )
+        self.machine.phys_write(paddrs, program.code, source=f"file:{image_path}")
+        self.machine.plugins.dispatch(
+            "on_file_read", self.machine, proc, node.path, version, paddrs
+        )
+
+        image_module = Module(
+            name=proc.name, base=layout.IMAGE_BASE, image=program.code, path=image_path
+        )
+        proc.modules.append(image_module)
+
+        thread = self._new_thread(proc, entry=program.entry)
+        if suspended:
+            thread.state = ThreadState.SUSPENDED
+        else:
+            self._enqueue(thread)
+
+        self.machine.plugins.dispatch("on_module_load", self.machine, proc, self.kernel_module)
+        self.machine.plugins.dispatch("on_module_load", self.machine, proc, image_module)
+        self.machine.plugins.dispatch("on_process_create", self.machine, proc)
+        return proc
+
+    def _new_thread(self, proc: Process, entry: int, sp: Optional[int] = None, arg: int = 0) -> Thread:
+        thread = Thread(
+            tid=self._next_tid,
+            process=proc,
+            context=fresh_context(entry, sp=sp if sp is not None else layout.STACK_TOP, arg=arg),
+        )
+        self._next_tid += 1
+        proc.threads.append(thread)
+        return thread
+
+    def terminate_process(self, proc: Process, status: int) -> None:
+        """Tear a process down (exit, kill, or crash)."""
+        if not proc.alive:
+            return
+        proc.alive = False
+        proc.exit_code = status
+        for thread in proc.threads:
+            thread.state = ThreadState.DEAD
+            if thread in self._blocked:
+                self._blocked.remove(thread)
+        self._ready = deque(t for t in self._ready if t.process is not proc)
+        proc.aspace.release_all()
+        self.machine.plugins.dispatch("on_process_exit", self.machine, proc, status)
+
+    def crash_process(self, proc: Process, fault: GuestFault) -> None:
+        """Kill *proc* after an unhandled guest fault."""
+        self.console_log.append((proc.pid, f"*** fault: {fault}"))
+        self.terminate_process(proc, status=0xDEAD)
+
+    def find_process(self, name: str, exclude_pid: Optional[int] = None) -> Optional[Process]:
+        for proc in self.processes.values():
+            if proc.alive and proc.name.lower() == name.lower() and proc.pid != exclude_pid:
+                return proc
+        return None
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+
+    def _enqueue(self, thread: Thread) -> None:
+        thread.state = ThreadState.READY
+        self._ready.append(thread)
+
+    def requeue(self, thread: Thread) -> None:
+        """Put a thread whose quantum expired back on the run queue."""
+        self._enqueue(thread)
+
+    def pick_thread(self) -> Optional[Thread]:
+        """Wake due sleepers, then pop the next runnable thread."""
+        self.wake_sleepers()
+        while self._ready:
+            thread = self._ready.popleft()
+            if thread.state is ThreadState.READY:
+                return thread
+        return None
+
+    def wake_sleepers(self) -> None:
+        now = self.machine.now
+        for thread in list(self._blocked):
+            wait = thread.wait
+            if wait and wait.reason is WaitReason.SLEEP and now >= wait.data:
+                self._complete_wait(thread, result=0)
+
+    def next_wake_at(self) -> Optional[int]:
+        """Earliest absolute tick a sleeping thread becomes runnable."""
+        ticks = [
+            t.wait.data
+            for t in self._blocked
+            if t.wait and t.wait.reason is WaitReason.SLEEP
+        ]
+        return min(ticks) if ticks else None
+
+    def has_runnable(self) -> bool:
+        return any(t.state is ThreadState.READY for t in self._ready)
+
+    def _block(self, thread: Thread, reason: WaitReason, data, num: int, args: tuple) -> None:
+        thread.state = ThreadState.BLOCKED
+        thread.wait = Wait(reason, data, num, args)
+        self._blocked.append(thread)
+
+    def _complete_wait(self, thread: Thread, result: int) -> None:
+        """Finish a blocked syscall: deliver result, make runnable."""
+        wait = thread.wait
+        thread.wait = None
+        if thread in self._blocked:
+            self._blocked.remove(thread)
+        from repro.isa.registers import Reg
+
+        thread.context["regs"][Reg.R0] = result & 0xFFFFFFFF
+        self._enqueue(thread)
+        if wait is not None:
+            self.machine.plugins.dispatch(
+                "on_syscall_return", self.machine, thread, wait.syscall, result
+            )
+
+    def _retry_blocked_io(self) -> None:
+        """Re-run blocked RECV/ACCEPT handlers after a packet delivery."""
+        for thread in list(self._blocked):
+            wait = thread.wait
+            if wait is None or wait.reason not in (WaitReason.RECV, WaitReason.ACCEPT):
+                continue
+            result = self._dispatch(thread, wait.syscall, wait.args, retrying=True)
+            if result is not None:
+                self._complete_wait(thread, result)
+
+    # ------------------------------------------------------------------
+    # packet delivery (called by the machine's event loop)
+    # ------------------------------------------------------------------
+
+    def deliver_packet(self, packet: Packet) -> None:
+        """DMA an inbound packet into guest memory and route it."""
+        paddrs = self.machine.dma_alloc(len(packet.payload))
+        if packet.payload:
+            self.machine.phys_write(paddrs, packet.payload, source="nic")
+        self.machine.plugins.dispatch(
+            "on_packet_receive", self.machine, packet, paddrs
+        )
+        if self.netstack.deliver(packet, paddrs) is not None:
+            self._retry_blocked_io()
+
+    # ------------------------------------------------------------------
+    # user-memory helpers
+    # ------------------------------------------------------------------
+
+    def _read_user(self, proc: Process, vaddr: int, n: int) -> Tuple[bytes, Tuple[int, ...]]:
+        paddrs = proc.aspace.translate_range(vaddr, n, AccessKind.READ)
+        data = bytes(self.machine.memory.read_byte(p) for p in paddrs)
+        return data, paddrs
+
+    def _read_user_string(self, proc: Process, vaddr: int, limit: int = 256) -> str:
+        out = bytearray()
+        for i in range(limit):
+            paddr = proc.aspace.translate(vaddr + i, AccessKind.READ)
+            byte = self.machine.memory.read_byte(paddr)
+            if byte == 0:
+                break
+            out.append(byte)
+        return out.decode("latin-1")
+
+    # ------------------------------------------------------------------
+    # syscall dispatch
+    # ------------------------------------------------------------------
+
+    def syscall(self, thread: Thread, number: int, args: tuple) -> Optional[int]:
+        """Run one syscall.  Returns the result, or ``None`` if the
+        thread blocked (or died) and must not be resumed by the caller."""
+        try:
+            result = self._dispatch(thread, number, args, retrying=False)
+        except GuestFault:
+            # A bad pointer from user space is the guest's bug: fail the
+            # call rather than the machine (Windows returns an NTSTATUS).
+            return ERR
+        except (FileError, NetError):
+            return ERR
+        return result
+
+    def _dispatch(
+        self, thread: Thread, number: int, args: tuple, retrying: bool
+    ) -> Optional[int]:
+        proc = thread.process
+        machine = self.machine
+        a1, a2, a3, a4, a5 = (tuple(args) + (0, 0, 0, 0, 0))[:5]
+
+        # ---- process self-management ---------------------------------
+        if number == Sys.EXIT:
+            self.terminate_process(proc, a1)
+            return None
+        if number == Sys.WRITE_CONSOLE:
+            data, _ = self._read_user(proc, a1, min(a2, 4096))
+            text = data.decode("latin-1")
+            proc.console.append(text)
+            self.console_log.append((proc.pid, text))
+            return len(data)
+        if number == Sys.SLEEP:
+            self._block(thread, WaitReason.SLEEP, machine.now + max(a1, 1), number, args)
+            return None
+        if number == Sys.GET_TIME:
+            return machine.now & 0x7FFFFFFF
+
+        # ---- own virtual memory --------------------------------------
+        if number == Sys.ALLOC:
+            return self._alloc_in(proc.aspace, size=a1, perms=a2, addr_hint=0)
+        if number == Sys.FREE:
+            try:
+                proc.aspace.unmap_region(a1)
+                return 0
+            except GuestFault:
+                return ERR
+        if number == Sys.PROTECT:
+            proc.aspace.protect_region(a1, a2, a3 or PERM_RW)
+            return 0
+
+        # ---- filesystem ----------------------------------------------
+        if number == Sys.CREATE_FILE:
+            path = self._read_user_string(proc, a1)
+            node = self.fs.create(path)
+            return proc.add_handle("file", FileHandle(node))
+        if number == Sys.OPEN_FILE:
+            path = self._read_user_string(proc, a1)
+            if not self.fs.exists(path):
+                return ERR
+            return proc.add_handle("file", FileHandle(self.fs.open(path)))
+        if number == Sys.READ_FILE:
+            fh = proc.get_handle(a1, "file")
+            if fh is None:
+                return ERR
+            n = min(a3, len(fh.node.data) - fh.offset)
+            if n <= 0:
+                return 0
+            version = fh.node.touch()
+            self.fs.audit_log.append(("read", fh.node.path))
+            data = bytes(fh.node.data[fh.offset : fh.offset + n])
+            paddrs = proc.aspace.translate_range(a2, n, AccessKind.WRITE)
+            machine.phys_write(paddrs, data, source=f"file:{fh.node.path}")
+            machine.plugins.dispatch(
+                "on_file_read", machine, proc, fh.node.path, version, paddrs
+            )
+            fh.offset += n
+            return n
+        if number == Sys.WRITE_FILE:
+            fh = proc.get_handle(a1, "file")
+            if fh is None:
+                return ERR
+            data, src_paddrs = self._read_user(proc, a2, a3)
+            version = fh.node.touch()
+            self.fs.audit_log.append(("write", fh.node.path))
+            end = fh.offset + len(data)
+            if len(fh.node.data) < end:
+                fh.node.data.extend(b"\x00" * (end - len(fh.node.data)))
+            fh.node.data[fh.offset : end] = data
+            machine.plugins.dispatch(
+                "on_file_write", machine, proc, fh.node.path, version, src_paddrs
+            )
+            fh.offset = end
+            return len(data)
+        if number == Sys.CLOSE:
+            entry = proc.close_handle(a1)
+            if entry is None:
+                return ERR
+            if entry.kind == "socket":
+                self.netstack.close(self.netstack.get(entry.obj))
+            return 0
+        if number == Sys.DELETE_FILE:
+            path = self._read_user_string(proc, a1)
+            if not self.fs.exists(path):
+                return ERR
+            self.fs.delete(path)
+            return 0
+
+        # ---- network ---------------------------------------------------
+        if number == Sys.SOCKET:
+            sock = self.netstack.create(proc.pid)
+            return proc.add_handle("socket", sock.sock_id)
+        if number == Sys.CONNECT:
+            sock = self._socket_for(proc, a1)
+            if sock is None:
+                return ERR
+            ip = self._read_user_string(proc, a2)
+            self.netstack.connect(sock, ip, a3)
+            machine.send_packet(
+                Packet(self.netstack.local_ip, sock.local_port, ip, a3, b"")
+            )
+            return 0
+        if number == Sys.SEND:
+            sock = self._socket_for(proc, a1)
+            if sock is None or not sock.connected:
+                return ERR
+            data, _ = self._read_user(proc, a2, a3)
+            machine.send_packet(
+                Packet(
+                    self.netstack.local_ip,
+                    sock.local_port,
+                    sock.remote_ip,
+                    sock.remote_port,
+                    data,
+                )
+            )
+            return len(data)
+        if number == Sys.RECV:
+            sock = self._socket_for(proc, a1)
+            if sock is None or not sock.connected:
+                return ERR
+            if sock.rx_available() == 0:
+                if not retrying:
+                    self._block(thread, WaitReason.RECV, sock.sock_id, number, args)
+                return None
+            n = min(a3, sock.rx_available())
+            src_paddrs = self.netstack.consume(sock, n)
+            dst_paddrs = proc.aspace.translate_range(a2, n, AccessKind.WRITE)
+            machine.phys_copy(dst_paddrs, src_paddrs, actor=proc)
+            return n
+        if number == Sys.LISTEN:
+            sock = self._socket_for(proc, a1)
+            if sock is None:
+                return ERR
+            self.netstack.listen(sock, a2)
+            return 0
+        if number == Sys.ACCEPT:
+            sock = self._socket_for(proc, a1)
+            if sock is None or not sock.listening:
+                return ERR
+            if not sock.accept_queue:
+                if not retrying:
+                    self._block(thread, WaitReason.ACCEPT, sock.sock_id, number, args)
+                return None
+            child = sock.accept_queue.popleft()
+            return proc.add_handle("socket", child.sock_id)
+
+        # ---- other processes (the injection surface) --------------------
+        if number == Sys.CREATE_PROCESS:
+            path = self._read_user_string(proc, a1)
+            if self.image_program(path) is None:
+                return ERR
+            child = self.spawn(path, suspended=bool(a2), parent=proc)
+            return proc.add_handle("process", child.pid)
+        if number == Sys.FIND_PROCESS:
+            name = self._read_user_string(proc, a1)
+            target = self.find_process(name, exclude_pid=proc.pid)
+            return target.pid if target else ERR
+        if number == Sys.OPEN_PROCESS:
+            target = self.processes.get(a1)
+            if target is None or not target.alive:
+                return ERR
+            return proc.add_handle("process", target.pid)
+        if number == Sys.READ_VM:
+            target = self._process_for(proc, a1)
+            if target is None:
+                return ERR
+            src = target.aspace.translate_range(a2, a4, AccessKind.READ)
+            dst = proc.aspace.translate_range(a3, a4, AccessKind.WRITE)
+            machine.phys_copy(dst, src, actor=proc)
+            return a4
+        if number == Sys.WRITE_VM:
+            target = self._process_for(proc, a1)
+            if target is None:
+                return ERR
+            src = proc.aspace.translate_range(a3, a4, AccessKind.READ)
+            dst = target.aspace.translate_range(a2, a4, AccessKind.WRITE)
+            machine.phys_copy(dst, src, actor=proc)
+            return a4
+        if number == Sys.ALLOC_VM:
+            target = self._process_for(proc, a1)
+            if target is None:
+                return ERR
+            return self._alloc_in(target.aspace, size=a2, perms=a3, addr_hint=a4)
+        if number == Sys.PROTECT_VM:
+            target = self._process_for(proc, a1)
+            if target is None:
+                return ERR
+            target.aspace.protect_region(a2, a3, a4 or PERM_RW)
+            return 0
+        if number == Sys.UNMAP_VM:
+            target = self._process_for(proc, a1)
+            if target is None:
+                return ERR
+            try:
+                target.aspace.unmap_region(a2)
+                return 0
+            except GuestFault:
+                return ERR
+        if number == Sys.CREATE_REMOTE_THREAD:
+            target = self._process_for(proc, a1)
+            if target is None:
+                return ERR
+            stack_base = target.aspace.find_free(
+                STACK_BYTES, layout.HEAP_BASE, layout.HEAP_LIMIT
+            )
+            target.aspace.map_region(stack_base, STACK_BYTES, PERM_RW, name="remote-stack")
+            remote = self._new_thread(
+                target, entry=a2, sp=stack_base + STACK_BYTES, arg=a3
+            )
+            self._enqueue(remote)
+            return remote.tid
+        if number == Sys.RESUME_THREAD:
+            target = self._process_for(proc, a1)
+            if target is None:
+                return ERR
+            for t in target.threads:
+                if t.state is ThreadState.SUSPENDED:
+                    self._enqueue(t)
+            return 0
+        if number == Sys.SUSPEND_THREAD:
+            target = self._process_for(proc, a1)
+            if target is None:
+                return ERR
+            for t in target.threads:
+                if t.state in (ThreadState.READY, ThreadState.RUNNING):
+                    t.state = ThreadState.SUSPENDED
+            self._ready = deque(t for t in self._ready if t.process is not target)
+            return 0
+        if number == Sys.TERMINATE:
+            target = self._process_for(proc, a1)
+            if target is None:
+                return ERR
+            self.terminate_process(target, a2)
+            return 0
+        if number == Sys.SET_CONTEXT:
+            target = self._process_for(proc, a1)
+            if target is None:
+                return ERR
+            target.main_thread.context["pc"] = a2 & 0xFFFFFFFF
+            return 0
+        if number == Sys.GET_CONTEXT:
+            target = self._process_for(proc, a1)
+            if target is None:
+                return ERR
+            return target.main_thread.context["pc"]
+        if number == Sys.QUERY_PROCESS:
+            target = self._process_for(proc, a1)
+            return target.pid if target else ERR
+
+        # ---- loader services --------------------------------------------
+        if number == Sys.LOAD_DLL:
+            path = self._read_user_string(proc, a1)
+            return self._load_dll(proc, path)
+        if number == Sys.GET_PROC_ADDR:
+            for name, addr in self.kernel_module.exports.items():
+                if fnv1a32(name) == a1:
+                    return addr
+            return ERR
+
+        # ---- devices ------------------------------------------------------
+        if number == Sys.READ_KEYS:
+            data = machine.devices.keyboard.read(a2)
+            if data:
+                paddrs = proc.aspace.translate_range(a1, len(data), AccessKind.WRITE)
+                machine.phys_write(paddrs, data, source="keyboard")
+            return len(data)
+        if number == Sys.READ_AUDIO:
+            data = machine.devices.audio.read(a2)
+            paddrs = proc.aspace.translate_range(a1, len(data), AccessKind.WRITE)
+            machine.phys_write(paddrs, data, source="audio")
+            return len(data)
+        if number == Sys.CAPTURE_SCREEN:
+            data = machine.devices.screen.capture(0, min(a2, len(machine.devices.screen.framebuffer)))
+            paddrs = proc.aspace.translate_range(a1, len(data), AccessKind.WRITE)
+            machine.phys_write(paddrs, data, source="screen")
+            return len(data)
+        if number == Sys.DRAW_SCREEN:
+            data, _ = self._read_user(proc, a1, a2)
+            machine.devices.screen.draw(0, data[: len(machine.devices.screen.framebuffer)])
+            return len(data)
+
+        # ---- atom table + APCs (the AtomBombing surface) ---------------------
+        if number == Sys.ADD_ATOM:
+            if a2 <= 0 or a2 > 16 * PAGE_SIZE:
+                return ERR
+            src = proc.aspace.translate_range(a1, a2, AccessKind.READ)
+            n_pages = (a2 + PAGE_SIZE - 1) >> PAGE_SHIFT
+            try:
+                frames = machine.allocator.alloc_many(n_pages)
+            except MemoryError:
+                return ERR
+            dst = tuple(
+                (frames[i >> PAGE_SHIFT] << PAGE_SHIFT) | (i & (PAGE_SIZE - 1))
+                for i in range(a2)
+            )
+            machine.phys_copy(dst, src, actor=proc)
+            atom = self._next_atom
+            self._next_atom += 1
+            self._atoms[atom] = (dst, a2)
+            return atom
+        if number == Sys.GET_ATOM:
+            entry = self._atoms.get(a1)
+            if entry is None:
+                return ERR
+            paddrs, length = entry
+            n = min(a3, length)
+            if n <= 0:
+                return 0
+            dst = proc.aspace.translate_range(a2, n, AccessKind.WRITE)
+            # The copy-out runs in the CALLER's context: when an APC makes
+            # the victim call GlobalGetAtomNameA, the victim is the actor
+            # that pulls the bytes into its own memory.
+            machine.phys_copy(dst, paddrs[:n], actor=proc)
+            return n
+        if number == Sys.QUEUE_APC:
+            target = self._process_for(proc, a1)
+            if target is None:
+                return ERR
+            from repro.guestos.loader import stub_address
+            from repro.isa.registers import Reg
+
+            try:
+                stack_base = target.aspace.find_free(
+                    STACK_BYTES, layout.HEAP_BASE, layout.HEAP_LIMIT
+                )
+            except MemoryError:
+                return ERR
+            target.aspace.map_region(stack_base, STACK_BYTES, PERM_RW, name="apc-stack")
+            apc = self._new_thread(
+                target, entry=a2, sp=stack_base + STACK_BYTES, arg=a3
+            )
+            apc.context["regs"][Reg.R2] = a4 & 0xFFFFFFFF
+            apc.context["regs"][Reg.R3] = a5 & 0xFFFFFFFF
+            # APCs aimed straight at an API stub must return somewhere
+            # sane; the dispatcher points LR at ExitThread.
+            apc.context["regs"][Reg.LR] = stub_address("ExitThread")
+            self._enqueue(apc)
+            return apc.tid
+        if number == Sys.EXIT_THREAD:
+            thread.state = ThreadState.DEAD
+            if all(t.state is ThreadState.DEAD for t in proc.threads):
+                self.terminate_process(proc, 0)
+            return None
+
+        # ---- shell ----------------------------------------------------------
+        if number == Sys.EXEC_CMD:
+            cmd = self._read_user_string(proc, a1)
+            self.shell_log.append((proc.pid, cmd))
+            if self.image_program(cmd) is not None:
+                child = self.spawn(cmd, parent=proc)
+                return proc.add_handle("process", child.pid)
+            return 0
+
+        return ERR  # unknown syscall number
+
+    # ------------------------------------------------------------------
+    # dispatch helpers
+    # ------------------------------------------------------------------
+
+    def _socket_for(self, proc: Process, handle: int) -> Optional[Socket]:
+        sock_id = proc.get_handle(handle, "socket")
+        if sock_id is None:
+            return None
+        try:
+            return self.netstack.get(sock_id)
+        except NetError:
+            return None
+
+    def _process_for(self, proc: Process, handle: int) -> Optional[Process]:
+        pid = proc.get_handle(handle, "process")
+        if pid is None:
+            return None
+        target = self.processes.get(pid)
+        return target if target is not None and target.alive else None
+
+    def _alloc_in(self, aspace: AddressSpace, size: int, perms: int, addr_hint: int) -> int:
+        if size <= 0:
+            return ERR
+        perms = perms or PERM_RW
+        if addr_hint:
+            vaddr = addr_hint & ~(PAGE_SIZE - 1)
+        else:
+            try:
+                vaddr = aspace.find_free(size, layout.HEAP_BASE, layout.HEAP_LIMIT)
+            except MemoryError:
+                return ERR
+        try:
+            aspace.map_region(vaddr, size, perms, name="private")
+        except (ValueError, MemoryError):
+            return ERR
+        return vaddr
+
+    def _load_dll(self, proc: Process, path: str) -> int:
+        """The *registered* DLL-load path (what reflective loading skips)."""
+        if not self.fs.exists(path):
+            return ERR
+        node = self.fs.open(path)
+        version = node.touch()
+        self.fs.audit_log.append(("read", node.path))
+        image = bytes(node.data)
+        try:
+            base = proc.aspace.find_free(max(len(image), 1), layout.HEAP_BASE, layout.HEAP_LIMIT)
+        except MemoryError:
+            return ERR
+        proc.aspace.map_region(base, max(len(image), 1), PERM_RWX, name=f"dll:{path}")
+        for area in proc.aspace.areas:
+            if area.name == f"dll:{path}":
+                area.module = path
+        if image:
+            paddrs = proc.aspace.translate_range(base, len(image), AccessKind.WRITE)
+            self.machine.phys_write(paddrs, image, source=f"file:{path}")
+            self.machine.plugins.dispatch(
+                "on_file_read", self.machine, proc, node.path, version, paddrs
+            )
+        module = Module(name=path, base=base, image=image, path=path)
+        proc.modules.append(module)
+        self.machine.plugins.dispatch("on_module_load", self.machine, proc, module)
+        return base

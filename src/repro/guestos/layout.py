@@ -1,0 +1,28 @@
+"""The guest virtual memory layout (identical for every process).
+
+::
+
+    0x00001000  IMAGE_BASE     program image (code + data), R-X then RW-
+    0x00040000  HEAP_BASE      NtAllocateVirtualMemory region (grows up)
+    0x0007F000  STACK_BASE     stack pages (grow down from STACK_TOP)
+    0x00080000  STACK_TOP      initial SP
+    0x000F0000  KERNEL_SHARED  kernel module: API stubs + export table,
+                               mapped shared (R-X) into every process
+
+The shared kernel mapping is the analog of ``ntdll``/``kernel32`` being
+mapped into every Windows process: it is where linking/loading information
+(the export table) lives, and therefore where FAROS plants *export-table*
+tags.
+"""
+
+IMAGE_BASE = 0x0000_1000
+HEAP_BASE = 0x0004_0000
+HEAP_LIMIT = 0x0007_0000
+STACK_PAGES = 4
+STACK_TOP = 0x0008_0000
+KERNEL_SHARED_BASE = 0x000F_0000
+
+# Physical layout: the bottom of RAM is kernel-reserved.
+DMA_BASE = 0x0000_0400          # NIC DMA ring start (physical)
+DMA_SIZE = 0x0000_D000          # 52 KiB ring; kernel module lives above it
+KERNEL_RESERVED = 0x0001_0000   # frames below this are never user-allocated

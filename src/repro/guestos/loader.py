@@ -1,0 +1,209 @@
+"""The module loader: API stubs, export tables, and DLL mapping.
+
+The kernel builds one **kernel module** at boot -- the analog of
+``kernel32.dll``/``ntdll.dll``.  It contains:
+
+* an *API stub* per exported function: three instructions
+  (``movi r0, <sysno>; syscall; ret``) that trap into the kernel, the
+  analog of the ``ntdll`` syscall stubs real shellcode ultimately calls;
+* the **export table**: a ``count`` word followed by
+  ``(name_hash, function_pointer)`` entry pairs, laid out in guest
+  memory exactly where injected payloads go looking for it.
+
+The module's frames are mapped *shared, read+execute* into every process
+at :data:`KERNEL_SHARED_BASE` -- which is why the paper can say that any
+pointer leading to a system service "will likely have been derived in
+some way from the kernel's export tables that are mapped into the
+process's address space".  FAROS taints each function-pointer field with
+an *export-table* tag at module-load time.
+
+Name hashes use FNV-1a, the classic shellcode import-resolution hash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.guestos.layout import KERNEL_SHARED_BASE
+from repro.guestos.syscalls import Sys
+from repro.isa.assembler import assemble
+
+#: Exported API -> syscall it traps to.  Order defines stub addresses.
+API_TABLE: Tuple[Tuple[str, Sys], ...] = (
+    ("LoadLibraryA", Sys.LOAD_DLL),
+    ("GetProcAddress", Sys.GET_PROC_ADDR),
+    ("VirtualAlloc", Sys.ALLOC),
+    ("VirtualProtect", Sys.PROTECT),
+    ("VirtualFree", Sys.FREE),
+    ("OpenProcess", Sys.OPEN_PROCESS),
+    ("FindProcess", Sys.FIND_PROCESS),
+    ("WriteProcessMemory", Sys.WRITE_VM),
+    ("ReadProcessMemory", Sys.READ_VM),
+    ("VirtualAllocEx", Sys.ALLOC_VM),
+    ("VirtualProtectEx", Sys.PROTECT_VM),
+    ("NtUnmapViewOfSection", Sys.UNMAP_VM),
+    ("CreateRemoteThread", Sys.CREATE_REMOTE_THREAD),
+    ("CreateProcessA", Sys.CREATE_PROCESS),
+    ("ResumeThread", Sys.RESUME_THREAD),
+    ("SuspendThread", Sys.SUSPEND_THREAD),
+    ("TerminateProcess", Sys.TERMINATE),
+    ("SetThreadContext", Sys.SET_CONTEXT),
+    ("GetThreadContext", Sys.GET_CONTEXT),
+    ("QueryProcess", Sys.QUERY_PROCESS),
+    ("CreateFileA", Sys.CREATE_FILE),
+    ("OpenFileA", Sys.OPEN_FILE),
+    ("ReadFile", Sys.READ_FILE),
+    ("WriteFile", Sys.WRITE_FILE),
+    ("CloseHandle", Sys.CLOSE),
+    ("DeleteFileA", Sys.DELETE_FILE),
+    ("socket", Sys.SOCKET),
+    ("connect", Sys.CONNECT),
+    ("send", Sys.SEND),
+    ("recv", Sys.RECV),
+    ("listen", Sys.LISTEN),
+    ("accept", Sys.ACCEPT),
+    ("Sleep", Sys.SLEEP),
+    ("ExitProcess", Sys.EXIT),
+    ("WriteConsoleA", Sys.WRITE_CONSOLE),
+    ("GetSystemTime", Sys.GET_TIME),
+    ("GetAsyncKeyState", Sys.READ_KEYS),
+    ("waveInRead", Sys.READ_AUDIO),
+    ("BitBlt", Sys.CAPTURE_SCREEN),
+    ("DrawScreen", Sys.DRAW_SCREEN),
+    ("WinExec", Sys.EXEC_CMD),
+    ("GlobalAddAtomA", Sys.ADD_ATOM),
+    ("GlobalGetAtomNameA", Sys.GET_ATOM),
+    ("NtQueueApcThread", Sys.QUEUE_APC),
+    ("ExitThread", Sys.EXIT_THREAD),
+)
+
+_STUB_SIZE = 3 * 8  # movi + syscall + ret
+
+
+def fnv1a32(name: str) -> int:
+    """FNV-1a 32-bit hash of *name* -- the shellcode import hash."""
+    h = 0x811C9DC5
+    for ch in name.encode("ascii"):
+        h ^= ch
+        h = (h * 0x01000193) & 0xFFFFFFFF
+    return h
+
+
+def stub_address(name: str) -> int:
+    """Virtual address of *name*'s API stub in every process."""
+    for index, (api, _sys) in enumerate(API_TABLE):
+        if api == name:
+            return KERNEL_SHARED_BASE + index * _STUB_SIZE
+    raise KeyError(f"no such API: {name}")
+
+
+def export_table_address() -> int:
+    """Virtual address of the kernel module's export table."""
+    return KERNEL_SHARED_BASE + len(API_TABLE) * _STUB_SIZE
+
+
+@dataclass
+class Module:
+    """A loaded module: name, mapped range, exports.
+
+    :ivar export_pointer_vaddrs: virtual addresses of every 4-byte
+        function-pointer field inside the export table -- the exact bytes
+        FAROS taints with *export-table* tags.
+    """
+
+    name: str
+    base: int
+    image: bytes
+    exports: Dict[str, int] = field(default_factory=dict)
+    export_table_vaddr: Optional[int] = None
+    export_pointer_vaddrs: Tuple[int, ...] = ()
+    #: Function name for each entry of :attr:`export_pointer_vaddrs`
+    #: (same order) -- what augmented export-table tags are minted from.
+    export_pointer_names: Tuple[str, ...] = ()
+    path: Optional[str] = None
+
+    @property
+    def size(self) -> int:
+        return len(self.image)
+
+    def __repr__(self) -> str:
+        return f"Module({self.name!r} @ {self.base:#x}, {self.size} bytes)"
+
+
+_KERNEL_MODULE_CACHE: Optional[Module] = None
+
+
+def build_kernel_module() -> Module:
+    """Assemble the shared kernel module (stubs + export table).
+
+    The module is deterministic and treated as read-only by every
+    kernel, so the assembly result is memoized across machines.
+    """
+    global _KERNEL_MODULE_CACHE
+    if _KERNEL_MODULE_CACHE is not None:
+        return _KERNEL_MODULE_CACHE
+    lines: List[str] = []
+    for index, (api, sysno) in enumerate(API_TABLE):
+        lines.append(f"stub_{index}:")
+        lines.append(f"    movi r0, {int(sysno)}")
+        lines.append("    syscall")
+        lines.append("    ret")
+    lines.append("export_table:")
+    lines.append(f"    .word {len(API_TABLE)}")
+    for index, (api, _sysno) in enumerate(API_TABLE):
+        lines.append(f"    .word {fnv1a32(api)}, stub_{index}")
+    program = assemble("\n".join(lines), base=KERNEL_SHARED_BASE)
+
+    table_vaddr = program.label("export_table")
+    exports = {api: program.label(f"stub_{index}") for index, (api, _s) in enumerate(API_TABLE)}
+    # Entry i's function pointer sits at table + 4 (count) + i*8 + 4 (hash).
+    pointer_vaddrs = tuple(
+        table_vaddr + 4 + index * 8 + 4 for index in range(len(API_TABLE))
+    )
+    assert table_vaddr == export_table_address()
+    assert all(exports[api] == stub_address(api) for api, _s in API_TABLE)
+    _KERNEL_MODULE_CACHE = Module(
+        name="kernel32.dll",
+        base=KERNEL_SHARED_BASE,
+        image=program.code,
+        exports=exports,
+        export_table_vaddr=table_vaddr,
+        export_pointer_vaddrs=pointer_vaddrs,
+        export_pointer_names=tuple(api for api, _s in API_TABLE),
+    )
+    return _KERNEL_MODULE_CACHE
+
+
+def export_resolver_asm(api_name: str, result_reg: str = "r7") -> str:
+    """Assembly for shellcode-style export-table resolution of *api_name*.
+
+    Emits a scan loop over the export table that compares each entry's
+    hash against ``fnv1a32(api_name)`` and, on a match, **loads the
+    function pointer** into *result_reg*.  That load instruction is the
+    paper's attack invariant: executed from injected (netflow/process
+    tagged) bytes while reading export-table tagged memory.
+
+    The snippet uses r4 (cursor), r5 (remaining count), r6 (scratch) and
+    falls through after resolution; callers must keep those registers
+    free and provide unique surrounding labels via ``.format(uid=...)``
+    -- the string contains ``{uid}`` placeholders.
+    """
+    target_hash = fnv1a32(api_name)
+    return f"""
+    ; resolve {api_name} by hash from the export table (shellcode-style)
+    movi r4, {export_table_address()}
+    ld r5, [r4]              ; entry count
+    addi r4, r4, 4
+resolve_loop_{{uid}}:
+    ld r6, [r4]              ; entry hash
+    cmpi r6, {target_hash}
+    jz resolve_hit_{{uid}}
+    addi r4, r4, 8
+    subi r5, r5, 1
+    cmpi r5, 0
+    jnz resolve_loop_{{uid}}
+    hlt                      ; unresolvable: crash loudly
+resolve_hit_{{uid}}:
+    ld {result_reg}, [r4+4]  ; THE flagged load: fnptr from export table
+"""

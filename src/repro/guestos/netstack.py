@@ -1,0 +1,159 @@
+"""A minimal connection-oriented network stack.
+
+Just enough TCP shape for the paper's scenarios: guests create sockets,
+``connect`` out or ``listen``/``accept`` in, and exchange byte streams.
+Handshakes are implicit (a first inbound packet to a listening port
+establishes the connection), which keeps the wire format to bare
+:class:`~repro.emulator.devices.Packet` payloads.
+
+Received payload bytes are *not* buffered in Python objects: they live in
+the NIC DMA ring in guest **physical memory** and sockets queue
+``(paddr..., length)`` segment descriptors.  ``recv`` then copies DMA
+bytes into the user buffer through the machine's instrumented physical
+copy -- so netflow taint planted on the DMA bytes flows to the
+application exactly as in whole-system DIFT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+from collections import deque
+
+from repro.emulator.devices import Packet
+
+
+class NetError(Exception):
+    """Guest-visible network failure."""
+
+
+@dataclass
+class Segment:
+    """One received chunk: physical locations of its bytes in the DMA ring."""
+
+    paddrs: Tuple[int, ...]
+    offset: int = 0  # how much of it recv() has already consumed
+
+    @property
+    def remaining(self) -> int:
+        return len(self.paddrs) - self.offset
+
+
+@dataclass
+class Socket:
+    """One guest socket endpoint."""
+
+    sock_id: int
+    owner_pid: int
+    local_ip: str
+    local_port: int = 0
+    remote_ip: str = ""
+    remote_port: int = 0
+    listening: bool = False
+    connected: bool = False
+    rx: Deque[Segment] = field(default_factory=deque)
+    accept_queue: Deque["Socket"] = field(default_factory=deque)
+    closed: bool = False
+
+    @property
+    def flow(self) -> Tuple[str, int, str, int]:
+        """(remote_ip, remote_port, local_ip, local_port) -- inbound view."""
+        return (self.remote_ip, self.remote_port, self.local_ip, self.local_port)
+
+    def rx_available(self) -> int:
+        return sum(seg.remaining for seg in self.rx)
+
+
+class NetStack:
+    """Socket registry and inbound packet demultiplexer."""
+
+    def __init__(self, local_ip: str) -> None:
+        self.local_ip = local_ip
+        self._sockets: Dict[int, Socket] = {}
+        self._next_id = 1
+        self._next_ephemeral = 49152
+        #: Flows that carried inbound data, for reports: 4-tuples.
+        self.seen_flows: List[Tuple[str, int, str, int]] = []
+
+    def create(self, owner_pid: int) -> Socket:
+        sock = Socket(self._next_id, owner_pid, self.local_ip)
+        self._sockets[sock.sock_id] = sock
+        self._next_id += 1
+        return sock
+
+    def get(self, sock_id: int) -> Socket:
+        sock = self._sockets.get(sock_id)
+        if sock is None or sock.closed:
+            raise NetError(f"bad socket id {sock_id}")
+        return sock
+
+    def connect(self, sock: Socket, ip: str, port: int) -> None:
+        """Outbound connect; succeeds immediately (implicit handshake)."""
+        if sock.connected or sock.listening:
+            raise NetError("socket already in use")
+        sock.remote_ip, sock.remote_port = ip, port
+        sock.local_port = self._next_ephemeral
+        self._next_ephemeral += 1
+        sock.connected = True
+
+    def listen(self, sock: Socket, port: int) -> None:
+        if sock.connected or sock.listening:
+            raise NetError("socket already in use")
+        for other in self._sockets.values():
+            if other.listening and other.local_port == port and not other.closed:
+                raise NetError(f"port {port} already bound")
+        sock.local_port = port
+        sock.listening = True
+
+    def close(self, sock: Socket) -> None:
+        sock.closed = True
+
+    def deliver(self, packet: Packet, paddrs: Tuple[int, ...]) -> Optional[Socket]:
+        """Route an inbound packet's DMA bytes to a socket.
+
+        Returns the socket whose rx queue (or accept queue) changed, or
+        ``None`` if no endpoint matched (the packet is dropped).
+        """
+        # Established connection match first (exact 4-tuple).
+        for sock in self._sockets.values():
+            if (
+                sock.connected
+                and not sock.closed
+                and sock.remote_ip == packet.src_ip
+                and sock.remote_port == packet.src_port
+                and sock.local_port == packet.dst_port
+            ):
+                if paddrs:
+                    sock.rx.append(Segment(paddrs))
+                self._note_flow(packet)
+                return sock
+        # Listener match: implicit handshake creates the connected child.
+        for sock in self._sockets.values():
+            if sock.listening and not sock.closed and sock.local_port == packet.dst_port:
+                child = self.create(sock.owner_pid)
+                child.local_port = sock.local_port
+                child.remote_ip, child.remote_port = packet.src_ip, packet.src_port
+                child.connected = True
+                if paddrs:
+                    child.rx.append(Segment(paddrs))
+                sock.accept_queue.append(child)
+                self._note_flow(packet)
+                return sock
+        return None
+
+    def _note_flow(self, packet: Packet) -> None:
+        flow = packet.flow
+        if flow not in self.seen_flows:
+            self.seen_flows.append(flow)
+
+    def consume(self, sock: Socket, n: int) -> Tuple[int, ...]:
+        """Dequeue up to *n* received bytes; returns their DMA paddrs."""
+        out: List[int] = []
+        while sock.rx and len(out) < n:
+            seg = sock.rx[0]
+            take = min(seg.remaining, n - len(out))
+            out.extend(seg.paddrs[seg.offset : seg.offset + take])
+            seg.offset += take
+            if seg.remaining == 0:
+                sock.rx.popleft()
+        return tuple(out)

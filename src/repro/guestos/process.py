@@ -1,0 +1,137 @@
+"""Processes, threads, and handle tables.
+
+A :class:`Process` owns an address space (whose ``asid`` is the paper's
+CR3 -- the architecture-level process identity FAROS builds *process*
+tags from), a handle table, and one or more :class:`Thread` s.  Threads
+carry the saved CPU context between scheduler quanta.
+
+The threading model is deliberately minimal but sufficient for the
+attacks: processes can be created suspended (process hollowing), their
+main thread's context can be rewritten (``NtSetContextThread``), and
+remote threads can be planted (``NtCreateThreadEx`` -- code injection).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.guestos.addrspace import AddressSpace
+from repro.guestos.layout import STACK_TOP
+from repro.isa.registers import NUM_REGS, Reg
+
+
+class ThreadState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    SUSPENDED = "suspended"
+    DEAD = "dead"
+
+
+class WaitReason(enum.Enum):
+    NONE = "none"
+    RECV = "recv"      # waiting for socket data
+    ACCEPT = "accept"  # waiting for an inbound connection
+    SLEEP = "sleep"    # timed wait
+
+
+def fresh_context(entry: int, sp: int = STACK_TOP, arg: int = 0) -> dict:
+    """A pristine CPU context starting at *entry* (argument in R1)."""
+    regs = [0] * NUM_REGS
+    regs[Reg.SP] = sp
+    regs[Reg.R1] = arg
+    return {"regs": regs, "pc": entry, "flag_z": False, "flag_n": False, "halted": False}
+
+
+@dataclass
+class Wait:
+    """Why a thread is blocked, and how to finish its syscall later."""
+
+    reason: WaitReason
+    data: Any  # socket id for RECV/ACCEPT, absolute wake tick for SLEEP
+    syscall: int
+    args: tuple
+
+
+@dataclass
+class Thread:
+    tid: int
+    process: "Process"
+    context: dict
+    state: ThreadState = ThreadState.READY
+    wait: Optional[Wait] = None
+
+    @property
+    def runnable(self) -> bool:
+        return self.state is ThreadState.READY
+
+    def __repr__(self) -> str:
+        return f"Thread(tid={self.tid}, {self.process.name}, {self.state.value})"
+
+
+@dataclass
+class Handle:
+    """One handle-table entry; *kind* is 'file', 'socket', or 'process'."""
+
+    kind: str
+    obj: Any
+
+
+class Process:
+    """One guest process."""
+
+    def __init__(
+        self,
+        pid: int,
+        name: str,
+        image_path: str,
+        aspace: AddressSpace,
+        parent_pid: Optional[int] = None,
+    ) -> None:
+        self.pid = pid
+        self.name = name
+        self.image_path = image_path
+        self.aspace = aspace
+        self.parent_pid = parent_pid
+        self.threads: List[Thread] = []
+        self.handles: Dict[int, Handle] = {}
+        self._next_handle = 4
+        self.alive = True
+        self.exit_code: Optional[int] = None
+        self.created_suspended = False
+        #: Modules *registered* with the loader (reflectively injected
+        #: DLLs never appear here -- that gap is what defeats Cuckoo).
+        self.modules: List[Any] = []
+        #: Console output lines (guest-visible stdout).
+        self.console: List[str] = []
+
+    @property
+    def cr3(self) -> int:
+        """Architecture-level process identity (the address space id)."""
+        return self.aspace.asid
+
+    @property
+    def main_thread(self) -> Thread:
+        return self.threads[0]
+
+    def add_handle(self, kind: str, obj: Any) -> int:
+        handle = self._next_handle
+        self._next_handle += 4
+        self.handles[handle] = Handle(kind, obj)
+        return handle
+
+    def get_handle(self, value: int, kind: str) -> Optional[Any]:
+        """Return the object behind handle *value* if it has *kind*."""
+        entry = self.handles.get(value)
+        if entry is None or entry.kind != kind:
+            return None
+        return entry.obj
+
+    def close_handle(self, value: int) -> Optional[Handle]:
+        return self.handles.pop(value, None)
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else f"exited({self.exit_code})"
+        return f"Process(pid={self.pid}, {self.name!r}, cr3={self.cr3:#x}, {state})"

@@ -1,0 +1,240 @@
+"""Syscall numbers, Windows-style names, and argument metadata.
+
+The guest ABI: the syscall number goes in ``R0``, arguments in
+``R1``-``R5``, and the result returns in ``R0``.  :data:`ERR`
+(``0xFFFFFFFF``) signals failure.
+
+Each syscall carries an :class:`ArgSpec` list.  This is the metadata the
+``syscalls2`` plugin uses to follow pointer arguments (so FAROS can taint
+file buffers) and what the Cuckoo baseline uses to render human-readable
+API traces -- the analog of Cuckoo's API hooking signatures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+#: Universal failure return value (the guest's NTSTATUS error analog).
+ERR = 0xFFFFFFFF
+
+
+class Sys(enum.IntEnum):
+    """Syscall numbers."""
+
+    # process self-management
+    EXIT = 1
+    WRITE_CONSOLE = 2
+    SLEEP = 3
+    GET_TIME = 4
+
+    # own virtual memory
+    ALLOC = 10
+    FREE = 11
+    PROTECT = 12
+
+    # filesystem
+    CREATE_FILE = 20
+    OPEN_FILE = 21
+    READ_FILE = 22
+    WRITE_FILE = 23
+    CLOSE = 24
+    DELETE_FILE = 25
+
+    # network
+    SOCKET = 30
+    CONNECT = 31
+    SEND = 32
+    RECV = 33
+    LISTEN = 34
+    ACCEPT = 35
+
+    # other processes (the injection surface)
+    CREATE_PROCESS = 40
+    FIND_PROCESS = 41
+    OPEN_PROCESS = 42
+    READ_VM = 43
+    WRITE_VM = 44
+    ALLOC_VM = 45
+    PROTECT_VM = 46
+    UNMAP_VM = 47
+    CREATE_REMOTE_THREAD = 48
+    RESUME_THREAD = 49
+    SUSPEND_THREAD = 50
+    TERMINATE = 51
+    SET_CONTEXT = 52
+    GET_CONTEXT = 53
+    QUERY_PROCESS = 54
+
+    # loader services
+    LOAD_DLL = 60
+    GET_PROC_ADDR = 61
+
+    # devices
+    READ_KEYS = 70
+    READ_AUDIO = 71
+    CAPTURE_SCREEN = 72
+    DRAW_SCREEN = 73
+
+    # shell
+    EXEC_CMD = 80
+
+    # atom table + APCs (the AtomBombing surface)
+    ADD_ATOM = 90
+    GET_ATOM = 91
+    QUEUE_APC = 92
+    EXIT_THREAD = 93
+
+
+#: The Windows API/syscall each number stands in for -- used by reports,
+#: the Cuckoo baseline's traces, and the OSI plugin.
+WINDOWS_NAMES: Dict[int, str] = {
+    Sys.EXIT: "NtTerminateProcess(self)",
+    Sys.WRITE_CONSOLE: "NtDisplayString",
+    Sys.SLEEP: "NtDelayExecution",
+    Sys.GET_TIME: "NtQuerySystemTime",
+    Sys.ALLOC: "NtAllocateVirtualMemory",
+    Sys.FREE: "NtFreeVirtualMemory",
+    Sys.PROTECT: "NtProtectVirtualMemory",
+    Sys.CREATE_FILE: "NtCreateFile",
+    Sys.OPEN_FILE: "NtOpenFile",
+    Sys.READ_FILE: "NtReadFile",
+    Sys.WRITE_FILE: "NtWriteFile",
+    Sys.CLOSE: "NtClose",
+    Sys.DELETE_FILE: "NtDeleteFile",
+    Sys.SOCKET: "NtDeviceIoControlFile(AFD_CREATE)",
+    Sys.CONNECT: "NtDeviceIoControlFile(AFD_CONNECT)",
+    Sys.SEND: "NtDeviceIoControlFile(AFD_SEND)",
+    Sys.RECV: "NtDeviceIoControlFile(AFD_RECV)",
+    Sys.LISTEN: "NtDeviceIoControlFile(AFD_LISTEN)",
+    Sys.ACCEPT: "NtDeviceIoControlFile(AFD_ACCEPT)",
+    Sys.CREATE_PROCESS: "NtCreateUserProcess",
+    Sys.FIND_PROCESS: "NtGetNextProcess",
+    Sys.OPEN_PROCESS: "NtOpenProcess",
+    Sys.READ_VM: "NtReadVirtualMemory",
+    Sys.WRITE_VM: "NtWriteVirtualMemory",
+    Sys.ALLOC_VM: "NtAllocateVirtualMemory(remote)",
+    Sys.PROTECT_VM: "NtProtectVirtualMemory(remote)",
+    Sys.UNMAP_VM: "NtUnmapViewOfSection",
+    Sys.CREATE_REMOTE_THREAD: "NtCreateThreadEx",
+    Sys.RESUME_THREAD: "NtResumeThread",
+    Sys.SUSPEND_THREAD: "NtSuspendThread",
+    Sys.TERMINATE: "NtTerminateProcess",
+    Sys.SET_CONTEXT: "NtSetContextThread",
+    Sys.GET_CONTEXT: "NtGetContextThread",
+    Sys.QUERY_PROCESS: "NtQueryInformationProcess",
+    Sys.LOAD_DLL: "LdrLoadDll",
+    Sys.GET_PROC_ADDR: "LdrGetProcedureAddress",
+    Sys.READ_KEYS: "NtUserGetAsyncKeyState",
+    Sys.READ_AUDIO: "NtDeviceIoControlFile(AUDIO_CAPTURE)",
+    Sys.CAPTURE_SCREEN: "NtGdiBitBlt(capture)",
+    Sys.DRAW_SCREEN: "NtGdiBitBlt(draw)",
+    Sys.EXEC_CMD: "WinExec",
+    Sys.ADD_ATOM: "GlobalAddAtomA",
+    Sys.GET_ATOM: "GlobalGetAtomNameA",
+    Sys.QUEUE_APC: "NtQueueApcThread",
+    Sys.EXIT_THREAD: "NtTerminateThread(self)",
+}
+
+
+def syscall_name(number: int) -> str:
+    """Windows-style display name for *number* (``sys_<n>`` if unknown)."""
+    return WINDOWS_NAMES.get(number, f"sys_{number}")
+
+
+class ArgKind(enum.Enum):
+    """How syscalls2 should interpret one argument register."""
+
+    INT = "int"          # plain scalar
+    HANDLE = "handle"    # file/socket/process handle
+    PTR_STR = "str"      # pointer to NUL-terminated guest string
+    PTR_IN = "buf_in"    # pointer to a buffer the kernel reads
+    PTR_OUT = "buf_out"  # pointer to a buffer the kernel writes
+    LEN = "len"          # byte count for the preceding buffer pointer
+    VADDR = "vaddr"      # a virtual address (not dereferenced here)
+    PERMS = "perms"      # a permission mask
+
+
+@dataclass(frozen=True)
+class ArgSpec:
+    name: str
+    kind: ArgKind
+
+
+def _spec(*pairs: Tuple[str, ArgKind]) -> Tuple[ArgSpec, ...]:
+    return tuple(ArgSpec(name, kind) for name, kind in pairs)
+
+
+#: Per-syscall argument metadata (args map to R1.. in order).
+ARG_SPECS: Dict[int, Tuple[ArgSpec, ...]] = {
+    Sys.EXIT: _spec(("status", ArgKind.INT)),
+    Sys.WRITE_CONSOLE: _spec(("buf", ArgKind.PTR_IN), ("len", ArgKind.LEN)),
+    Sys.SLEEP: _spec(("ticks", ArgKind.INT)),
+    Sys.GET_TIME: (),
+    Sys.ALLOC: _spec(("size", ArgKind.INT), ("perms", ArgKind.PERMS)),
+    Sys.FREE: _spec(("addr", ArgKind.VADDR)),
+    Sys.PROTECT: _spec(("addr", ArgKind.VADDR), ("size", ArgKind.INT), ("perms", ArgKind.PERMS)),
+    Sys.CREATE_FILE: _spec(("path", ArgKind.PTR_STR)),
+    Sys.OPEN_FILE: _spec(("path", ArgKind.PTR_STR)),
+    Sys.READ_FILE: _spec(("handle", ArgKind.HANDLE), ("buf", ArgKind.PTR_OUT), ("len", ArgKind.LEN)),
+    Sys.WRITE_FILE: _spec(("handle", ArgKind.HANDLE), ("buf", ArgKind.PTR_IN), ("len", ArgKind.LEN)),
+    Sys.CLOSE: _spec(("handle", ArgKind.HANDLE)),
+    Sys.DELETE_FILE: _spec(("path", ArgKind.PTR_STR)),
+    Sys.SOCKET: (),
+    Sys.CONNECT: _spec(("handle", ArgKind.HANDLE), ("ip", ArgKind.PTR_STR), ("port", ArgKind.INT)),
+    Sys.SEND: _spec(("handle", ArgKind.HANDLE), ("buf", ArgKind.PTR_IN), ("len", ArgKind.LEN)),
+    Sys.RECV: _spec(("handle", ArgKind.HANDLE), ("buf", ArgKind.PTR_OUT), ("len", ArgKind.LEN)),
+    Sys.LISTEN: _spec(("handle", ArgKind.HANDLE), ("port", ArgKind.INT)),
+    Sys.ACCEPT: _spec(("handle", ArgKind.HANDLE)),
+    Sys.CREATE_PROCESS: _spec(("image", ArgKind.PTR_STR), ("suspended", ArgKind.INT)),
+    Sys.FIND_PROCESS: _spec(("name", ArgKind.PTR_STR)),
+    Sys.OPEN_PROCESS: _spec(("pid", ArgKind.INT)),
+    Sys.READ_VM: _spec(
+        ("handle", ArgKind.HANDLE), ("remote_addr", ArgKind.VADDR),
+        ("buf", ArgKind.PTR_OUT), ("len", ArgKind.LEN),
+    ),
+    Sys.WRITE_VM: _spec(
+        ("handle", ArgKind.HANDLE), ("remote_addr", ArgKind.VADDR),
+        ("buf", ArgKind.PTR_IN), ("len", ArgKind.LEN),
+    ),
+    Sys.ALLOC_VM: _spec(
+        ("handle", ArgKind.HANDLE), ("size", ArgKind.INT),
+        ("perms", ArgKind.PERMS), ("addr_hint", ArgKind.VADDR),
+    ),
+    Sys.PROTECT_VM: _spec(
+        ("handle", ArgKind.HANDLE), ("addr", ArgKind.VADDR),
+        ("size", ArgKind.INT), ("perms", ArgKind.PERMS),
+    ),
+    Sys.UNMAP_VM: _spec(("handle", ArgKind.HANDLE), ("addr", ArgKind.VADDR)),
+    Sys.CREATE_REMOTE_THREAD: _spec(
+        ("handle", ArgKind.HANDLE), ("entry", ArgKind.VADDR), ("arg", ArgKind.INT),
+    ),
+    Sys.RESUME_THREAD: _spec(("handle", ArgKind.HANDLE)),
+    Sys.SUSPEND_THREAD: _spec(("handle", ArgKind.HANDLE)),
+    Sys.TERMINATE: _spec(("handle", ArgKind.HANDLE), ("status", ArgKind.INT)),
+    Sys.SET_CONTEXT: _spec(("handle", ArgKind.HANDLE), ("pc", ArgKind.VADDR)),
+    Sys.GET_CONTEXT: _spec(("handle", ArgKind.HANDLE)),
+    Sys.QUERY_PROCESS: _spec(("handle", ArgKind.HANDLE)),
+    Sys.LOAD_DLL: _spec(("path", ArgKind.PTR_STR)),
+    Sys.GET_PROC_ADDR: _spec(("name_hash", ArgKind.INT)),
+    Sys.READ_KEYS: _spec(("buf", ArgKind.PTR_OUT), ("len", ArgKind.LEN)),
+    Sys.READ_AUDIO: _spec(("buf", ArgKind.PTR_OUT), ("len", ArgKind.LEN)),
+    Sys.CAPTURE_SCREEN: _spec(("buf", ArgKind.PTR_OUT), ("len", ArgKind.LEN)),
+    Sys.DRAW_SCREEN: _spec(("buf", ArgKind.PTR_IN), ("len", ArgKind.LEN)),
+    Sys.EXEC_CMD: _spec(("cmd", ArgKind.PTR_STR)),
+    Sys.ADD_ATOM: _spec(("buf", ArgKind.PTR_IN), ("len", ArgKind.LEN)),
+    Sys.GET_ATOM: _spec(
+        ("atom", ArgKind.INT), ("buf", ArgKind.PTR_OUT), ("max", ArgKind.LEN)
+    ),
+    Sys.QUEUE_APC: _spec(
+        ("handle", ArgKind.HANDLE), ("entry", ArgKind.VADDR),
+        ("arg1", ArgKind.INT), ("arg2", ArgKind.INT), ("arg3", ArgKind.INT),
+    ),
+    Sys.EXIT_THREAD: (),
+}
+
+
+def arg_specs(number: int) -> Sequence[ArgSpec]:
+    """Argument metadata for *number* (empty if unknown)."""
+    return ARG_SPECS.get(number, ())

@@ -1,0 +1,62 @@
+"""A small 32-bit RISC-style instruction-set architecture.
+
+This package is the lowest substrate of the FAROS reproduction: it provides
+the CPU, physical memory, instruction encoding, and assembler on which the
+whole-system emulator (:mod:`repro.emulator`) and the guest operating system
+(:mod:`repro.guestos`) are built.
+
+The design goal mirrors what matters to whole-system DIFT: guest programs
+exist as *real encoded instruction bytes in guest memory*.  The CPU fetches
+and decodes from memory on every step, so a taint engine observing execution
+can inspect the provenance of the bytes that make up each executed
+instruction -- which is exactly the signal FAROS' detection invariant uses.
+
+Public surface:
+
+* :class:`~repro.isa.registers.Reg` and :class:`~repro.isa.registers.RegisterFile`
+* :class:`~repro.isa.memory.PhysicalMemory` and
+  :class:`~repro.isa.memory.FrameAllocator`
+* :class:`~repro.isa.instructions.Op`, :class:`~repro.isa.instructions.Instruction`,
+  :func:`~repro.isa.instructions.encode`, :func:`~repro.isa.instructions.decode`
+* :func:`~repro.isa.assembler.assemble`
+* :class:`~repro.isa.cpu.CPU`
+"""
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.cpu import CPU, AccessKind, InstructionEffects, MemoryAccess
+from repro.isa.errors import (
+    DecodeError,
+    GuestFault,
+    InvalidInstruction,
+    IsaError,
+    PageFault,
+    PhysicalMemoryError,
+)
+from repro.isa.instructions import INSTRUCTION_SIZE, Instruction, Op, decode, encode
+from repro.isa.memory import FrameAllocator, PhysicalMemory
+from repro.isa.registers import NUM_REGS, Reg, RegisterFile
+
+__all__ = [
+    "AccessKind",
+    "AssemblerError",
+    "CPU",
+    "DecodeError",
+    "FrameAllocator",
+    "GuestFault",
+    "INSTRUCTION_SIZE",
+    "Instruction",
+    "InstructionEffects",
+    "InvalidInstruction",
+    "IsaError",
+    "MemoryAccess",
+    "NUM_REGS",
+    "Op",
+    "PageFault",
+    "PhysicalMemory",
+    "PhysicalMemoryError",
+    "Reg",
+    "RegisterFile",
+    "assemble",
+    "decode",
+    "encode",
+]

@@ -1,0 +1,83 @@
+"""Linear-sweep disassembler.
+
+Renders raw guest memory as an assembly listing -- used by the malfind
+baseline's previews (real malfind disassembles suspicious regions) and
+by FAROS reports when an analyst wants to read the flagged payload.
+
+A linear sweep over data produces junk lines; bytes that do not decode
+are rendered as ``.byte``/``db`` rows rather than raising, because a
+forensic tool must keep going through garbage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.isa.errors import DecodeError
+from repro.isa.instructions import INSTRUCTION_SIZE, decode, format_instruction
+
+
+@dataclass(frozen=True)
+class DisasmLine:
+    """One listing row."""
+
+    address: int
+    raw: bytes
+    text: str
+    valid: bool
+
+    def __str__(self) -> str:
+        hexpart = " ".join(f"{b:02x}" for b in self.raw)
+        return f"{self.address:#010x}  {hexpart:<24} {self.text}"
+
+
+def disassemble(code: bytes, base: int = 0, max_lines: Optional[int] = None) -> List[DisasmLine]:
+    """Linear-sweep disassembly of *code* loaded at *base*."""
+    lines: List[DisasmLine] = []
+    offset = 0
+    while offset + INSTRUCTION_SIZE <= len(code):
+        if max_lines is not None and len(lines) >= max_lines:
+            break
+        raw = code[offset : offset + INSTRUCTION_SIZE]
+        try:
+            insn = decode(raw)
+            text, valid = format_instruction(insn), True
+        except DecodeError:
+            text, valid = ".byte " + ", ".join(f"{b:#04x}" for b in raw), False
+        lines.append(DisasmLine(base + offset, raw, text, valid))
+        offset += INSTRUCTION_SIZE
+    remainder = code[offset:]
+    if remainder and (max_lines is None or len(lines) < max_lines):
+        lines.append(
+            DisasmLine(
+                base + offset,
+                remainder,
+                ".byte " + ", ".join(f"{b:#04x}" for b in remainder),
+                False,
+            )
+        )
+    return lines
+
+
+def render_listing(code: bytes, base: int = 0, max_lines: Optional[int] = None) -> str:
+    """The listing as one printable string."""
+    return "\n".join(str(line) for line in disassemble(code, base, max_lines))
+
+
+def looks_like_code(data: bytes, threshold: float = 0.6) -> bool:
+    """Heuristic: does *data* decode mostly into valid instructions?
+
+    Used by forensic scans to rank anonymous executable regions: a
+    region of zeros or ASCII decodes poorly; real (even injected)
+    machine code decodes cleanly.  All-zero data is excluded outright --
+    zero happens to encode NOP, but a page of NOPs is scrubbed memory,
+    not a payload.
+    """
+    if not data or not any(data):
+        return False
+    lines = disassemble(data)
+    if not lines:
+        return False
+    valid = sum(1 for line in lines if line.valid and any(line.raw))
+    return valid / len(lines) >= threshold

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the ISA layer.
+
+Two families of failure exist at this layer:
+
+* **Host errors** (:class:`IsaError` subclasses other than
+  :class:`GuestFault`): bugs in harness code -- out-of-range physical
+  addresses, malformed encodings built by the host, assembler misuse.  These
+  propagate as ordinary Python exceptions.
+
+* **Guest faults** (:class:`GuestFault` subclasses): conditions raised *by
+  guest execution* -- page faults, privilege violations, undefined opcodes
+  fetched from guest memory.  The emulator catches these and turns them into
+  guest-visible events (process termination by the kernel), the same way a
+  hardware fault traps to the OS.
+"""
+
+
+class IsaError(Exception):
+    """Base class for every error raised by the ISA layer."""
+
+
+class PhysicalMemoryError(IsaError):
+    """A physical address is outside the installed memory range."""
+
+    def __init__(self, paddr: int, size: int) -> None:
+        super().__init__(f"physical access at {paddr:#x} outside memory of {size:#x} bytes")
+        self.paddr = paddr
+        self.size = size
+
+
+class GuestFault(IsaError):
+    """Base class for faults attributable to guest execution.
+
+    The kernel treats an uncaught guest fault as fatal for the faulting
+    process (an access violation / illegal instruction crash), never for
+    the whole machine.
+    """
+
+
+class PageFault(GuestFault):
+    """A virtual access had no mapping or insufficient permissions."""
+
+    def __init__(self, vaddr: int, access: str, reason: str) -> None:
+        super().__init__(f"page fault: {access} at {vaddr:#x} ({reason})")
+        self.vaddr = vaddr
+        self.access = access
+        self.reason = reason
+
+
+class InvalidInstruction(GuestFault):
+    """The CPU fetched bytes that do not decode to a defined instruction."""
+
+    def __init__(self, pc: int, detail: str) -> None:
+        super().__init__(f"invalid instruction at pc={pc:#x}: {detail}")
+        self.pc = pc
+        self.detail = detail
+
+
+class DecodeError(IsaError):
+    """Host-side decode of a byte buffer failed (harness misuse)."""

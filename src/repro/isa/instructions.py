@@ -1,0 +1,203 @@
+"""Instruction set, encoding, and decoding.
+
+Every instruction occupies exactly :data:`INSTRUCTION_SIZE` (8) bytes in
+guest memory:
+
+====== ======================================================
+byte   meaning
+====== ======================================================
+0      opcode (:class:`Op`)
+1      ``rd``  -- destination register index
+2      ``rs1`` -- first source register index
+3      ``rs2`` -- second source register index
+4-7    ``imm`` -- 32-bit little-endian immediate
+====== ======================================================
+
+Unused fields must be zero; the decoder does not enforce this (real
+hardware would not), but the assembler always emits canonical encodings.
+
+The fixed width keeps the fetch/decode path trivial and -- more
+importantly for this reproduction -- makes "the bytes of the executed
+instruction" a well-defined 8-byte physical range whose shadow provenance
+FAROS can inspect on every step.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.isa.errors import DecodeError
+from repro.isa.registers import NUM_REGS, Reg
+
+INSTRUCTION_SIZE = 8
+
+_ENC = struct.Struct("<BBBBI")
+
+
+class Op(enum.IntEnum):
+    """Opcodes, grouped by function.
+
+    The split between register (``ADD``) and immediate (``ADDI``) forms
+    matters to the taint engine: register forms *union* the provenance of
+    both sources, immediate forms *copy* the provenance of the single
+    register source, and pure-immediate loads (``MOVI``) *delete*
+    provenance (Table I of the paper).
+    """
+
+    NOP = 0x00
+    HLT = 0x01
+
+    # data movement
+    MOV = 0x10   # rd <- rs1
+    MOVI = 0x11  # rd <- imm
+    LD = 0x12    # rd <- mem32[rs1 + imm]
+    ST = 0x13    # mem32[rs1 + imm] <- rs2
+    LDB = 0x14   # rd <- mem8[rs1 + imm] (zero-extended)
+    STB = 0x15   # mem8[rs1 + imm] <- rs2 & 0xff
+    PUSH = 0x16  # sp -= 4; mem32[sp] <- rs1
+    POP = 0x17   # rd <- mem32[sp]; sp += 4
+
+    # arithmetic / logic (register forms)
+    ADD = 0x20   # rd <- rs1 + rs2
+    SUB = 0x21
+    MUL = 0x22
+    AND = 0x23
+    OR = 0x24
+    XOR = 0x25
+    SHL = 0x26   # rd <- rs1 << (rs2 & 31)
+    SHR = 0x27   # rd <- rs1 >> (rs2 & 31)  (logical)
+
+    # arithmetic / logic (immediate forms)
+    ADDI = 0x30  # rd <- rs1 + imm
+    SUBI = 0x31
+    MULI = 0x32
+    ANDI = 0x33
+    ORI = 0x34
+    XORI = 0x35
+    SHLI = 0x36
+    SHRI = 0x37
+    NOT = 0x38   # rd <- ~rs1
+
+    # comparison / control flow
+    CMP = 0x40   # flags <- compare(rs1, rs2)
+    CMPI = 0x41  # flags <- compare(rs1, imm)
+    JMP = 0x42   # pc <- imm
+    JZ = 0x43    # if Z:  pc <- imm
+    JNZ = 0x44   # if !Z: pc <- imm
+    JLT = 0x45   # if N:  pc <- imm (signed less-than after CMP)
+    JGE = 0x46   # if !N: pc <- imm
+    JLE = 0x47   # if Z or N
+    JGT = 0x48   # if !Z and !N
+    CALL = 0x49  # lr <- pc + 8; pc <- imm
+    CALLR = 0x4A # lr <- pc + 8; pc <- rs1   (indirect call through register)
+    JMPR = 0x4B  # pc <- rs1                 (indirect jump)
+    RET = 0x4C   # pc <- lr
+
+    # system
+    SYSCALL = 0x50  # trap to kernel; number in r0, args in r1..r5
+
+
+# Opcode groups the CPU and taint engine dispatch on.
+REG_ALU_OPS = frozenset({Op.ADD, Op.SUB, Op.MUL, Op.AND, Op.OR, Op.XOR, Op.SHL, Op.SHR})
+IMM_ALU_OPS = frozenset(
+    {Op.ADDI, Op.SUBI, Op.MULI, Op.ANDI, Op.ORI, Op.XORI, Op.SHLI, Op.SHRI, Op.NOT}
+)
+COND_BRANCH_OPS = frozenset({Op.JZ, Op.JNZ, Op.JLT, Op.JGE, Op.JLE, Op.JGT})
+LOAD_OPS = frozenset({Op.LD, Op.LDB, Op.POP})
+STORE_OPS = frozenset({Op.ST, Op.STB, Op.PUSH})
+
+_VALID_OPCODES = {int(op) for op in Op}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded instruction.
+
+    ``rd``/``rs1``/``rs2`` are :class:`Reg` values even when the opcode
+    ignores them (they decode as ``R0``); consumers must dispatch on
+    :attr:`op` to know which fields are live.
+    """
+
+    op: Op
+    rd: Reg = Reg.R0
+    rs1: Reg = Reg.R0
+    rs2: Reg = Reg.R0
+    imm: int = 0
+
+    def __str__(self) -> str:
+        return format_instruction(self)
+
+
+def encode(insn: Instruction) -> bytes:
+    """Encode *insn* into its canonical 8-byte form."""
+    return _ENC.pack(insn.op, insn.rd, insn.rs1, insn.rs2, insn.imm & 0xFFFFFFFF)
+
+
+def decode(data: bytes, offset: int = 0) -> Instruction:
+    """Decode 8 bytes at *offset* in *data* into an :class:`Instruction`.
+
+    Raises :class:`DecodeError` for undefined opcodes or register indices;
+    the CPU converts that into a guest-visible
+    :class:`~repro.isa.errors.InvalidInstruction` fault at fetch time.
+    """
+    if offset + INSTRUCTION_SIZE > len(data):
+        raise DecodeError(f"truncated instruction at offset {offset}")
+    opcode, rd, rs1, rs2, imm = _ENC.unpack_from(data, offset)
+    if opcode not in _VALID_OPCODES:
+        raise DecodeError(f"undefined opcode {opcode:#04x}")
+    if rd >= NUM_REGS or rs1 >= NUM_REGS or rs2 >= NUM_REGS:
+        raise DecodeError(f"register index out of range in {data[offset:offset+8]!r}")
+    return Instruction(Op(opcode), Reg(rd), Reg(rs1), Reg(rs2), imm)
+
+
+def format_instruction(insn: Instruction) -> str:
+    """Render *insn* in assembler syntax (best-effort, for reports/debugging)."""
+    op = insn.op
+    name = op.name.lower()
+    if op in (Op.NOP, Op.HLT, Op.RET, Op.SYSCALL):
+        return name
+    if op is Op.MOV:
+        return f"{name} {insn.rd.name.lower()}, {insn.rs1.name.lower()}"
+    if op is Op.MOVI:
+        return f"{name} {insn.rd.name.lower()}, {insn.imm:#x}"
+    if op is Op.LD or op is Op.LDB:
+        return f"{name} {insn.rd.name.lower()}, [{insn.rs1.name.lower()}+{insn.imm:#x}]"
+    if op is Op.ST or op is Op.STB:
+        return f"{name} [{insn.rs1.name.lower()}+{insn.imm:#x}], {insn.rs2.name.lower()}"
+    if op is Op.PUSH:
+        return f"{name} {insn.rs1.name.lower()}"
+    if op is Op.POP:
+        return f"{name} {insn.rd.name.lower()}"
+    if op in REG_ALU_OPS:
+        return (
+            f"{name} {insn.rd.name.lower()}, "
+            f"{insn.rs1.name.lower()}, {insn.rs2.name.lower()}"
+        )
+    if op is Op.NOT:
+        return f"{name} {insn.rd.name.lower()}, {insn.rs1.name.lower()}"
+    if op in IMM_ALU_OPS:
+        return f"{name} {insn.rd.name.lower()}, {insn.rs1.name.lower()}, {insn.imm:#x}"
+    if op is Op.CMP:
+        return f"{name} {insn.rs1.name.lower()}, {insn.rs2.name.lower()}"
+    if op is Op.CMPI:
+        return f"{name} {insn.rs1.name.lower()}, {insn.imm:#x}"
+    if op in COND_BRANCH_OPS or op in (Op.JMP, Op.CALL):
+        return f"{name} {insn.imm:#x}"
+    if op in (Op.CALLR, Op.JMPR):
+        return f"{name} {insn.rs1.name.lower()}"
+    return name  # pragma: no cover - all ops handled above
+
+
+def signed32(value: int) -> int:
+    """Interpret a 32-bit value as signed."""
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def make(op: Op, rd: Optional[Reg] = None, rs1: Optional[Reg] = None,
+         rs2: Optional[Reg] = None, imm: int = 0) -> Instruction:
+    """Convenience constructor with defaulted register fields."""
+    return Instruction(op, rd or Reg.R0, rs1 or Reg.R0, rs2 or Reg.R0, imm)

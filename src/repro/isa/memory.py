@@ -1,0 +1,140 @@
+"""Physical memory and the physical frame allocator.
+
+Whole-system DIFT operates on *physical* memory: a byte injected into a
+victim process occupies the same physical location no matter which virtual
+mapping touches it, so shadow (taint) state keyed on physical addresses
+survives cross-address-space copies for free.  This module provides the
+flat physical memory every address space maps into.
+
+The page size is deliberately small (:data:`PAGE_SIZE` = 256 bytes) so that
+guests with a few KiB of code still span many pages, keeping the paging
+machinery honest without inflating emulation cost.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from repro.isa.errors import PhysicalMemoryError
+
+PAGE_SIZE = 256
+PAGE_SHIFT = 8
+assert PAGE_SIZE == 1 << PAGE_SHIFT
+
+_U32 = struct.Struct("<I")
+
+
+class PhysicalMemory:
+    """A flat, byte-addressable physical memory of fixed size.
+
+    All multi-byte accesses are little-endian.  Accesses outside the
+    installed range raise :class:`PhysicalMemoryError` -- the emulator
+    never lets guest-originated addresses reach here unchecked, so such an
+    error indicates a harness bug.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size <= 0 or size % PAGE_SIZE:
+            raise ValueError(f"memory size must be a positive multiple of {PAGE_SIZE}")
+        self._buf = bytearray(size)
+        self.size = size
+
+    # -- byte / word primitives -------------------------------------------------
+
+    def read_byte(self, paddr: int) -> int:
+        """Return the byte at *paddr*."""
+        self._check(paddr, 1)
+        return self._buf[paddr]
+
+    def write_byte(self, paddr: int, value: int) -> None:
+        """Store the low 8 bits of *value* at *paddr*."""
+        self._check(paddr, 1)
+        self._buf[paddr] = value & 0xFF
+
+    def read_word(self, paddr: int) -> int:
+        """Return the little-endian 32-bit word at *paddr*."""
+        self._check(paddr, 4)
+        return _U32.unpack_from(self._buf, paddr)[0]
+
+    def write_word(self, paddr: int, value: int) -> None:
+        """Store *value* as a little-endian 32-bit word at *paddr*."""
+        self._check(paddr, 4)
+        _U32.pack_into(self._buf, paddr, value & 0xFFFFFFFF)
+
+    # -- bulk accessors ---------------------------------------------------------
+
+    def read_bytes(self, paddr: int, n: int) -> bytes:
+        """Return *n* bytes starting at *paddr*."""
+        self._check(paddr, n)
+        return bytes(self._buf[paddr : paddr + n])
+
+    def write_bytes(self, paddr: int, data: bytes) -> None:
+        """Store *data* starting at *paddr*."""
+        self._check(paddr, len(data))
+        self._buf[paddr : paddr + len(data)] = data
+
+    def fill(self, paddr: int, n: int, value: int = 0) -> None:
+        """Set *n* bytes starting at *paddr* to *value*."""
+        self._check(paddr, n)
+        self._buf[paddr : paddr + n] = bytes([value & 0xFF]) * n
+
+    def _check(self, paddr: int, n: int) -> None:
+        if paddr < 0 or n < 0 or paddr + n > self.size:
+            raise PhysicalMemoryError(paddr, self.size)
+
+
+class FrameAllocator:
+    """Allocates physical page frames from a :class:`PhysicalMemory`.
+
+    Frames are handed out lowest-address-first and may be returned for
+    reuse (process exit, ``NtFreeVirtualMemory``).  Freed frames are zeroed
+    on reallocation so stale data never leaks between processes -- matching
+    real kernels and keeping taint experiments deterministic.
+    """
+
+    def __init__(self, memory: PhysicalMemory, reserved_low: int = 0) -> None:
+        """Create an allocator over *memory*.
+
+        *reserved_low* bytes at the bottom of physical memory are never
+        allocated (the emulator parks kernel-owned structures there).
+        """
+        if reserved_low % PAGE_SIZE:
+            raise ValueError("reserved_low must be page-aligned")
+        self._memory = memory
+        first = reserved_low >> PAGE_SHIFT
+        last = memory.size >> PAGE_SHIFT
+        self._free: List[int] = list(range(first, last))
+        self._free.reverse()  # pop() yields lowest frame number first
+        self.total_frames = last - first
+        #: Optional hook invoked with each freed frame number.  The
+        #: emulator points this at its plugin dispatch so taint engines
+        #: can drop shadow state for recycled physical pages.
+        self.on_free = None
+
+    @property
+    def free_frames(self) -> int:
+        """Number of frames currently available."""
+        return len(self._free)
+
+    def alloc(self) -> int:
+        """Allocate one frame; return its frame number (paddr >> PAGE_SHIFT)."""
+        if not self._free:
+            raise MemoryError("out of physical frames")
+        frame = self._free.pop()
+        self._memory.fill(frame << PAGE_SHIFT, PAGE_SIZE, 0)
+        return frame
+
+    def alloc_many(self, n: int) -> List[int]:
+        """Allocate *n* frames (not necessarily contiguous)."""
+        if n > len(self._free):
+            raise MemoryError(f"requested {n} frames, only {len(self._free)} free")
+        return [self.alloc() for _ in range(n)]
+
+    def free(self, frame: int) -> None:
+        """Return *frame* to the pool."""
+        if frame in self._free:
+            raise ValueError(f"double free of frame {frame}")
+        self._free.append(frame)
+        if self.on_free is not None:
+            self.on_free(frame)

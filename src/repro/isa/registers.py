@@ -1,0 +1,84 @@
+"""Architectural registers and the register file.
+
+The machine has 11 addressable 32-bit registers: eight general-purpose
+registers ``R0``-``R7``, a stack pointer ``SP``, a frame pointer ``FP`` and
+a link register ``LR``.  The program counter and the flags word are CPU
+state, not addressable operands (control flow goes through branch, call and
+``CALLR`` instructions).
+
+By guest ABI convention (enforced only by the guest OS, not by hardware):
+
+* ``R0`` carries the syscall number on ``SYSCALL`` entry and the return
+  value on exit;
+* ``R1``-``R5`` carry syscall arguments;
+* ``SP`` grows downward; ``CALL``/``CALLR`` store the return address in
+  ``LR`` (leaf-call convention; non-leaf guests push ``LR``).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, List
+
+MASK32 = 0xFFFFFFFF
+
+
+class Reg(enum.IntEnum):
+    """Addressable register names, in encoding order."""
+
+    R0 = 0
+    R1 = 1
+    R2 = 2
+    R3 = 3
+    R4 = 4
+    R5 = 5
+    R6 = 6
+    R7 = 7
+    SP = 8
+    FP = 9
+    LR = 10
+
+    @classmethod
+    def parse(cls, text: str) -> "Reg":
+        """Parse an assembler register token (case-insensitive)."""
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(f"unknown register {text!r}") from None
+
+
+NUM_REGS = len(Reg)
+
+
+class RegisterFile:
+    """The architectural register file: 11 x 32-bit unsigned values."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self) -> None:
+        self._values: List[int] = [0] * NUM_REGS
+
+    def read(self, reg: Reg) -> int:
+        """Return the 32-bit value of *reg*."""
+        return self._values[reg]
+
+    def write(self, reg: Reg, value: int) -> None:
+        """Set *reg* to *value*, truncated to 32 bits."""
+        self._values[reg] = value & MASK32
+
+    def snapshot(self) -> List[int]:
+        """Return a copy of all register values (for context switches)."""
+        return list(self._values)
+
+    def restore(self, values: List[int]) -> None:
+        """Load all register values from a :meth:`snapshot` copy."""
+        if len(values) != NUM_REGS:
+            raise ValueError(f"expected {NUM_REGS} register values, got {len(values)}")
+        self._values = [v & MASK32 for v in values]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._values)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{Reg(i).name}={v:#x}" for i, v in enumerate(self._values))
+        return f"RegisterFile({parts})"

@@ -1,0 +1,56 @@
+"""The DIFT core: tags, provenance, shadow state, and propagation.
+
+This package implements the paper's taint machinery:
+
+* :mod:`~repro.taint.tags` -- the four tag types (netflow, process, file,
+  export-table), the 3-byte ``prov_tag`` encoding (Fig. 6), and the
+  per-type hash maps (Fig. 5);
+* :mod:`~repro.taint.provenance` -- ordered provenance lists (Fig. 4) and
+  the copy/union/delete algebra (Table I);
+* :mod:`~repro.taint.shadow` -- byte-granular shadow memory keyed on
+  *physical* addresses plus per-thread shadow register banks;
+* :mod:`~repro.taint.policy` -- the indirect-flow policy knobs that
+  reproduce the under/overtainting dilemma (Figs. 1-2);
+* :mod:`~repro.taint.tracker` -- the emulator plugin that applies the
+  propagation rules to every retired instruction and every
+  kernel-mediated copy (whole-system DIFT).
+"""
+
+from repro.taint.policy import TaintPolicy
+from repro.taint.provenance import (
+    EMPTY,
+    MAX_PROV_LEN,
+    append_tag,
+    delete,
+    prov_copy,
+    prov_union,
+)
+from repro.taint.shadow import ShadowMemory, ShadowRegisters
+from repro.taint.tags import (
+    FileTag,
+    NetflowTag,
+    Tag,
+    TagSpaceExhausted,
+    TagStore,
+    TagType,
+)
+from repro.taint.tracker import TaintTracker
+
+__all__ = [
+    "EMPTY",
+    "FileTag",
+    "MAX_PROV_LEN",
+    "NetflowTag",
+    "ShadowMemory",
+    "ShadowRegisters",
+    "Tag",
+    "TagSpaceExhausted",
+    "TagStore",
+    "TagType",
+    "TaintPolicy",
+    "TaintTracker",
+    "append_tag",
+    "delete",
+    "prov_copy",
+    "prov_union",
+]

@@ -1,0 +1,83 @@
+"""Provenance lists and their propagation algebra (Table I, Fig. 4).
+
+A provenance list is an **ordered, duplicate-free tuple of tags**,
+oldest-first: ``(netflow, process_A, process_B, ...)`` reads as "came in
+over this netflow, then was touched by A, then by B" -- the river
+chronology of Fig. 4.  Tuples are immutable so copies are free
+(reference-shared) and lists can key dictionaries.
+
+The three propagation operations are exactly the paper's Table I:
+
+========== ====================================================
+operation  rule
+========== ====================================================
+copy(a,b)  ``prov(a) <- prov(b)``
+union      ``prov(c) <- prov(a) ∪ prov(b)`` (order-preserving)
+delete(a)  ``prov(a) <- ∅``
+========== ====================================================
+
+Lists are capped at :data:`MAX_PROV_LEN` tags.  Without a cap, a byte
+that transits many processes/files accumulates unbounded history and an
+adversary can blow up tag memory (§VI-D); with the cap, the *oldest*
+tags are kept because the origin end of the chronology is what the
+analyst needs (where did this byte come from).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.taint.tags import Tag
+
+#: The empty provenance list (untainted).
+EMPTY: Tuple[Tag, ...] = ()
+
+#: Maximum tags retained per byte.
+MAX_PROV_LEN = 16
+
+
+def prov_copy(src: Tuple[Tag, ...]) -> Tuple[Tag, ...]:
+    """Table I ``copy``: destination takes the source list (shared)."""
+    return src
+
+
+def append_tag(prov: Tuple[Tag, ...], tag: Tag) -> Tuple[Tag, ...]:
+    """Record that *tag*'s subject touched this byte (chronology append).
+
+    Idempotent: a tag already present keeps its original (earlier)
+    position -- the list records *first* contact, which bounds growth
+    while preserving the origin-first ordering reports rely on.
+    """
+    if tag in prov:
+        return prov
+    if len(prov) >= MAX_PROV_LEN:
+        return prov
+    return prov + (tag,)
+
+
+def prov_union(a: Tuple[Tag, ...], b: Tuple[Tag, ...]) -> Tuple[Tag, ...]:
+    """Table I ``union``: merge preserving order of first appearance."""
+    if not a:
+        return b
+    if not b or a == b:
+        return a
+    out = a
+    for tag in b:
+        if tag not in out:
+            if len(out) >= MAX_PROV_LEN:
+                break
+            out = out + (tag,)
+    return out
+
+
+def delete() -> Tuple[Tag, ...]:
+    """Table I ``delete``: the empty list."""
+    return EMPTY
+
+
+def union_all(lists: Iterable[Tuple[Tag, ...]]) -> Tuple[Tag, ...]:
+    """Union an iterable of provenance lists (e.g. 4 bytes of a word)."""
+    out: Tuple[Tag, ...] = EMPTY
+    for prov in lists:
+        out = prov_union(out, prov)
+    return out

@@ -1,0 +1,98 @@
+"""Shadow state: per-physical-byte memory and per-thread register banks.
+
+The paper keeps "a shadow memory and a shadow register bank" as hash
+maps (§V-A).  Ours are:
+
+* :class:`ShadowMemory` -- ``physical address -> provenance list``.
+  Keying on *physical* addresses is what makes the analysis
+  whole-system: a byte injected across address spaces keeps its shadow
+  entry because it keeps its physical location, and kernel-mediated
+  copies are just physical-to-physical moves.
+* :class:`ShadowRegisters` -- one provenance list per architectural
+  register, *per thread*.  Register shadows context-switch with the
+  registers themselves, otherwise taint would leak between guest
+  threads that share the emulated CPU core.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.isa.registers import NUM_REGS, Reg
+from repro.taint.provenance import EMPTY, union_all
+from repro.taint.tags import Tag
+
+Prov = Tuple[Tag, ...]
+
+
+class ShadowMemory:
+    """Sparse byte-granular shadow over physical memory."""
+
+    def __init__(self) -> None:
+        self._mem: Dict[int, Prov] = {}
+
+    def get(self, paddr: int) -> Prov:
+        return self._mem.get(paddr, EMPTY)
+
+    def get_range(self, paddrs: Iterable[int]) -> Prov:
+        """Union of the provenance of several bytes (word loads)."""
+        return union_all(self._mem.get(p, EMPTY) for p in paddrs)
+
+    def set(self, paddr: int, prov: Prov) -> None:
+        if prov:
+            self._mem[paddr] = prov
+        else:
+            self._mem.pop(paddr, None)
+
+    def set_range(self, paddrs: Iterable[int], prov: Prov) -> None:
+        if prov:
+            for paddr in paddrs:
+                self._mem[paddr] = prov
+        else:
+            for paddr in paddrs:
+                self._mem.pop(paddr, None)
+
+    def clear_range(self, paddrs: Iterable[int]) -> None:
+        for paddr in paddrs:
+            self._mem.pop(paddr, None)
+
+    @property
+    def tainted_bytes(self) -> int:
+        """How many physical bytes currently carry provenance (E12)."""
+        return len(self._mem)
+
+    def items(self):
+        return self._mem.items()
+
+
+class ShadowRegisters:
+    """Provenance lists for one thread's register file (plus flags)."""
+
+    __slots__ = ("regs", "flags")
+
+    def __init__(self) -> None:
+        self.regs: List[Prov] = [EMPTY] * NUM_REGS
+        self.flags: Prov = EMPTY
+
+    def get(self, reg: Reg) -> Prov:
+        return self.regs[reg]
+
+    def set(self, reg: Reg, prov: Prov) -> None:
+        self.regs[reg] = prov
+
+
+class ShadowBank:
+    """Per-thread shadow register banks, switched with the scheduler."""
+
+    def __init__(self) -> None:
+        self._banks: Dict[int, ShadowRegisters] = {}
+
+    def for_thread(self, tid: int) -> ShadowRegisters:
+        bank = self._banks.get(tid)
+        if bank is None:
+            bank = ShadowRegisters()
+            self._banks[tid] = bank
+        return bank
+
+    def drop_thread(self, tid: int) -> None:
+        self._banks.pop(tid, None)

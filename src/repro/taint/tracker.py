@@ -1,0 +1,279 @@
+"""The whole-system taint tracker (the PANDA taint-core analog).
+
+:class:`TaintTracker` is an emulator plugin that applies the Table I
+propagation rules to every retired instruction, every kernel-mediated
+physical copy, and every external write.  It also performs FAROS'
+provenance enrichment: whenever a *tainted* byte is touched by a process
+(instruction fetch, load, store, or a syscall the kernel executes on its
+behalf), that process' tag is appended to the byte's chronology.
+
+Detection plugins do not subclass the tracker; they register **load
+listeners** via :meth:`add_load_listener`.  Listeners observe each
+memory-reading instruction *with pre-propagation shadow state* -- the
+provenance of the executed instruction's own bytes and of every byte it
+reads -- which is exactly the view FAROS' tag-confluence invariant needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.emulator.plugins import Plugin
+from repro.isa.cpu import InstructionEffects, MemoryAccess
+from repro.isa.instructions import IMM_ALU_OPS, Op, REG_ALU_OPS
+from repro.isa.registers import Reg
+from repro.taint.policy import TaintPolicy
+from repro.taint.provenance import EMPTY, append_tag, prov_union
+from repro.taint.shadow import ShadowBank, ShadowMemory
+from repro.taint.tags import Tag, TagStore
+
+Prov = Tuple[Tag, ...]
+
+
+@dataclass
+class LoadObservation:
+    """What a load listener sees for one memory-reading instruction."""
+
+    thread: object
+    fx: InstructionEffects
+    #: Union of the provenance of the 8 fetched instruction bytes
+    #: (including the just-appended executing-process tag).
+    insn_prov: Prov
+    #: One ``(access, prov)`` pair per memory read the instruction made.
+    reads: List[Tuple[MemoryAccess, Prov]] = field(default_factory=list)
+
+
+LoadListener = Callable[[object, LoadObservation], None]
+
+
+@dataclass
+class TrackerStats:
+    """Counters for overhead/pressure reporting (Table V, E12)."""
+
+    instructions: int = 0
+    kernel_copies: int = 0
+    external_writes: int = 0
+    process_tag_appends: int = 0
+
+
+class TaintTracker(Plugin):
+    """Byte-granular, whole-system DIFT with provenance lists."""
+
+    def __init__(
+        self,
+        policy: Optional[TaintPolicy] = None,
+        tags: Optional[TagStore] = None,
+    ) -> None:
+        super().__init__()
+        self.policy = policy or TaintPolicy()
+        self.tags = tags or TagStore()
+        self.shadow = ShadowMemory()
+        self.banks = ShadowBank()
+        self.stats = TrackerStats()
+        self._load_listeners: List[LoadListener] = []
+        #: Per-thread pending control-dependency taint: tid -> [prov, remaining].
+        self._pending_control: Dict[int, List] = {}
+
+    # ------------------------------------------------------------------
+    # wiring for detection plugins
+    # ------------------------------------------------------------------
+
+    def add_load_listener(self, listener: LoadListener) -> None:
+        """Register *listener* to observe every memory-reading instruction."""
+        self._load_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # taint-source API (used by FAROS' tag-insertion hooks)
+    # ------------------------------------------------------------------
+
+    def taint_range(self, paddrs: Sequence[int], tag: Tag) -> None:
+        """Append *tag* to the provenance of each byte in *paddrs*."""
+        shadow = self.shadow
+        for paddr in paddrs:
+            shadow.set(paddr, append_tag(shadow.get(paddr), tag))
+
+    def prov_at(self, paddr: int) -> Prov:
+        return self.shadow.get(paddr)
+
+    def prov_of_range(self, paddrs: Sequence[int]) -> Prov:
+        return self.shadow.get_range(paddrs)
+
+    def clear_range(self, paddrs: Sequence[int]) -> None:
+        self.shadow.clear_range(paddrs)
+
+    # ------------------------------------------------------------------
+    # plugin callbacks: non-instruction data movement
+    # ------------------------------------------------------------------
+
+    def on_phys_write(self, machine, paddrs, source: str) -> None:
+        # External data overwrites these bytes: whatever provenance they
+        # had is gone.  Source-specific tags (netflow, file) are seeded
+        # by FAROS' own hooks which run after this one.
+        self.shadow.clear_range(paddrs)
+        self.stats.external_writes += 1
+
+    def on_phys_copy(self, machine, dst_paddrs, src_paddrs, actor=None) -> None:
+        """Table I copy per byte, plus the acting process' tag."""
+        shadow = self.shadow
+        actor_tag: Optional[Tag] = None
+        if actor is not None and self.policy.process_tags_on_access:
+            actor_tag = self.tags.process_tag(actor.cr3)
+        for dst, src in zip(dst_paddrs, src_paddrs):
+            prov = shadow.get(src)
+            if prov and actor_tag is not None:
+                prov = append_tag(prov, actor_tag)
+                self.stats.process_tag_appends += 1
+            shadow.set(dst, prov)
+        self.stats.kernel_copies += 1
+
+    def on_frames_freed(self, machine, frames) -> None:
+        from repro.isa.memory import PAGE_SHIFT, PAGE_SIZE
+
+        for frame in frames:
+            base = frame << PAGE_SHIFT
+            self.shadow.clear_range(range(base, base + PAGE_SIZE))
+
+    def on_process_exit(self, machine, process, status) -> None:
+        for thread in process.threads:
+            self.banks.drop_thread(thread.tid)
+            self._pending_control.pop(thread.tid, None)
+
+    # ------------------------------------------------------------------
+    # plugin callbacks: the per-instruction hot path
+    # ------------------------------------------------------------------
+
+    def on_insn_exec(self, machine, thread, fx: InstructionEffects) -> None:
+        self.stats.instructions += 1
+        policy = self.policy
+        shadow = self.shadow
+        bank = self.banks.for_thread(thread.tid)
+
+        proc_tag: Optional[Tag] = None
+        if policy.process_tags_on_access:
+            proc_tag = self.tags.process_tag(thread.process.cr3)
+
+        # 1. Fetch access: the executing process touches the instruction
+        #    bytes; collect their provenance (the injected-code signal).
+        insn_prov: Prov = EMPTY
+        for paddr in fx.fetch_paddrs:
+            prov = shadow.get(paddr)
+            if prov:
+                if proc_tag is not None:
+                    new = append_tag(prov, proc_tag)
+                    if new is not prov:
+                        shadow.set(paddr, new)
+                        self.stats.process_tag_appends += 1
+                        prov = new
+                insn_prov = prov_union(insn_prov, prov)
+
+        # 2. Data reads: collect pre-propagation provenance; reading is
+        #    also an access, so tainted source bytes get the process tag.
+        read_provs: List[Prov] = []
+        for access in fx.reads:
+            prov = shadow.get_range(access.paddrs)
+            if prov and proc_tag is not None:
+                for paddr in access.paddrs:
+                    byte_prov = shadow.get(paddr)
+                    if byte_prov:
+                        new = append_tag(byte_prov, proc_tag)
+                        if new is not byte_prov:
+                            shadow.set(paddr, new)
+                            self.stats.process_tag_appends += 1
+                prov = append_tag(prov, proc_tag)
+            read_provs.append(prov)
+
+        # 3. Detection listeners observe pre-propagation state.
+        if self._load_listeners and fx.reads:
+            observation = LoadObservation(
+                thread=thread,
+                fx=fx,
+                insn_prov=insn_prov,
+                reads=list(zip(fx.reads, read_provs)),
+            )
+            for listener in self._load_listeners:
+                listener(machine, observation)
+
+        # 4. Propagate per Table I.
+        self._propagate(fx, bank, read_provs, proc_tag, thread.tid)
+
+        # 5. Control-dependency window bookkeeping.
+        pending = self._pending_control.get(thread.tid)
+        if pending is not None:
+            pending[1] -= 1
+            if pending[1] <= 0:
+                del self._pending_control[thread.tid]
+        if (
+            policy.track_control_deps
+            and fx.flags_read
+            and bank.flags
+        ):
+            self._pending_control[thread.tid] = [bank.flags, policy.control_dep_window]
+
+    # ------------------------------------------------------------------
+    # propagation rules
+    # ------------------------------------------------------------------
+
+    def _propagate(
+        self,
+        fx: InstructionEffects,
+        bank,
+        read_provs: List[Prov],
+        proc_tag: Optional[Tag],
+        tid: int,
+    ) -> None:
+        insn = fx.insn
+        op = insn.op
+        policy = self.policy
+
+        # Register-destination provenance, by opcode family.
+        if op is Op.MOV:
+            self._write_reg(bank, insn.rd, bank.get(insn.rs1), tid)
+        elif op is Op.MOVI:
+            self._write_reg(bank, insn.rd, EMPTY, tid)
+        elif op in (Op.LD, Op.LDB, Op.POP):
+            prov = read_provs[0] if read_provs else EMPTY
+            if policy.track_address_deps and op is not Op.POP:
+                prov = prov_union(prov, bank.get(insn.rs1))
+            self._write_reg(bank, insn.rd, prov, tid)
+        elif op in (Op.ST, Op.STB, Op.PUSH):
+            src_reg = insn.rs1 if op is Op.PUSH else insn.rs2
+            prov = bank.get(src_reg)
+            if policy.track_address_deps and op is not Op.PUSH:
+                prov = prov_union(prov, bank.get(insn.rs1))
+            prov = self._with_control(tid, prov)
+            if prov and proc_tag is not None:
+                prov = append_tag(prov, proc_tag)
+            for access in fx.writes:
+                self.shadow.set_range(access.paddrs, prov)
+        elif op in REG_ALU_OPS:
+            if insn.rs1 == insn.rs2 and op in (Op.XOR, Op.SUB):
+                # Architectural zeroing idiom: the result is a constant,
+                # independent of the operand's value (Table I delete).
+                self._write_reg(bank, insn.rd, EMPTY, tid)
+            else:
+                self._write_reg(
+                    bank, insn.rd, prov_union(bank.get(insn.rs1), bank.get(insn.rs2)), tid
+                )
+        elif op in IMM_ALU_OPS:
+            self._write_reg(bank, insn.rd, bank.get(insn.rs1), tid)
+        elif op is Op.CMP:
+            bank.flags = prov_union(bank.get(insn.rs1), bank.get(insn.rs2))
+        elif op is Op.CMPI:
+            bank.flags = bank.get(insn.rs1)
+        elif op in (Op.CALL, Op.CALLR):
+            # LR receives the (untainted) return address.
+            bank.set(Reg.LR, EMPTY)
+        # JMP/JMPR/RET/NOP/HLT/SYSCALL: no data movement.
+
+    def _write_reg(self, bank, reg: Reg, prov: Prov, tid: int) -> None:
+        bank.set(reg, self._with_control(tid, prov))
+
+    def _with_control(self, tid: int, prov: Prov) -> Prov:
+        """Union in this thread's pending control-dependency taint."""
+        if not self.policy.track_control_deps:
+            return prov
+        pending = self._pending_control.get(tid)
+        if pending is None:
+            return prov
+        return prov_union(prov, pending[0])

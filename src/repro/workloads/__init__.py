@@ -1,0 +1,36 @@
+"""Workloads: the non-injecting corpus (Table IV) and JIT set (Table III).
+
+* :mod:`~repro.workloads.behaviors` -- composable guest-assembly
+  behaviour snippets matching Table IV's columns (idle, run, audio
+  record, file transfer, key logger, remote desktop, upload, download,
+  remote shell);
+* :mod:`~repro.workloads.corpus` -- the sample roster: 17 RAT
+  configurations expanded into 90 non-injecting malware samples plus
+  14 benign applications, as in the paper's false-positive study;
+* :mod:`~repro.workloads.jit` -- a mini JIT/class-loading runtime and
+  the 10 Java applets + 10 AJAX sites of Table III, including the two
+  applets whose native-method binding reproduces FAROS' only false
+  positives.
+"""
+
+from repro.workloads.behaviors import BEHAVIORS, build_sample_scenario
+from repro.workloads.corpus import (
+    BENIGN_ROWS,
+    MALWARE_ROWS,
+    SampleSpec,
+    corpus_samples,
+)
+from repro.workloads.jit import AJAX_SITES, JAVA_APPLETS, JitSample, jit_samples
+
+__all__ = [
+    "AJAX_SITES",
+    "BEHAVIORS",
+    "BENIGN_ROWS",
+    "JAVA_APPLETS",
+    "JitSample",
+    "MALWARE_ROWS",
+    "SampleSpec",
+    "build_sample_scenario",
+    "corpus_samples",
+    "jit_samples",
+]

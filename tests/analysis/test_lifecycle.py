@@ -1,0 +1,54 @@
+"""Tests for the Fig. 4 byte-lifecycle experiment."""
+
+import pytest
+
+from repro.analysis.lifecycle import (
+    byte_lifecycle_experiment,
+    render_lifecycle,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return byte_lifecycle_experiment()
+
+
+class TestFig4Lifecycle:
+    def test_payload_reaches_the_consumer_intact(self, result):
+        assert result.payload_intact
+
+    def test_broker_chronology_is_netflow_p1_p2_file(self, result):
+        chron = result.broker_chronology
+        assert chron[0].startswith("NetFlow:")
+        assert "courier.exe" in chron[1]
+        assert "broker.exe" in chron[2]
+        assert any("file1.dat" in entry for entry in chron)
+
+    def test_chronology_order_matches_history(self, result):
+        # Origin first: the netflow precedes every process that touched it,
+        # and the courier touched the bytes before the broker.
+        chron = result.broker_chronology
+        courier_idx = next(i for i, e in enumerate(chron) if "courier.exe" in e)
+        broker_idx = next(i for i, e in enumerate(chron) if "broker.exe" in e)
+        assert 0 < courier_idx < broker_idx
+
+    def test_consumer_sees_file_then_itself(self, result):
+        chron = result.consumer_chronology
+        assert chron[0].startswith("File:")
+        assert any("consumer.exe" in entry for entry in chron)
+        # The disk hop means NO direct netflow on the consumer's bytes.
+        assert not any(entry.startswith("NetFlow") for entry in chron)
+
+    def test_stitched_river_is_the_full_fig4_chain(self, result):
+        river = " -> ".join(result.stitched_river)
+        for waypoint in ("NetFlow", "courier.exe", "broker.exe", "file1.dat",
+                         "consumer.exe"):
+            assert waypoint in river
+        # And in the figure's order.
+        positions = [river.index(w) for w in
+                     ("NetFlow", "courier.exe", "broker.exe", "consumer.exe")]
+        assert positions == sorted(positions)
+
+    def test_render(self, result):
+        text = render_lifecycle(result)
+        assert "stitched river" in text and "NetFlow" in text

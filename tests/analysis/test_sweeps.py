@@ -1,0 +1,73 @@
+"""Tests for the detection-characteristic sweeps."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    detection_latency_sweep,
+    fragmentation_sweep,
+    noise_sweep,
+    render_sweeps,
+)
+
+
+@pytest.fixture(scope="module")
+def latency():
+    return detection_latency_sweep((0, 1024, 4096))
+
+
+@pytest.fixture(scope="module")
+def fragmentation():
+    return fragmentation_sweep((8, 128, 0))
+
+
+@pytest.fixture(scope="module")
+def noise():
+    return noise_sweep((0, 4))
+
+
+class TestLatencySweep:
+    def test_all_sizes_detected(self, latency):
+        assert all(p.detected for p in latency)
+
+    def test_latency_grows_with_payload_size(self, latency):
+        latencies = [p.latency_ticks for p in latency]
+        assert latencies == sorted(latencies)
+        assert latencies[-1] > latencies[0]
+
+    def test_detection_is_at_execution_time(self, latency):
+        # The flag lands within the run, not at a post-hoc scan: every
+        # latency is well below the scenario budget.
+        assert all(0 < p.latency_ticks < 600_000 for p in latency)
+
+
+class TestFragmentationSweep:
+    def test_detection_independent_of_fragmentation(self, fragmentation):
+        assert all(p.detected for p in fragmentation)
+
+    def test_provenance_survives_any_segmentation(self, fragmentation):
+        assert all(p.netflow_intact for p in fragmentation)
+
+    def test_segment_math(self, fragmentation):
+        tiny = next(p for p in fragmentation if p.fragment_bytes == 8)
+        assert tiny.segments > 30
+
+
+class TestNoiseSweep:
+    def test_detection_independent_of_noise(self, noise):
+        assert all(p.detected for p in noise)
+
+    def test_analysis_cost_grows_with_noise(self, noise):
+        costs = [p.instructions_analyzed for p in noise]
+        assert costs == sorted(costs) and costs[-1] > costs[0]
+
+    def test_tainted_bytes_grow_with_processes(self, noise):
+        # More file-tagged images -> more shadow state, bounded growth.
+        footprints = [p.tainted_bytes for p in noise]
+        assert footprints[-1] > footprints[0]
+
+
+def test_render(latency, fragmentation, noise):
+    text = render_sweeps(latency, fragmentation, noise)
+    assert "detection latency" in text
+    assert "fragmentation" in text
+    assert "analysis cost" in text

@@ -1,0 +1,171 @@
+"""AtomBombing: signature-less cross-process injection vs FAROS."""
+
+import pytest
+
+from repro.attacks import build_atombombing_scenario
+from repro.baselines import CuckooSandbox
+from repro.faros import Faros
+from repro.guestos.syscalls import Sys
+
+
+@pytest.fixture(scope="module")
+def result():
+    attack = build_atombombing_scenario()
+    faros = Faros()
+    machine = attack.scenario.run(plugins=[faros])
+    return faros, machine
+
+
+@pytest.fixture(scope="module")
+def cuckoo_report():
+    return CuckooSandbox().analyze(build_atombombing_scenario().scenario)
+
+
+class TestAttackMechanics:
+    def test_stage_executed_in_victim(self, result):
+        _, machine = result
+        explorer = next(
+            p for p in machine.kernel.processes.values() if p.name == "explorer.exe"
+        )
+        assert any("meterpreter stage alive" in line for line in explorer.console)
+
+    def test_no_write_virtual_memory_syscall_ever_issued(self, cuckoo_report):
+        """The defining property: the payload crossed processes without
+        a single NtWriteVirtualMemory."""
+        numbers = {e.number for e in cuckoo_report.api_calls}
+        assert Sys.WRITE_VM not in numbers
+        assert Sys.ADD_ATOM in numbers and Sys.QUEUE_APC in numbers
+
+    def test_victim_itself_pulled_the_atom(self, cuckoo_report):
+        get_atoms = [e for e in cuckoo_report.api_calls if e.number == Sys.GET_ATOM]
+        assert get_atoms and all(e.process == "explorer.exe" for e in get_atoms)
+
+    def test_apc_thread_exits_without_killing_victim(self, result):
+        _, machine = result
+        explorer = next(
+            p for p in machine.kernel.processes.values() if p.name == "explorer.exe"
+        )
+        assert explorer.alive  # the fetch-APC ended via ExitThread cleanly
+        from repro.guestos.process import ThreadState
+
+        dead = [t for t in explorer.threads if t.state is ThreadState.DEAD]
+        assert dead, "the GlobalGetAtomNameA APC thread should have exited"
+
+
+class TestDetection:
+    def test_faros_flags_it(self, result):
+        faros, _ = result
+        assert faros.attack_detected
+
+    def test_chain_is_the_full_story(self, result):
+        faros, _ = result
+        chain = faros.report().chains()[0]
+        assert chain.netflow is not None
+        assert chain.process_chain == ["atombomber.exe", "explorer.exe"]
+        assert chain.executing_process == "explorer.exe"
+
+    def test_cuckoo_remote_write_signatures_stay_silent(self, cuckoo_report):
+        names = {s.name for s in cuckoo_report.signatures}
+        assert "writes_remote_memory" not in names
+        assert "creates_remote_thread" not in names
+
+    def test_cuckoo_cannot_flag(self, cuckoo_report):
+        assert cuckoo_report.detect_injection() is False
+
+    def test_malfind_needs_the_resident_stage(self, cuckoo_report):
+        detected, hits = cuckoo_report.detect_injection_with_malfind()
+        assert detected  # stage (non-transient) still resident in the dump
+        assert any(h.process == "explorer.exe" for h in hits)
+
+
+class TestAtomPrimitives:
+    def test_atom_roundtrip(self, machine):
+        from tests.conftest import spawn_asm
+
+        proc = spawn_asm(
+            machine,
+            "t.exe",
+            """
+            start:
+                movi r1, data
+                movi r2, 4
+                movi r0, SYS_ADD_ATOM
+                syscall
+                mov r7, r0
+                mov r1, r7
+                movi r2, out
+                movi r3, 4
+                movi r0, SYS_GET_ATOM
+                syscall
+                ld r1, [r5+out]     ; r5 = 0
+                movi r0, SYS_EXIT
+                syscall
+            data: .word 0x41544f4d
+            out: .space 4
+            """,
+        )
+        machine.run()
+        assert proc.exit_code == 0x41544F4D
+
+    def test_get_unknown_atom_fails(self, machine):
+        from tests.conftest import spawn_asm
+        from repro.guestos.syscalls import ERR
+
+        proc = spawn_asm(
+            machine,
+            "t.exe",
+            """
+            start:
+                movi r1, 0xdead
+                movi r2, buf
+                movi r3, 4
+                movi r0, SYS_GET_ATOM
+                syscall
+                mov r1, r0
+                movi r0, SYS_EXIT
+                syscall
+            buf: .space 4
+            """,
+        )
+        machine.run()
+        assert proc.exit_code == ERR
+
+    def test_atoms_visible_across_processes(self, machine):
+        from tests.conftest import register_asm, spawn_asm
+
+        spawn_asm(
+            machine,
+            "writer.exe",
+            """
+            start:
+                movi r1, data
+                movi r2, 4
+                movi r0, SYS_ADD_ATOM
+                syscall
+                movi r1, 0
+                movi r0, SYS_EXIT
+                syscall
+            data: .ascii "PING"
+            """,
+        )
+        reader = spawn_asm(
+            machine,
+            "reader.exe",
+            """
+            start:
+                movi r1, 3000
+                movi r0, SYS_SLEEP
+                syscall
+                movi r1, 0xC000     ; first atom id
+                movi r2, out
+                movi r3, 4
+                movi r0, SYS_GET_ATOM
+                syscall
+                ldb r1, [r5+out]
+                movi r0, SYS_EXIT
+                syscall
+            out: .space 4
+            """,
+        )
+        machine.run()
+        assert reader.exit_code == ord("P")

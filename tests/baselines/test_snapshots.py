@@ -1,0 +1,117 @@
+"""Tests for memory snapshots, the snapshot-timing study, and disasm."""
+
+import pytest
+
+from repro.analysis.snapshots import (
+    render_snapshot_timing,
+    snapshot_timing_experiment,
+)
+from repro.attacks import build_reflective_dll_scenario
+from repro.baselines import MemorySnapshot, malfind, pslist
+from repro.faros import Faros
+
+
+class TestMemorySnapshot:
+    @pytest.fixture(scope="class")
+    def live_and_snap(self):
+        attack = build_reflective_dll_scenario()
+        machine = attack.scenario.run()
+        return machine, MemorySnapshot.capture(machine)
+
+    def test_snapshot_records_capture_tick(self, live_and_snap):
+        machine, snap = live_and_snap
+        assert snap.tick == machine.now
+
+    def test_volatility_functions_accept_snapshots(self, live_and_snap):
+        machine, snap = live_and_snap
+        assert [p.pid for p in pslist(snap)] == [p.pid for p in pslist(machine)]
+        live_hits = {(h.pid, h.start) for h in malfind(machine)}
+        snap_hits = {(h.pid, h.start) for h in malfind(snap)}
+        assert live_hits == snap_hits
+
+    def test_snapshot_is_immune_to_later_execution(self, live_and_snap):
+        machine, snap = live_and_snap
+        before = [h.preview for h in malfind(snap)]
+        machine.run(50_000)  # guest keeps running (parked hosts wake)
+        after = [h.preview for h in malfind(snap)]
+        assert before == after  # the dump is frozen
+
+    def test_snapshot_memory_matches_capture_content(self, live_and_snap):
+        machine, snap = live_and_snap
+        from repro.attacks.common import PAYLOAD_BASE
+        from repro.isa.cpu import AccessKind
+
+        notepad = next(
+            p for p in snap.kernel.processes.values() if p.name == "notepad.exe"
+        )
+        paddr = notepad.aspace.translate(PAYLOAD_BASE, AccessKind.READ)
+        assert snap.memory.read_bytes(paddr, 2) == b"MZ"
+
+
+class TestSnapshotTiming:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return snapshot_timing_experiment()
+
+    def test_early_dump_catches_resident_payload(self, result):
+        assert result.malfind_at_t1
+        assert result.t1_code_like
+
+    def test_late_dump_misses_wiped_payload(self, result):
+        assert not result.malfind_at_t2
+
+    def test_faros_unaffected_by_dump_timing(self, result):
+        assert result.faros_detected
+
+    def test_render(self, result):
+        text = render_snapshot_timing(result)
+        assert "DETECTS" in text and "misses" in text
+
+
+class TestDisassembler:
+    def test_roundtrip_listing(self):
+        from repro.isa.assembler import assemble
+        from repro.isa.disasm import disassemble
+
+        prog = assemble("movi r1, 5\nadd r2, r1, r1\nhlt", base=0x100)
+        lines = disassemble(prog.code, base=0x100)
+        assert [l.text for l in lines] == ["movi r1, 0x5", "add r2, r1, r1", "hlt"]
+        assert lines[1].address == 0x108
+        assert all(l.valid for l in lines)
+
+    def test_garbage_rendered_as_bytes(self):
+        from repro.isa.disasm import disassemble
+
+        lines = disassemble(b"\xee" * 8)
+        assert not lines[0].valid and lines[0].text.startswith(".byte")
+
+    def test_trailing_fragment(self):
+        from repro.isa.disasm import disassemble
+
+        lines = disassemble(b"\x00" * 8 + b"\x01\x02\x03")
+        assert len(lines) == 2 and lines[1].raw == b"\x01\x02\x03"
+
+    def test_max_lines(self):
+        from repro.isa.disasm import disassemble
+
+        lines = disassemble(b"\x00" * 80, max_lines=3)
+        assert len(lines) == 3
+
+    def test_looks_like_code_heuristic(self):
+        from repro.attacks.payloads import build_popup_payload
+        from repro.isa.disasm import looks_like_code
+
+        stage = build_popup_payload(0x60000)
+        assert looks_like_code(stage.code[8:72])     # real instructions
+        assert not looks_like_code(b"\x00" * 64)     # scrubbed memory
+        assert not looks_like_code(b"")              # nothing
+        assert not looks_like_code(b"Lorem ipsum dolor sit amet, consect. " * 2)
+
+    def test_malfind_hit_listing(self):
+        attack = build_reflective_dll_scenario()
+        machine = attack.scenario.run()
+        hit = next(h for h in malfind(machine) if h.detected)
+        listing = hit.listing(max_lines=4)
+        assert listing.count("\n") == 3
+        assert f"{hit.start:#010x}" in listing
+        assert "ld r5" in listing  # the resolver scan is readable

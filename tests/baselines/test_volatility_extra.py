@@ -1,0 +1,84 @@
+"""Tests for dlllist and hexdump (the remaining Volatility surface)."""
+
+import pytest
+
+from repro.attacks import build_reflective_dll_scenario
+from repro.baselines import CuckooSandbox, dlllist, hexdump
+
+from tests.conftest import register_asm, spawn_asm
+
+
+@pytest.fixture(scope="module")
+def attacked_machine():
+    return CuckooSandbox().analyze(build_reflective_dll_scenario().scenario).dump
+
+
+class TestDllList:
+    def test_every_process_lists_its_own_image(self, attacked_machine):
+        rows = dlllist(attacked_machine)
+        by_proc = {}
+        for row in rows:
+            by_proc.setdefault(row.process, []).append(row.name)
+        assert "notepad.exe" in by_proc["notepad.exe"]
+
+    def test_reflective_stage_absent_from_all_dll_lists(self, attacked_machine):
+        # The paper's negative result: the injected DLL is registered
+        # nowhere, neither under the injector nor the victim.
+        names = {row.name.lower() for row in dlllist(attacked_machine)}
+        assert not any("stage" in n or "payload" in n for n in names)
+
+    def test_pid_filter(self, attacked_machine):
+        notepad = next(
+            p
+            for p in attacked_machine.kernel.processes.values()
+            if p.name == "notepad.exe"
+        )
+        rows = dlllist(attacked_machine, pid=notepad.pid)
+        assert rows and all(r.pid == notepad.pid for r in rows)
+
+    def test_registered_dll_load_does_appear(self, machine):
+        # Contrast case: a loader-registered DLL shows up in dlllist.
+        machine.kernel.fs.create("helper.dll", b"\x00" * 16)
+        proc = spawn_asm(
+            machine,
+            "app.exe",
+            """
+            path: .asciz "helper.dll"
+            start:
+                movi r1, path
+                movi r0, SYS_LOAD_DLL
+                syscall
+            park:
+                movi r1, 1000000
+                movi r0, SYS_SLEEP
+                syscall
+                hlt
+            """,
+        )
+        machine.run(100_000)
+        names = [r.name for r in dlllist(machine, pid=proc.pid)]
+        assert "helper.dll" in names
+
+
+class TestHexdump:
+    def test_dump_shows_mz_header_of_injected_stage(self, attacked_machine):
+        from repro.attacks.common import PAYLOAD_BASE
+
+        notepad = next(
+            p
+            for p in attacked_machine.kernel.processes.values()
+            if p.name == "notepad.exe"
+        )
+        text = hexdump(attacked_machine, notepad, PAYLOAD_BASE, 32)
+        assert text.splitlines()[0].endswith("MZ......" + "." * 8) or "4d 5a" in text
+
+    def test_dump_format(self, attacked_machine):
+        notepad = next(
+            p
+            for p in attacked_machine.kernel.processes.values()
+            if p.name == "notepad.exe"
+        )
+        text = hexdump(attacked_machine, notepad, 0x1000, 16)
+        line = text.splitlines()[0]
+        assert line.startswith("0x00001000")
+        assert len(line.split()) >= 17  # address + 16 byte columns

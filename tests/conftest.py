@@ -1,0 +1,28 @@
+"""Shared fixtures and guest-program helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.emulator.machine import Machine, MachineConfig
+from repro.guestos import layout
+from repro.guestos.asmlib import program
+from repro.isa.assembler import assemble
+
+
+@pytest.fixture
+def machine() -> Machine:
+    return Machine(MachineConfig())
+
+
+def register_asm(machine: Machine, path: str, *sections: str):
+    """Assemble a guest program (with the standard prelude) and install it."""
+    prog = assemble(program(*sections), base=layout.IMAGE_BASE)
+    machine.kernel.register_image(path, prog)
+    return prog
+
+
+def spawn_asm(machine: Machine, path: str, *sections: str, name=None, suspended=False):
+    """Register and immediately spawn a guest program."""
+    register_asm(machine, path, *sections)
+    return machine.kernel.spawn(path, name=name, suspended=suspended)

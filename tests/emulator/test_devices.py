@@ -1,0 +1,86 @@
+"""Unit tests for device models."""
+
+import pytest
+
+from repro.emulator.devices import (
+    AudioSource,
+    DeviceBoard,
+    Keyboard,
+    NetworkInterface,
+    Packet,
+    ScreenDevice,
+)
+
+
+class TestPacket:
+    def test_flow_tuple(self):
+        p = Packet("1.1.1.1", 80, "2.2.2.2", 9000, b"x")
+        assert p.flow == ("1.1.1.1", 80, "2.2.2.2", 9000)
+
+    def test_repr_mentions_endpoints(self):
+        p = Packet("1.1.1.1", 80, "2.2.2.2", 9000, b"abc")
+        assert "1.1.1.1:80" in repr(p) and "3 bytes" in repr(p)
+
+
+class TestNic:
+    def test_rx_fifo_order(self):
+        nic = NetworkInterface()
+        a = Packet("1.1.1.1", 1, nic.ip, 2, b"a")
+        b = Packet("1.1.1.1", 1, nic.ip, 2, b"b")
+        nic.receive(a)
+        nic.receive(b)
+        assert nic.pop_rx() is a and nic.pop_rx() is b and nic.pop_rx() is None
+
+    def test_tx_log_accumulates(self):
+        nic = NetworkInterface()
+        nic.transmit(Packet(nic.ip, 1, "9.9.9.9", 2, b"x"))
+        assert len(nic.tx_log) == 1
+
+
+class TestKeyboard:
+    def test_reads_drain_fifo(self):
+        kb = Keyboard()
+        kb.type_keys(b"abcdef")
+        assert kb.read(4) == b"abcd"
+        assert kb.read(4) == b"ef"
+        assert kb.read(4) == b""
+
+    def test_pending_count(self):
+        kb = Keyboard()
+        kb.type_keys(b"xy")
+        assert kb.pending == 2
+
+
+class TestAudio:
+    def test_deterministic_given_seed(self):
+        assert AudioSource(seed=7).read(16) == AudioSource(seed=7).read(16)
+
+    def test_different_seeds_differ(self):
+        assert AudioSource(seed=1).read(16) != AudioSource(seed=2).read(16)
+
+    def test_stream_advances(self):
+        src = AudioSource()
+        assert src.read(8) != src.read(8)
+
+
+class TestScreen:
+    def test_draw_capture_roundtrip(self):
+        screen = ScreenDevice(size=64)
+        screen.draw(10, b"PIXELS")
+        assert screen.capture(10, 6) == b"PIXELS"
+
+    def test_draw_out_of_bounds_rejected(self):
+        screen = ScreenDevice(size=16)
+        with pytest.raises(ValueError):
+            screen.draw(12, b"too long")
+
+    def test_capture_out_of_bounds_rejected(self):
+        screen = ScreenDevice(size=16)
+        with pytest.raises(ValueError):
+            screen.capture(10, 10)
+
+
+class TestBoard:
+    def test_default_board_complete(self):
+        board = DeviceBoard()
+        assert board.nic and board.keyboard and board.audio and board.screen

@@ -1,0 +1,208 @@
+"""Edge cases in the machine's execution loop and scheduler."""
+
+import pytest
+
+from repro.emulator.devices import Packet
+from repro.emulator.machine import Machine, MachineConfig
+from repro.emulator.record_replay import KeystrokeEvent, PacketEvent
+from repro.guestos.process import ThreadState
+
+from tests.conftest import register_asm, spawn_asm
+
+COUNT_FOREVER = """
+start:
+    movi r7, 0
+loop:
+    addi r7, r7, 1
+    jmp loop
+"""
+
+
+class TestBudgets:
+    def test_run_stops_at_instruction_budget(self, machine):
+        spawn_asm(machine, "spin.exe", COUNT_FOREVER)
+        stats = machine.run(max_instructions=5_000)
+        assert stats.stop_reason == "budget"
+        assert machine.now >= 5_000
+
+    def test_budget_is_relative_per_run_call(self, machine):
+        spawn_asm(machine, "spin.exe", COUNT_FOREVER)
+        machine.run(max_instructions=1_000)
+        first = machine.now
+        machine.run(max_instructions=1_000)
+        assert machine.now >= first + 1_000
+
+    def test_run_resumes_spinning_process_where_it_left_off(self, machine):
+        from repro.isa.registers import Reg
+
+        proc = spawn_asm(machine, "spin.exe", COUNT_FOREVER)
+        machine.run(max_instructions=2_000)
+        r7_first = proc.main_thread.context["regs"][Reg.R7]
+        machine.run(max_instructions=2_000)
+        r7_second = proc.main_thread.context["regs"][Reg.R7]
+        assert r7_second > r7_first > 0
+
+    def test_empty_machine_stops_idle(self, machine):
+        stats = machine.run(max_instructions=10_000)
+        assert stats.stop_reason == "idle"
+
+    def test_machine_with_only_sleepers_skips_time(self, machine):
+        proc = spawn_asm(
+            machine,
+            "s.exe",
+            "start:\nmovi r1, 50000\nmovi r0, SYS_SLEEP\nsyscall\nmovi r1, 1\nmovi r0, SYS_EXIT\nsyscall",
+        )
+        machine.run(max_instructions=100_000)
+        assert proc.exit_code == 1
+        # Wall work was tiny: only a handful of instructions retired,
+        # the rest of the clock advance was an idle skip.
+
+
+class TestEvents:
+    def test_event_scheduled_in_past_fires_immediately(self, machine):
+        spawn_asm(machine, "idle.exe", "start:\nmovi r1, 1000\nmovi r0, SYS_SLEEP\nsyscall\nhlt")
+        machine.run(max_instructions=2_000)
+        machine.schedule(0, KeystrokeEvent(b"x"))  # already in the past
+        machine.run(max_instructions=2_000)
+        assert machine.devices.keyboard.pending == 1
+
+    def test_events_delivered_in_tick_order(self, machine):
+        spawn_asm(machine, "spin.exe", COUNT_FOREVER)
+        machine.schedule(300, KeystrokeEvent(b"b"))
+        machine.schedule(200, KeystrokeEvent(b"a"))
+        machine.run(max_instructions=2_000)
+        assert machine.devices.keyboard.read(2) == b"ab"
+
+    def test_same_tick_events_keep_schedule_order(self, machine):
+        spawn_asm(machine, "spin.exe", COUNT_FOREVER)
+        machine.schedule(100, KeystrokeEvent(b"1"))
+        machine.schedule(100, KeystrokeEvent(b"2"))
+        machine.run(max_instructions=1_000)
+        assert machine.devices.keyboard.read(2) == b"12"
+
+    def test_journal_records_delivery(self, machine):
+        spawn_asm(machine, "spin.exe", COUNT_FOREVER)
+        machine.schedule(100, KeystrokeEvent(b"x"))
+        machine.run(max_instructions=1_000)
+        assert len(machine.journal) == 1
+        at, event = machine.journal[0]
+        assert at >= 100 and isinstance(event, KeystrokeEvent)
+
+    def test_packet_to_machine_without_sockets_is_dropped(self, machine):
+        spawn_asm(machine, "spin.exe", COUNT_FOREVER)
+        machine.schedule(
+            100, PacketEvent(Packet("1.1.1.1", 1, machine.devices.nic.ip, 2, b"x"))
+        )
+        machine.run(max_instructions=1_000)  # must not raise
+
+
+class TestSchedulingFairness:
+    def test_two_spinners_share_the_cpu(self, machine):
+        from repro.isa.registers import Reg
+
+        a = spawn_asm(machine, "a.exe", COUNT_FOREVER)
+        b = spawn_asm(machine, "b.exe", COUNT_FOREVER)
+        machine.run(max_instructions=20_000)
+        ca = a.main_thread.context["regs"][Reg.R7]
+        cb = b.main_thread.context["regs"][Reg.R7]
+        assert ca > 0 and cb > 0
+        assert abs(ca - cb) / max(ca, cb) < 0.2  # round robin is fair
+
+    def test_suspended_process_consumes_no_cpu(self, machine):
+        from repro.isa.registers import Reg
+
+        frozen = spawn_asm(machine, "f.exe", COUNT_FOREVER, suspended=True)
+        running = spawn_asm(machine, "r.exe", COUNT_FOREVER)
+        machine.run(max_instructions=10_000)
+        assert frozen.main_thread.context["regs"][Reg.R7] == 0
+        assert running.main_thread.context["regs"][Reg.R7] > 0
+
+    def test_suspend_resume_by_peer(self, machine):
+        victim = spawn_asm(machine, "victim.exe", COUNT_FOREVER)
+        spawn_asm(
+            machine,
+            "controller.exe",
+            """
+            name: .asciz "victim.exe"
+            start:
+                movi r1, name
+                movi r0, SYS_FIND_PROCESS
+                syscall
+                mov r1, r0
+                movi r0, SYS_OPEN_PROCESS
+                syscall
+                mov r7, r0
+                mov r1, r7
+                movi r0, SYS_SUSPEND_THREAD
+                syscall
+                movi r1, 2000
+                movi r0, SYS_SLEEP
+                syscall
+                mov r1, r7
+                movi r0, SYS_RESUME_THREAD
+                syscall
+                movi r1, 0
+                movi r0, SYS_EXIT
+                syscall
+            """,
+        )
+        machine.run(max_instructions=30_000)
+        assert victim.main_thread.state in (ThreadState.READY, ThreadState.RUNNING)
+
+    def test_remote_thread_and_main_thread_both_run(self, machine):
+        from repro.isa.registers import Reg
+        from repro.guestos import layout
+
+        victim = spawn_asm(
+            machine,
+            "victim.exe",
+            COUNT_FOREVER + "\nremote_entry:\nmovi r6, 0\nrloop:\naddi r6, r6, 1\njmp rloop",
+        )
+        remote_entry = layout.IMAGE_BASE + 3 * 8
+        spawn_asm(
+            machine,
+            "injector.exe",
+            f"""
+            name: .asciz "victim.exe"
+            start:
+                movi r1, name
+                movi r0, SYS_FIND_PROCESS
+                syscall
+                mov r1, r0
+                movi r0, SYS_OPEN_PROCESS
+                syscall
+                mov r1, r0
+                movi r2, {remote_entry}
+                movi r3, 0
+                movi r0, SYS_CREATE_REMOTE_THREAD
+                syscall
+                movi r1, 0
+                movi r0, SYS_EXIT
+                syscall
+            """,
+        )
+        machine.run(max_instructions=40_000)
+        assert len(victim.threads) == 2
+        main, remote = victim.threads
+        assert main.context["regs"][Reg.R7] > 0
+        assert remote.context["regs"][Reg.R6] > 0
+
+
+class TestDmaRing:
+    def test_dma_allocations_advance(self, machine):
+        a = machine.dma_alloc(16)
+        b = machine.dma_alloc(16)
+        assert a[-1] < b[0]
+
+    def test_dma_wraps_when_full(self, machine):
+        from repro.guestos import layout
+
+        machine.dma_alloc(layout.DMA_SIZE - 8)
+        wrapped = machine.dma_alloc(64)
+        assert wrapped[0] == layout.DMA_BASE
+
+    def test_oversized_packet_rejected(self, machine):
+        from repro.guestos import layout
+
+        with pytest.raises(MemoryError):
+            machine.dma_alloc(layout.DMA_SIZE + 1)

@@ -1,0 +1,112 @@
+"""Property tests for record/replay determinism.
+
+Determinism is the architectural contract FAROS rests on (§V-C): the
+replayed execution must be the recorded execution for taint analysis of
+the replay to describe the original run.  Hypothesis varies the
+nondeterministic inputs (event timing, payload content, fragmentation)
+and checks replays never diverge.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.common import ATTACKER_IP, FIRST_EPHEMERAL_PORT, GUEST_IP
+from repro.emulator.devices import Packet
+from repro.emulator.record_replay import PacketEvent, Scenario, record, replay
+from repro.guestos import layout
+from repro.guestos.asmlib import program
+from repro.isa.assembler import assemble
+
+ECHO_SOURCE = """
+start:
+    movi r0, SYS_SOCKET
+    syscall
+    mov r7, r0
+    mov r1, r7
+    movi r2, ip
+    movi r3, 4444
+    movi r0, SYS_CONNECT
+    syscall
+    movi r4, buf
+    movi r5, 32
+rx:
+    mov r1, r7
+    mov r2, r4
+    mov r3, r5
+    movi r0, SYS_RECV
+    syscall
+    add r4, r4, r0
+    sub r5, r5, r0
+    cmpi r5, 0
+    jnz rx
+    mov r1, r7
+    movi r2, buf
+    movi r3, 32
+    movi r0, SYS_SEND
+    syscall
+    movi r1, 0
+    movi r0, SYS_EXIT
+    syscall
+ip: .asciz "{ip}"
+buf: .space 32
+"""
+
+
+def echo_scenario(payload: bytes, ticks):
+    source = ECHO_SOURCE.format(ip=ATTACKER_IP)
+    prog = assemble(program(source), base=layout.IMAGE_BASE)
+
+    def setup(machine):
+        machine.kernel.register_image("echo.exe", prog)
+        machine.kernel.spawn("echo.exe")
+
+    # Split payload across one packet per tick.
+    chunk = max(1, len(payload) // len(ticks))
+    events = []
+    offset = 0
+    for i, tick in enumerate(sorted(ticks)):
+        data = payload[offset : offset + chunk] if i < len(ticks) - 1 else payload[offset:]
+        offset += len(data)
+        events.append(
+            (
+                tick,
+                PacketEvent(
+                    Packet(ATTACKER_IP, 4444, GUEST_IP, FIRST_EPHEMERAL_PORT, data)
+                ),
+            )
+        )
+    return Scenario(name="echo", setup=setup, events=events, max_instructions=400_000)
+
+
+class TestReplayDeterminism:
+    @given(
+        payload=st.binary(min_size=32, max_size=32),
+        ticks=st.lists(
+            st.integers(1_000, 80_000), min_size=1, max_size=4, unique=True
+        ),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_replay_never_diverges(self, payload, ticks):
+        recording = record(echo_scenario(payload, ticks))
+        machine = replay(recording)  # raises ReplayDivergence on mismatch
+        assert machine.now == recording.final_instret
+
+    @given(payload=st.binary(min_size=32, max_size=32))
+    @settings(max_examples=10, deadline=None)
+    def test_guest_output_reproduced_exactly(self, payload):
+        scenario = echo_scenario(payload, [5_000])
+        first = scenario.run()
+        second = scenario.run()
+        out1 = [p.payload for p in first.devices.nic.tx_log]
+        out2 = [p.payload for p in second.devices.nic.tx_log]
+        assert out1 == out2
+        assert any(payload == p for p in out1 if p)
+
+    @given(ticks=st.lists(st.integers(1_000, 50_000), min_size=2, max_size=3, unique=True))
+    @settings(max_examples=8, deadline=None)
+    def test_replay_with_analysis_plugin_matches(self, ticks):
+        from repro.faros import Faros
+
+        recording = record(echo_scenario(b"\xaa" * 32, ticks))
+        machine = replay(recording, plugins=[Faros()])
+        assert machine.now == recording.final_instret

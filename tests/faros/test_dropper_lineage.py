@@ -1,0 +1,108 @@
+"""Tests for the drop-and-reload attack and file-lineage stitching."""
+
+import pytest
+
+from repro.attacks import build_drop_reload_scenario
+from repro.faros import Faros
+
+
+@pytest.fixture(scope="module")
+def result():
+    attack = build_drop_reload_scenario()
+    faros = Faros()
+    machine = attack.scenario.run(plugins=[faros])
+    return faros, machine
+
+
+class TestDropReloadAttack:
+    def test_detected_despite_disk_hop(self, result):
+        faros, _ = result
+        assert faros.attack_detected
+
+    def test_stage_executed_in_victim(self, result):
+        _, machine = result
+        notepad = next(
+            p for p in machine.kernel.processes.values() if p.name == "notepad.exe"
+        )
+        assert any("meterpreter stage alive" in line for line in notepad.console)
+
+    def test_disk_hop_launders_direct_netflow(self, result):
+        # The chain itself must NOT carry a netflow tag: the scrub +
+        # file re-materialisation really did break direct taint.
+        faros, _ = result
+        chain = faros.report().chains()[0]
+        assert chain.netflow is None
+        assert chain.rule == "cross-process+export-table"
+
+    def test_file_origin_visible_in_chain(self, result):
+        faros, _ = result
+        chain = faros.report().chains()[0]
+        assert any("stage.bin" in f for f in chain.file_origins)
+
+    def test_lineage_stitches_netflow_across_disk(self, result):
+        faros, _ = result
+        chain = faros.report().chains()[0]
+        assert chain.stitched_netflow == "169.254.26.161:4444 -> 169.254.57.168:49152"
+        assert "dropper.exe" in chain.upstream_processes
+
+    def test_render_names_the_disk_hop(self, result):
+        faros, _ = result
+        text = faros.report().render()
+        assert "disk-hop lineage" in text
+        assert "169.254.26.161:4444" in text
+
+    def test_anti_forensics_left_nothing_on_disk(self, result):
+        # Dropper deleted the staged file and its own image.
+        _, machine = result
+        paths = machine.kernel.fs.list_paths()
+        assert "C:\\stage.bin" not in paths
+        assert "dropper.exe" not in paths
+
+
+class TestLineageBookkeeping:
+    def test_origin_of_file_picks_latest_preceding_write(self):
+        from repro.faros.report import FarosReport
+        from repro.taint.tags import Tag, TagStore, TagType
+
+        a = (Tag(TagType.PROCESS, 1),)
+        b = (Tag(TagType.PROCESS, 2),)
+        report = FarosReport(
+            flagged=[],
+            tag_store=TagStore(),
+            tainted_bytes=0,
+            tag_map_sizes={},
+            instructions_analyzed=0,
+            file_lineage={"c:\\x.bin": [(1, a), (3, b)]},
+        )
+        assert report.origin_of_file("C:\\x.bin", before_version=2) == a
+        assert report.origin_of_file("C:\\x.bin", before_version=5) == b
+        assert report.origin_of_file("C:\\x.bin", before_version=1) == ()
+        assert report.origin_of_file("C:\\other", before_version=9) == ()
+
+    def test_benign_file_writes_also_recorded(self, machine):
+        from tests.conftest import spawn_asm
+
+        faros = Faros()
+        machine.plugins.register(faros)
+        spawn_asm(
+            machine,
+            "w.exe",
+            """
+            start:
+                movi r1, path
+                movi r0, SYS_CREATE_FILE
+                syscall
+                mov r1, r0
+                movi r2, data
+                movi r3, 4
+                movi r0, SYS_WRITE_FILE
+                syscall
+                movi r1, 0
+                movi r0, SYS_EXIT
+                syscall
+            path: .asciz "C:\\\\log.txt"
+            data: .word 1
+            """,
+        )
+        machine.run()
+        assert "c:\\log.txt" in faros.file_lineage

@@ -1,0 +1,90 @@
+"""Tests for the paper's future-work extensions.
+
+* augmented export-table tags (§V-A: per-function names + a fourth map)
+* kernel-code tagging vs stub-scanning resolvers (§VI-B policy update)
+"""
+
+import pytest
+
+from repro.analysis.evasion import stub_scanner_experiment
+from repro.attacks import build_reflective_dll_scenario
+from repro.attacks.evasion import build_stub_scanner_attack_scenario
+from repro.faros import Faros
+
+
+class TestAugmentedExportTags:
+    @pytest.fixture(scope="class")
+    def augmented(self):
+        faros = Faros(augment_export_tags=True)
+        build_reflective_dll_scenario().scenario.run(plugins=[faros])
+        return faros
+
+    @pytest.fixture(scope="class")
+    def paper_mode(self):
+        faros = Faros(augment_export_tags=False)
+        build_reflective_dll_scenario().scenario.run(plugins=[faros])
+        return faros
+
+    def test_both_modes_detect(self, augmented, paper_mode):
+        assert augmented.attack_detected and paper_mode.attack_detected
+
+    def test_augmented_chain_names_resolved_api(self, augmented):
+        chain = augmented.report().chains()[0]
+        # The popup stage's first resolution is WriteConsoleA.
+        assert chain.resolved_function == "WriteConsoleA"
+
+    def test_paper_mode_has_anonymous_tag(self, paper_mode):
+        chain = paper_mode.report().chains()[0]
+        assert chain.resolved_function is None
+        assert paper_mode.tags.sizes()["export"] == 0
+
+    def test_augmented_mode_fills_fourth_map(self, augmented):
+        # One named tag per exported API of the kernel module.
+        from repro.guestos.loader import API_TABLE
+
+        assert augmented.tags.sizes()["export"] == len(API_TABLE)
+
+    def test_augmented_render_names_function(self, augmented):
+        text = augmented.report().render()
+        assert "ExportTable(WriteConsoleA)" in text
+
+
+class TestStubScannerEvasion:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return stub_scanner_experiment()
+
+    def test_stage_really_ran_in_victim(self, outcome):
+        assert outcome.stage_ran
+
+    def test_default_policy_evaded(self, outcome):
+        # No export-table read happens, so the paper's tagging misses it.
+        assert outcome.default_policy_detected is False
+
+    def test_kernel_code_policy_catches_it(self, outcome):
+        assert outcome.kernel_code_policy_detected is True
+
+    def test_hardened_chain_still_has_full_provenance(self):
+        faros = Faros(taint_kernel_code=True)
+        build_stub_scanner_attack_scenario().scenario.run(plugins=[faros])
+        chain = faros.report().chains()[0]
+        assert chain.netflow is not None
+        assert "inject_client.exe" in chain.process_chain
+        assert chain.executing_process == "notepad.exe"
+
+    def test_kernel_code_policy_keeps_corpus_clean(self):
+        # The stronger policy must not regress false positives.
+        from repro.workloads.behaviors import build_sample_scenario
+
+        for behaviors in [("idle", "run", "download"), ("keylogger", "upload")]:
+            faros = Faros(taint_kernel_code=True)
+            scenario = build_sample_scenario("probe", behaviors, variant=0)
+            scenario.run(plugins=[faros])
+            assert not faros.attack_detected
+
+    def test_kernel_code_policy_keeps_plain_jit_clean(self):
+        from repro.workloads.jit import build_jit_scenario
+
+        faros = Faros(taint_kernel_code=True)
+        build_jit_scenario("equilibrium", "applet").scenario.run(plugins=[faros])
+        assert not faros.attack_detected

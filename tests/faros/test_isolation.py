@@ -1,0 +1,145 @@
+"""Cross-process taint isolation: unrelated processes must not pollute
+each other's provenance even under heavy concurrency.
+
+A false cross-process tag would break the detector's R2 rule (it counts
+distinct process tags on instruction bytes), so these tests guard the
+0%-false-positive result structurally.
+"""
+
+import pytest
+
+from repro.attacks.common import ATTACKER_IP, FIRST_EPHEMERAL_PORT, GUEST_IP
+from repro.emulator.devices import Packet
+from repro.emulator.machine import Machine, MachineConfig
+from repro.emulator.record_replay import PacketEvent
+from repro.faros import Faros
+from repro.isa.cpu import AccessKind
+from repro.taint.tags import TagType
+
+from tests.conftest import register_asm
+
+
+RECEIVER = """
+start:
+    movi r0, SYS_SOCKET
+    syscall
+    mov r7, r0
+    mov r1, r7
+    movi r2, ip
+    movi r3, {port}
+    movi r0, SYS_CONNECT
+    syscall
+    mov r1, r7
+    movi r2, buf
+    movi r3, 8
+    movi r0, SYS_RECV
+    syscall
+park:
+    movi r1, 1000000
+    movi r0, SYS_SLEEP
+    syscall
+    hlt
+ip: .asciz "{ip}"
+buf: .space 8
+"""
+
+CRUNCHER = """
+start:
+    movi r5, 3000
+loop:
+    muli r6, r6, 3
+    addi r6, r6, 1
+    subi r5, r5, 1
+    cmpi r5, 0
+    jnz loop
+park:
+    movi r1, 1000000
+    movi r0, SYS_SLEEP
+    syscall
+    hlt
+"""
+
+
+class TestIsolation:
+    def test_bystander_process_collects_no_netflow_taint(self):
+        """A compute process scheduled alongside a network receiver must
+        end with zero netflow provenance anywhere in its memory."""
+        machine = Machine(MachineConfig())
+        faros = Faros()
+        machine.plugins.register(faros)
+        register_asm(
+            machine, "rx.exe", RECEIVER.format(ip=ATTACKER_IP, port=4444)
+        )
+        register_asm(machine, "crunch.exe", CRUNCHER)
+        rx = machine.kernel.spawn("rx.exe")
+        crunch = machine.kernel.spawn("crunch.exe")
+        machine.schedule(
+            5_000,
+            PacketEvent(
+                Packet(ATTACKER_IP, 4444, GUEST_IP, FIRST_EPHEMERAL_PORT, b"EVILDATA")
+            ),
+        )
+        machine.run(300_000)
+
+        # Every tainted byte belonging to the cruncher's frames must be
+        # free of netflow tags.
+        crunch_paddrs = set()
+        for area in crunch.aspace.areas:
+            if not area.private:
+                continue  # shared kernel module is common by design
+            for off in range(area.size):
+                crunch_paddrs.add(
+                    crunch.aspace.translate(area.start + off, AccessKind.READ)
+                )
+        for paddr, prov in faros.tracker.shadow.items():
+            if paddr in crunch_paddrs:
+                assert not any(t.type is TagType.NETFLOW for t in prov)
+
+        # ... while the receiver's buffer does carry it.
+        prog = machine.kernel.image_program("rx.exe")
+        buf = rx.aspace.translate_range(prog.label("buf"), 8, AccessKind.READ)
+        assert any(
+            any(t.type is TagType.NETFLOW for t in faros.tracker.prov_at(p))
+            for p in buf
+        )
+
+    def test_many_processes_only_tag_their_own_code(self):
+        """Each process' image bytes accumulate exactly its own process
+        tag (plus the file tag), never a sibling's."""
+        machine = Machine(MachineConfig())
+        faros = Faros()
+        machine.plugins.register(faros)
+        procs = []
+        for i in range(6):
+            register_asm(machine, f"p{i}.exe", CRUNCHER)
+            procs.append(machine.kernel.spawn(f"p{i}.exe"))
+        machine.run(400_000)
+
+        for proc in procs:
+            own_tag = faros.tags.process_tag(proc.cr3)
+            code_paddr = proc.aspace.translate(0x1000, AccessKind.READ)
+            prov = faros.tracker.prov_at(code_paddr)
+            process_tags = [t for t in prov if t.type is TagType.PROCESS]
+            assert process_tags == [own_tag]
+
+    def test_shadow_register_banks_isolated_between_threads(self):
+        """Thread A loading tainted data must not taint thread B's
+        registers across a context switch."""
+        machine = Machine(MachineConfig())
+        faros = Faros()
+        machine.plugins.register(faros)
+        register_asm(
+            machine, "rx.exe", RECEIVER.format(ip=ATTACKER_IP, port=4444)
+        )
+        register_asm(machine, "crunch.exe", CRUNCHER)
+        machine.kernel.spawn("rx.exe")
+        crunch = machine.kernel.spawn("crunch.exe")
+        machine.schedule(
+            5_000,
+            PacketEvent(
+                Packet(ATTACKER_IP, 4444, GUEST_IP, FIRST_EPHEMERAL_PORT, b"EVILDATA")
+            ),
+        )
+        machine.run(300_000)
+        bank = faros.tracker.banks.for_thread(crunch.main_thread.tid)
+        assert all(not prov for prov in bank.regs)

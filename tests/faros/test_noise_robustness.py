@@ -1,0 +1,73 @@
+"""Detection under realistic noise: a busy desktop, one attack.
+
+The paper's usage scenario runs the suspect alongside "any other
+applications or activities that he is interested in observing" --
+detection must neither drown in concurrent benign activity nor flag it.
+"""
+
+import pytest
+
+from repro.attacks import build_reflective_dll_scenario
+from repro.emulator.record_replay import KeystrokeEvent, Scenario
+from repro.faros import Faros
+from repro.workloads.behaviors import build_sample_scenario
+
+
+@pytest.fixture(scope="module")
+def noisy_result():
+    """One reflective injection + six busy benign apps on one machine."""
+    attack = build_reflective_dll_scenario()
+    benign = [
+        build_sample_scenario("Skype", ("idle", "run", "audio_record"), variant=i)
+        for i in range(3)
+    ] + [
+        build_sample_scenario("TeamViewer", ("idle", "run", "screenshot"), variant=i)
+        for i in range(3)
+    ]
+
+    def setup(machine):
+        attack.scenario.setup(machine)
+        for scenario in benign:
+            scenario.setup(machine)
+
+    events = list(attack.scenario.events)
+    events.append((8_000, KeystrokeEvent(b"background typing")))
+    combined = Scenario(
+        name="noisy_desktop", setup=setup, events=events, max_instructions=1_200_000
+    )
+    faros = Faros()
+    machine = combined.run(plugins=[faros])
+    return faros, machine
+
+
+class TestNoiseRobustness:
+    def test_attack_flagged_amid_noise(self, noisy_result):
+        faros, _ = noisy_result
+        assert faros.attack_detected
+
+    def test_only_the_victim_is_implicated(self, noisy_result):
+        faros, _ = noisy_result
+        executors = {f.executing_process for f in faros.detector.flagged}
+        assert executors == {"notepad.exe"}
+
+    def test_benign_apps_completed(self, noisy_result):
+        _, machine = noisy_result
+        benign = [
+            p
+            for p in machine.kernel.processes.values()
+            if p.name in ("Skype", "TeamViewer")
+        ]
+        assert benign
+        assert all(p.exit_code == 0 for p in benign)
+
+    def test_provenance_chain_untouched_by_noise(self, noisy_result):
+        faros, _ = noisy_result
+        chain = faros.report().chains()[0]
+        assert chain.process_chain == ["inject_client.exe", "notepad.exe"]
+
+    def test_tag_maps_stay_bounded(self, noisy_result):
+        faros, _ = noisy_result
+        sizes = faros.tags.sizes()
+        # A handful of flows/files/processes, nowhere near the ceiling.
+        assert sizes["netflow"] < 32
+        assert sizes["process"] < 32

@@ -1,0 +1,149 @@
+"""Unit tests for FAROS' helper plugins: OSI, syscalls2, and reporting."""
+
+import pytest
+
+from repro.emulator.machine import Machine, MachineConfig
+from repro.faros import Faros, OSIPlugin, Syscalls2Plugin
+from repro.faros.report import render_provenance
+from repro.guestos.syscalls import Sys
+from repro.taint.tags import TagStore, TagType
+
+from tests.conftest import register_asm, spawn_asm
+
+
+class TestOSI:
+    def test_process_lifecycle_tracked(self, machine):
+        osi = OSIPlugin()
+        machine.plugins.register(osi)
+        proc = spawn_asm(machine, "a.exe", "start: movi r1, 3\nmovi r0, SYS_EXIT\nsyscall")
+        machine.run()
+        info = osi.by_pid(proc.pid)
+        assert info.name == "a.exe"
+        assert info.cr3 == proc.cr3
+        assert not info.alive and info.exit_code == 3
+        assert info.exited_at >= info.created_at
+
+    def test_lookup_by_cr3(self, machine):
+        osi = OSIPlugin()
+        machine.plugins.register(osi)
+        proc = spawn_asm(machine, "b.exe", "start: hlt")
+        assert osi.by_cr3(proc.cr3).pid == proc.pid
+        assert osi.name_for_cr3(proc.cr3) == "b.exe"
+
+    def test_unknown_cr3_renders_hex(self):
+        assert OSIPlugin().name_for_cr3(0xABC) == "cr3=0xabc"
+
+    def test_process_list_sorted_by_pid(self, machine):
+        osi = OSIPlugin()
+        machine.plugins.register(osi)
+        spawn_asm(machine, "a.exe", "start: hlt")
+        register_asm(machine, "b.exe", "start: hlt")
+        machine.kernel.spawn("b.exe")
+        pids = [p.pid for p in osi.process_list()]
+        assert pids == sorted(pids) and len(pids) == 2
+
+
+class TestSyscalls2:
+    def test_trace_records_args_and_result(self, machine):
+        tracer = Syscalls2Plugin()
+        machine.plugins.register(tracer)
+        spawn_asm(
+            machine,
+            "t.exe",
+            """
+            start:
+                movi r1, 64
+                movi r2, PERM_RW
+                movi r0, SYS_ALLOC
+                syscall
+                movi r1, 0
+                movi r0, SYS_EXIT
+                syscall
+            """,
+        )
+        machine.run()
+        alloc = next(e for e in tracer.events if e.number == Sys.ALLOC)
+        assert alloc.name == "NtAllocateVirtualMemory"
+        assert alloc.args["size"] == 64
+        assert alloc.result is not None and alloc.result != 0xFFFFFFFF
+
+    def test_string_pointers_followed(self, machine):
+        tracer = Syscalls2Plugin()
+        machine.plugins.register(tracer)
+        spawn_asm(
+            machine,
+            "t.exe",
+            """
+            start:
+                movi r1, path
+                movi r0, SYS_CREATE_FILE
+                syscall
+                movi r1, 0
+                movi r0, SYS_EXIT
+                syscall
+            path: .asciz "C:\\\\hello.txt"
+            """,
+        )
+        machine.run()
+        create = next(e for e in tracer.events if e.number == Sys.CREATE_FILE)
+        assert create.args["path"] == "C:\\hello.txt"
+
+    def test_blocking_syscall_result_filled_on_completion(self, machine):
+        tracer = Syscalls2Plugin()
+        machine.plugins.register(tracer)
+        spawn_asm(
+            machine,
+            "t.exe",
+            "start:\nmovi r1, 500\nmovi r0, SYS_SLEEP\nsyscall\nmovi r1, 0\nmovi r0, SYS_EXIT\nsyscall",
+        )
+        machine.run()
+        sleep = next(e for e in tracer.events if e.number == Sys.SLEEP)
+        assert sleep.result == 0
+
+    def test_event_str_format(self, machine):
+        tracer = Syscalls2Plugin()
+        machine.plugins.register(tracer)
+        spawn_asm(machine, "t.exe", "start: movi r1, 0\nmovi r0, SYS_EXIT\nsyscall")
+        machine.run()
+        text = str(tracer.events[0])
+        assert "t.exe" in text and "NtTerminateProcess" in text
+
+    def test_for_process_filter(self, machine):
+        tracer = Syscalls2Plugin()
+        machine.plugins.register(tracer)
+        spawn_asm(machine, "a.exe", "start: movi r1, 0\nmovi r0, SYS_EXIT\nsyscall")
+        spawn_asm(machine, "b.exe", "start: movi r1, 0\nmovi r0, SYS_EXIT\nsyscall")
+        machine.run()
+        assert all(e.process == "a.exe" for e in tracer.for_process("a.exe"))
+        assert tracer.for_process("a.exe") and tracer.for_process("b.exe")
+
+
+class TestReportRendering:
+    def test_render_provenance_arrow_format(self):
+        tags = TagStore()
+        netflow = tags.netflow_tag("1.2.3.4", 4444, "5.6.7.8", 49162)
+        proc = tags.process_tag(0x1640)
+        tags.process_names[0x1640] = "notepad.exe"
+        text = render_provenance(tags, (netflow, proc))
+        assert text == (
+            "NetFlow: {src ip,port: 1.2.3.4:4444, dest ip.port: 5.6.7.8:49162}"
+            " ->Process: notepad.exe;"
+        )
+
+    def test_render_empty_provenance(self):
+        assert render_provenance(TagStore(), ()) == "(untainted)"
+
+    def test_render_includes_file_and_export_tags(self):
+        tags = TagStore()
+        prov = (tags.file_tag("a.exe", 2), tags.export_table_tag())
+        text = render_provenance(tags, prov)
+        assert "File: {file: a.exe, v2}" in text and "ExportTable" in text
+
+    def test_report_tag_map_sizes(self, machine):
+        faros = Faros()
+        machine.plugins.register(faros)
+        spawn_asm(machine, "a.exe", "start: movi r1, 0\nmovi r0, SYS_EXIT\nsyscall")
+        machine.run()
+        report = faros.report()
+        assert report.tag_map_sizes["process"] >= 1
+        assert report.instructions_analyzed > 0

@@ -1,0 +1,72 @@
+"""Tests for the machine-readable report export."""
+
+import json
+
+import pytest
+
+from repro.attacks import build_drop_reload_scenario, build_reflective_dll_scenario
+from repro.faros import Faros
+
+
+@pytest.fixture(scope="module")
+def report():
+    faros = Faros()
+    build_reflective_dll_scenario().scenario.run(plugins=[faros])
+    return faros.report()
+
+
+class TestToDict:
+    def test_json_serialisable(self, report):
+        text = json.dumps(report.to_dict())
+        assert "attack_detected" in text
+
+    def test_top_level_fields(self, report):
+        d = report.to_dict()
+        assert d["attack_detected"] is True
+        assert d["instructions_analyzed"] > 0
+        assert d["tainted_bytes"] > 0
+        assert set(d["tag_map_sizes"]) == {"netflow", "process", "file", "export"}
+
+    def test_flag_entries_complete(self, report):
+        flag = report.to_dict()["flags"][0]
+        assert flag["executing_process"] == "notepad.exe"
+        assert flag["instruction"].startswith("ld")
+        assert flag["rule"] == "netflow+export-table"
+        assert any(p.startswith("NetFlow:") for p in flag["provenance"])
+
+    def test_chain_entries_complete(self, report):
+        chain = report.to_dict()["chains"][0]
+        assert chain["netflow"].startswith("169.254.26.161:4444")
+        assert chain["process_chain"] == ["inject_client.exe", "notepad.exe"]
+        assert chain["resolved_function"] == "WriteConsoleA"
+
+    def test_stitched_fields_in_export(self):
+        faros = Faros()
+        build_drop_reload_scenario().scenario.run(plugins=[faros])
+        chain = faros.report().to_dict()["chains"][0]
+        assert chain["netflow"] is None
+        assert chain["stitched_netflow"].startswith("169.254.26.161")
+        assert "dropper.exe" in chain["upstream_processes"]
+
+    def test_clean_report_export(self):
+        from repro.emulator.record_replay import Scenario
+        from tests.conftest import register_asm
+
+        def setup(machine):
+            register_asm(machine, "c.exe", "start: movi r1, 0\nmovi r0, SYS_EXIT\nsyscall")
+            machine.kernel.spawn("c.exe")
+
+        faros = Faros()
+        Scenario(name="clean", setup=setup).run(plugins=[faros])
+        d = faros.report().to_dict()
+        assert d["attack_detected"] is False
+        assert d["flags"] == [] and d["chains"] == []
+
+
+class TestCliJson:
+    def test_timeline_json_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["timeline", "reflective", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["attack_detected"] is True

@@ -1,0 +1,86 @@
+"""Tests for whitelist triage (§VI-A) and the analysis timeline."""
+
+import pytest
+
+from repro.attacks import build_reflective_dll_scenario
+from repro.faros import Faros, Whitelist
+from repro.workloads.jit import build_jit_scenario
+
+
+@pytest.fixture(scope="module")
+def jit_fp():
+    """A flagged JIT workload (the paper's false-positive case)."""
+    faros = Faros()
+    build_jit_scenario("acceleration", "applet").scenario.run(plugins=[faros])
+    assert faros.attack_detected
+    return faros
+
+
+@pytest.fixture(scope="module")
+def real_attack():
+    faros = Faros()
+    build_reflective_dll_scenario().scenario.run(plugins=[faros])
+    return faros
+
+
+class TestWhitelist:
+    def test_jit_fp_dismissed(self, jit_fp):
+        whitelist = Whitelist()
+        assert whitelist.remaining(jit_fp.detector.flagged) == []
+
+    def test_dismissal_reason_names_the_runtime(self, jit_fp):
+        triage = Whitelist().triage(jit_fp.detector.flagged)
+        assert all(t.dismissed for t in triage)
+        assert "java.exe" in triage[0].reason
+
+    def test_real_attack_survives_whitelist(self, real_attack):
+        whitelist = Whitelist()
+        survivors = whitelist.remaining(real_attack.detector.flagged)
+        assert survivors == real_attack.detector.flagged
+
+    def test_whitelisting_victim_does_not_hide_injection(self, real_attack):
+        # Even whitelisting the VICTIM process must not dismiss a flag
+        # whose code was written by another process.
+        whitelist = Whitelist({"notepad.exe"})
+        survivors = whitelist.remaining(real_attack.detector.flagged)
+        assert survivors, "cross-process injection must never be dismissed"
+        triage = whitelist.triage(real_attack.detector.flagged)
+        assert "written by another process" in triage[0].reason
+
+    def test_add_and_covers(self):
+        whitelist = Whitelist(())
+        assert not whitelist.covers("java.exe")
+        whitelist.add("Java.EXE")
+        assert whitelist.covers("java.exe")
+
+
+class TestTimeline:
+    def test_timeline_tells_the_attack_story(self, real_attack):
+        kinds = [event.kind for event in real_attack.timeline]
+        assert "process" in kinds
+        assert "netflow" in kinds
+        assert "FLAG" in kinds
+        # Chronological order.
+        ticks = [event.tick for event in real_attack.timeline]
+        assert ticks == sorted(ticks)
+
+    def test_flag_event_after_netflow_event(self, real_attack):
+        first_netflow = next(
+            i for i, e in enumerate(real_attack.timeline) if e.kind == "netflow"
+        )
+        first_flag = next(
+            i for i, e in enumerate(real_attack.timeline) if e.kind == "FLAG"
+        )
+        assert first_netflow < first_flag
+
+    def test_render_timeline(self, real_attack):
+        text = real_attack.render_timeline()
+        assert "FAROS timeline" in text
+        assert "inject_client.exe" in text
+        assert "FLAG" in text
+
+    def test_clean_run_has_no_flag_events(self):
+        faros = Faros()
+        build_jit_scenario("equilibrium", "applet").scenario.run(plugins=[faros])
+        assert all(e.kind != "FLAG" for e in faros.timeline)
+        assert any(e.kind == "netflow" for e in faros.timeline)

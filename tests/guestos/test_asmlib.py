@@ -1,0 +1,112 @@
+"""Unit tests for the guest-assembly helper library."""
+
+import pytest
+
+from repro.guestos import layout
+from repro.guestos.asmlib import (
+    busy_loop,
+    copy_loop,
+    exit_process,
+    prelude,
+    program,
+    print_string,
+    sleep,
+    syscall3,
+)
+from repro.guestos.loader import API_TABLE, fnv1a32, stub_address
+from repro.guestos.syscalls import Sys
+from repro.isa.assembler import assemble
+
+from tests.conftest import spawn_asm
+
+
+class TestPrelude:
+    def test_prelude_assembles_to_nothing(self):
+        assert assemble(prelude()).code == b""
+
+    def test_defines_every_syscall(self):
+        text = prelude()
+        for member in Sys:
+            assert f".equ SYS_{member.name}, {int(member)}" in text
+
+    def test_defines_layout_constants(self):
+        prog = assemble(prelude() + "\nmovi r1, IMAGE_BASE\nmovi r2, STACK_TOP")
+        from repro.isa.instructions import decode
+
+        assert decode(prog.code).imm == layout.IMAGE_BASE
+        assert decode(prog.code, 8).imm == layout.STACK_TOP
+
+    def test_defines_stub_and_hash_constants(self):
+        text = prelude()
+        assert f".equ STUB_VIRTUALALLOC, {stub_address('VirtualAlloc'):#x}" in text
+        assert f".equ HASH_VIRTUALALLOC, {fnv1a32('VirtualAlloc'):#x}" in text
+
+    def test_api_names_sanitised_for_assembler(self):
+        # 'socket' etc. are lowercase in the API table; symbols upper.
+        assert ".equ STUB_SOCKET," in prelude()
+
+
+class TestSnippets:
+    def test_syscall3_with_immediates(self):
+        source = program("start:", syscall3("SYS_SLEEP", "100"), "hlt")
+        assert assemble(source, base=layout.IMAGE_BASE).code
+
+    def test_syscall3_with_register_args(self):
+        source = program("start:", syscall3("SYS_SEND", "r7", "0x2000", "4"), "hlt")
+        prog = assemble(source, base=layout.IMAGE_BASE)
+        from repro.isa.instructions import Op, decode
+
+        first = decode(prog.code)
+        assert first.op is Op.MOV  # register arg moved, not movi'd
+
+    def test_exit_and_sleep_helpers(self, machine):
+        proc = spawn_asm(machine, "t.exe", "start:", sleep(100), exit_process(7))
+        machine.run()
+        assert proc.exit_code == 7
+
+    def test_print_string_helper(self, machine):
+        proc = spawn_asm(
+            machine,
+            "t.exe",
+            "start:",
+            print_string("msg", 2),
+            exit_process(0),
+            'msg: .ascii "hi"',
+        )
+        machine.run()
+        assert proc.console == ["hi"]
+
+    def test_busy_loop_terminates(self, machine):
+        proc = spawn_asm(
+            machine, "t.exe", "start:", busy_loop("w", 50), exit_process(0)
+        )
+        machine.run()
+        assert proc.exit_code == 0
+
+    def test_copy_loop_copies_bytes(self, machine):
+        from repro.isa.cpu import AccessKind
+
+        # Park after copying so the process memory survives inspection.
+        proc = spawn_asm(
+            machine,
+            "t.exe",
+            "start:",
+            "    movi r1, src",
+            "    movi r2, dst",
+            "    movi r3, 5",
+            copy_loop("cp", "r1", "r2", "r3"),
+            "park:",
+            sleep(1000000),
+            "    hlt",
+            'src: .ascii "hello"',
+            "dst: .space 5",
+        )
+        machine.run(200_000)
+        prog = machine.kernel.image_program("t.exe")
+        data = bytes(
+            machine.memory.read_byte(
+                proc.aspace.translate(prog.label("dst") + i, AccessKind.READ)
+            )
+            for i in range(5)
+        )
+        assert data == b"hello"

@@ -1,0 +1,98 @@
+"""Unit tests for the guest filesystem."""
+
+import pytest
+
+from repro.guestos.files import FileError, FileSystem
+
+
+@pytest.fixture
+def fs():
+    return FileSystem()
+
+
+class TestBasicOperations:
+    def test_create_and_open(self, fs):
+        fs.create("C:\\a.txt", b"hello")
+        assert bytes(fs.open("C:\\a.txt").data) == b"hello"
+
+    def test_paths_case_insensitive(self, fs):
+        fs.create("C:\\Windows\\System32\\cfg.dat", b"x")
+        assert fs.exists("c:\\windows\\system32\\CFG.DAT")
+
+    def test_open_missing_raises(self, fs):
+        with pytest.raises(FileError):
+            fs.open("nope")
+
+    def test_create_truncates_existing(self, fs):
+        fs.create("a", b"long content here")
+        fs.create("a", b"x")
+        assert bytes(fs.open("a").data) == b"x"
+
+    def test_delete(self, fs):
+        fs.create("a", b"x")
+        fs.delete("a")
+        assert not fs.exists("a")
+
+    def test_delete_missing_raises(self, fs):
+        with pytest.raises(FileError):
+            fs.delete("a")
+
+    def test_list_paths_preserves_original_casing(self, fs):
+        fs.create("C:\\Mixed.TXT")
+        assert fs.list_paths() == ["C:\\Mixed.TXT"]
+
+    def test_get_returns_none_for_missing(self, fs):
+        assert fs.get("nope") is None
+
+
+class TestReadWrite:
+    def test_write_extends_file(self, fs):
+        fs.create("a")
+        fs.write("a", 4, b"data")
+        assert bytes(fs.open("a").data) == b"\x00\x00\x00\x00data"
+
+    def test_write_overwrites_in_place(self, fs):
+        fs.create("a", b"AAAAAA")
+        fs.write("a", 2, b"BB")
+        assert bytes(fs.open("a").data) == b"AABBAA"
+
+    def test_read_at_offset(self, fs):
+        fs.create("a", b"0123456789")
+        assert fs.read("a", 3, 4) == b"3456"
+
+    def test_read_past_end_truncates(self, fs):
+        fs.create("a", b"xy")
+        assert fs.read("a", 1, 100) == b"y"
+
+
+class TestVersioning:
+    """File tags carry (name, version); versions count accesses."""
+
+    def test_new_file_version_zero(self, fs):
+        assert fs.create("a").version == 0
+
+    def test_reads_and_writes_bump_version(self, fs):
+        fs.create("a", b"x")
+        fs.read("a", 0, 1)
+        fs.write("a", 0, b"y")
+        fs.read("a", 0, 1)
+        assert fs.open("a").version == 3
+
+    def test_touch_returns_new_version(self, fs):
+        node = fs.create("a")
+        assert node.touch() == 1
+        assert node.touch() == 2
+
+
+class TestAuditLog:
+    def test_operations_logged_in_order(self, fs):
+        fs.create("a", b"x")
+        fs.read("a", 0, 1)
+        fs.write("a", 0, b"z")
+        fs.delete("a")
+        assert fs.audit_log == [
+            ("create", "a"),
+            ("read", "a"),
+            ("write", "a"),
+            ("delete", "a"),
+        ]

@@ -1,0 +1,231 @@
+"""Kernel syscall error paths: bad handles, bad pointers, bad requests.
+
+The guest ABI returns ERR (0xFFFFFFFF) for failures; none of these may
+crash the machine or unrelated processes.
+"""
+
+import pytest
+
+from repro.guestos.syscalls import ERR
+
+from tests.conftest import register_asm, spawn_asm
+
+EXIT_R0 = """
+    mov r1, r0
+    movi r0, SYS_EXIT
+    syscall
+"""
+
+
+def run_expect(machine, body, expected):
+    proc = spawn_asm(machine, "t.exe", body + EXIT_R0)
+    machine.run()
+    assert proc.exit_code == expected, f"exit {proc.exit_code:#x} != {expected:#x}"
+    return proc
+
+
+class TestBadHandles:
+    def test_read_file_bad_handle(self, machine):
+        run_expect(
+            machine,
+            "start:\nmovi r1, 999\nmovi r2, 0x2000\nmovi r3, 4\nmovi r0, SYS_READ_FILE\nsyscall",
+            ERR,
+        )
+
+    def test_write_file_bad_handle(self, machine):
+        run_expect(
+            machine,
+            "start:\nmovi r1, 999\nmovi r2, IMAGE_BASE\nmovi r3, 4\nmovi r0, SYS_WRITE_FILE\nsyscall",
+            ERR,
+        )
+
+    def test_close_bad_handle(self, machine):
+        run_expect(machine, "start:\nmovi r1, 999\nmovi r0, SYS_CLOSE\nsyscall", ERR)
+
+    def test_socket_handle_is_not_a_file(self, machine):
+        run_expect(
+            machine,
+            """
+            start:
+                movi r0, SYS_SOCKET
+                syscall
+                mov r1, r0
+                movi r2, IMAGE_BASE
+                movi r3, 4
+                movi r0, SYS_READ_FILE
+                syscall
+            """,
+            ERR,
+        )
+
+    def test_send_on_unconnected_socket(self, machine):
+        run_expect(
+            machine,
+            """
+            start:
+                movi r0, SYS_SOCKET
+                syscall
+                mov r1, r0
+                movi r2, IMAGE_BASE
+                movi r3, 4
+                movi r0, SYS_SEND
+                syscall
+            """,
+            ERR,
+        )
+
+    def test_open_process_bad_pid(self, machine):
+        run_expect(machine, "start:\nmovi r1, 4242\nmovi r0, SYS_OPEN_PROCESS\nsyscall", ERR)
+
+    def test_write_vm_bad_handle(self, machine):
+        run_expect(
+            machine,
+            "start:\nmovi r1, 999\nmovi r2, 0x1000\nmovi r3, IMAGE_BASE\nmovi r4, 4\nmovi r0, SYS_WRITE_VM\nsyscall",
+            ERR,
+        )
+
+    def test_process_handle_of_dead_process_rejected(self, machine):
+        register_asm(machine, "victim.exe", "start: movi r1, 0\nmovi r0, SYS_EXIT\nsyscall")
+        run_expect(
+            machine,
+            """
+            path: .asciz "victim.exe"
+            start:
+                movi r1, path
+                movi r2, 0
+                movi r0, SYS_CREATE_PROCESS
+                syscall
+                mov r7, r0
+                movi r1, 8000
+                movi r0, SYS_SLEEP
+                syscall          ; child exits meanwhile
+                mov r1, r7
+                movi r2, 0x1000
+                movi r3, IMAGE_BASE
+                movi r4, 4
+                movi r0, SYS_READ_VM
+                syscall
+            """,
+            ERR,
+        )
+
+
+class TestBadPointers:
+    def test_bad_buffer_pointer_fails_syscall_not_machine(self, machine):
+        run_expect(
+            machine,
+            "start:\nmovi r1, 0xdd0000\nmovi r2, 8\nmovi r0, SYS_WRITE_CONSOLE\nsyscall",
+            ERR,
+        )
+
+    def test_bad_string_pointer(self, machine):
+        run_expect(
+            machine,
+            "start:\nmovi r1, 0xdd0000\nmovi r0, SYS_CREATE_FILE\nsyscall",
+            ERR,
+        )
+
+    def test_write_vm_to_unmapped_target_address(self, machine):
+        spawn_asm(machine, "victim.exe", "start:\nmovi r1, 90000\nmovi r0, SYS_SLEEP\nsyscall\nhlt")
+        run_expect(
+            machine,
+            """
+            name: .asciz "victim.exe"
+            start:
+                movi r1, name
+                movi r0, SYS_FIND_PROCESS
+                syscall
+                mov r1, r0
+                movi r0, SYS_OPEN_PROCESS
+                syscall
+                mov r1, r0
+                movi r2, 0xee0000      ; unmapped in victim
+                movi r3, IMAGE_BASE
+                movi r4, 4
+                movi r0, SYS_WRITE_VM
+                syscall
+            """,
+            ERR,
+        )
+
+
+class TestBadRequests:
+    def test_unknown_syscall_number(self, machine):
+        run_expect(machine, "start:\nmovi r0, 9999\nsyscall", ERR)
+
+    def test_alloc_zero_bytes(self, machine):
+        run_expect(
+            machine,
+            "start:\nmovi r1, 0\nmovi r2, PERM_RW\nmovi r0, SYS_ALLOC\nsyscall",
+            ERR,
+        )
+
+    def test_free_unmapped_address(self, machine):
+        run_expect(machine, "start:\nmovi r1, 0x50000\nmovi r0, SYS_FREE\nsyscall", ERR)
+
+    def test_alloc_vm_overlapping_hint(self, machine):
+        # Hinting at the target's image base without unmapping first fails.
+        spawn_asm(machine, "victim.exe", "start:\nmovi r1, 90000\nmovi r0, SYS_SLEEP\nsyscall\nhlt")
+        run_expect(
+            machine,
+            """
+            name: .asciz "victim.exe"
+            start:
+                movi r1, name
+                movi r0, SYS_FIND_PROCESS
+                syscall
+                mov r1, r0
+                movi r0, SYS_OPEN_PROCESS
+                syscall
+                mov r1, r0
+                movi r2, 64
+                movi r3, PERM_RWX
+                movi r4, IMAGE_BASE
+                movi r0, SYS_ALLOC_VM
+                syscall
+            """,
+            ERR,
+        )
+
+    def test_create_process_unknown_image(self, machine):
+        run_expect(
+            machine,
+            """
+            path: .asciz "ghost.exe"
+            start:
+                movi r1, path
+                movi r2, 0
+                movi r0, SYS_CREATE_PROCESS
+                syscall
+            """,
+            ERR,
+        )
+
+    def test_find_process_excludes_self(self, machine):
+        run_expect(
+            machine,
+            """
+            own: .asciz "t.exe"
+            start:
+                movi r1, own
+                movi r0, SYS_FIND_PROCESS
+                syscall
+            """,
+            ERR,
+        )
+
+    def test_get_proc_addr_unknown_hash(self, machine):
+        run_expect(
+            machine,
+            "start:\nmovi r1, 0x12345678\nmovi r0, SYS_GET_PROC_ADDR\nsyscall",
+            ERR,
+        )
+
+    def test_get_proc_addr_known_hash(self, machine):
+        from repro.guestos.loader import fnv1a32, stub_address
+
+        run_expect(
+            machine,
+            f"start:\nmovi r1, {fnv1a32('VirtualAlloc')}\nmovi r0, SYS_GET_PROC_ADDR\nsyscall",
+            stub_address("VirtualAlloc"),
+        )

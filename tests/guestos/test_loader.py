@@ -1,0 +1,112 @@
+"""Unit tests for the module loader, export tables, and API stubs."""
+
+import pytest
+
+from repro.guestos.layout import KERNEL_SHARED_BASE
+from repro.guestos.loader import (
+    API_TABLE,
+    build_kernel_module,
+    export_resolver_asm,
+    export_table_address,
+    fnv1a32,
+    stub_address,
+)
+from repro.guestos.syscalls import Sys
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Op, decode
+
+
+class TestFnv1a32:
+    def test_known_vector(self):
+        # FNV-1a("") = offset basis; FNV-1a("a") is a standard vector.
+        assert fnv1a32("a") == 0xE40C292C
+
+    def test_distinct_api_hashes(self):
+        hashes = [fnv1a32(api) for api, _s in API_TABLE]
+        assert len(hashes) == len(set(hashes)), "hash collision in API table"
+
+    def test_hash_fits_32_bits(self):
+        for api, _s in API_TABLE:
+            assert 0 <= fnv1a32(api) <= 0xFFFFFFFF
+
+
+class TestStubLayout:
+    def test_stub_addresses_sequential(self):
+        first, _ = API_TABLE[0]
+        second, _ = API_TABLE[1]
+        assert stub_address(first) == KERNEL_SHARED_BASE
+        assert stub_address(second) == KERNEL_SHARED_BASE + 24
+
+    def test_unknown_api_raises(self):
+        with pytest.raises(KeyError):
+            stub_address("NotAnApi")
+
+    def test_export_table_after_stubs(self):
+        assert export_table_address() == KERNEL_SHARED_BASE + 24 * len(API_TABLE)
+
+
+class TestKernelModule:
+    @pytest.fixture(scope="class")
+    def module(self):
+        return build_kernel_module()
+
+    def test_every_api_exported(self, module):
+        assert set(module.exports) == {api for api, _s in API_TABLE}
+
+    def test_stub_encodes_movi_syscall_ret(self, module):
+        offset = stub_address("VirtualAlloc") - KERNEL_SHARED_BASE
+        movi = decode(module.image, offset)
+        syscall = decode(module.image, offset + 8)
+        ret = decode(module.image, offset + 16)
+        assert movi.op is Op.MOVI and movi.imm == Sys.ALLOC
+        assert syscall.op is Op.SYSCALL
+        assert ret.op is Op.RET
+
+    def test_export_table_layout(self, module):
+        table_off = module.export_table_vaddr - module.base
+        count = int.from_bytes(module.image[table_off : table_off + 4], "little")
+        assert count == len(API_TABLE)
+        # First entry: (hash, stub address) of API_TABLE[0].
+        api, _sys = API_TABLE[0]
+        entry = module.image[table_off + 4 : table_off + 12]
+        assert int.from_bytes(entry[:4], "little") == fnv1a32(api)
+        assert int.from_bytes(entry[4:], "little") == stub_address(api)
+
+    def test_export_pointer_vaddrs_point_at_fnptr_fields(self, module):
+        for index, vaddr in enumerate(module.export_pointer_vaddrs):
+            offset = vaddr - module.base
+            addr = int.from_bytes(module.image[offset : offset + 4], "little")
+            api, _sys = API_TABLE[index]
+            assert addr == stub_address(api)
+
+    def test_cached_across_calls(self, module):
+        assert build_kernel_module() is module
+
+
+class TestExportResolver:
+    def test_resolver_assembles(self):
+        source = export_resolver_asm("VirtualAlloc").format(uid="t")
+        prog = assemble(source + "\nhlt", base=0x4000)
+        assert len(prog.code) > 0
+
+    def test_resolver_embeds_target_hash(self):
+        source = export_resolver_asm("GetProcAddress").format(uid="t")
+        assert str(fnv1a32("GetProcAddress")) in source
+
+    def test_resolver_finds_pointer_at_runtime(self):
+        """Assemble the resolver against a real machine and check the
+        resolved address is the stub's."""
+        from repro.emulator.machine import Machine, MachineConfig
+        from repro.guestos import layout
+        from repro.guestos.asmlib import program
+        from repro.isa.registers import Reg
+
+        machine = Machine(MachineConfig())
+        body = export_resolver_asm("WriteFile", result_reg="r7").format(uid="x")
+        prog = assemble(
+            program("start:", body, "hlt"), base=layout.IMAGE_BASE
+        )
+        machine.kernel.register_image("r.exe", prog)
+        proc = machine.kernel.spawn("r.exe")
+        machine.run(100_000)
+        assert proc.main_thread.context["regs"][Reg.R7] == stub_address("WriteFile")

@@ -1,0 +1,742 @@
+"""Integration tests: guest programs running on the full machine.
+
+These exercise the whole substrate stack -- assembler, loader, kernel
+syscalls, scheduler, devices -- before any taint tracking exists.
+"""
+
+import pytest
+
+from repro.emulator.devices import Packet
+from repro.emulator.machine import Machine, MachineConfig
+from repro.emulator.record_replay import (
+    KeystrokeEvent,
+    PacketEvent,
+    Recording,
+    ReplayDivergence,
+    Scenario,
+    record,
+    replay,
+)
+from repro.guestos import layout
+from repro.guestos.process import ThreadState
+
+from tests.conftest import register_asm, spawn_asm
+
+ATTACKER_IP = "169.254.26.161"
+
+
+class TestBasicExecution:
+    def test_hello_console(self, machine):
+        spawn_asm(
+            machine,
+            "hello.exe",
+            """
+            start:
+                movi r1, msg
+                movi r2, 5
+                movi r0, SYS_WRITE_CONSOLE
+                syscall
+                movi r1, 0
+                movi r0, SYS_EXIT
+                syscall
+            msg: .ascii "hello"
+            """,
+        )
+        machine.run()
+        assert machine.kernel.console_log[-1][1] == "hello"
+
+    def test_exit_code_recorded(self, machine):
+        proc = spawn_asm(
+            machine, "exit.exe", "start: movi r1, 42\nmovi r0, SYS_EXIT\nsyscall"
+        )
+        machine.run()
+        assert not proc.alive and proc.exit_code == 42
+
+    def test_hlt_terminates_process(self, machine):
+        proc = spawn_asm(machine, "h.exe", "start: movi r0, 7\nhlt")
+        machine.run()
+        assert not proc.alive and proc.exit_code == 7
+
+    def test_two_processes_interleave(self, machine):
+        body = """
+        start:
+            movi r7, 0
+        loop:
+            addi r7, r7, 1
+            cmpi r7, 2000
+            jnz loop
+            hlt
+        """
+        a = spawn_asm(machine, "a.exe", body)
+        b = spawn_asm(machine, "b.exe", body)
+        machine.run()
+        assert not a.alive and not b.alive
+
+    def test_crash_kills_only_faulting_process(self, machine):
+        bad = spawn_asm(
+            machine, "bad.exe", "start: movi r1, 0xdead0000\nld r2, [r1]\nhlt"
+        )
+        good = spawn_asm(machine, "good.exe", "start: movi r1, 0\nmovi r0, SYS_EXIT\nsyscall")
+        machine.run()
+        assert not bad.alive and bad.exit_code == 0xDEAD
+        assert good.exit_code == 0
+
+    def test_sleep_blocks_and_wakes(self, machine):
+        proc = spawn_asm(
+            machine,
+            "sleeper.exe",
+            """
+            start:
+                movi r1, 5000
+                movi r0, SYS_SLEEP
+                syscall
+                movi r1, 9
+                movi r0, SYS_EXIT
+                syscall
+            """,
+        )
+        machine.run()
+        assert proc.exit_code == 9
+        assert machine.now >= 5000
+
+    def test_get_time_monotonic(self, machine):
+        spawn_asm(
+            machine,
+            "time.exe",
+            """
+            start:
+                movi r0, SYS_GET_TIME
+                syscall
+                mov r7, r0
+                movi r0, SYS_GET_TIME
+                syscall
+                cmp r0, r7
+                jgt ok
+                hlt
+            ok:
+                movi r1, 0
+                movi r0, SYS_EXIT
+                syscall
+            """,
+        )
+        proc = machine.kernel.processes[100]
+        machine.run()
+        assert proc.exit_code == 0
+
+
+class TestMemorySyscalls:
+    def test_alloc_write_read(self, machine):
+        proc = spawn_asm(
+            machine,
+            "alloc.exe",
+            """
+            start:
+                movi r1, 64
+                movi r2, PERM_RW
+                movi r0, SYS_ALLOC
+                syscall
+                mov r7, r0              ; buffer address
+                movi r5, 0xabcd
+                st [r7+8], r5
+                ld r6, [r7+8]
+                mov r1, r6
+                movi r0, SYS_EXIT
+                syscall
+            """,
+        )
+        machine.run()
+        assert proc.exit_code == 0xABCD
+
+    def test_alloc_returns_heap_address(self, machine):
+        proc = spawn_asm(
+            machine,
+            "heap.exe",
+            """
+            start:
+                movi r1, 16
+                movi r2, PERM_RW
+                movi r0, SYS_ALLOC
+                syscall
+                mov r1, r0
+                movi r0, SYS_EXIT
+                syscall
+            """,
+        )
+        machine.run()
+        assert layout.HEAP_BASE <= proc.exit_code < layout.HEAP_LIMIT
+
+    def test_protect_then_execute(self, machine):
+        # Allocate RW, copy a tiny routine in, flip to RX, call it.
+        proc = spawn_asm(
+            machine,
+            "jitlike.exe",
+            """
+            start:
+                movi r1, 32
+                movi r2, PERM_RW
+                movi r0, SYS_ALLOC
+                syscall
+                mov r7, r0
+                ; copy 16 bytes of code from template
+                movi r2, template
+                mov r3, r7
+                movi r4, 16
+            copy:
+                ldb r5, [r2]
+                stb [r3], r5
+                addi r2, r2, 1
+                addi r3, r3, 1
+                subi r4, r4, 1
+                cmpi r4, 0
+                jnz copy
+                ; make it executable
+                mov r1, r7
+                movi r2, 32
+                movi r3, PERM_RX
+                movi r0, SYS_PROTECT
+                syscall
+                callr r7
+                mov r1, r6              ; routine sets r6
+                movi r0, SYS_EXIT
+                syscall
+            template:
+                movi r6, 123
+                ret
+            """,
+        )
+        machine.run()
+        assert proc.exit_code == 123
+
+    def test_write_to_rx_memory_faults(self, machine):
+        proc = spawn_asm(
+            machine,
+            "wx.exe",
+            """
+            start:
+                movi r1, 16
+                movi r2, PERM_RX
+                movi r0, SYS_ALLOC
+                syscall
+                mov r7, r0
+                movi r5, 1
+                st [r7], r5     ; page is r-x: faults
+                hlt
+            """,
+        )
+        machine.run()
+        assert proc.exit_code == 0xDEAD
+
+
+class TestFileSyscalls:
+    def test_create_write_read_roundtrip(self, machine):
+        proc = spawn_asm(
+            machine,
+            "files.exe",
+            """
+            start:
+                movi r1, path
+                movi r0, SYS_CREATE_FILE
+                syscall
+                mov r7, r0
+                mov r1, r7
+                movi r2, payload
+                movi r3, 4
+                movi r0, SYS_WRITE_FILE
+                syscall
+                ; reopen to reset the offset
+                movi r1, path
+                movi r0, SYS_OPEN_FILE
+                syscall
+                mov r7, r0
+                mov r1, r7
+                movi r2, readbuf
+                movi r3, 4
+                movi r0, SYS_READ_FILE
+                syscall
+                ld r1, [r5+readbuf]    ; r5 is 0
+                movi r0, SYS_EXIT
+                syscall
+            path: .asciz "C:\\\\tmp\\\\t.dat"
+            payload: .word 0x31337
+            readbuf: .space 4
+            """,
+        )
+        machine.run()
+        assert proc.exit_code == 0x31337
+        assert machine.kernel.fs.exists("C:\\tmp\\t.dat")
+
+    def test_open_missing_file_fails(self, machine):
+        proc = spawn_asm(
+            machine,
+            "missing.exe",
+            """
+            start:
+                movi r1, path
+                movi r0, SYS_OPEN_FILE
+                syscall
+                mov r1, r0
+                movi r0, SYS_EXIT
+                syscall
+            path: .asciz "nope.txt"
+            """,
+        )
+        machine.run()
+        assert proc.exit_code == 0xFFFFFFFF
+
+    def test_delete_file(self, machine):
+        machine.kernel.fs.create("C:\\drop.exe", b"xx")
+        proc = spawn_asm(
+            machine,
+            "del.exe",
+            """
+            start:
+                movi r1, path
+                movi r0, SYS_DELETE_FILE
+                syscall
+                mov r1, r0
+                movi r0, SYS_EXIT
+                syscall
+            path: .asciz "C:\\\\drop.exe"
+            """,
+        )
+        machine.run()
+        assert proc.exit_code == 0
+        assert not machine.kernel.fs.exists("C:\\drop.exe")
+
+
+class TestNetworkSyscalls:
+    def echo_client(self, machine):
+        """A client that connects out, receives 4 bytes, echoes them back."""
+        return spawn_asm(
+            machine,
+            "client.exe",
+            f"""
+            start:
+                movi r0, SYS_SOCKET
+                syscall
+                mov r7, r0
+                mov r1, r7
+                movi r2, ip
+                movi r3, 4444
+                movi r0, SYS_CONNECT
+                syscall
+                mov r1, r7
+                movi r2, buf
+                movi r3, 4
+                movi r0, SYS_RECV
+                syscall
+                mov r1, r7
+                movi r2, buf
+                movi r3, 4
+                movi r0, SYS_SEND
+                syscall
+                ld r1, [r5+buf]
+                movi r0, SYS_EXIT
+                syscall
+            ip: .asciz "{ATTACKER_IP}"
+            buf: .space 4
+            """,
+        )
+
+    def test_connect_recv_send(self, machine):
+        proc = self.echo_client(machine)
+        # Client's ephemeral port is 49152 (first connect).
+        machine.schedule(
+            2000,
+            PacketEvent(
+                Packet(ATTACKER_IP, 4444, machine.devices.nic.ip, 49152, b"\x78\x56\x34\x12")
+            ),
+        )
+        machine.run()
+        assert proc.exit_code == 0x12345678
+        sent = [p for p in machine.devices.nic.tx_log if p.payload]
+        assert sent and sent[-1].payload == b"\x78\x56\x34\x12"
+
+    def test_recv_blocks_until_packet(self, machine):
+        proc = self.echo_client(machine)
+        machine.run(max_instructions=50_000)
+        # No packet yet: blocked, not dead.
+        assert proc.alive
+        assert proc.main_thread.state is ThreadState.BLOCKED
+
+    def test_listen_accept(self, machine):
+        proc = spawn_asm(
+            machine,
+            "server.exe",
+            """
+            start:
+                movi r0, SYS_SOCKET
+                syscall
+                mov r7, r0
+                mov r1, r7
+                movi r2, 8080
+                movi r0, SYS_LISTEN
+                syscall
+                mov r1, r7
+                movi r0, SYS_ACCEPT
+                syscall
+                mov r7, r0          ; connection handle
+                mov r1, r7
+                movi r2, buf
+                movi r3, 2
+                movi r0, SYS_RECV
+                syscall
+                ldb r1, [r5+buf]
+                movi r0, SYS_EXIT
+                syscall
+            buf: .space 2
+            """,
+        )
+        machine.schedule(
+            1500,
+            PacketEvent(Packet(ATTACKER_IP, 5555, machine.devices.nic.ip, 8080, b"\x41\x42")),
+        )
+        machine.run()
+        assert proc.exit_code == 0x41
+
+    def test_unmatched_packet_dropped(self, machine):
+        spawn_asm(machine, "idle.exe", "start: hlt")
+        machine.schedule(
+            10, PacketEvent(Packet(ATTACKER_IP, 1, machine.devices.nic.ip, 9999, b"x"))
+        )
+        machine.run()  # must not crash
+        assert machine.kernel.netstack.seen_flows == []
+
+
+class TestProcessSyscalls:
+    def test_create_process_runs_child(self, machine):
+        register_asm(machine, "child.exe", "start: movi r1, 5\nmovi r0, SYS_EXIT\nsyscall")
+        spawn_asm(
+            machine,
+            "parent.exe",
+            """
+            start:
+                movi r1, path
+                movi r2, 0
+                movi r0, SYS_CREATE_PROCESS
+                syscall
+                movi r1, 0
+                movi r0, SYS_EXIT
+                syscall
+            path: .asciz "child.exe"
+            """,
+        )
+        machine.run()
+        child = next(
+            p for p in machine.kernel.processes.values() if p.name == "child.exe"
+        )
+        assert child.exit_code == 5
+
+    def test_create_suspended_then_resume(self, machine):
+        register_asm(machine, "child.exe", "start: movi r1, 5\nmovi r0, SYS_EXIT\nsyscall")
+        spawn_asm(
+            machine,
+            "parent.exe",
+            """
+            start:
+                movi r1, path
+                movi r2, 1          ; CREATE_SUSPENDED
+                movi r0, SYS_CREATE_PROCESS
+                syscall
+                mov r7, r0
+                ; let some time pass; the child must not run
+                movi r1, 3000
+                movi r0, SYS_SLEEP
+                syscall
+                mov r1, r7
+                movi r0, SYS_RESUME_THREAD
+                syscall
+                movi r1, 0
+                movi r0, SYS_EXIT
+                syscall
+            path: .asciz "child.exe"
+            """,
+        )
+        machine.run()
+        child = machine.kernel.find_process("child.exe") or next(
+            p for p in machine.kernel.processes.values() if p.name == "child.exe"
+        )
+        assert child.exit_code == 5
+        assert child.created_suspended
+
+    def test_find_and_terminate(self, machine):
+        victim = spawn_asm(
+            machine,
+            "victim.exe",
+            "start: movi r1, 100000\nmovi r0, SYS_SLEEP\nsyscall\nhlt",
+        )
+        killer = spawn_asm(
+            machine,
+            "killer.exe",
+            """
+            start:
+                movi r1, name
+                movi r0, SYS_FIND_PROCESS
+                syscall
+                mov r1, r0
+                movi r0, SYS_OPEN_PROCESS
+                syscall
+                mov r1, r0
+                movi r2, 77
+                movi r0, SYS_TERMINATE
+                syscall
+                movi r1, 0
+                movi r0, SYS_EXIT
+                syscall
+            name: .asciz "victim.exe"
+            """,
+        )
+        machine.run()
+        assert victim.exit_code == 77 and killer.exit_code == 0
+
+    def test_write_vm_into_other_process(self, machine):
+        victim = spawn_asm(
+            machine,
+            "victim.exe",
+            """
+            start:
+                movi r1, 64
+                movi r2, PERM_RW
+                movi r0, SYS_ALLOC
+                syscall
+                movi r1, 60000
+                movi r0, SYS_SLEEP
+                syscall
+                ld r1, [r7+HEAP_BASE]   ; r7 = 0; read first heap word
+                movi r0, SYS_EXIT
+                syscall
+            """,
+        )
+        spawn_asm(
+            machine,
+            "writer.exe",
+            """
+            start:
+                movi r1, 2000
+                movi r0, SYS_SLEEP
+                syscall
+                movi r1, name
+                movi r0, SYS_FIND_PROCESS
+                syscall
+                mov r1, r0
+                movi r0, SYS_OPEN_PROCESS
+                syscall
+                mov r7, r0
+                mov r1, r7
+                movi r2, HEAP_BASE
+                movi r3, value
+                movi r4, 4
+                movi r0, SYS_WRITE_VM
+                syscall
+                movi r1, 0
+                movi r0, SYS_EXIT
+                syscall
+            name: .asciz "victim.exe"
+            value: .word 0x5ca1ab1e
+            """,
+        )
+        machine.run()
+        assert victim.exit_code == 0x5CA1AB1E
+
+    def test_remote_thread_runs_in_target_space(self, machine):
+        victim = spawn_asm(
+            machine,
+            "victim.exe",
+            """
+            start:
+                movi r1, 100000
+                movi r0, SYS_SLEEP
+                syscall
+                hlt
+            ; this routine is part of the victim image; a remote thread
+            ; will be pointed at it
+            routine:
+                movi r1, 31
+                movi r0, SYS_EXIT
+                syscall
+            """,
+        )
+        routine_addr = layout.IMAGE_BASE + 4 * 8  # after sleep(3) + hlt
+        spawn_asm(
+            machine,
+            "injector.exe",
+            f"""
+            start:
+                movi r1, 1000
+                movi r0, SYS_SLEEP
+                syscall
+                movi r1, name
+                movi r0, SYS_FIND_PROCESS
+                syscall
+                mov r1, r0
+                movi r0, SYS_OPEN_PROCESS
+                syscall
+                mov r1, r0
+                movi r2, {routine_addr}
+                movi r3, 0
+                movi r0, SYS_CREATE_REMOTE_THREAD
+                syscall
+                movi r1, 0
+                movi r0, SYS_EXIT
+                syscall
+            name: .asciz "victim.exe"
+            """,
+        )
+        machine.run()
+        assert victim.exit_code == 31
+
+
+class TestDevices:
+    def test_keylogger_reads_keystrokes(self, machine):
+        proc = spawn_asm(
+            machine,
+            "keys.exe",
+            """
+            start:
+                movi r1, buf
+                movi r2, 4
+                movi r0, SYS_READ_KEYS
+                syscall
+                cmpi r0, 0
+                jz start            ; poll until keys arrive
+                ldb r1, [r5+buf]
+                movi r0, SYS_EXIT
+                syscall
+            buf: .space 4
+            """,
+        )
+        machine.schedule(3000, KeystrokeEvent(b"pw"))
+        machine.run(max_instructions=200_000)
+        assert proc.exit_code == ord("p")
+
+    def test_audio_read_is_deterministic(self, machine):
+        spawn_asm(
+            machine,
+            "audio.exe",
+            """
+            start:
+                movi r1, buf
+                movi r2, 8
+                movi r0, SYS_READ_AUDIO
+                syscall
+                movi r1, 0
+                movi r0, SYS_EXIT
+                syscall
+            buf: .space 8
+            """,
+        )
+        machine.run()
+        other = Machine(MachineConfig())
+        spawn_asm(
+            other,
+            "audio.exe",
+            """
+            start:
+                movi r1, buf
+                movi r2, 8
+                movi r0, SYS_READ_AUDIO
+                syscall
+                movi r1, 0
+                movi r0, SYS_EXIT
+                syscall
+            buf: .space 8
+            """,
+        )
+        other.run()
+        # Same seed, same samples: find them in guest memory via fs? easier:
+        # compare the DMA-independent audio streams directly.
+        assert machine.devices.audio._state == other.devices.audio._state
+
+    def test_exec_cmd_logged(self, machine):
+        spawn_asm(
+            machine,
+            "shell.exe",
+            """
+            start:
+                movi r1, cmd
+                movi r0, SYS_EXEC_CMD
+                syscall
+                movi r1, 0
+                movi r0, SYS_EXIT
+                syscall
+            cmd: .asciz "whoami"
+            """,
+        )
+        machine.run()
+        assert machine.kernel.shell_log[-1][1] == "whoami"
+
+
+class TestRecordReplay:
+    def scenario(self):
+        def setup(machine):
+            register_asm(
+                machine,
+                "echo.exe",
+                f"""
+                start:
+                    movi r0, SYS_SOCKET
+                    syscall
+                    mov r7, r0
+                    mov r1, r7
+                    movi r2, ip
+                    movi r3, 4444
+                    movi r0, SYS_CONNECT
+                    syscall
+                    mov r1, r7
+                    movi r2, buf
+                    movi r3, 8
+                    movi r0, SYS_RECV
+                    syscall
+                    movi r1, 0
+                    movi r0, SYS_EXIT
+                    syscall
+                ip: .asciz "{ATTACKER_IP}"
+                buf: .space 8
+                """,
+            )
+            machine.kernel.spawn("echo.exe")
+
+        return Scenario(
+            name="echo",
+            setup=setup,
+            events=[
+                (
+                    2500,
+                    PacketEvent(
+                        Packet(ATTACKER_IP, 4444, "169.254.57.168", 49152, b"ABCDEFGH")
+                    ),
+                )
+            ],
+        )
+
+    def test_record_then_replay_is_deterministic(self):
+        recording = record(self.scenario())
+        machine = replay(recording)  # raises ReplayDivergence on mismatch
+        assert machine.now == recording.final_instret
+
+    def test_replay_detects_divergence(self):
+        recording = record(self.scenario())
+        tampered = Recording(
+            scenario=recording.scenario,
+            journal=recording.journal,
+            final_instret=recording.final_instret + 1,
+            stats=recording.stats,
+        )
+        with pytest.raises(ReplayDivergence):
+            replay(tampered)
+
+    def test_plugins_attach_at_replay(self):
+        from repro.emulator.plugins import Plugin
+
+        class Counter(Plugin):
+            def __init__(self):
+                super().__init__()
+                self.instructions = 0
+
+            def on_insn_exec(self, machine, thread, fx):
+                self.instructions += 1
+
+        recording = record(self.scenario())
+        counter = Counter()
+        replay(recording, plugins=[counter])
+        assert counter.instructions > 0

@@ -1,0 +1,131 @@
+"""Unit tests for the guest network stack."""
+
+import pytest
+
+from repro.emulator.devices import Packet
+from repro.guestos.netstack import NetError, NetStack
+
+GUEST = "169.254.57.168"
+REMOTE = "169.254.26.161"
+
+
+@pytest.fixture
+def stack():
+    return NetStack(GUEST)
+
+
+def packet(dst_port, payload=b"", src_port=4444):
+    return Packet(REMOTE, src_port, GUEST, dst_port, payload)
+
+
+class TestSockets:
+    def test_create_assigns_unique_ids(self, stack):
+        a, b = stack.create(1), stack.create(1)
+        assert a.sock_id != b.sock_id
+
+    def test_get_unknown_raises(self, stack):
+        with pytest.raises(NetError):
+            stack.get(999)
+
+    def test_get_closed_raises(self, stack):
+        sock = stack.create(1)
+        stack.close(sock)
+        with pytest.raises(NetError):
+            stack.get(sock.sock_id)
+
+    def test_connect_assigns_ephemeral_ports_in_order(self, stack):
+        a, b = stack.create(1), stack.create(1)
+        stack.connect(a, REMOTE, 80)
+        stack.connect(b, REMOTE, 81)
+        assert (a.local_port, b.local_port) == (49152, 49153)
+
+    def test_connect_twice_rejected(self, stack):
+        sock = stack.create(1)
+        stack.connect(sock, REMOTE, 80)
+        with pytest.raises(NetError):
+            stack.connect(sock, REMOTE, 81)
+
+    def test_listen_binds_port(self, stack):
+        sock = stack.create(1)
+        stack.listen(sock, 8080)
+        assert sock.listening and sock.local_port == 8080
+
+    def test_double_bind_rejected(self, stack):
+        stack.listen(stack.create(1), 8080)
+        with pytest.raises(NetError):
+            stack.listen(stack.create(1), 8080)
+
+
+class TestDelivery:
+    def test_connected_socket_receives_matching_packet(self, stack):
+        sock = stack.create(1)
+        stack.connect(sock, REMOTE, 4444)
+        hit = stack.deliver(packet(sock.local_port, b"abc"), paddrs=(10, 11, 12))
+        assert hit is sock
+        assert sock.rx_available() == 3
+
+    def test_wrong_port_dropped(self, stack):
+        sock = stack.create(1)
+        stack.connect(sock, REMOTE, 4444)
+        assert stack.deliver(packet(9999, b"x"), paddrs=(1,)) is None
+
+    def test_wrong_remote_dropped(self, stack):
+        sock = stack.create(1)
+        stack.connect(sock, REMOTE, 4444)
+        bad = Packet("6.6.6.6", 4444, GUEST, sock.local_port, b"x")
+        assert stack.deliver(bad, paddrs=(1,)) is None
+
+    def test_listener_spawns_connected_child(self, stack):
+        listener = stack.create(1)
+        stack.listen(listener, 8080)
+        stack.deliver(packet(8080, b"hi", src_port=5000), paddrs=(20, 21))
+        assert len(listener.accept_queue) == 1
+        child = listener.accept_queue[0]
+        assert child.connected
+        assert (child.remote_ip, child.remote_port) == (REMOTE, 5000)
+        assert child.rx_available() == 2
+
+    def test_established_child_preferred_over_listener(self, stack):
+        listener = stack.create(1)
+        stack.listen(listener, 8080)
+        stack.deliver(packet(8080, b"1", src_port=5000), paddrs=(1,))
+        child = listener.accept_queue.popleft()
+        stack.deliver(packet(8080, b"2", src_port=5000), paddrs=(2,))
+        assert child.rx_available() == 2
+        assert not listener.accept_queue
+
+    def test_seen_flows_deduplicated(self, stack):
+        sock = stack.create(1)
+        stack.connect(sock, REMOTE, 4444)
+        stack.deliver(packet(sock.local_port, b"a"), paddrs=(1,))
+        stack.deliver(packet(sock.local_port, b"b"), paddrs=(2,))
+        assert len(stack.seen_flows) == 1
+
+
+class TestConsume:
+    def test_consume_returns_dma_paddrs_in_order(self, stack):
+        sock = stack.create(1)
+        stack.connect(sock, REMOTE, 4444)
+        stack.deliver(packet(sock.local_port, b"abcd"), paddrs=(10, 11, 12, 13))
+        assert stack.consume(sock, 4) == (10, 11, 12, 13)
+        assert sock.rx_available() == 0
+
+    def test_partial_consume_keeps_remainder(self, stack):
+        sock = stack.create(1)
+        stack.connect(sock, REMOTE, 4444)
+        stack.deliver(packet(sock.local_port, b"abcd"), paddrs=(10, 11, 12, 13))
+        assert stack.consume(sock, 2) == (10, 11)
+        assert stack.consume(sock, 2) == (12, 13)
+
+    def test_consume_spans_segments(self, stack):
+        sock = stack.create(1)
+        stack.connect(sock, REMOTE, 4444)
+        stack.deliver(packet(sock.local_port, b"ab"), paddrs=(10, 11))
+        stack.deliver(packet(sock.local_port, b"cd"), paddrs=(20, 21))
+        assert stack.consume(sock, 3) == (10, 11, 20)
+        assert stack.consume(sock, 3) == (21,)
+
+    def test_consume_empty_returns_nothing(self, stack):
+        sock = stack.create(1)
+        stack.connect(sock, REMOTE, 4444)
+        assert stack.consume(sock, 4) == ()

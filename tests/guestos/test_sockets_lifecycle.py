@@ -1,0 +1,214 @@
+"""Socket lifecycle edge cases through the syscall interface."""
+
+import pytest
+
+from repro.emulator.devices import Packet
+from repro.emulator.record_replay import PacketEvent
+from repro.guestos.syscalls import ERR
+
+from tests.conftest import spawn_asm
+
+REMOTE = "9.9.9.9"
+
+
+class TestSocketLifecycle:
+    def test_recv_after_close_fails(self, machine):
+        proc = spawn_asm(
+            machine,
+            "t.exe",
+            """
+            start:
+                movi r0, SYS_SOCKET
+                syscall
+                mov r7, r0
+                mov r1, r7
+                movi r2, ip
+                movi r3, 80
+                movi r0, SYS_CONNECT
+                syscall
+                mov r1, r7
+                movi r0, SYS_CLOSE
+                syscall
+                mov r1, r7
+                movi r2, buf
+                movi r3, 4
+                movi r0, SYS_RECV
+                syscall
+                mov r1, r0
+                movi r0, SYS_EXIT
+                syscall
+            ip: .asciz "9.9.9.9"
+            buf: .space 4
+            """,
+        )
+        machine.run()
+        assert proc.exit_code == ERR
+
+    def test_packet_to_closed_socket_dropped(self, machine):
+        spawn_asm(
+            machine,
+            "t.exe",
+            """
+            start:
+                movi r0, SYS_SOCKET
+                syscall
+                mov r7, r0
+                mov r1, r7
+                movi r2, ip
+                movi r3, 80
+                movi r0, SYS_CONNECT
+                syscall
+                mov r1, r7
+                movi r0, SYS_CLOSE
+                syscall
+                movi r1, 0
+                movi r0, SYS_EXIT
+                syscall
+            ip: .asciz "9.9.9.9"
+            """,
+        )
+        machine.schedule(
+            30_000, PacketEvent(Packet(REMOTE, 80, machine.devices.nic.ip, 49152, b"x"))
+        )
+        machine.run()  # must not crash; flow not recorded
+        assert machine.kernel.netstack.seen_flows == []
+
+    def test_accept_queue_handles_multiple_clients(self, machine):
+        proc = spawn_asm(
+            machine,
+            "server.exe",
+            """
+            start:
+                movi r0, SYS_SOCKET
+                syscall
+                mov r7, r0
+                mov r1, r7
+                movi r2, 7777
+                movi r0, SYS_LISTEN
+                syscall
+                movi r6, 0          ; accepted connections
+            again:
+                mov r1, r7
+                movi r0, SYS_ACCEPT
+                syscall
+                addi r6, r6, 1
+                cmpi r6, 3
+                jnz again
+                mov r1, r6
+                movi r0, SYS_EXIT
+                syscall
+            """,
+        )
+        for i in range(3):
+            machine.schedule(
+                5_000 + i * 1_000,
+                PacketEvent(
+                    Packet(REMOTE, 6000 + i, machine.devices.nic.ip, 7777, b"syn")
+                ),
+            )
+        machine.run()
+        assert proc.exit_code == 3
+
+    def test_each_accepted_connection_is_isolated(self, machine):
+        """Two clients' data must arrive on their own accepted sockets."""
+        proc = spawn_asm(
+            machine,
+            "server.exe",
+            """
+            start:
+                movi r0, SYS_SOCKET
+                syscall
+                mov r7, r0
+                mov r1, r7
+                movi r2, 7777
+                movi r0, SYS_LISTEN
+                syscall
+                ; accept A, read one byte
+                mov r1, r7
+                movi r0, SYS_ACCEPT
+                syscall
+                mov r6, r0
+                mov r1, r6
+                movi r2, bufa
+                movi r3, 1
+                movi r0, SYS_RECV
+                syscall
+                ; accept B, read one byte
+                mov r1, r7
+                movi r0, SYS_ACCEPT
+                syscall
+                mov r6, r0
+                mov r1, r6
+                movi r2, bufb
+                movi r3, 1
+                movi r0, SYS_RECV
+                syscall
+                ; exit with A<<8 | B
+                ldb r1, [r4+bufa]      ; r4 = 0
+                shli r1, r1, 8
+                ldb r2, [r4+bufb]
+                or r1, r1, r2
+                movi r0, SYS_EXIT
+                syscall
+            bufa: .byte 0
+            bufb: .byte 0
+            """,
+        )
+        machine.schedule(
+            5_000, PacketEvent(Packet(REMOTE, 6000, machine.devices.nic.ip, 7777, b"A"))
+        )
+        machine.schedule(
+            9_000, PacketEvent(Packet(REMOTE, 6001, machine.devices.nic.ip, 7777, b"B"))
+        )
+        machine.run()
+        assert proc.exit_code == (ord("A") << 8) | ord("B")
+
+    def test_two_listeners_on_distinct_ports(self, machine):
+        a = spawn_asm(
+            machine,
+            "a.exe",
+            """
+            start:
+                movi r0, SYS_SOCKET
+                syscall
+                mov r7, r0
+                mov r1, r7
+                movi r2, 1111
+                movi r0, SYS_LISTEN
+                syscall
+                mov r1, r7
+                movi r0, SYS_ACCEPT
+                syscall
+                movi r1, 1
+                movi r0, SYS_EXIT
+                syscall
+            """,
+        )
+        b = spawn_asm(
+            machine,
+            "b.exe",
+            """
+            start:
+                movi r0, SYS_SOCKET
+                syscall
+                mov r7, r0
+                mov r1, r7
+                movi r2, 2222
+                movi r0, SYS_LISTEN
+                syscall
+                mov r1, r7
+                movi r0, SYS_ACCEPT
+                syscall
+                movi r1, 2
+                movi r0, SYS_EXIT
+                syscall
+            """,
+        )
+        machine.schedule(
+            5_000, PacketEvent(Packet(REMOTE, 1, machine.devices.nic.ip, 2222, b"x"))
+        )
+        machine.schedule(
+            6_000, PacketEvent(Packet(REMOTE, 2, machine.devices.nic.ip, 1111, b"y"))
+        )
+        machine.run()
+        assert a.exit_code == 1 and b.exit_code == 2

@@ -1,0 +1,99 @@
+"""Unit and property tests for instruction encode/decode."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.errors import DecodeError
+from repro.isa.instructions import (
+    INSTRUCTION_SIZE,
+    Instruction,
+    Op,
+    decode,
+    encode,
+    format_instruction,
+    signed32,
+)
+from repro.isa.registers import NUM_REGS, Reg
+
+regs = st.sampled_from(list(Reg))
+imms = st.integers(min_value=0, max_value=0xFFFFFFFF)
+ops = st.sampled_from(list(Op))
+
+
+@given(op=ops, rd=regs, rs1=regs, rs2=regs, imm=imms)
+def test_encode_decode_roundtrip(op, rd, rs1, rs2, imm):
+    insn = Instruction(op, rd, rs1, rs2, imm)
+    assert decode(encode(insn)) == insn
+
+
+def test_encoding_is_fixed_width():
+    assert len(encode(Instruction(Op.NOP))) == INSTRUCTION_SIZE
+    assert len(encode(Instruction(Op.LD, Reg.R1, Reg.R2, imm=0xFFFFFFFF))) == 8
+
+
+def test_encoding_layout():
+    raw = encode(Instruction(Op.LD, Reg.R3, Reg.SP, Reg.R0, 0x11223344))
+    assert raw[0] == Op.LD
+    assert raw[1] == Reg.R3
+    assert raw[2] == Reg.SP
+    assert raw[3] == Reg.R0
+    assert raw[4:8] == b"\x44\x33\x22\x11"
+
+
+def test_undefined_opcode_rejected():
+    raw = bytes([0xEE, 0, 0, 0, 0, 0, 0, 0])
+    with pytest.raises(DecodeError):
+        decode(raw)
+
+
+def test_register_index_out_of_range_rejected():
+    raw = bytes([Op.MOV, NUM_REGS, 0, 0, 0, 0, 0, 0])
+    with pytest.raises(DecodeError):
+        decode(raw)
+
+
+def test_truncated_buffer_rejected():
+    with pytest.raises(DecodeError):
+        decode(b"\x00" * 7)
+
+
+def test_decode_at_offset():
+    buf = encode(Instruction(Op.NOP)) + encode(Instruction(Op.HLT))
+    assert decode(buf, offset=8).op is Op.HLT
+
+
+def test_negative_immediate_wraps_to_unsigned():
+    insn = Instruction(Op.ADDI, Reg.R1, Reg.R1, imm=-4)
+    decoded = decode(encode(insn))
+    assert decoded.imm == 0xFFFFFFFC
+    assert signed32(decoded.imm) == -4
+
+
+@pytest.mark.parametrize(
+    "value,expected",
+    [(0, 0), (1, 1), (0x7FFFFFFF, 0x7FFFFFFF), (0x80000000, -0x80000000), (0xFFFFFFFF, -1)],
+)
+def test_signed32(value, expected):
+    assert signed32(value) == expected
+
+
+@given(op=ops, rd=regs, rs1=regs, rs2=regs, imm=imms)
+def test_format_never_crashes(op, rd, rs1, rs2, imm):
+    text = format_instruction(Instruction(op, rd, rs1, rs2, imm))
+    assert isinstance(text, str) and text
+
+
+@pytest.mark.parametrize(
+    "insn,expected",
+    [
+        (Instruction(Op.MOVI, Reg.R1, imm=16), "movi r1, 0x10"),
+        (Instruction(Op.LD, Reg.R2, Reg.SP, imm=4), "ld r2, [sp+0x4]"),
+        (Instruction(Op.ST, rs1=Reg.R1, rs2=Reg.R2, imm=0), "st [r1+0x0], r2"),
+        (Instruction(Op.ADD, Reg.R1, Reg.R2, Reg.R3), "add r1, r2, r3"),
+        (Instruction(Op.SYSCALL), "syscall"),
+        (Instruction(Op.CALLR, rs1=Reg.R5), "callr r5"),
+    ],
+)
+def test_format_examples(insn, expected):
+    assert format_instruction(insn) == expected

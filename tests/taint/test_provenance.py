@@ -1,0 +1,106 @@
+"""Unit + property tests for the provenance-list algebra (Table I)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.taint.provenance import (
+    EMPTY,
+    MAX_PROV_LEN,
+    append_tag,
+    delete,
+    prov_copy,
+    prov_union,
+    union_all,
+)
+from repro.taint.tags import Tag, TagType
+
+tags = st.builds(
+    Tag,
+    type=st.sampled_from(list(TagType)),
+    index=st.integers(0, 50),
+)
+provs = st.lists(tags, max_size=8).map(
+    lambda ts: tuple(dict.fromkeys(ts))  # dedup, preserve order
+)
+
+
+class TestBasics:
+    def test_empty_is_untainted(self):
+        assert EMPTY == ()
+        assert delete() == EMPTY
+
+    def test_copy_shares(self):
+        prov = (Tag(TagType.NETFLOW, 0),)
+        assert prov_copy(prov) is prov
+
+    def test_append_preserves_chronology(self):
+        n = Tag(TagType.NETFLOW, 0)
+        p1 = Tag(TagType.PROCESS, 1)
+        p2 = Tag(TagType.PROCESS, 2)
+        prov = append_tag(append_tag(append_tag(EMPTY, n), p1), p2)
+        assert prov == (n, p1, p2)
+
+    def test_append_is_idempotent_keeps_first_position(self):
+        n = Tag(TagType.NETFLOW, 0)
+        p = Tag(TagType.PROCESS, 1)
+        prov = append_tag(append_tag(EMPTY, n), p)
+        assert append_tag(prov, n) == (n, p)
+
+    def test_append_caps_length(self):
+        prov = EMPTY
+        for i in range(MAX_PROV_LEN + 10):
+            prov = append_tag(prov, Tag(TagType.PROCESS, i))
+        assert len(prov) == MAX_PROV_LEN
+        # Oldest (origin-end) tags are the ones retained.
+        assert prov[0] == Tag(TagType.PROCESS, 0)
+
+    def test_union_merges_in_order(self):
+        a = (Tag(TagType.NETFLOW, 0), Tag(TagType.PROCESS, 1))
+        b = (Tag(TagType.PROCESS, 1), Tag(TagType.FILE, 2))
+        assert prov_union(a, b) == (
+            Tag(TagType.NETFLOW, 0),
+            Tag(TagType.PROCESS, 1),
+            Tag(TagType.FILE, 2),
+        )
+
+    def test_union_all(self):
+        parts = [(Tag(TagType.PROCESS, i),) for i in range(3)]
+        assert len(union_all(parts)) == 3
+
+
+class TestProperties:
+    @given(a=provs)
+    def test_union_identity(self, a):
+        assert prov_union(a, EMPTY) == a
+        assert prov_union(EMPTY, a) == a
+
+    @given(a=provs)
+    def test_union_idempotent(self, a):
+        assert prov_union(a, a) == a
+
+    @given(a=provs, b=provs)
+    def test_union_contains_both(self, a, b):
+        u = prov_union(a, b)
+        if len(set(a) | set(b)) <= MAX_PROV_LEN:
+            assert set(a) | set(b) == set(u)
+
+    @given(a=provs, b=provs, c=provs)
+    def test_union_associative_as_sets(self, a, b, c):
+        left = prov_union(prov_union(a, b), c)
+        right = prov_union(a, prov_union(b, c))
+        if len(set(a) | set(b) | set(c)) <= MAX_PROV_LEN:
+            assert set(left) == set(right)
+
+    @given(a=provs, b=provs)
+    def test_union_never_duplicates(self, a, b):
+        u = prov_union(a, b)
+        assert len(u) == len(set(u))
+
+    @given(a=provs, t=tags)
+    def test_append_never_duplicates(self, a, t):
+        out = append_tag(a, t)
+        assert len(out) == len(set(out))
+
+    @given(a=provs, b=provs)
+    def test_union_bounded(self, a, b):
+        assert len(prov_union(a, b)) <= MAX_PROV_LEN

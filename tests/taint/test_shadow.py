@@ -1,0 +1,83 @@
+"""Unit tests for shadow memory and per-thread register banks."""
+
+from repro.isa.registers import Reg
+from repro.taint.shadow import ShadowBank, ShadowMemory, ShadowRegisters
+from repro.taint.tags import Tag, TagType
+
+N = Tag(TagType.NETFLOW, 0)
+P = Tag(TagType.PROCESS, 1)
+
+
+class TestShadowMemory:
+    def test_default_empty(self):
+        assert ShadowMemory().get(0x1000) == ()
+
+    def test_set_get(self):
+        shadow = ShadowMemory()
+        shadow.set(0x10, (N,))
+        assert shadow.get(0x10) == (N,)
+        assert shadow.get(0x11) == ()
+
+    def test_set_empty_removes_entry(self):
+        shadow = ShadowMemory()
+        shadow.set(0x10, (N,))
+        shadow.set(0x10, ())
+        assert shadow.tainted_bytes == 0
+
+    def test_get_range_unions(self):
+        shadow = ShadowMemory()
+        shadow.set(0x10, (N,))
+        shadow.set(0x12, (P,))
+        assert set(shadow.get_range(range(0x10, 0x14))) == {N, P}
+
+    def test_set_range(self):
+        shadow = ShadowMemory()
+        shadow.set_range(range(4), (N,))
+        assert shadow.tainted_bytes == 4
+
+    def test_set_range_empty_clears(self):
+        shadow = ShadowMemory()
+        shadow.set_range(range(4), (N,))
+        shadow.set_range(range(4), ())
+        assert shadow.tainted_bytes == 0
+
+    def test_clear_range(self):
+        shadow = ShadowMemory()
+        shadow.set_range(range(8), (N,))
+        shadow.clear_range(range(2, 6))
+        assert shadow.tainted_bytes == 4
+
+    def test_tainted_bytes_counts_distinct_addresses(self):
+        shadow = ShadowMemory()
+        shadow.set(1, (N,))
+        shadow.set(1, (P,))
+        assert shadow.tainted_bytes == 1
+
+
+class TestShadowRegisters:
+    def test_default_untainted(self):
+        regs = ShadowRegisters()
+        assert regs.get(Reg.R0) == () and regs.flags == ()
+
+    def test_set_get(self):
+        regs = ShadowRegisters()
+        regs.set(Reg.R3, (N,))
+        assert regs.get(Reg.R3) == (N,)
+        assert regs.get(Reg.R4) == ()
+
+
+class TestShadowBank:
+    def test_banks_are_per_thread(self):
+        bank = ShadowBank()
+        bank.for_thread(1).set(Reg.R1, (N,))
+        assert bank.for_thread(2).get(Reg.R1) == ()
+        assert bank.for_thread(1).get(Reg.R1) == (N,)
+
+    def test_drop_thread(self):
+        bank = ShadowBank()
+        bank.for_thread(1).set(Reg.R1, (N,))
+        bank.drop_thread(1)
+        assert bank.for_thread(1).get(Reg.R1) == ()
+
+    def test_drop_unknown_thread_is_noop(self):
+        ShadowBank().drop_thread(99)

@@ -1,0 +1,86 @@
+"""Property tests for TagStore interning and description consistency."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.taint.tags import TagStore, TagType
+
+ips = st.from_regex(r"\A\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}\Z")
+ports = st.integers(0, 65535)
+
+
+class TestInterningProperties:
+    @given(src_ip=ips, src_port=ports, dst_ip=ips, dst_port=ports)
+    @settings(max_examples=50, deadline=None)
+    def test_netflow_interning_stable(self, src_ip, src_port, dst_ip, dst_port):
+        store = TagStore()
+        first = store.netflow_tag(src_ip, src_port, dst_ip, dst_port)
+        second = store.netflow_tag(src_ip, src_port, dst_ip, dst_port)
+        assert first == second
+        payload = store.netflow_payload(first)
+        assert (payload.src_ip, payload.src_port) == (src_ip, src_port)
+        assert (payload.dst_ip, payload.dst_port) == (dst_ip, dst_port)
+
+    @given(flows=st.lists(st.tuples(ips, ports, ips, ports), min_size=1, max_size=20))
+    @settings(max_examples=25, deadline=None)
+    def test_distinct_flows_get_distinct_tags(self, flows):
+        store = TagStore()
+        tags = [store.netflow_tag(*flow) for flow in flows]
+        assert len(set(tags)) == len(set(flows))
+
+    @given(cr3s=st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=30))
+    @settings(max_examples=25, deadline=None)
+    def test_process_roundtrip(self, cr3s):
+        store = TagStore()
+        for cr3 in cr3s:
+            tag = store.process_tag(cr3)
+            assert store.process_cr3(tag) == cr3
+
+    @given(
+        names=st.lists(
+            st.text(alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+                    min_size=1, max_size=12),
+            min_size=1,
+            max_size=15,
+            unique=True,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_export_function_roundtrip(self, names):
+        store = TagStore()
+        for name in names:
+            tag = store.export_table_tag(name)
+            assert store.export_function(tag) == name
+            assert tag.index != 0  # never collides with the anonymous tag
+
+    @given(
+        name=st.text(min_size=1, max_size=20),
+        versions=st.lists(st.integers(1, 1000), min_size=1, max_size=10, unique=True),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_file_versions_distinct(self, name, versions):
+        store = TagStore()
+        tags = {store.file_tag(name, v) for v in versions}
+        assert len(tags) == len(versions)
+
+
+class TestDescribeTotality:
+    @given(
+        kind=st.sampled_from(["netflow", "process", "file", "export", "anon"]),
+        n=st.integers(0, 30),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_describe_never_fails_for_minted_tags(self, kind, n):
+        store = TagStore()
+        if kind == "netflow":
+            tag = store.netflow_tag("1.1.1.1", n, "2.2.2.2", n + 1)
+        elif kind == "process":
+            tag = store.process_tag(n)
+        elif kind == "file":
+            tag = store.file_tag(f"f{n}", n + 1)
+        elif kind == "export":
+            tag = store.export_table_tag(f"Api{n}")
+        else:
+            tag = store.export_table_tag()
+        text = store.describe(tag)
+        assert isinstance(text, str) and text

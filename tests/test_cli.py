@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [["detect"], ["table4", "--full"], ["table5", "--repeat", "2"], ["all"]],
+    )
+    def test_valid_commands_parse(self, argv):
+        args = build_parser().parse_args(argv)
+        assert args.command == argv[0]
+
+
+class TestCommands:
+    def test_detect(self, capsys):
+        assert main(["detect"]) == 0
+        out = capsys.readouterr().out
+        assert "TOTAL: 6/6 flagged" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "NetFlow:" in capsys.readouterr().out
+
+    def test_table4_quick(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "false positives: 0" in out
+        assert "one variant per family" in out
+
+    def test_indirect(self, capsys):
+        assert main(["indirect"]) == 0
+        assert "fig2-control-dep" in capsys.readouterr().out
+
+    def test_table5_single_repeat(self, capsys):
+        assert main(["table5", "--repeat", "1"]) == 0
+        assert "average slowdown" in capsys.readouterr().out
+
+    def test_timeline(self, capsys):
+        assert main(["timeline", "reflective"]) == 0
+        out = capsys.readouterr().out
+        assert "FAROS timeline" in out and "FLAG" in out
+
+    def test_timeline_requires_known_attack(self):
+        with pytest.raises(SystemExit):
+            main(["timeline", "bogus"])

@@ -1,0 +1,37 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+EXPECTED_MARKERS = {
+    "quickstart.py": "IN-MEMORY INJECTION FLAGGED",
+    "malware_triage.py": "false-positive rate",
+    "attack_forensics.py": "keylogger loot",
+    "custom_policy.py": "policy update",
+    "baseline_comparison.py": "Cuckoo+malfind",
+    "analyze_custom_sample.py": "verdict: clean",
+    "snapshot_forensics.py": "cannot beat an analysis",
+}
+
+
+def test_examples_list_is_complete():
+    assert {p.name for p in EXAMPLES} == set(EXPECTED_MARKERS)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert EXPECTED_MARKERS[script.name] in result.stdout

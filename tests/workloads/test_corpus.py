@@ -1,0 +1,145 @@
+"""Tests for the Table IV corpus roster and behaviour compositions."""
+
+import pytest
+
+from repro.faros import Faros
+from repro.workloads.behaviors import BEHAVIORS, build_sample_scenario
+from repro.workloads.corpus import (
+    BENIGN_ROWS,
+    BENIGN_SAMPLE_COUNT,
+    MALWARE_ROWS,
+    MALWARE_SAMPLE_COUNT,
+    corpus_samples,
+)
+
+
+class TestRoster:
+    def test_totals_match_paper(self):
+        samples = corpus_samples()
+        assert sum(1 for s in samples if not s.benign) == MALWARE_SAMPLE_COUNT == 90
+        assert sum(1 for s in samples if s.benign) == BENIGN_SAMPLE_COUNT == 14
+
+    def test_seventeen_malware_rows(self):
+        assert len(MALWARE_ROWS) == 17
+
+    def test_four_benign_rows(self):
+        assert len(BENIGN_ROWS) == 4
+
+    def test_every_family_represented(self):
+        families = {s.family for s in corpus_samples()}
+        assert {"Pandora v2.2", "Quasar v1.0", "Skype", "TeamViewer"} <= families
+
+    def test_all_behaviors_valid(self):
+        for _name, behaviors in MALWARE_ROWS + BENIGN_ROWS:
+            for behavior in behaviors:
+                assert behavior in BEHAVIORS
+
+    def test_variants_distinct_within_family(self):
+        samples = [s for s in corpus_samples() if s.family == "Pandora v2.2"]
+        assert len({s.variant for s in samples}) == len(samples)
+
+    def test_sample_names_unique(self):
+        names = [s.name for s in corpus_samples()]
+        assert len(names) == len(set(names))
+
+    def test_checkmark_counts_match_table4(self):
+        counts = {name: len(b) for name, b in MALWARE_ROWS}
+        assert counts["Pandora v2.2"] == 7
+        assert counts["Darkcomet v5.3"] == 6
+        assert counts["Blue Banana"] == 4
+        assert counts["Quasar v1.0"] == 3
+        assert counts["Extremerat v2.7.1"] == 7
+
+
+class TestBehaviorExecution:
+    """Each behaviour must actually do its thing on the machine."""
+
+    def run(self, behaviors, variant=0):
+        scenario = build_sample_scenario("probe", behaviors, variant=variant)
+        machine = scenario.run()
+        proc = next(iter(machine.kernel.processes.values()))
+        return machine, proc
+
+    def test_idle_completes(self):
+        _, proc = self.run(("idle",))
+        assert proc.exit_code == 0
+
+    def test_run_completes(self):
+        _, proc = self.run(("run",))
+        assert proc.exit_code == 0
+
+    def test_audio_record_writes_capture_file(self):
+        machine, proc = self.run(("audio_record",))
+        assert proc.exit_code == 0
+        node = machine.kernel.fs.get("C:\\audio_b0.cap")
+        assert node is not None and len(node.data) == 32
+
+    def test_keylogger_logs_typed_keys(self):
+        machine, proc = self.run(("keylogger",))
+        assert proc.exit_code == 0
+        node = machine.kernel.fs.get("C:\\keys_b0.log")
+        assert node is not None and b"s3cret!" in bytes(node.data)
+
+    def test_remote_desktop_sends_screen(self):
+        machine, proc = self.run(("remote_desktop",))
+        assert proc.exit_code == 0
+        payloads = [p.payload for p in machine.devices.nic.tx_log if p.payload]
+        assert any(len(p) == 64 for p in payloads)
+
+    def test_file_transfer_drops_file(self):
+        machine, proc = self.run(("file_transfer",))
+        assert proc.exit_code == 0
+        node = machine.kernel.fs.get("C:\\transfer_b0.bin")
+        assert node is not None and len(node.data) == 32
+
+    def test_upload_exfiltrates_file_content(self):
+        machine, proc = self.run(("upload",))
+        assert proc.exit_code == 0
+        payloads = [p.payload for p in machine.devices.nic.tx_log if p.payload]
+        assert any(b"confidential" in p for p in payloads)
+
+    def test_download_saves_dropper_without_running_it(self):
+        machine, proc = self.run(("download",))
+        assert proc.exit_code == 0
+        node = machine.kernel.fs.get("C:\\update_b0.exe")
+        assert node is not None and bytes(node.data).startswith(b"MZ")
+        # Only the sample's own process ever existed.
+        assert len(machine.kernel.processes) == 1
+
+    def test_remote_shell_executes_command(self):
+        machine, proc = self.run(("remote_shell",))
+        assert proc.exit_code == 0
+        assert any(cmd == "whoami" for _pid, cmd in machine.kernel.shell_log)
+
+    def test_screenshot_writes_file(self):
+        machine, proc = self.run(("screenshot",))
+        assert proc.exit_code == 0
+        assert machine.kernel.fs.get("C:\\capture_b0.png") is not None
+
+    def test_composed_sample_runs_all_behaviors(self):
+        machine, proc = self.run(
+            ("idle", "run", "file_transfer", "keylogger", "upload")
+        )
+        assert proc.exit_code == 0
+        assert machine.kernel.fs.get("C:\\transfer_b2.bin") is not None
+        assert machine.kernel.fs.get("C:\\keys_b3.log") is not None
+
+    def test_variants_produce_different_artifacts(self):
+        m0, _ = self.run(("file_transfer",), variant=0)
+        m1, _ = self.run(("file_transfer",), variant=1)
+        d0 = bytes(m0.kernel.fs.get("C:\\transfer_b0.bin").data)
+        d1 = bytes(m1.kernel.fs.get("C:\\transfer_b0.bin").data)
+        assert d0 != d1
+
+
+class TestCorpusFalsePositives:
+    """One FAROS pass per family row (the full 104 runs live in the bench)."""
+
+    @pytest.mark.parametrize("family,behaviors", list(MALWARE_ROWS) + list(BENIGN_ROWS))
+    def test_family_not_flagged(self, family, behaviors):
+        scenario = build_sample_scenario(family, behaviors, variant=0)
+        faros = Faros()
+        machine = scenario.run(plugins=[faros])
+        proc = next(iter(machine.kernel.processes.values()))
+        assert proc.exit_code == 0, f"{family} did not finish cleanly"
+        assert not faros.attack_detected, f"false positive on {family}"
