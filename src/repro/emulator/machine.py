@@ -190,24 +190,36 @@ class Machine:
         cpu.restore_context(thread.context)
         cpu.halted = False
         thread.state = ThreadState.RUNNING
-        # Pick the execution path once per slice: instrumented stepping
-        # only when some plugin actually consumes per-instruction
-        # effects (PANDA-style), the uninstrumented fast path otherwise.
+        # Pick the execution path per slice: instrumented stepping only
+        # when some plugin currently consumes per-instruction effects
+        # (PANDA-style), the uninstrumented fast path otherwise.  The
+        # choice is revisited after every syscall -- syscalls are the
+        # only point inside a slice where new analysis-relevant state
+        # (a tainted packet landing in a recv buffer, a tainted file
+        # read) can appear and re-arm a gated plugin.
         instrumented = self.plugins.needs_insn_effects()
         step = cpu.step if instrumented else cpu.step_fast
         executed = 0
+        skipped = 0  # uninstrumented retirements not yet reported
         while executed < quantum:
             try:
                 fx = step()
             except GuestFault as fault:
+                if skipped:
+                    self.plugins.dispatch("on_insns_skipped", self, thread, skipped)
                 self.plugins.dispatch("on_guest_fault", self, thread, fault)
                 self.kernel.crash_process(thread.process, fault)
                 return
             executed += 1
             if instrumented:
                 self.plugins.dispatch_insn(self, thread, fx)
+            else:
+                skipped += 1
 
             if fx.syscall:
+                if skipped:
+                    self.plugins.dispatch("on_insns_skipped", self, thread, skipped)
+                    skipped = 0
                 number = cpu.regs.read(Reg.R0)
                 args = tuple(cpu.regs.read(r) for r in (Reg.R1, Reg.R2, Reg.R3, Reg.R4, Reg.R5))
                 thread.context = cpu.context()
@@ -220,10 +232,16 @@ class Machine:
                 if thread.state is not ThreadState.RUNNING:
                     return  # suspended/killed by its own syscall
                 cpu.restore_context(thread.context)
+                instrumented = self.plugins.needs_insn_effects()
+                step = cpu.step if instrumented else cpu.step_fast
                 continue
             if fx.halted:
+                if skipped:
+                    self.plugins.dispatch("on_insns_skipped", self, thread, skipped)
                 thread.context = cpu.context()
                 self.kernel.terminate_process(thread.process, cpu.regs.read(Reg.R0))
                 return
+        if skipped:
+            self.plugins.dispatch("on_insns_skipped", self, thread, skipped)
         thread.context = cpu.context()
         self.kernel.requeue(thread)

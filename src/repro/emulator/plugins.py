@@ -55,6 +55,28 @@ class Plugin:
     ) -> None:
         """One instruction retired on *thread*; *fx* describes its effects."""
 
+    def wants_insn_effects(self) -> bool:
+        """Does this plugin *currently* need per-instruction effects?
+
+        The machine asks at every scheduler slice (and again after each
+        syscall, the only in-slice point where analysis-relevant state
+        can appear).  The default is static: True iff the class overrides
+        :meth:`on_insn_exec`.  Plugins whose need is state-dependent --
+        the taint tracker is dormant until the first tainted byte exists
+        -- override this to gate the emulator onto its uninstrumented
+        fast path while they have nothing to observe.
+        """
+        return type(self).on_insn_exec is not Plugin.on_insn_exec
+
+    def on_insns_skipped(self, machine: "Machine", thread: "Thread", count: int) -> None:
+        """*count* instructions retired on the uninstrumented fast path.
+
+        Delivered in bulk (per slice, or up to each syscall) when every
+        plugin's :meth:`wants_insn_effects` answered False, so counters
+        that account for all retirements stay accurate.  No effects are
+        available for these instructions by construction.
+        """
+
     def on_guest_fault(self, machine: "Machine", thread: "Thread", fault: Exception) -> None:
         """*thread* raised a guest fault (the kernel will kill the process)."""
 
@@ -179,13 +201,13 @@ class PluginManager:
             plugin.on_insn_exec(machine, thread, fx)
 
     def needs_insn_effects(self) -> bool:
-        """True if any plugin overrides ``on_insn_exec``.
+        """True if any plugin currently wants per-instruction effects.
 
         When nothing instruments instructions the machine runs the
         CPU's uninstrumented fast path -- the analog of QEMU executing
-        translated blocks without PANDA callbacks compiled in.
+        translated blocks without PANDA callbacks compiled in.  Each
+        plugin answers via :meth:`Plugin.wants_insn_effects`, which may
+        be state-dependent (the taint tracker declines while the system
+        holds no taint).
         """
-        return any(
-            type(plugin).on_insn_exec is not Plugin.on_insn_exec
-            for plugin in self._plugins
-        )
+        return any(plugin.wants_insn_effects() for plugin in self._plugins)

@@ -56,6 +56,7 @@ class Faros(Plugin):
         detection: Optional[DetectionConfig] = None,
         augment_export_tags: bool = True,
         taint_kernel_code: bool = False,
+        tracker_cls=TaintTracker,
     ) -> None:
         """Create the plugin.
 
@@ -68,10 +69,15 @@ class Faros(Plugin):
             "update the policy" response to resolvers that scan kernel
             code for API stubs instead of reading the export table
             (ROP-style function discovery).
+        :param tracker_cls: the taint core to run on.  Defaults to the
+            fast-path :class:`~repro.taint.tracker.TaintTracker`; the
+            differential harness passes
+            :class:`~repro.taint.reference.ReferenceTaintTracker` to
+            check detection verdicts never drift between the two.
         """
         super().__init__()
         self.tags = TagStore()
-        self.tracker = TaintTracker(policy=policy or TaintPolicy(), tags=self.tags)
+        self.tracker = tracker_cls(policy=policy or TaintPolicy(), tags=self.tags)
         self.detector = Detector(self.tags, detection)
         self.osi = OSIPlugin()
         self.augment_export_tags = augment_export_tags
@@ -105,6 +111,12 @@ class Faros(Plugin):
 
     def on_insn_exec(self, machine, thread, fx) -> None:
         self.tracker.on_insn_exec(machine, thread, fx)
+
+    def wants_insn_effects(self) -> bool:
+        return self.tracker.wants_insn_effects()
+
+    def on_insns_skipped(self, machine, thread, count) -> None:
+        self.tracker.on_insns_skipped(machine, thread, count)
 
     def on_phys_copy(self, machine, dst_paddrs, src_paddrs, actor=None) -> None:
         self.tracker.on_phys_copy(machine, dst_paddrs, src_paddrs, actor)

@@ -8,14 +8,21 @@ This package implements the paper's taint machinery:
 * :mod:`~repro.taint.provenance` -- ordered provenance lists (Fig. 4) and
   the copy/union/delete algebra (Table I);
 * :mod:`~repro.taint.shadow` -- byte-granular shadow memory keyed on
-  *physical* addresses plus per-thread shadow register banks;
+  *physical* addresses (page-organised with per-page all-clean fast
+  exits) plus per-thread shadow register banks;
+* :mod:`~repro.taint.intern` -- the global provenance interner with
+  memoised union/append (the allocation-free fast path);
 * :mod:`~repro.taint.policy` -- the indirect-flow policy knobs that
   reproduce the under/overtainting dilemma (Figs. 1-2);
 * :mod:`~repro.taint.tracker` -- the emulator plugin that applies the
   propagation rules to every retired instruction and every
-  kernel-mediated copy (whole-system DIFT).
+  kernel-mediated copy (whole-system DIFT);
+* :mod:`~repro.taint.reference` -- the kept pre-optimisation
+  implementation, held bit-identical to the fast path by the
+  differential harness in ``tests/taint/test_differential.py``.
 """
 
+from repro.taint.intern import GLOBAL_INTERNER, ProvInterner
 from repro.taint.policy import TaintPolicy
 from repro.taint.provenance import (
     EMPTY,
@@ -25,7 +32,12 @@ from repro.taint.provenance import (
     prov_copy,
     prov_union,
 )
-from repro.taint.shadow import ShadowMemory, ShadowRegisters
+from repro.taint.reference import ReferenceShadowMemory, ReferenceTaintTracker
+from repro.taint.shadow import (
+    SHADOW_PAGE_SIZE,
+    ShadowMemory,
+    ShadowRegisters,
+)
 from repro.taint.tags import (
     FileTag,
     NetflowTag,
@@ -39,8 +51,13 @@ from repro.taint.tracker import TaintTracker
 __all__ = [
     "EMPTY",
     "FileTag",
+    "GLOBAL_INTERNER",
     "MAX_PROV_LEN",
     "NetflowTag",
+    "ProvInterner",
+    "ReferenceShadowMemory",
+    "ReferenceTaintTracker",
+    "SHADOW_PAGE_SIZE",
     "ShadowMemory",
     "ShadowRegisters",
     "Tag",

@@ -1,0 +1,168 @@
+"""The global provenance interner: canonical lists + memoised algebra.
+
+The per-instruction propagation loop is where whole-system DIFT pays its
+overhead (Table V), and in this substrate the dominant cost used to be
+*allocations*: every union and every process-tag append rebuilt a fresh
+provenance tuple even when an identical list had been produced thousands
+of times before.  Real provenance traffic is extremely repetitive -- a
+netflow payload of N bytes carries N references to the *same* list, and
+an injected region is touched by the same (netflow, injector, victim)
+chronology over and over.
+
+:class:`ProvInterner` exploits that repetition:
+
+* :meth:`intern` canonicalises a provenance tuple, so structurally equal
+  lists become the *same object* and downstream comparisons are pointer
+  comparisons;
+* :meth:`union` / :meth:`append` are memoised versions of
+  :func:`~repro.taint.provenance.prov_union` /
+  :func:`~repro.taint.provenance.append_tag`, keyed on the *identity* of
+  canonical inputs -- a cache hit costs two dict probes and allocates
+  nothing.
+
+Identity-keyed caches are only sound because the interner keeps a strong
+reference to every canonical tuple it has ever returned (``id`` values
+can never be recycled).  Tuples that did not come from this interner are
+canonicalised on entry, so external callers may pass arbitrary lists.
+
+The memoised operations compute *exactly* the Table I semantics of the
+plain functions in :mod:`repro.taint.provenance`; the differential
+harness (``tests/taint/test_differential.py``) holds the two
+implementations bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set, Tuple
+
+from repro.taint.provenance import EMPTY, append_tag, prov_union
+from repro.taint.tags import Tag
+
+Prov = Tuple[Tag, ...]
+
+
+class ProvInterner:
+    """Canonical provenance tuples with memoised union/append."""
+
+    __slots__ = ("_canon", "_ids", "_seeds", "_union_cache", "_append_cache", "hits", "misses")
+
+    def __init__(self) -> None:
+        #: value-keyed canonical map; holds every canonical tuple forever
+        #: (this is what keeps the id-keyed caches sound).
+        self._canon: Dict[Prov, Prov] = {}
+        #: ids of canonical tuples, so already-canonical inputs skip the
+        #: tuple-hashing probe of :attr:`_canon` entirely.
+        self._ids: Set[int] = set()
+        #: single-tag lists, keyed by tag (the taint-seeding hot case).
+        self._seeds: Dict[Tag, Prov] = {}
+        self._union_cache: Dict[Tuple[int, int], Prov] = {}
+        self._append_cache: Dict[Tuple[int, Tag], Prov] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # canonicalisation
+    # ------------------------------------------------------------------
+
+    def intern(self, prov: Prov) -> Prov:
+        """Return the canonical object equal to *prov* (registering it
+        as canonical if no equal list has been seen before)."""
+        if not prov:
+            return EMPTY
+        if id(prov) in self._ids:
+            return prov
+        canon = self._canon.get(prov)
+        if canon is None:
+            self._canon[prov] = prov
+            self._ids.add(id(prov))
+            return prov
+        return canon
+
+    def seed(self, tag: Tag) -> Prov:
+        """The canonical single-tag list ``(tag,)``."""
+        prov = self._seeds.get(tag)
+        if prov is None:
+            prov = self.intern((tag,))
+            self._seeds[tag] = prov
+        return prov
+
+    # ------------------------------------------------------------------
+    # memoised Table I algebra
+    # ------------------------------------------------------------------
+
+    def append(self, prov: Prov, tag: Tag) -> Prov:
+        """Memoised :func:`~repro.taint.provenance.append_tag`."""
+        if not prov:
+            return self.seed(tag)
+        prov = self.intern(prov)
+        key = (id(prov), tag)
+        out = self._append_cache.get(key)
+        if out is None:
+            self.misses += 1
+            out = self.intern(append_tag(prov, tag))
+            self._append_cache[key] = out
+        else:
+            self.hits += 1
+        return out
+
+    def union(self, a: Prov, b: Prov) -> Prov:
+        """Memoised :func:`~repro.taint.provenance.prov_union`."""
+        if not a:
+            return self.intern(b) if b else EMPTY
+        if not b or a is b:
+            return self.intern(a)
+        a = self.intern(a)
+        b = self.intern(b)
+        if a is b:
+            return a
+        key = (id(a), id(b))
+        out = self._union_cache.get(key)
+        if out is None:
+            self.misses += 1
+            out = self.intern(prov_union(a, b))
+            self._union_cache[key] = out
+        else:
+            self.hits += 1
+        return out
+
+    def union_all(self, lists: Iterable[Prov]) -> Prov:
+        """Memoised fold of :meth:`union` over *lists*."""
+        out: Prov = EMPTY
+        for prov in lists:
+            out = self.union(out, prov)
+        return out
+
+    # ------------------------------------------------------------------
+    # introspection (for TrackerStats / benchmarks)
+    # ------------------------------------------------------------------
+
+    def cache_sizes(self) -> Dict[str, int]:
+        """Current interner/cache populations (tag-memory pressure)."""
+        return {
+            "canonical": len(self._canon),
+            "union_cache": len(self._union_cache),
+            "append_cache": len(self._append_cache),
+        }
+
+    def clear(self) -> None:
+        """Drop every canonical list and cache entry.
+
+        Only safe when no shadow state holds tuples from this interner:
+        after a clear, previously returned tuples are no longer known and
+        id-keyed hits for them would be misses (never wrong results --
+        inputs are re-canonicalised on entry -- just cold caches).
+        """
+        self._canon.clear()
+        self._ids.clear()
+        self._seeds.clear()
+        self._union_cache.clear()
+        self._append_cache.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: Process-wide default interner.  Sharing one interner across trackers
+#: makes identity comparison valid across components; per-tracker
+#: instances are still possible for isolation (pass ``interner=`` to
+#: :class:`~repro.taint.tracker.TaintTracker`).
+GLOBAL_INTERNER = ProvInterner()

@@ -1,84 +1,260 @@
-"""Shadow state: per-physical-byte memory and per-thread register banks.
+"""Shadow state: page-organised shadow memory and per-thread register banks.
 
 The paper keeps "a shadow memory and a shadow register bank" as hash
 maps (§V-A).  Ours are:
 
-* :class:`ShadowMemory` -- ``physical address -> provenance list``.
-  Keying on *physical* addresses is what makes the analysis
-  whole-system: a byte injected across address spaces keeps its shadow
-  entry because it keeps its physical location, and kernel-mediated
-  copies are just physical-to-physical moves.
+* :class:`ShadowMemory` -- ``physical address -> provenance list``,
+  organised as sparse **4 KiB shadow pages**.  Keying on *physical*
+  addresses is what makes the analysis whole-system: a byte injected
+  across address spaces keeps its shadow entry because it keeps its
+  physical location, and kernel-mediated copies are just
+  physical-to-physical moves.  Page organisation is the fast path: the
+  overwhelming majority of loads/stores touch memory that carries no
+  taint at all, and those now cost **one dict probe per touched shadow
+  page** (the per-page "all-clean" exit) instead of one probe per byte.
+  The page table doubles as the **dirty-page index** -- only pages that
+  hold at least one tainted byte exist in it.
 * :class:`ShadowRegisters` -- one provenance list per architectural
   register, *per thread*.  Register shadows context-switch with the
   registers themselves, otherwise taint would leak between guest
-  threads that share the emulated CPU core.
+  threads that share the emulated CPU core.  Each bank maintains a
+  ``tainted`` count so the tracker's per-instruction gate can test
+  "this thread's register file is wholly clean" in O(1).
+
+Range operations take ``(start, length)`` pairs -- physical ranges are
+contiguous in every call site that has one (frame frees, image loads),
+and the page-based store iterates them page-at-a-time.  Accesses whose
+bytes may be physically scattered (an instruction operand spanning a
+guest page boundary) use the ``*_bytes`` variants, which accept the
+per-byte ``paddrs`` tuples the CPU emits.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.isa.registers import NUM_REGS, Reg
-from repro.taint.provenance import EMPTY, union_all
+from repro.taint.provenance import EMPTY, prov_union
 from repro.taint.tags import Tag
 
 Prov = Tuple[Tag, ...]
 
+#: Shadow pages are 4 KiB -- independent of the guest's 256-byte MMU
+#: pages.  Larger shadow pages mean fewer probes on the clean path; the
+#: dirty-byte dict inside a page stays sparse either way.
+SHADOW_PAGE_SHIFT = 12
+SHADOW_PAGE_SIZE = 1 << SHADOW_PAGE_SHIFT
+
 
 class ShadowMemory:
-    """Sparse byte-granular shadow over physical memory."""
+    """Sparse byte-granular shadow over physical memory, in 4 KiB pages.
 
-    def __init__(self) -> None:
-        self._mem: Dict[int, Prov] = {}
+    Invariants: no page dict is ever empty, and no entry ever maps to an
+    empty provenance list -- so ``page absent`` == "these 4 KiB carry no
+    taint", which is the all-clean fast exit.
+    """
+
+    __slots__ = ("_pages", "_count", "_union")
+
+    def __init__(self, interner=None) -> None:
+        #: shadow page number -> {paddr -> provenance} (absent = clean).
+        self._pages: Dict[int, Dict[int, Prov]] = {}
+        self._count = 0
+        self._union = interner.union if interner is not None else prov_union
+
+    # ------------------------------------------------------------------
+    # single-byte access
+    # ------------------------------------------------------------------
 
     def get(self, paddr: int) -> Prov:
-        return self._mem.get(paddr, EMPTY)
-
-    def get_range(self, paddrs: Iterable[int]) -> Prov:
-        """Union of the provenance of several bytes (word loads)."""
-        return union_all(self._mem.get(p, EMPTY) for p in paddrs)
+        page = self._pages.get(paddr >> SHADOW_PAGE_SHIFT)
+        if page is None:
+            return EMPTY
+        return page.get(paddr, EMPTY)
 
     def set(self, paddr: int, prov: Prov) -> None:
+        pages = self._pages
+        number = paddr >> SHADOW_PAGE_SHIFT
+        page = pages.get(number)
         if prov:
-            self._mem[paddr] = prov
-        else:
-            self._mem.pop(paddr, None)
+            if page is None:
+                page = pages[number] = {}
+            if paddr not in page:
+                self._count += 1
+            page[paddr] = prov
+        elif page is not None and page.pop(paddr, None) is not None:
+            self._count -= 1
+            if not page:
+                del pages[number]
 
-    def set_range(self, paddrs: Iterable[int], prov: Prov) -> None:
-        if prov:
-            for paddr in paddrs:
-                self._mem[paddr] = prov
-        else:
-            for paddr in paddrs:
-                self._mem.pop(paddr, None)
+    # ------------------------------------------------------------------
+    # contiguous (start, length) ranges
+    # ------------------------------------------------------------------
 
-    def clear_range(self, paddrs: Iterable[int]) -> None:
+    def get_range(self, start: int, length: int) -> Prov:
+        """Union of the provenance of ``length`` bytes from ``start``."""
+        out: Prov = EMPTY
+        pages = self._pages
+        pos, end = start, start + length
+        while pos < end:
+            number = pos >> SHADOW_PAGE_SHIFT
+            page_end = min(end, (number + 1) << SHADOW_PAGE_SHIFT)
+            page = pages.get(number)
+            if page:
+                union = self._union
+                for paddr in range(pos, page_end):
+                    prov = page.get(paddr)
+                    if prov:
+                        out = union(out, prov)
+            pos = page_end
+        return out
+
+    def set_range(self, start: int, length: int, prov: Prov) -> None:
+        if not prov:
+            self.clear_range(start, length)
+            return
+        pages = self._pages
+        pos, end = start, start + length
+        while pos < end:
+            number = pos >> SHADOW_PAGE_SHIFT
+            page_end = min(end, (number + 1) << SHADOW_PAGE_SHIFT)
+            page = pages.get(number)
+            if page is None:
+                page = pages[number] = {}
+            before = len(page)
+            for paddr in range(pos, page_end):
+                page[paddr] = prov
+            self._count += len(page) - before
+            pos = page_end
+
+    def clear_range(self, start: int, length: int) -> None:
+        pages = self._pages
+        pos, end = start, start + length
+        while pos < end:
+            number = pos >> SHADOW_PAGE_SHIFT
+            page_end = min(end, (number + 1) << SHADOW_PAGE_SHIFT)
+            page = pages.get(number)
+            if page:  # absent page: skip the whole 4 KiB in one probe
+                pop = page.pop
+                for paddr in range(pos, page_end):
+                    if pop(paddr, None) is not None:
+                        self._count -= 1
+                if not page:
+                    del pages[number]
+            pos = page_end
+
+    # ------------------------------------------------------------------
+    # scattered per-byte paddr tuples (CPU accesses can span guest pages)
+    # ------------------------------------------------------------------
+
+    def get_bytes(self, paddrs: Iterable[int]) -> Prov:
+        """Union of the provenance of several bytes (word loads)."""
+        pages = self._pages
+        if not pages:
+            return EMPTY
+        out: Prov = EMPTY
+        previous = -1
+        page: Optional[Dict[int, Prov]] = None
         for paddr in paddrs:
-            self._mem.pop(paddr, None)
+            number = paddr >> SHADOW_PAGE_SHIFT
+            if number != previous:
+                page = pages.get(number)
+                previous = number
+            if page:
+                prov = page.get(paddr)
+                if prov:
+                    out = self._union(out, prov)
+        return out
+
+    def set_bytes(self, paddrs: Iterable[int], prov: Prov) -> None:
+        if prov:
+            for paddr in paddrs:
+                self.set(paddr, prov)
+        else:
+            self.clear_bytes(paddrs)
+
+    def clear_bytes(self, paddrs: Iterable[int]) -> None:
+        for paddr in paddrs:
+            self.set(paddr, EMPTY)
+
+    def pages_clean(self, paddrs: Sequence[int]) -> bool:
+        """True if no byte of *paddrs* lands on a dirty shadow page.
+
+        Conservative in the cheap direction: a hit on a dirty page whose
+        *particular* bytes are clean reports False, sending the caller to
+        the exact (slow) path.  This is the per-access all-clean exit --
+        one probe per distinct page, at most two pages for any CPU
+        access.
+        """
+        pages = self._pages
+        if not pages:
+            return True
+        previous = -1
+        for paddr in paddrs:
+            number = paddr >> SHADOW_PAGE_SHIFT
+            if number != previous:
+                if number in pages:
+                    return False
+                previous = number
+        return True
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
 
     @property
     def tainted_bytes(self) -> int:
         """How many physical bytes currently carry provenance (E12)."""
-        return len(self._mem)
+        return self._count
 
-    def items(self):
-        return self._mem.items()
+    def dirty_pages(self) -> List[int]:
+        """Shadow page numbers holding at least one tainted byte."""
+        return sorted(self._pages)
+
+    def items(self) -> Iterator[Tuple[int, Prov]]:
+        for page in self._pages.values():
+            yield from page.items()
+
+    def snapshot(self) -> Dict[int, Prov]:
+        """Flat ``paddr -> provenance`` copy (differential comparisons)."""
+        out: Dict[int, Prov] = {}
+        for page in self._pages.values():
+            out.update(page)
+        return out
 
 
 class ShadowRegisters:
     """Provenance lists for one thread's register file (plus flags)."""
 
-    __slots__ = ("regs", "flags")
+    __slots__ = ("regs", "flags", "tainted")
 
     def __init__(self) -> None:
         self.regs: List[Prov] = [EMPTY] * NUM_REGS
         self.flags: Prov = EMPTY
+        #: count of registers with non-empty provenance (flags excluded);
+        #: lets the tracker's fast gate test bank cleanliness in O(1).
+        self.tainted = 0
 
     def get(self, reg: Reg) -> Prov:
         return self.regs[reg]
 
     def set(self, reg: Reg, prov: Prov) -> None:
+        old = self.regs[reg]
+        if prov:
+            if not old:
+                self.tainted += 1
+        elif old:
+            self.tainted -= 1
         self.regs[reg] = prov
+
+    def snapshot(self) -> Dict[object, Prov]:
+        """Non-empty register provenance (differential comparisons)."""
+        out: Dict[object, Prov] = {
+            Reg(i): prov for i, prov in enumerate(self.regs) if prov
+        }
+        if self.flags:
+            out["flags"] = self.flags
+        return out
 
 
 class ShadowBank:
@@ -96,3 +272,16 @@ class ShadowBank:
 
     def drop_thread(self, tid: int) -> None:
         self._banks.pop(tid, None)
+
+    def any_tainted(self) -> bool:
+        """True if any thread's bank holds taint (registers or flags)."""
+        return any(b.tainted or b.flags for b in self._banks.values())
+
+    def snapshot(self) -> Dict[int, Dict[object, Prov]]:
+        """Non-empty banks only (differential comparisons)."""
+        out = {}
+        for tid, bank in self._banks.items():
+            snap = bank.snapshot()
+            if snap:
+                out[tid] = snap
+        return out

@@ -12,6 +12,29 @@ listeners** via :meth:`add_load_listener`.  Listeners observe each
 memory-reading instruction *with pre-propagation shadow state* -- the
 provenance of the executed instruction's own bytes and of every byte it
 reads -- which is exactly the view FAROS' tag-confluence invariant needs.
+Listeners are only invoked for instructions that touch at least one
+dirty shadow page or run on a thread holding taint: an instruction whose
+every input is provably untainted cannot contribute to any confluence
+verdict, so the fast path skips it (see below).
+
+Fast path (the paper's §V-A overhead attack, reproduced):
+
+* **machine-level gating** -- while the system holds no taint at all
+  (before the first netflow byte arrives), :meth:`wants_insn_effects`
+  answers False and the machine runs its uninstrumented CPU loop,
+  reporting retirements in bulk via :meth:`on_insns_skipped`;
+* **per-instruction all-clean exit** -- once taint exists somewhere,
+  each retired instruction first checks that its thread's register bank
+  is clean and that none of its fetch/read/write bytes land on a dirty
+  shadow page (one probe per 4 KiB page).  If so, propagation is the
+  identity and the instruction retires on the fast path;
+* **interned provenance** -- the slow path computes unions/appends
+  through a :class:`~repro.taint.intern.ProvInterner`, so repeated
+  propagation of the same lists costs dict probes, not allocations.
+
+The reference implementation without any of this lives in
+:mod:`repro.taint.reference`; ``tests/taint/test_differential.py`` holds
+the two bit-identical.
 """
 
 from __future__ import annotations
@@ -23,8 +46,9 @@ from repro.emulator.plugins import Plugin
 from repro.isa.cpu import InstructionEffects, MemoryAccess
 from repro.isa.instructions import IMM_ALU_OPS, Op, REG_ALU_OPS
 from repro.isa.registers import Reg
+from repro.taint.intern import GLOBAL_INTERNER, ProvInterner
 from repro.taint.policy import TaintPolicy
-from repro.taint.provenance import EMPTY, append_tag, prov_union
+from repro.taint.provenance import EMPTY
 from repro.taint.shadow import ShadowBank, ShadowMemory
 from repro.taint.tags import Tag, TagStore
 
@@ -49,12 +73,21 @@ LoadListener = Callable[[object, LoadObservation], None]
 
 @dataclass
 class TrackerStats:
-    """Counters for overhead/pressure reporting (Table V, E12)."""
+    """Counters for overhead/pressure reporting (Table V, E12).
+
+    ``instructions`` counts every retirement the tracker accounted for;
+    ``slow_retirements`` of them ran the full propagation path and
+    ``fast_retirements`` took an all-clean exit (per-instruction page
+    check, or whole uninstrumented slices while the system held no
+    taint).  ``instructions == slow_retirements + fast_retirements``.
+    """
 
     instructions: int = 0
     kernel_copies: int = 0
     external_writes: int = 0
     process_tag_appends: int = 0
+    fast_retirements: int = 0
+    slow_retirements: int = 0
 
 
 class TaintTracker(Plugin):
@@ -64,11 +97,13 @@ class TaintTracker(Plugin):
         self,
         policy: Optional[TaintPolicy] = None,
         tags: Optional[TagStore] = None,
+        interner: Optional[ProvInterner] = None,
     ) -> None:
         super().__init__()
         self.policy = policy or TaintPolicy()
         self.tags = tags or TagStore()
-        self.shadow = ShadowMemory()
+        self.interner = interner if interner is not None else GLOBAL_INTERNER
+        self.shadow = ShadowMemory(self.interner)
         self.banks = ShadowBank()
         self.stats = TrackerStats()
         self._load_listeners: List[LoadListener] = []
@@ -90,17 +125,18 @@ class TaintTracker(Plugin):
     def taint_range(self, paddrs: Sequence[int], tag: Tag) -> None:
         """Append *tag* to the provenance of each byte in *paddrs*."""
         shadow = self.shadow
+        append = self.interner.append
         for paddr in paddrs:
-            shadow.set(paddr, append_tag(shadow.get(paddr), tag))
+            shadow.set(paddr, append(shadow.get(paddr), tag))
 
     def prov_at(self, paddr: int) -> Prov:
         return self.shadow.get(paddr)
 
     def prov_of_range(self, paddrs: Sequence[int]) -> Prov:
-        return self.shadow.get_range(paddrs)
+        return self.shadow.get_bytes(paddrs)
 
     def clear_range(self, paddrs: Sequence[int]) -> None:
-        self.shadow.clear_range(paddrs)
+        self.shadow.clear_bytes(paddrs)
 
     # ------------------------------------------------------------------
     # plugin callbacks: non-instruction data movement
@@ -110,19 +146,20 @@ class TaintTracker(Plugin):
         # External data overwrites these bytes: whatever provenance they
         # had is gone.  Source-specific tags (netflow, file) are seeded
         # by FAROS' own hooks which run after this one.
-        self.shadow.clear_range(paddrs)
+        self.shadow.clear_bytes(paddrs)
         self.stats.external_writes += 1
 
     def on_phys_copy(self, machine, dst_paddrs, src_paddrs, actor=None) -> None:
         """Table I copy per byte, plus the acting process' tag."""
         shadow = self.shadow
+        append = self.interner.append
         actor_tag: Optional[Tag] = None
         if actor is not None and self.policy.process_tags_on_access:
             actor_tag = self.tags.process_tag(actor.cr3)
         for dst, src in zip(dst_paddrs, src_paddrs):
             prov = shadow.get(src)
             if prov and actor_tag is not None:
-                prov = append_tag(prov, actor_tag)
+                prov = append(prov, actor_tag)
                 self.stats.process_tag_appends += 1
             shadow.set(dst, prov)
         self.stats.kernel_copies += 1
@@ -131,8 +168,7 @@ class TaintTracker(Plugin):
         from repro.isa.memory import PAGE_SHIFT, PAGE_SIZE
 
         for frame in frames:
-            base = frame << PAGE_SHIFT
-            self.shadow.clear_range(range(base, base + PAGE_SIZE))
+            self.shadow.clear_range(frame << PAGE_SHIFT, PAGE_SIZE)
 
     def on_process_exit(self, machine, process, status) -> None:
         for thread in process.threads:
@@ -140,14 +176,63 @@ class TaintTracker(Plugin):
             self._pending_control.pop(thread.tid, None)
 
     # ------------------------------------------------------------------
+    # instrumentation gating (machine-level fast path)
+    # ------------------------------------------------------------------
+
+    def wants_insn_effects(self) -> bool:
+        """Per-instruction effects are only needed once taint exists.
+
+        Mirrors the paper's optimisation of enabling heavy tracking only
+        when the first netflow byte arrives: with no taint anywhere --
+        shadow memory, register banks, pending control windows --
+        propagation of every instruction is the identity, so the machine
+        may run its uninstrumented loop.  The machine re-asks after
+        every syscall, which is the only in-slice path through which
+        taint can appear (packet delivery, file reads, remote writes).
+        """
+        return (
+            self.shadow.tainted_bytes > 0
+            or bool(self._pending_control)
+            or self.banks.any_tainted()
+        )
+
+    def on_insns_skipped(self, machine, thread, count: int) -> None:
+        """*count* instructions retired while gating had us dormant."""
+        self.stats.instructions += count
+        self.stats.fast_retirements += count
+
+    # ------------------------------------------------------------------
     # plugin callbacks: the per-instruction hot path
     # ------------------------------------------------------------------
 
     def on_insn_exec(self, machine, thread, fx: InstructionEffects) -> None:
-        self.stats.instructions += 1
+        stats = self.stats
+        stats.instructions += 1
+        tid = thread.tid
+        bank = self.banks.for_thread(tid)
+
+        # All-clean fast exit: thread bank clean, no pending control
+        # window, and every byte this instruction touches sits on a
+        # clean shadow page.  Then every propagation rule is the
+        # identity (sources untainted => destinations untainted, and
+        # destinations were untainted already), no process tags can
+        # attach, and no listener verdict can change.
+        if bank.tainted == 0 and not bank.flags and tid not in self._pending_control:
+            shadow = self.shadow
+            if (
+                shadow.pages_clean(fx.fetch_paddrs)
+                and (not fx.reads or all(shadow.pages_clean(a.paddrs) for a in fx.reads))
+                and (not fx.writes or all(shadow.pages_clean(a.paddrs) for a in fx.writes))
+            ):
+                stats.fast_retirements += 1
+                return
+
+        stats.slow_retirements += 1
         policy = self.policy
         shadow = self.shadow
-        bank = self.banks.for_thread(thread.tid)
+        interner = self.interner
+        append = interner.append
+        union = interner.union
 
         proc_tag: Optional[Tag] = None
         if policy.process_tags_on_access:
@@ -160,27 +245,27 @@ class TaintTracker(Plugin):
             prov = shadow.get(paddr)
             if prov:
                 if proc_tag is not None:
-                    new = append_tag(prov, proc_tag)
+                    new = append(prov, proc_tag)
                     if new is not prov:
                         shadow.set(paddr, new)
-                        self.stats.process_tag_appends += 1
+                        stats.process_tag_appends += 1
                         prov = new
-                insn_prov = prov_union(insn_prov, prov)
+                insn_prov = union(insn_prov, prov)
 
         # 2. Data reads: collect pre-propagation provenance; reading is
         #    also an access, so tainted source bytes get the process tag.
         read_provs: List[Prov] = []
         for access in fx.reads:
-            prov = shadow.get_range(access.paddrs)
+            prov = shadow.get_bytes(access.paddrs)
             if prov and proc_tag is not None:
                 for paddr in access.paddrs:
                     byte_prov = shadow.get(paddr)
                     if byte_prov:
-                        new = append_tag(byte_prov, proc_tag)
+                        new = append(byte_prov, proc_tag)
                         if new is not byte_prov:
                             shadow.set(paddr, new)
-                            self.stats.process_tag_appends += 1
-                prov = append_tag(prov, proc_tag)
+                            stats.process_tag_appends += 1
+                prov = append(prov, proc_tag)
             read_provs.append(prov)
 
         # 3. Detection listeners observe pre-propagation state.
@@ -195,20 +280,20 @@ class TaintTracker(Plugin):
                 listener(machine, observation)
 
         # 4. Propagate per Table I.
-        self._propagate(fx, bank, read_provs, proc_tag, thread.tid)
+        self._propagate(fx, bank, read_provs, proc_tag, tid)
 
         # 5. Control-dependency window bookkeeping.
-        pending = self._pending_control.get(thread.tid)
+        pending = self._pending_control.get(tid)
         if pending is not None:
             pending[1] -= 1
             if pending[1] <= 0:
-                del self._pending_control[thread.tid]
+                del self._pending_control[tid]
         if (
             policy.track_control_deps
             and fx.flags_read
             and bank.flags
         ):
-            self._pending_control[thread.tid] = [bank.flags, policy.control_dep_window]
+            self._pending_control[tid] = [bank.flags, policy.control_dep_window]
 
     # ------------------------------------------------------------------
     # propagation rules
@@ -225,6 +310,7 @@ class TaintTracker(Plugin):
         insn = fx.insn
         op = insn.op
         policy = self.policy
+        union = self.interner.union
 
         # Register-destination provenance, by opcode family.
         if op is Op.MOV:
@@ -234,18 +320,18 @@ class TaintTracker(Plugin):
         elif op in (Op.LD, Op.LDB, Op.POP):
             prov = read_provs[0] if read_provs else EMPTY
             if policy.track_address_deps and op is not Op.POP:
-                prov = prov_union(prov, bank.get(insn.rs1))
+                prov = union(prov, bank.get(insn.rs1))
             self._write_reg(bank, insn.rd, prov, tid)
         elif op in (Op.ST, Op.STB, Op.PUSH):
             src_reg = insn.rs1 if op is Op.PUSH else insn.rs2
             prov = bank.get(src_reg)
             if policy.track_address_deps and op is not Op.PUSH:
-                prov = prov_union(prov, bank.get(insn.rs1))
+                prov = union(prov, bank.get(insn.rs1))
             prov = self._with_control(tid, prov)
             if prov and proc_tag is not None:
-                prov = append_tag(prov, proc_tag)
+                prov = self.interner.append(prov, proc_tag)
             for access in fx.writes:
-                self.shadow.set_range(access.paddrs, prov)
+                self.shadow.set_bytes(access.paddrs, prov)
         elif op in REG_ALU_OPS:
             if insn.rs1 == insn.rs2 and op in (Op.XOR, Op.SUB):
                 # Architectural zeroing idiom: the result is a constant,
@@ -253,12 +339,12 @@ class TaintTracker(Plugin):
                 self._write_reg(bank, insn.rd, EMPTY, tid)
             else:
                 self._write_reg(
-                    bank, insn.rd, prov_union(bank.get(insn.rs1), bank.get(insn.rs2)), tid
+                    bank, insn.rd, union(bank.get(insn.rs1), bank.get(insn.rs2)), tid
                 )
         elif op in IMM_ALU_OPS:
             self._write_reg(bank, insn.rd, bank.get(insn.rs1), tid)
         elif op is Op.CMP:
-            bank.flags = prov_union(bank.get(insn.rs1), bank.get(insn.rs2))
+            bank.flags = union(bank.get(insn.rs1), bank.get(insn.rs2))
         elif op is Op.CMPI:
             bank.flags = bank.get(insn.rs1)
         elif op in (Op.CALL, Op.CALLR):
@@ -276,4 +362,4 @@ class TaintTracker(Plugin):
         pending = self._pending_control.get(tid)
         if pending is None:
             return prov
-        return prov_union(prov, pending[0])
+        return self.interner.union(prov, pending[0])

@@ -1,4 +1,20 @@
-"""Shared fixtures and guest-program helpers for the test suite."""
+"""Shared fixtures and guest-program helpers for the test suite.
+
+Markers
+-------
+
+``slow``
+    Long-running randomized suites -- the differential harness and
+    hypothesis property tests at high example counts
+    (``tests/taint/test_differential.py``, the exhaustive benchmark
+    assertions).  Deselected by default via ``addopts = "-m 'not slow'"``
+    in ``pyproject.toml``; run them with::
+
+        PYTHONPATH=src python -m pytest -m slow
+
+    or everything at once with ``-m ''`` (an empty marker expression
+    overrides the default deselection).
+"""
 
 from __future__ import annotations
 

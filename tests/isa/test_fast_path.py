@@ -142,9 +142,14 @@ class TestMachineFastPathSelection:
         machine.plugins.register(Passive())
         assert machine.plugins.needs_insn_effects() is False
 
-    def test_faros_forces_instrumented_path(self):
+    def test_faros_gates_instrumentation_on_taint(self):
         from repro.faros import Faros
+        from repro.taint.tags import Tag, TagType
 
         machine = Machine(MachineConfig())
-        machine.plugins.register(Faros())
+        faros = machine.plugins.register(Faros())
+        # Dormant while the system holds no taint: the machine may run
+        # its uninstrumented loop (the netflow-arrival optimisation).
+        assert machine.plugins.needs_insn_effects() is False
+        faros.tracker.taint_range((0x100,), Tag(TagType.NETFLOW, 0))
         assert machine.plugins.needs_insn_effects() is True

@@ -1,0 +1,467 @@
+"""The differential test harness: reference semantics vs the fast path.
+
+The fast path (interned provenance, page-organised shadow memory,
+instrumentation gating -- :mod:`repro.taint.tracker`) must be *bit
+identical* to the kept pre-optimisation implementation
+(:mod:`repro.taint.reference`).  This harness enforces that along every
+channel taint can move through:
+
+* **shadow operations** -- random set/clear/range/scatter sequences
+  against both shadow stores, comparing flat snapshots and probes;
+* **instruction streams** -- hypothesis-generated guest programs run on
+  ONE machine carrying both trackers (the reference always demands
+  instrumentation, so both observe the identical stream), comparing
+  shadow memory, register banks, and tainted-load observations;
+* **kernel copies and external writes** -- random ``phys_copy`` /
+  ``phys_write`` / ``taint_range`` sequences, with and without an acting
+  process;
+* **detection verdicts** -- every FAROS attack scenario (and a benign
+  corpus sample) analysed by a fast-path ``Faros`` and a reference
+  ``Faros`` side by side, asserting the flagged sets never drift.
+
+The quick versions of the randomised suites run in tier-1; the
+``@pytest.mark.slow`` versions push the example counts past 1000
+(``pytest -m slow tests/taint/test_differential.py``).
+
+Both trackers in a co-attached pair share one ``TagStore``: tag indices
+are minted on demand, and a shared store guarantees the same (cr3, path,
+flow) always maps to the same ``Tag`` regardless of which tracker asks
+first.  Observation comparison keeps only observations carrying taint --
+the fast path legitimately skips all-clean instructions, which can never
+contribute to a confluence verdict.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import (
+    build_atombombing_scenario,
+    build_bypassuac_injection_scenario,
+    build_code_injection_scenario,
+    build_drop_reload_scenario,
+    build_process_hollowing_scenario,
+    build_reflective_dll_scenario,
+    build_reverse_tcp_dns_scenario,
+)
+from repro.emulator.devices import Packet
+from repro.emulator.machine import Machine, MachineConfig
+from repro.emulator.record_replay import PacketEvent
+from repro.faros import Faros
+from repro.isa.cpu import AccessKind
+from repro.taint.intern import ProvInterner
+from repro.taint.policy import TaintPolicy
+from repro.taint.reference import ReferenceShadowMemory, ReferenceTaintTracker
+from repro.taint.shadow import SHADOW_PAGE_SIZE, ShadowMemory
+from repro.taint.tags import Tag, TagStore, TagType
+from repro.taint.tracker import TaintTracker
+from repro.workloads.corpus import corpus_samples
+
+from tests.conftest import register_asm
+
+TAGS = (
+    Tag(TagType.NETFLOW, 0),
+    Tag(TagType.NETFLOW, 1),
+    Tag(TagType.PROCESS, 0),
+    Tag(TagType.FILE, 0),
+)
+
+PARK = """
+park:
+    movi r1, 10000000
+    movi r0, SYS_SLEEP
+    syscall
+    hlt
+"""
+
+
+# ======================================================================
+# 1. shadow-operation differential
+# ======================================================================
+
+addresses = st.integers(0, 3 * SHADOW_PAGE_SIZE)
+small_provs = st.lists(st.sampled_from(TAGS), max_size=3, unique=True).map(tuple)
+scatter = st.lists(addresses, min_size=1, max_size=8).map(tuple)
+
+shadow_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("set"), addresses, small_provs),
+        st.tuples(st.just("set_range"), addresses, st.integers(0, 64), small_provs),
+        st.tuples(st.just("clear_range"), addresses, st.integers(0, 64)),
+        st.tuples(st.just("set_bytes"), scatter, small_provs),
+        st.tuples(st.just("clear_bytes"), scatter),
+    ),
+    max_size=30,
+)
+
+
+def apply_shadow_op(shadow, op):
+    name, args = op[0], op[1:]
+    getattr(shadow, name)(*args)
+
+
+def check_shadow_sequence(ops, interner):
+    fast = ShadowMemory(interner)
+    ref = ReferenceShadowMemory()
+    touched = set()
+    for op in ops:
+        apply_shadow_op(fast, op)
+        apply_shadow_op(ref, op)
+        if op[0] in ("set",):
+            touched.add(op[1])
+        elif op[0] in ("set_range", "clear_range"):
+            touched.update(range(op[1], op[1] + op[2]))
+        else:
+            touched.update(op[1])
+    assert fast.snapshot() == ref.snapshot()
+    assert fast.tainted_bytes == ref.tainted_bytes
+    for paddr in touched:
+        assert fast.get(paddr) == ref.get(paddr)
+    for paddr in sorted(touched)[:8]:
+        assert fast.get_range(paddr, 16) == ref.get_range(paddr, 16)
+    probe = tuple(sorted(touched))[:16]
+    assert fast.get_bytes(probe) == ref.get_bytes(probe)
+    # pages_clean must never claim a dirty byte's page is clean.
+    for paddr, prov in fast.snapshot().items():
+        assert not fast.pages_clean((paddr,))
+
+
+class TestShadowOperationDifferential:
+    @given(ops=shadow_ops)
+    @settings(max_examples=50, deadline=None)
+    def test_quick(self, ops):
+        check_shadow_sequence(ops, interner=None)
+
+    @given(ops=shadow_ops)
+    @settings(max_examples=50, deadline=None)
+    def test_quick_interned(self, ops):
+        check_shadow_sequence(ops, interner=ProvInterner())
+
+    @pytest.mark.slow
+    @given(ops=shadow_ops)
+    @settings(max_examples=600, deadline=None)
+    def test_exhaustive(self, ops):
+        check_shadow_sequence(ops, interner=ProvInterner())
+
+
+# ======================================================================
+# 2. instruction-stream differential (one machine, both trackers)
+# ======================================================================
+
+SEED_A = Tag(TagType.NETFLOW, 7)
+SEED_B = Tag(TagType.FILE, 3)
+
+
+def attach_pair(machine, policy):
+    """One fast and one reference tracker on the same machine.
+
+    The reference's ``wants_insn_effects`` is always True, so the
+    machine instruments every instruction and both trackers see the
+    identical stream; the fast tracker still exercises its own
+    per-instruction all-clean exit.
+    """
+    tags = TagStore()
+    fast = TaintTracker(policy=policy, tags=tags, interner=ProvInterner())
+    ref = ReferenceTaintTracker(policy=policy, tags=tags)
+    machine.plugins.register(fast)
+    machine.plugins.register(ref)
+    return fast, ref
+
+
+def tainted_observations(log):
+    """Comparable projection of the observations that carry any taint."""
+    out = []
+    for obs in log:
+        reads = tuple(prov for _, prov in obs.reads)
+        if obs.insn_prov or any(reads):
+            out.append((obs.fx.pc, obs.insn_prov, reads))
+    return out
+
+
+def assert_equivalent(fast, ref, fast_obs=None, ref_obs=None):
+    assert fast.shadow.snapshot() == ref.shadow.snapshot()
+    assert fast.shadow.tainted_bytes == ref.shadow.tainted_bytes
+    assert fast.banks.snapshot() == ref.banks.snapshot()
+    assert fast.stats.instructions == ref.stats.instructions
+    assert (
+        fast.stats.instructions
+        == fast.stats.fast_retirements + fast.stats.slow_retirements
+    )
+    if fast_obs is not None:
+        assert tainted_observations(fast_obs) == tainted_observations(ref_obs)
+
+
+@st.composite
+def guest_programs(draw):
+    """A random terminating guest program over tainted inputs.
+
+    Straight-line ALU/move/load/store/stack traffic over r1..r5, with
+    occasional forward-only tainted branches (to drive the flags shadow
+    and the control-dependency window), reading from two seeded input
+    words and a scratch buffer.
+    """
+    lines = [
+        "start:",
+        "    movi r6, in_a",
+        "    ld r1, [r6]",
+        "    movi r6, in_b",
+        "    ld r2, [r6]",
+    ]
+    n_ops = draw(st.integers(1, 14))
+    branches = 0
+    for _ in range(n_ops):
+        kind = draw(
+            st.sampled_from(
+                ["alu", "alui", "mov", "movi", "ld", "st", "ldb", "stb", "stack", "branch"]
+            )
+        )
+        rd = draw(st.integers(1, 5))
+        rs1 = draw(st.integers(1, 5))
+        rs2 = draw(st.integers(1, 5))
+        if kind == "alu":
+            op = draw(st.sampled_from(["add", "sub", "mul", "and", "or", "xor", "shl", "shr"]))
+            lines.append(f"    {op} r{rd}, r{rs1}, r{rs2}")
+        elif kind == "alui":
+            op = draw(st.sampled_from(["addi", "subi", "xori", "andi", "ori"]))
+            lines.append(f"    {op} r{rd}, r{rs1}, {draw(st.integers(0, 255))}")
+        elif kind == "mov":
+            lines.append(f"    mov r{rd}, r{rs1}")
+        elif kind == "movi":
+            lines.append(f"    movi r{rd}, {draw(st.integers(0, 0xFFFF))}")
+        elif kind == "ld":
+            lines.append("    movi r6, buf")
+            lines.append(f"    ld r{rd}, [r6+{4 * draw(st.integers(0, 7))}]")
+        elif kind == "ldb":
+            lines.append("    movi r6, buf")
+            lines.append(f"    ldb r{rd}, [r6+{draw(st.integers(0, 31))}]")
+        elif kind == "st":
+            lines.append("    movi r6, buf")
+            lines.append(f"    st [r6+{4 * draw(st.integers(0, 7))}], r{rs1}")
+        elif kind == "stb":
+            lines.append("    movi r6, buf")
+            lines.append(f"    stb [r6+{draw(st.integers(0, 31))}], r{rs1}")
+        elif kind == "stack":
+            lines.append(f"    push r{rs1}")
+            lines.append(f"    pop r{rd}")
+        else:  # forward-only branch on possibly-tainted data
+            label = f"fwd{branches}"
+            branches += 1
+            jump = draw(st.sampled_from(["jz", "jnz"]))
+            lines.append(f"    cmpi r{rs1}, {draw(st.integers(0, 3))}")
+            lines.append(f"    {jump} {label}")
+            lines.append(f"    movi r{rd}, {draw(st.integers(0, 99))}")
+            lines.append(f"{label}:")
+    lines.append("    movi r6, out")
+    for i in range(5):
+        lines.append(f"    st [r6+{4 * i}], r{i + 1}")
+    lines.append("    jmp park")
+    lines.append("in_a: .word 0x1234")
+    lines.append("in_b: .word 0xbeef")
+    lines.append("buf: .space 32")
+    lines.append("out: .space 20")
+    return "\n".join(lines)
+
+
+policies = st.builds(
+    TaintPolicy,
+    track_address_deps=st.booleans(),
+    track_control_deps=st.booleans(),
+    process_tags_on_access=st.booleans(),
+)
+
+seed_choices = st.sampled_from(["a", "b", "ab", "buf", "none"])
+
+
+def run_program_differential(body, policy, seeds):
+    machine = Machine(MachineConfig())
+    fast, ref = attach_pair(machine, policy)
+    fast_obs, ref_obs = [], []
+    fast.add_load_listener(lambda m, obs: fast_obs.append(obs))
+    ref.add_load_listener(lambda m, obs: ref_obs.append(obs))
+    prog = register_asm(machine, "d.exe", body, PARK)
+    proc = machine.kernel.spawn("d.exe")
+
+    def seed(label, n, tag):
+        paddrs = proc.aspace.translate_range(prog.label(label), n, AccessKind.READ)
+        fast.taint_range(paddrs, tag)
+        ref.taint_range(paddrs, tag)
+
+    if "a" in seeds:
+        seed("in_a", 4, SEED_A)
+    if "b" in seeds:
+        seed("in_b", 4, SEED_B)
+    if seeds == "buf":
+        seed("buf", 8, SEED_A)
+    machine.run(300_000)
+    assert_equivalent(fast, ref, fast_obs, ref_obs)
+
+
+class TestInstructionStreamDifferential:
+    @given(body=guest_programs(), policy=policies, seeds=seed_choices)
+    @settings(max_examples=30, deadline=None)
+    def test_quick(self, body, policy, seeds):
+        run_program_differential(body, policy, seeds)
+
+    @pytest.mark.slow
+    @given(body=guest_programs(), policy=policies, seeds=seed_choices)
+    @settings(max_examples=300, deadline=None)
+    def test_exhaustive(self, body, policy, seeds):
+        run_program_differential(body, policy, seeds)
+
+
+# ======================================================================
+# 3. kernel-copy and external-write differential
+# ======================================================================
+
+#: Physical scratch window for raw copy/write fuzzing -- low reserved
+#: memory, untouched by any process the test spawns.
+SCRATCH_BASE = 0x2000
+SCRATCH_SIZE = 2 * SHADOW_PAGE_SIZE
+
+offsets = st.integers(0, SCRATCH_SIZE - 64)
+lengths = st.integers(1, 48)
+
+kernel_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("taint"), offsets, lengths, st.sampled_from(TAGS)),
+        st.tuples(st.just("copy"), offsets, offsets, lengths, st.booleans()),
+        st.tuples(st.just("write"), offsets, lengths),
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+def run_kernel_differential(ops, process_tags):
+    machine = Machine(MachineConfig())
+    policy = TaintPolicy(process_tags_on_access=process_tags)
+    fast, ref = attach_pair(machine, policy)
+    register_asm(machine, "k.exe", "start: jmp park", PARK)
+    proc = machine.kernel.spawn("k.exe")
+    for op in ops:
+        if op[0] == "taint":
+            paddrs = range(SCRATCH_BASE + op[1], SCRATCH_BASE + op[1] + op[2])
+            fast.taint_range(paddrs, op[3])
+            ref.taint_range(paddrs, op[3])
+        elif op[0] == "copy":
+            dst = range(SCRATCH_BASE + op[1], SCRATCH_BASE + op[1] + op[3])
+            src = range(SCRATCH_BASE + op[2], SCRATCH_BASE + op[2] + op[3])
+            machine.phys_copy(tuple(dst), tuple(src), actor=proc if op[4] else None)
+        else:
+            paddrs = tuple(range(SCRATCH_BASE + op[1], SCRATCH_BASE + op[1] + op[2]))
+            machine.phys_write(paddrs, b"\x00" * op[2], source="fuzz")
+    assert_equivalent(fast, ref)
+
+
+class TestKernelPathDifferential:
+    @given(ops=kernel_ops, process_tags=st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_quick(self, ops, process_tags):
+        run_kernel_differential(ops, process_tags)
+
+    @pytest.mark.slow
+    @given(ops=kernel_ops, process_tags=st.booleans())
+    @settings(max_examples=300, deadline=None)
+    def test_exhaustive(self, ops, process_tags):
+        run_kernel_differential(ops, process_tags)
+
+    def test_recv_pipeline(self):
+        """End-to-end kernel path: DMA write, recv copy, guest loads."""
+        machine = Machine(MachineConfig())
+        fast, ref = attach_pair(machine, TaintPolicy())
+
+        from repro.emulator.plugins import Plugin
+
+        seeder = Plugin()
+
+        def on_rx(m, packet, paddrs):
+            fast.taint_range(paddrs, SEED_A)
+            ref.taint_range(paddrs, SEED_A)
+
+        seeder.on_packet_receive = on_rx
+        machine.plugins.register(seeder)
+        register_asm(
+            machine,
+            "rx.exe",
+            """
+            start:
+                movi r0, SYS_SOCKET
+                syscall
+                mov r7, r0
+                mov r1, r7
+                movi r2, ip
+                movi r3, 4444
+                movi r0, SYS_CONNECT
+                syscall
+                mov r1, r7
+                movi r2, buf
+                movi r3, 8
+                movi r0, SYS_RECV
+                syscall
+                movi r6, buf
+                ld r1, [r6]
+                movi r6, out
+                st [r6], r1
+                jmp park
+            ip: .asciz "9.9.9.9"
+            buf: .space 8
+            out: .space 4
+            """,
+            PARK,
+        )
+        machine.kernel.spawn("rx.exe")
+        machine.schedule(
+            2000,
+            PacketEvent(
+                Packet("9.9.9.9", 4444, machine.devices.nic.ip, 49152, b"EVILEVIL")
+            ),
+        )
+        machine.run(300_000)
+        assert_equivalent(fast, ref)
+        assert fast.shadow.tainted_bytes > 0  # the pipeline really moved taint
+
+
+# ======================================================================
+# 4. detection-verdict differential over the FAROS attack corpus
+# ======================================================================
+
+ATTACKS = {
+    "atombombing": build_atombombing_scenario,
+    "bypassuac_injection": build_bypassuac_injection_scenario,
+    "code_injection": build_code_injection_scenario,
+    "drop_reload": build_drop_reload_scenario,
+    "process_hollowing": build_process_hollowing_scenario,
+    "reflective_dll": build_reflective_dll_scenario,
+    "reverse_tcp_dns": build_reverse_tcp_dns_scenario,
+}
+
+
+def flag_keys(faros):
+    return {
+        (f.pc, f.rule, f.executing_pid, f.executing_process, f.read_vaddr, f.insn_text)
+        for f in faros.detector.flagged
+    }
+
+
+class TestDetectionVerdictDifferential:
+    @pytest.mark.parametrize("name", sorted(ATTACKS))
+    def test_attack_verdicts_never_drift(self, name):
+        attack = ATTACKS[name]()
+        fast = Faros()
+        ref = Faros(tracker_cls=ReferenceTaintTracker)
+        attack.scenario.run(plugins=[fast, ref])
+        assert ref.attack_detected, f"{name}: reference no longer detects the attack"
+        assert fast.attack_detected == ref.attack_detected
+        assert flag_keys(fast) == flag_keys(ref)
+        assert (
+            fast.tracker.stats.instructions == ref.tracker.stats.instructions
+        )
+
+    def test_benign_sample_clears_identically(self):
+        spec = next(s for s in corpus_samples() if s.benign)
+        fast = Faros()
+        ref = Faros(tracker_cls=ReferenceTaintTracker)
+        spec.scenario().run(plugins=[fast, ref])
+        assert not ref.attack_detected
+        assert not fast.attack_detected
+        assert flag_keys(fast) == flag_keys(ref) == set()

@@ -1,0 +1,113 @@
+"""Unit tests for the provenance interner (the fast path's memo layer)."""
+
+from repro.taint.intern import GLOBAL_INTERNER, ProvInterner
+from repro.taint.provenance import EMPTY, MAX_PROV_LEN, append_tag, prov_union
+from repro.taint.tags import Tag, TagType
+
+N = Tag(TagType.NETFLOW, 0)
+P = Tag(TagType.PROCESS, 1)
+F = Tag(TagType.FILE, 2)
+
+
+class TestIntern:
+    def test_empty_is_the_shared_empty(self):
+        assert ProvInterner().intern(()) is EMPTY
+
+    def test_equal_tuples_collapse_to_one_object(self):
+        interner = ProvInterner()
+        a = interner.intern((N, P))
+        b = interner.intern((N, P))
+        assert a is b
+
+    def test_first_seen_object_becomes_canonical(self):
+        interner = ProvInterner()
+        original = (N,)
+        assert interner.intern(original) is original
+        assert interner.intern((N,)) is original
+
+    def test_canonical_input_short_circuits(self):
+        interner = ProvInterner()
+        canon = interner.intern((N, P))
+        # Same object back, without a tuple-hash probe (id fast path).
+        assert interner.intern(canon) is canon
+
+    def test_seed_is_canonical_single_tag(self):
+        interner = ProvInterner()
+        assert interner.seed(N) == (N,)
+        assert interner.seed(N) is interner.seed(N)
+        assert interner.intern((N,)) is interner.seed(N)
+
+
+class TestMemoisedAlgebra:
+    def test_union_matches_plain_function(self):
+        interner = ProvInterner()
+        cases = [
+            ((), ()),
+            ((N,), ()),
+            ((), (P,)),
+            ((N,), (N,)),
+            ((N, P), (P, F)),
+            ((F, N), (P,)),
+        ]
+        for a, b in cases:
+            assert interner.union(a, b) == prov_union(a, b)
+
+    def test_append_matches_plain_function(self):
+        interner = ProvInterner()
+        for prov in [(), (N,), (N, P), (P,) * 1]:
+            for tag in (N, P, F):
+                assert interner.append(prov, tag) == append_tag(prov, tag)
+
+    def test_append_respects_cap(self):
+        interner = ProvInterner()
+        full = tuple(Tag(TagType.FILE, i) for i in range(MAX_PROV_LEN))
+        assert interner.append(full, N) == full
+
+    def test_union_result_is_canonical_and_cached(self):
+        interner = ProvInterner()
+        a, b = interner.intern((N,)), interner.intern((P,))
+        first = interner.union(a, b)
+        misses = interner.misses
+        second = interner.union(a, b)
+        assert first is second
+        assert interner.misses == misses  # pure cache hit
+        assert interner.hits > 0
+
+    def test_union_identical_operands_is_identity(self):
+        interner = ProvInterner()
+        a = interner.intern((N, P))
+        assert interner.union(a, a) is a
+        assert interner.union(a, ()) is a
+        assert interner.union((), a) is a
+
+    def test_union_all_folds(self):
+        interner = ProvInterner()
+        out = interner.union_all([(N,), (P,), (N,), (F,)])
+        assert out == (N, P, F)
+        assert interner.intern(out) is out
+
+
+class TestHousekeeping:
+    def test_cache_sizes_report(self):
+        interner = ProvInterner()
+        interner.union((N,), (P,))
+        sizes = interner.cache_sizes()
+        assert sizes["union_cache"] == 1
+        assert sizes["canonical"] >= 2
+
+    def test_clear_resets_everything(self):
+        interner = ProvInterner()
+        interner.union((N,), (P,))
+        interner.append((N,), F)
+        interner.clear()
+        assert interner.cache_sizes() == {
+            "canonical": 0,
+            "union_cache": 0,
+            "append_cache": 0,
+        }
+        assert interner.hits == 0 and interner.misses == 0
+        # Still correct afterwards: inputs re-canonicalise on entry.
+        assert interner.union((N,), (P,)) == (N, P)
+
+    def test_global_interner_exists(self):
+        assert GLOBAL_INTERNER.union((N,), (P,)) == (N, P)

@@ -8,9 +8,14 @@ are the ones FAROS' correctness rests on:
 * **conservation through copies**: a value copied through arbitrary
   register/memory/stack hops keeps its provenance;
 * **shadow hygiene**: the shadow map never stores empty lists, and
-  clearing/untainted overwrites really remove entries.
+  clearing/untainted overwrites really remove entries;
+* **provenance algebra**: union is associative, idempotent, and
+  commutative-as-sets below the length cap; append preserves chronology
+  -- checked for the plain Table I functions *and* the memoised
+  interner (:mod:`repro.taint.intern`), which must agree exactly.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -19,7 +24,9 @@ from repro.guestos import layout
 from repro.guestos.asmlib import program
 from repro.isa.assembler import assemble
 from repro.isa.cpu import AccessKind
+from repro.taint.intern import ProvInterner
 from repro.taint.policy import TaintPolicy
+from repro.taint.provenance import MAX_PROV_LEN, append_tag, prov_union
 from repro.taint.tags import Tag, TagType
 from repro.taint.tracker import TaintTracker
 
@@ -152,12 +159,115 @@ class TestShadowHygiene:
         for paddr, prov in tracker.shadow.items():
             assert prov != ()
 
-    @given(n=st.integers(1, 16))
+    @given(n=st.integers(1, 16), start=st.integers(0, 1 << 16))
     @settings(max_examples=10, deadline=None)
-    def test_clear_is_complete(self, n):
+    def test_clear_is_complete(self, n, start):
         from repro.taint.shadow import ShadowMemory
 
         shadow = ShadowMemory()
-        shadow.set_range(range(n), (SEED_A,))
-        shadow.clear_range(range(n))
+        shadow.set_range(start, n, (SEED_A,))
+        shadow.clear_range(start, n)
         assert shadow.tainted_bytes == 0
+
+
+# ----------------------------------------------------------------------
+# provenance algebra (Table I), plain and interned
+# ----------------------------------------------------------------------
+
+tags = st.builds(
+    Tag,
+    st.sampled_from([TagType.NETFLOW, TagType.PROCESS, TagType.FILE]),
+    st.integers(0, 7),
+)
+
+#: Provenance lists short enough that unions never hit MAX_PROV_LEN --
+#: the regime where the full algebraic laws hold.
+short_provs = st.lists(tags, max_size=5, unique=True).map(tuple)
+
+#: Unrestricted lists (may reach the cap when unioned).
+provs = st.lists(tags, max_size=MAX_PROV_LEN, unique=True).map(tuple)
+
+
+def interned_ops():
+    interner = ProvInterner()
+    return interner.union, interner.append
+
+
+IMPLEMENTATIONS = {
+    "plain": lambda: (prov_union, append_tag),
+    "interned": interned_ops,
+}
+
+
+class TestProvenanceAlgebra:
+    @pytest.mark.parametrize("impl", sorted(IMPLEMENTATIONS))
+    @given(a=short_provs, b=short_provs, c=short_provs)
+    @settings(max_examples=60, deadline=None)
+    def test_union_associative(self, impl, a, b, c):
+        union, _ = IMPLEMENTATIONS[impl]()
+        assert union(union(a, b), c) == union(a, union(b, c))
+
+    @pytest.mark.parametrize("impl", sorted(IMPLEMENTATIONS))
+    @given(a=provs, b=provs, c=provs)
+    @settings(max_examples=60, deadline=None)
+    def test_union_associative_even_at_the_cap(self, impl, a, b, c):
+        # Truncation keeps the first MAX_PROV_LEN uniques of the
+        # concatenated stream, so associativity survives the cap.
+        union, _ = IMPLEMENTATIONS[impl]()
+        assert union(union(a, b), c) == union(a, union(b, c))
+
+    @pytest.mark.parametrize("impl", sorted(IMPLEMENTATIONS))
+    @given(a=short_provs, b=short_provs)
+    @settings(max_examples=60, deadline=None)
+    def test_union_commutative_as_sets_below_cap(self, impl, a, b):
+        # Ordered lists record chronology, so only the *membership* is
+        # symmetric -- and only below the cap (a full list wins ties).
+        union, _ = IMPLEMENTATIONS[impl]()
+        assert set(union(a, b)) == set(union(b, a))
+
+    @pytest.mark.parametrize("impl", sorted(IMPLEMENTATIONS))
+    @given(a=provs)
+    @settings(max_examples=30, deadline=None)
+    def test_union_idempotent(self, impl, a):
+        union, _ = IMPLEMENTATIONS[impl]()
+        assert union(a, a) == a
+        assert union(a, ()) == a
+        assert union((), a) == a
+
+    @pytest.mark.parametrize("impl", sorted(IMPLEMENTATIONS))
+    @given(a=provs, t=tags)
+    @settings(max_examples=60, deadline=None)
+    def test_append_preserves_chronology(self, impl, a, t):
+        _, append = IMPLEMENTATIONS[impl]()
+        out = append(a, t)
+        # Existing history is a prefix: first contact is never reordered.
+        assert out[: len(a)] == a
+        if t in a or len(a) >= MAX_PROV_LEN:
+            assert out == a
+        else:
+            assert out == a + (t,)
+
+    @pytest.mark.parametrize("impl", sorted(IMPLEMENTATIONS))
+    @given(a=provs, t=tags)
+    @settings(max_examples=30, deadline=None)
+    def test_append_idempotent(self, impl, a, t):
+        _, append = IMPLEMENTATIONS[impl]()
+        assert append(append(a, t), t) == append(a, t)
+
+    @given(a=provs, b=provs, t=tags)
+    @settings(max_examples=60, deadline=None)
+    def test_interned_matches_plain(self, a, b, t):
+        interner = ProvInterner()
+        assert interner.union(a, b) == prov_union(a, b)
+        assert interner.append(a, t) == append_tag(a, t)
+
+    @given(a=provs, b=provs)
+    @settings(max_examples=30, deadline=None)
+    def test_interned_results_are_canonical(self, a, b):
+        interner = ProvInterner()
+        first = interner.union(a, b)
+        # Equal inputs -- even via fresh tuple objects -- must yield the
+        # identical object, so identity comparison replaces equality.
+        second = interner.union(tuple(a), tuple(b))
+        assert first is second
+        assert interner.intern(tuple(first)) is interner.intern(first)

@@ -1,7 +1,13 @@
-"""Unit tests for shadow memory and per-thread register banks."""
+"""Unit tests for page-organised shadow memory and register banks."""
 
 from repro.isa.registers import Reg
-from repro.taint.shadow import ShadowBank, ShadowMemory, ShadowRegisters
+from repro.taint.intern import ProvInterner
+from repro.taint.shadow import (
+    SHADOW_PAGE_SIZE,
+    ShadowBank,
+    ShadowMemory,
+    ShadowRegisters,
+)
 from repro.taint.tags import Tag, TagType
 
 N = Tag(TagType.NETFLOW, 0)
@@ -28,23 +34,29 @@ class TestShadowMemory:
         shadow = ShadowMemory()
         shadow.set(0x10, (N,))
         shadow.set(0x12, (P,))
-        assert set(shadow.get_range(range(0x10, 0x14))) == {N, P}
+        assert set(shadow.get_range(0x10, 4)) == {N, P}
+
+    def test_get_bytes_unions_scattered_addresses(self):
+        shadow = ShadowMemory()
+        shadow.set(0x10, (N,))
+        shadow.set(0x9010, (P,))
+        assert set(shadow.get_bytes((0x10, 0x9010))) == {N, P}
 
     def test_set_range(self):
         shadow = ShadowMemory()
-        shadow.set_range(range(4), (N,))
+        shadow.set_range(0, 4, (N,))
         assert shadow.tainted_bytes == 4
 
     def test_set_range_empty_clears(self):
         shadow = ShadowMemory()
-        shadow.set_range(range(4), (N,))
-        shadow.set_range(range(4), ())
+        shadow.set_range(0, 4, (N,))
+        shadow.set_range(0, 4, ())
         assert shadow.tainted_bytes == 0
 
     def test_clear_range(self):
         shadow = ShadowMemory()
-        shadow.set_range(range(8), (N,))
-        shadow.clear_range(range(2, 6))
+        shadow.set_range(0, 8, (N,))
+        shadow.clear_range(2, 4)
         assert shadow.tainted_bytes == 4
 
     def test_tainted_bytes_counts_distinct_addresses(self):
@@ -53,17 +65,89 @@ class TestShadowMemory:
         shadow.set(1, (P,))
         assert shadow.tainted_bytes == 1
 
+    def test_items_yields_every_tainted_byte(self):
+        shadow = ShadowMemory()
+        shadow.set(3, (N,))
+        shadow.set(SHADOW_PAGE_SIZE + 7, (P,))
+        assert dict(shadow.items()) == {3: (N,), SHADOW_PAGE_SIZE + 7: (P,)}
+
+    def test_snapshot_is_flat_copy(self):
+        shadow = ShadowMemory()
+        shadow.set_range(10, 3, (N,))
+        snap = shadow.snapshot()
+        shadow.clear_range(10, 3)
+        assert snap == {10: (N,), 11: (N,), 12: (N,)}
+
+
+class TestPageOrganisation:
+    def test_clean_memory_has_no_dirty_pages(self):
+        assert ShadowMemory().dirty_pages() == []
+
+    def test_dirty_page_index_tracks_population(self):
+        shadow = ShadowMemory()
+        shadow.set(5, (N,))
+        shadow.set(3 * SHADOW_PAGE_SIZE + 1, (P,))
+        assert shadow.dirty_pages() == [0, 3]
+
+    def test_page_dropped_when_last_byte_clears(self):
+        shadow = ShadowMemory()
+        shadow.set(5, (N,))
+        shadow.set(5, ())
+        assert shadow.dirty_pages() == []
+
+    def test_pages_clean_fast_exit(self):
+        shadow = ShadowMemory()
+        assert shadow.pages_clean((0, 1, 2, 3))
+        shadow.set(SHADOW_PAGE_SIZE + 9, (N,))
+        # Same page as the tainted byte: conservatively dirty.
+        assert not shadow.pages_clean((SHADOW_PAGE_SIZE,))
+        # Different page: still clean.
+        assert shadow.pages_clean((0, 1, 2, 3))
+
+    def test_range_ops_span_page_boundaries(self):
+        shadow = ShadowMemory()
+        start = SHADOW_PAGE_SIZE - 2
+        shadow.set_range(start, 4, (N,))
+        assert shadow.tainted_bytes == 4
+        assert shadow.dirty_pages() == [0, 1]
+        assert shadow.get_range(start, 4) == (N,)
+        shadow.clear_range(start, 4)
+        assert shadow.tainted_bytes == 0 and shadow.dirty_pages() == []
+
+    def test_interned_unions_share_identity(self):
+        interner = ProvInterner()
+        shadow = ShadowMemory(interner)
+        shadow.set(0, interner.seed(N))
+        shadow.set(1, interner.seed(P))
+        first = shadow.get_range(0, 2)
+        second = shadow.get_range(0, 2)
+        assert first == (N, P)
+        assert first is second  # memoised union, no fresh allocation
+
 
 class TestShadowRegisters:
     def test_default_untainted(self):
         regs = ShadowRegisters()
         assert regs.get(Reg.R0) == () and regs.flags == ()
+        assert regs.tainted == 0
 
     def test_set_get(self):
         regs = ShadowRegisters()
         regs.set(Reg.R3, (N,))
         assert regs.get(Reg.R3) == (N,)
         assert regs.get(Reg.R4) == ()
+
+    def test_tainted_count_tracks_transitions(self):
+        regs = ShadowRegisters()
+        regs.set(Reg.R1, (N,))
+        regs.set(Reg.R2, (P,))
+        assert regs.tainted == 2
+        regs.set(Reg.R1, (P,))  # overwrite tainted with tainted
+        assert regs.tainted == 2
+        regs.set(Reg.R1, ())
+        assert regs.tainted == 1
+        regs.set(Reg.R1, ())  # clearing a clean register is a no-op
+        assert regs.tainted == 1
 
 
 class TestShadowBank:
@@ -81,3 +165,13 @@ class TestShadowBank:
 
     def test_drop_unknown_thread_is_noop(self):
         ShadowBank().drop_thread(99)
+
+    def test_any_tainted_sees_registers_and_flags(self):
+        bank = ShadowBank()
+        assert not bank.any_tainted()
+        bank.for_thread(1).set(Reg.R1, (N,))
+        assert bank.any_tainted()
+        bank.for_thread(1).set(Reg.R1, ())
+        assert not bank.any_tainted()
+        bank.for_thread(2).flags = (P,)
+        assert bank.any_tainted()

@@ -500,9 +500,209 @@ class TestLoadListeners:
         assert any(SEED in prov for prov in seen)
 
 
+class TestContextSwitchIsolation:
+    """Register shadows are per-thread: a context switch must never leak
+    one thread's tainted registers into another (regression tests for the
+    fast-path rewrite, which rebuilt the bank bookkeeping)."""
+
+    SPIN = """
+    spin:
+        addi r3, r3, 1
+        cmpi r3, 3000
+        jnz spin
+    """
+
+    def test_tainted_register_does_not_leak_across_processes(self):
+        # Two processes round-robin on 100-instruction slices.  A holds a
+        # tainted value in r2 across many context switches; B stores its
+        # own (never-written) r2.  B's store must stay clean.
+        machine = Machine(MachineConfig())
+        tracker = TaintTracker(policy=TaintPolicy(process_tags_on_access=False))
+        machine.plugins.register(tracker)
+        prog_a = register_asm(
+            machine,
+            "tainty.exe",
+            "start:\n    movi r1, src\n    ld r2, [r1]\n" + self.SPIN + "    jmp park\nsrc: .word 0xabcd",
+            PARK,
+        )
+        prog_b = register_asm(
+            machine,
+            "clean.exe",
+            "start:\n    movi r3, 0\n" + self.SPIN + "    movi r1, dst\n    st [r1], r2\n    jmp park\ndst: .word 0",
+            PARK,
+        )
+        proc_a = machine.kernel.spawn("tainty.exe")
+        proc_b = machine.kernel.spawn("clean.exe")
+        tracker.taint_range(paddrs_of(proc_a, prog_a, "src", 4), SEED)
+        machine.run(300_000)
+        assert tracker.prov_of_range(paddrs_of(proc_b, prog_b, "dst", 4)) == ()
+        bank_a = tracker.banks.for_thread(proc_a.main_thread.tid)
+        bank_b = tracker.banks.for_thread(proc_b.main_thread.tid)
+        assert SEED in bank_a.get(Reg.R2)
+        assert bank_b.get(Reg.R2) == ()
+
+    def test_remote_thread_starts_with_clean_registers(self):
+        # Two threads in ONE process: main taints r6, then injects a
+        # remote thread into itself (pid 100 is the first process).  The
+        # new thread stores its own r6 -- a fresh bank, so no taint.
+        machine = Machine(MachineConfig())
+        tracker = TaintTracker(policy=TaintPolicy(process_tags_on_access=False))
+        machine.plugins.register(tracker)
+        prog = register_asm(
+            machine,
+            "self.exe",
+            """
+            start:
+                movi r1, src
+                ld r6, [r1]
+                movi r1, 100
+                movi r0, SYS_OPEN_PROCESS
+                syscall
+                mov r1, r0
+                movi r2, routine
+                movi r3, 0
+                movi r0, SYS_CREATE_REMOTE_THREAD
+                syscall
+                jmp park
+            routine:
+                movi r1, dst
+                st [r1], r6
+                jmp park
+            src: .word 7
+            dst: .word 0
+            """,
+            PARK,
+        )
+        proc = machine.kernel.spawn("self.exe")
+        tracker.taint_range(paddrs_of(proc, prog, "src", 4), SEED)
+        machine.run(300_000)
+        assert len(proc.threads) == 2
+        assert tracker.prov_of_range(paddrs_of(proc, prog, "dst", 4)) == ()
+        main_tid, remote_tid = (t.tid for t in proc.threads)
+        assert SEED in tracker.banks.for_thread(main_tid).get(Reg.R6)
+        assert tracker.banks.for_thread(remote_tid).get(Reg.R6) == ()
+
+    def test_dropped_thread_bank_does_not_resurrect(self):
+        # A process exits with tainted registers; a later process whose
+        # thread happens to reuse state must start from a clean bank.
+        machine, tracker, proc, prog = launch(
+            """
+            start:
+                movi r1, src
+                ld r2, [r1]
+                movi r1, 0
+                movi r0, SYS_EXIT
+                syscall
+            src: .word 1
+            """
+        )
+        tid = proc.main_thread.tid
+        seed(tracker, proc, prog, "src", 4)
+        machine.run(300_000)
+        assert tracker.banks.for_thread(tid).get(Reg.R2) == ()
+
+
 class TestStats:
     def test_counters_advance(self):
         machine, tracker, proc, prog = launch("start: movi r1, 0\njmp park")
         machine.run(100_000)
         assert tracker.stats.instructions > 0
         assert tracker.stats.external_writes >= 1  # image load
+
+    def test_untainted_run_is_all_fast_path(self):
+        # With no taint anywhere the tracker withdraws from
+        # per-instruction effects entirely: every retirement is bulk-
+        # counted as fast, and the slow path never runs.
+        machine, tracker, proc, prog = launch(
+            "start:\n    movi r3, 0\nspin:\n    addi r3, r3, 1\n    cmpi r3, 500\n    jnz spin\n    jmp park"
+        )
+        machine.run(100_000)
+        stats = tracker.stats
+        assert stats.fast_retirements > 0
+        assert stats.slow_retirements == 0
+        assert stats.instructions == stats.fast_retirements + stats.slow_retirements
+
+    def test_mixed_run_uses_both_paths(self):
+        machine, tracker, proc, prog = launch(
+            """
+            start:
+                movi r3, 0
+            spin:
+                addi r3, r3, 1
+                cmpi r3, 500
+                jnz spin
+                movi r1, src
+                ld r2, [r1]
+                movi r1, dst
+                st [r1], r2
+                jmp park
+            src: .word 5
+            dst: .word 0
+            """
+        )
+        # Phase 1: nothing tainted -- the spin loop retires uninstrumented.
+        machine.run(1_000)
+        assert tracker.stats.fast_retirements > 0
+        # Phase 2: taint arrives; subsequent slices are instrumented and
+        # the copy through src goes down the slow path.
+        seed(tracker, proc, prog, "src", 4)
+        machine.run(300_000)
+        stats = tracker.stats
+        assert stats.slow_retirements > 0
+        assert stats.instructions == stats.fast_retirements + stats.slow_retirements
+        assert tracker.prov_of_range(paddrs_of(proc, prog, "dst", 4)) == (SEED,)
+
+    def test_taint_arrival_mid_run_rearms_instrumentation(self):
+        # The machine picks fast/instrumented stepping per slice and
+        # re-evaluates after syscalls; taint landing via an external
+        # event mid-run must not be missed by a stale fast-path choice.
+        machine = Machine(MachineConfig())
+        tracker = TaintTracker(policy=TaintPolicy(process_tags_on_access=False))
+        machine.plugins.register(tracker)
+
+        from repro.emulator.plugins import Plugin
+
+        seeder = Plugin()
+        seeder.on_packet_receive = lambda m, p, a: tracker.taint_range(a, SEED)
+        machine.plugins.register(seeder)
+        prog = register_asm(
+            machine,
+            "rx.exe",
+            """
+            start:
+                movi r0, SYS_SOCKET
+                syscall
+                mov r7, r0
+                mov r1, r7
+                movi r2, ip
+                movi r3, 4444
+                movi r0, SYS_CONNECT
+                syscall
+                mov r1, r7
+                movi r2, buf
+                movi r3, 4
+                movi r0, SYS_RECV
+                syscall
+                movi r1, buf
+                ld r2, [r1]
+                movi r1, dst
+                st [r1], r2
+                jmp park
+            ip: .asciz "9.9.9.9"
+            buf: .space 4
+            dst: .space 4
+            """,
+            PARK,
+        )
+        proc = machine.kernel.spawn("rx.exe")
+        machine.schedule(
+            2000,
+            PacketEvent(Packet("9.9.9.9", 4444, machine.devices.nic.ip, 49152, b"EVIL")),
+        )
+        machine.run(300_000)
+        dst = proc.aspace.translate_range(prog.label("dst"), 4, AccessKind.READ)
+        for paddr in dst:
+            assert SEED in tracker.prov_at(paddr)
+        stats = tracker.stats
+        assert stats.fast_retirements > 0 and stats.slow_retirements > 0
+        assert stats.instructions == stats.fast_retirements + stats.slow_retirements
