@@ -1,0 +1,132 @@
+"""Batch-triage scaling: the Table IV corpus, serial vs. worker pools.
+
+The paper analyses its 104-sample corpus one at a time; the triage
+engine shards it over worker processes.  This bench measures corpus
+throughput at 1/2/4/8 workers and -- more importantly -- asserts **zero
+verdict drift**: every parallel configuration must produce exactly the
+serial verdicts, exit codes, and rendered Table IV.
+
+Standalone smoke run (no pytest needed, used by CI)::
+
+    PYTHONPATH=src python benchmarks/bench_triage_scaling.py --smoke
+
+The smoke run uses a family-balanced subset and a single 4-worker pool;
+``--full`` runs all 104 samples at every pool size.  It fails (non-zero
+exit) on any verdict drift, or -- on hosts with >= 4 CPUs -- if the
+4-worker speedup falls below 2x.  On smaller hosts the speedup gate is
+reported but not enforced: a pool cannot beat the hardware.
+"""
+
+import os
+import sys
+import time
+
+import pytest
+
+from repro.analysis.experiments import corpus_fp_experiment, select_corpus_samples
+from repro.analysis.tables import render_table4
+
+#: The speedup the 4-worker pool must reach on >= 4-CPU hosts.
+REQUIRED_SPEEDUP = 2.0
+GATED_WORKERS = 4
+
+SMOKE_LIMIT = 32
+
+
+def _timed_corpus(jobs, limit):
+    start = time.perf_counter()
+    results = corpus_fp_experiment(limit=limit, jobs=jobs)
+    return results, time.perf_counter() - start
+
+
+def _verdict_key(results):
+    return [(r.sample.name, r.flagged, r.exit_code, r.error) for r in results]
+
+
+def scaling_report(limit, worker_counts):
+    """Run the corpus serially and at each pool size.
+
+    Returns ``(report_text, drift_free, speedups)`` where *speedups*
+    maps worker count -> serial_time / pool_time.
+    """
+    total = len(select_corpus_samples(limit))
+    serial_results, serial_s = _timed_corpus(1, limit)
+    serial_key = _verdict_key(serial_results)
+    serial_table = render_table4(serial_results)
+    flagged = sum(r.flagged for r in serial_results)
+
+    lines = [
+        f"triage scaling -- {total}-sample corpus "
+        f"(host: {os.cpu_count()} CPU(s)), serial flags: {flagged}",
+        f"{'workers':<9} {'seconds':<9} {'samples/s':<11} {'speedup':<9} drift",
+    ]
+    lines.append(
+        f"{'serial':<9} {serial_s:<9.2f} {total / serial_s:<11.1f} {'1.00x':<9} -"
+    )
+    drift_free = True
+    speedups = {}
+    for workers in worker_counts:
+        results, seconds = _timed_corpus(workers, limit)
+        same = (
+            _verdict_key(results) == serial_key
+            and render_table4(results) == serial_table
+        )
+        drift_free = drift_free and same
+        speedups[workers] = serial_s / seconds
+        lines.append(
+            f"{workers:<9} {seconds:<9.2f} {total / seconds:<11.1f} "
+            f"{speedups[workers]:<9.2f} {'none' if same else 'DRIFTED'}"
+        )
+    return "\n".join(lines), drift_free, speedups
+
+
+def _gate(drift_free, speedups):
+    """Apply the bench's pass/fail rules; returns a list of failures."""
+    failures = []
+    if not drift_free:
+        failures.append("parallel verdicts drifted from serial")
+    speedup = speedups.get(GATED_WORKERS)
+    if speedup is not None and (os.cpu_count() or 1) >= GATED_WORKERS:
+        if speedup < REQUIRED_SPEEDUP:
+            failures.append(
+                f"{GATED_WORKERS}-worker speedup {speedup:.2f}x "
+                f"< required {REQUIRED_SPEEDUP}x"
+            )
+    return failures
+
+
+@pytest.mark.slow
+def test_triage_scaling_full_corpus(emit):
+    report, drift_free, speedups = scaling_report(limit=None, worker_counts=(2, 4, 8))
+    emit("triage_scaling", report)
+    failures = _gate(drift_free, speedups)
+    assert not failures, "; ".join(failures)
+
+
+def main(argv):
+    if "--full" in argv:
+        limit, worker_counts = None, (2, 4, 8)
+    elif "--smoke" in argv:
+        limit, worker_counts = SMOKE_LIMIT, (GATED_WORKERS,)
+    else:
+        print(__doc__)
+        return 2
+    report, drift_free, speedups = scaling_report(limit, worker_counts)
+    print(report)
+    failures = _gate(drift_free, speedups)
+    if (os.cpu_count() or 1) < GATED_WORKERS:
+        print(
+            f"note: host has {os.cpu_count()} CPU(s); the "
+            f"{REQUIRED_SPEEDUP}x speedup gate needs >= {GATED_WORKERS} "
+            "and is reported, not enforced"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -25,6 +25,7 @@ E12         :func:`~repro.analysis.evasion.tag_pressure_experiment` and
 
 from repro.analysis.experiments import (
     AttackAnalysis,
+    AttackVerdict,
     ComparisonRow,
     CorpusResult,
     JitResult,
@@ -35,6 +36,12 @@ from repro.analysis.experiments import (
     jit_fp_experiment,
     overhead_experiment,
     table2_output,
+)
+from repro.analysis.triage import (
+    TriageJob,
+    TriageResult,
+    execute_job,
+    run_triage,
 )
 from repro.analysis.indirect_flows import indirect_flow_experiment
 from repro.analysis.evasion import (
@@ -62,10 +69,15 @@ from repro.analysis.tables import (
 
 __all__ = [
     "AttackAnalysis",
+    "AttackVerdict",
     "ComparisonRow",
     "CorpusResult",
     "JitResult",
     "OverheadRow",
+    "TriageJob",
+    "TriageResult",
+    "execute_job",
+    "run_triage",
     "byte_lifecycle_experiment",
     "comparison_matrix",
     "corpus_fp_experiment",

@@ -1,4 +1,13 @@
-"""Experiment runners for the paper's evaluation section (§VI)."""
+"""Experiment runners for the paper's evaluation section (§VI).
+
+The batch experiments (detection suite, Tables III/IV, the §VI-B
+comparison) are built on the :mod:`repro.analysis.triage` engine: each
+runner turns its roster into picklable job descriptors, hands them to
+:func:`~repro.analysis.triage.run_triage`, and rebuilds its row type
+from the serializable results.  ``jobs=1`` (the default) runs the batch
+in-process; ``jobs=N`` shards it over N worker processes with identical
+output.
+"""
 
 from __future__ import annotations
 
@@ -6,33 +15,38 @@ import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
-from repro.attacks import (
-    build_bypassuac_injection_scenario,
-    build_code_injection_scenario,
-    build_process_hollowing_scenario,
-    build_reflective_dll_scenario,
-    build_reverse_tcp_dns_scenario,
+from repro.analysis.triage import (
+    ATTACK_BUILDER_REGISTRY,
+    TriageResult,
+    attack_jobs,
+    comparison_jobs,
+    corpus_jobs,
+    jit_jobs,
+    run_triage,
 )
 from repro.attacks.metasploit import AttackScenario
-from repro.baselines import CuckooSandbox
 from repro.emulator.record_replay import record, replay
 from repro.faros import Faros, FarosReport
+from repro.faros.report import ProvenanceChain
 from repro.workloads.behaviors import build_sample_scenario
 from repro.workloads.corpus import SampleSpec, corpus_samples
-from repro.workloads.jit import jit_samples
+from repro.workloads.jit import JIT_WORKLOADS, uses_native_binding
 
 # ----------------------------------------------------------------------
 # E1-E6: the six in-memory injection attacks (Figs. 7-10, Table II)
 # ----------------------------------------------------------------------
 
 #: The paper's six advanced in-memory-injecting malware samples.
-ATTACK_BUILDERS: Tuple[Tuple[str, Callable[[], AttackScenario]], ...] = (
-    ("reflective_dll_inject", build_reflective_dll_scenario),
-    ("reverse_tcp_dns", build_reverse_tcp_dns_scenario),
-    ("bypassuac_injection", build_bypassuac_injection_scenario),
-    ("process_hollowing", build_process_hollowing_scenario),
-    ("darkcomet_injection", lambda: build_code_injection_scenario(rat="darkcomet")),
-    ("njrat_injection", lambda: build_code_injection_scenario(rat="njrat")),
+ATTACK_BUILDERS: Tuple[Tuple[str, Callable[[], AttackScenario]], ...] = tuple(
+    (name, ATTACK_BUILDER_REGISTRY[name])
+    for name in (
+        "reflective_dll_inject",
+        "reverse_tcp_dns",
+        "bypassuac_injection",
+        "process_hollowing",
+        "darkcomet_injection",
+        "njrat_injection",
+    )
 )
 
 
@@ -62,15 +76,48 @@ def run_attack_analysis(name: str, attack: AttackScenario) -> AttackAnalysis:
     )
 
 
-def detection_suite() -> List[AttackAnalysis]:
+@dataclass
+class AttackVerdict:
+    """FAROS' verdict on one attack, as triaged through the engine.
+
+    The render-facing twin of :class:`AttackAnalysis`: same ``name`` /
+    ``detected`` / ``chain`` surface, but built from a serializable
+    :class:`~repro.analysis.triage.TriageResult` so the suite can run
+    in worker processes.
+    """
+
+    name: str
+    detected: bool
+    chains: List[ProvenanceChain]
+    result: TriageResult
+    error: Optional[str] = None
+
+    @property
+    def chain(self) -> Optional[ProvenanceChain]:
+        return self.chains[0] if self.chains else None
+
+
+def detection_suite(
+    jobs: int = 1, timeout: Optional[float] = None
+) -> List[AttackVerdict]:
     """E1-E6: all six attacks.  Expected: 6/6 detected."""
-    return [run_attack_analysis(name, build()) for name, build in ATTACK_BUILDERS]
+    job_list = attack_jobs([name for name, _ in ATTACK_BUILDERS])
+    return [
+        AttackVerdict(
+            name=r.name,
+            detected=r.verdict,
+            chains=r.chains(),
+            result=r,
+            error=r.error,
+        )
+        for r in run_triage(job_list, jobs=jobs, timeout=timeout)
+    ]
 
 
 def table2_output() -> str:
     """E5: the Table II-style FAROS output for a reflective DLL injection."""
     analysis = run_attack_analysis(
-        "reflective_dll_inject", build_reflective_dll_scenario()
+        "reflective_dll_inject", ATTACK_BUILDER_REGISTRY["reflective_dll_inject"]()
     )
     return analysis.report.render()
 
@@ -85,27 +132,30 @@ class JitResult:
     kind: str
     flagged: bool
     expected_flag: bool
+    error: Optional[str] = None
+    result: Optional[TriageResult] = None
 
 
-def jit_fp_experiment() -> List[JitResult]:
+def jit_fp_experiment(
+    jobs: int = 1, timeout: Optional[float] = None
+) -> List[JitResult]:
     """E7: run all 20 Table III workloads under FAROS.
 
     Expected shape: exactly the two native-binding applets flagged
     (10% of the applet set; 2/20 of the JIT set), zero AJAX flags.
     """
-    results = []
-    for sample in jit_samples():
-        faros = Faros()
-        sample.scenario.run(plugins=[faros])
-        results.append(
-            JitResult(
-                name=sample.name,
-                kind=sample.kind,
-                flagged=faros.attack_detected,
-                expected_flag=sample.uses_native_binding,
-            )
+    results = run_triage(jit_jobs(JIT_WORKLOADS), jobs=jobs, timeout=timeout)
+    return [
+        JitResult(
+            name=name,
+            kind=kind,
+            flagged=r.verdict,
+            expected_flag=uses_native_binding(name, kind),
+            error=r.error,
+            result=r,
         )
-    return results
+        for (name, kind), r in zip(JIT_WORKLOADS, results)
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -117,36 +167,51 @@ class CorpusResult:
     sample: SampleSpec
     flagged: bool
     exit_code: Optional[int]
+    error: Optional[str] = None
+    result: Optional[TriageResult] = None
 
 
-def corpus_fp_experiment(limit: Optional[int] = None) -> List[CorpusResult]:
-    """E8: the 90-malware + 14-benign corpus.  Expected: zero flags.
+def select_corpus_samples(limit: Optional[int] = None) -> List[SampleSpec]:
+    """The corpus roster, family-balanced when *limit* trims it.
 
-    With *limit*, a family-balanced subset runs instead of the full
-    roster: the first variant of every family (malware and benign)
-    first, then further variants -- so quick runs still cover every
-    behaviour composition.  The bench runs all 104.
+    With *limit*, the first variant of every family (malware and
+    benign) comes first, then further variants -- so quick runs still
+    cover every behaviour composition.
     """
     samples = corpus_samples()
-    if limit is not None:
-        seen_families = set()
-        firsts, rest = [], []
-        for spec in samples:
-            if spec.family in seen_families:
-                rest.append(spec)
-            else:
-                seen_families.add(spec.family)
-                firsts.append(spec)
-        samples = (firsts + rest)[:limit]
-    results = []
+    if limit is None:
+        return samples
+    seen_families = set()
+    firsts, rest = [], []
     for spec in samples:
-        faros = Faros()
-        machine = spec.scenario().run(plugins=[faros])
-        proc = next(iter(machine.kernel.processes.values()))
-        results.append(
-            CorpusResult(sample=spec, flagged=faros.attack_detected, exit_code=proc.exit_code)
+        if spec.family in seen_families:
+            rest.append(spec)
+        else:
+            seen_families.add(spec.family)
+            firsts.append(spec)
+    return (firsts + rest)[:limit]
+
+
+def corpus_fp_experiment(
+    limit: Optional[int] = None, jobs: int = 1, timeout: Optional[float] = None
+) -> List[CorpusResult]:
+    """E8: the 90-malware + 14-benign corpus.  Expected: zero flags.
+
+    The bench runs all 104; unit tests pass a *limit* for a
+    family-balanced subset (see :func:`select_corpus_samples`).
+    """
+    samples = select_corpus_samples(limit)
+    results = run_triage(corpus_jobs(samples), jobs=jobs, timeout=timeout)
+    return [
+        CorpusResult(
+            sample=spec,
+            flagged=r.verdict,
+            exit_code=r.exit_code,
+            error=r.error,
+            result=r,
         )
-    return results
+        for spec, r in zip(samples, results)
+    ]
 
 
 def fp_rate(flag_count: int, total: int) -> float:
@@ -218,8 +283,8 @@ def overhead_experiment(repeat: int = 3) -> List[OverheadRow]:
             insns_box["n"] = faros.tracker.stats.instructions
             return time.perf_counter() - start
 
-        plain_time = min(plain() for _ in range(max(repeat, 1)))
-        faros_time = min(with_faros() for _ in range(max(repeat, 1)))
+        plain_time = _best_time(plain, repeat)
+        faros_time = _best_time(with_faros, repeat)
         rows.append(
             OverheadRow(
                 application=app,
@@ -231,13 +296,11 @@ def overhead_experiment(repeat: int = 3) -> List[OverheadRow]:
     return rows
 
 
-def _best_time(fn: Callable[[], object], repeat: int) -> float:
-    best = float("inf")
-    for _ in range(max(repeat, 1)):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
+def _best_time(fn: Callable[[], float], repeat: int) -> float:
+    """Best (minimum) of *repeat* timed runs.  *fn* measures one run and
+    returns its seconds -- machine construction stays outside the timed
+    window, matching how the paper times PANDA replays."""
+    return min(fn() for _ in range(max(repeat, 1)))
 
 
 # ----------------------------------------------------------------------
@@ -255,39 +318,38 @@ class ComparisonRow:
     faros_has_provenance: bool
     cuckoo_detects: bool
     malfind_detects: bool
+    error: Optional[str] = None
+    result: Optional[TriageResult] = None
 
 
-def comparison_matrix(include_transient: bool = True) -> List[ComparisonRow]:
+#: The §VI-B attack classes (persistent first, transient variants after).
+COMPARISON_CASES: Tuple[Tuple[str, bool], ...] = (
+    ("reflective_dll_inject", False),
+    ("process_hollowing", False),
+    ("code_injection", False),
+    ("reflective_dll_inject", True),
+    ("process_hollowing", True),
+    ("code_injection", True),
+)
+
+
+def comparison_matrix(
+    include_transient: bool = True, jobs: int = 1, timeout: Optional[float] = None
+) -> List[ComparisonRow]:
     """E10: FAROS vs Cuckoo vs Cuckoo+malfind on the attack classes."""
-    cases: List[Tuple[str, bool, AttackScenario]] = [
-        ("reflective_dll_inject", False, build_reflective_dll_scenario()),
-        ("process_hollowing", False, build_process_hollowing_scenario()),
-        ("code_injection", False, build_code_injection_scenario()),
-    ]
-    if include_transient:
-        cases += [
-            ("reflective_dll_inject", True, build_reflective_dll_scenario(transient=True)),
-            ("process_hollowing", True, build_process_hollowing_scenario(transient=True)),
-            ("code_injection", True, build_code_injection_scenario(transient=True)),
-        ]
-    rows = []
-    for name, transient, attack in cases:
-        faros = Faros()
-        attack.scenario.run(plugins=[faros])
-        report = faros.report()
-        chain = report.chains()[0] if report.chains() else None
-
-        cuckoo_report = CuckooSandbox().analyze(attack.scenario)
-        malfind_detected, _hits = cuckoo_report.detect_injection_with_malfind()
-        rows.append(
-            ComparisonRow(
-                attack=name,
-                transient=transient,
-                faros_detects=report.attack_detected,
-                faros_has_netflow=bool(chain and chain.netflow),
-                faros_has_provenance=bool(chain and chain.process_chain),
-                cuckoo_detects=cuckoo_report.detect_injection(),
-                malfind_detects=malfind_detected,
-            )
+    cases = [c for c in COMPARISON_CASES if include_transient or not c[1]]
+    results = run_triage(comparison_jobs(cases), jobs=jobs, timeout=timeout)
+    return [
+        ComparisonRow(
+            attack=name,
+            transient=transient,
+            faros_detects=r.verdict,
+            faros_has_netflow=bool(r.extra.get("has_netflow")),
+            faros_has_provenance=bool(r.extra.get("has_provenance")),
+            cuckoo_detects=bool(r.extra.get("cuckoo_detects")),
+            malfind_detects=bool(r.extra.get("malfind_detects")),
+            error=r.error,
+            result=r,
         )
-    return rows
+        for (name, transient), r in zip(cases, results)
+    ]

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.analysis.experiments import (
-    AttackAnalysis,
+    AttackVerdict,
     ComparisonRow,
     CorpusResult,
     JitResult,
@@ -14,7 +14,23 @@ from repro.analysis.experiments import (
 )
 
 
-def render_detection_suite(results: Sequence[AttackAnalysis]) -> str:
+def _row_label(r) -> str:
+    name = getattr(r, "name", None) or getattr(r, "attack", None)
+    if name is None and getattr(r, "sample", None) is not None:
+        name = r.sample.name
+    return name or "?"
+
+
+def _error_lines(rows: Sequence) -> list:
+    """Triage failures, one line each (empty when the batch was clean)."""
+    return [
+        f"ERROR: {_row_label(r)}: {r.error}"
+        for r in rows
+        if getattr(r, "error", None)
+    ]
+
+
+def render_detection_suite(results: Sequence[AttackVerdict]) -> str:
     """The §VI headline: six attacks, six flags, with provenance."""
     lines = [
         "Detection of in-memory injection attacks (paper: 6/6 flagged)",
@@ -22,10 +38,12 @@ def render_detection_suite(results: Sequence[AttackAnalysis]) -> str:
     ]
     for r in results:
         chain = r.chain
+        flagged = "ERROR" if getattr(r, "error", None) else str(r.detected)
         netflow = chain.netflow if chain and chain.netflow else "-"
         processes = " -> ".join(chain.process_chain) if chain else "-"
-        lines.append(f"{r.name:<24} {str(r.detected):<8} {netflow:<17} {processes}")
+        lines.append(f"{r.name:<24} {flagged:<8} {netflow:<17} {processes}")
     detected = sum(r.detected for r in results)
+    lines.extend(_error_lines(results))
     lines.append(f"TOTAL: {detected}/{len(results)} flagged")
     return "\n".join(lines)
 
@@ -46,6 +64,7 @@ def render_table3(results: Sequence[JitResult]) -> str:
             f"{j.name if j else '':<22} {('X' if j and j.flagged else ''):<6}"
         )
     flagged = sum(r.flagged for r in results)
+    lines.extend(_error_lines(results))
     lines.append(
         f"flagged: {flagged}/{len(results)} "
         f"({fp_rate(flagged, len(results)):.0f}% of the JIT set)"
@@ -121,6 +140,7 @@ def render_table4(results: Sequence[CorpusResult]) -> str:
             f"{'X' if r.flagged else ''}"
         )
     flagged = sum(r.flagged for r in results)
+    lines.extend(_error_lines(results))
     lines.append(
         f"samples: {len(results)} "
         f"(malware {sum(1 for r in results if not r.sample.benign)}, "
@@ -162,4 +182,5 @@ def render_comparison_matrix(rows: Sequence[ComparisonRow]) -> str:
             f"{str(r.faros_has_netflow):<9} {str(r.faros_has_provenance):<11} "
             f"{str(r.cuckoo_detects):<8} {r.malfind_detects}"
         )
+    lines.extend(_error_lines(rows))
     return "\n".join(lines)

@@ -1,0 +1,512 @@
+"""Parallel batch-triage engine with fault isolation.
+
+The paper's evaluation (§VI, Tables II-V) analyses 100+ samples one at
+a time; at production scale a triage fleet must run many analyses
+concurrently and survive individual samples wedging or crashing.  This
+module provides that layer:
+
+* a **work unit** is a :class:`TriageJob` -- a picklable descriptor
+  (kind + builder kwargs, never live machines/scenarios) that a worker
+  resolves against :data:`JOB_KINDS` and executes via the deterministic
+  record/replay substrate;
+* :func:`run_triage` shards jobs across a ``multiprocessing`` worker
+  pool with a per-sample wall-clock **timeout** and **bounded retry**
+  on worker crash -- a sample that times out, or whose worker dies on
+  every attempt, becomes an ``ERROR`` :class:`TriageResult` row while
+  the rest of the batch completes;
+* every outcome is a serializable :class:`TriageResult` (verdict,
+  provenance-chain summary, exit code, timings, tracker stats) so the
+  cross-process result channel is plain data, and the aggregator
+  returns results in **submission order** -- parallel output is
+  byte-identical to serial.
+
+``jobs=1`` short-circuits to an in-process serial loop (no pool is
+spawned); because both paths run the same :func:`execute_job` code on
+the same job descriptors, verdicts and rendered tables cannot drift
+between them.  See ``docs/triage_engine.md``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import operator
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from functools import partial
+from multiprocessing.connection import wait as _connection_wait
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.attacks import (
+    build_bypassuac_injection_scenario,
+    build_code_injection_scenario,
+    build_process_hollowing_scenario,
+    build_reflective_dll_scenario,
+    build_reverse_tcp_dns_scenario,
+)
+from repro.baselines import CuckooSandbox
+from repro.emulator.record_replay import record, replay
+from repro.faros import Faros
+from repro.faros.report import ProvenanceChain, ReportSummary
+from repro.workloads.corpus import SampleSpec
+from repro.workloads.jit import build_jit_scenario
+
+STATUS_OK = "OK"
+STATUS_ERROR = "ERROR"
+
+#: Retry budget: a job may be re-dispatched this many times after a
+#: worker crash before it is written off as an ``ERROR`` row (so the
+#: default of 1 means "crashes twice -> ERROR").
+DEFAULT_MAX_RETRIES = 1
+
+_POLL_INTERVAL = 0.1
+
+
+# ----------------------------------------------------------------------
+# job descriptors and results (the cross-process wire format)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TriageJob:
+    """One picklable work unit: a builder name + kwargs, no live objects."""
+
+    job_id: int
+    name: str
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class JobOutcome:
+    """What a job-kind runner returns from inside the worker."""
+
+    verdict: bool
+    exit_code: Optional[int] = None
+    report: Optional[dict] = None
+    instructions: int = 0
+    tainted_bytes: int = 0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class TriageResult:
+    """Serializable outcome of one job (OK or ERROR, never an exception)."""
+
+    job_id: int
+    name: str
+    kind: str
+    status: str
+    verdict: bool
+    error: Optional[str] = None
+    exit_code: Optional[int] = None
+    duration_s: float = 0.0
+    attempts: int = 1
+    worker_pid: int = 0
+    instructions: int = 0
+    tainted_bytes: int = 0
+    report: Optional[dict] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def chains(self) -> List[ProvenanceChain]:
+        """Provenance chains reconstructed from the serialized report."""
+        if not self.report:
+            return []
+        return ReportSummary.from_dict(self.report).chains
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "name": self.name,
+            "kind": self.kind,
+            "status": self.status,
+            "verdict": self.verdict,
+            "error": self.error,
+            "exit_code": self.exit_code,
+            "duration_s": self.duration_s,
+            "attempts": self.attempts,
+            "worker_pid": self.worker_pid,
+            "instructions": self.instructions,
+            "tainted_bytes": self.tainted_bytes,
+            "report": self.report,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TriageResult":
+        return cls(**{k: d[k] for k in (
+            "job_id", "name", "kind", "status", "verdict", "error",
+            "exit_code", "duration_s", "attempts", "worker_pid",
+            "instructions", "tainted_bytes", "report", "extra",
+        )})
+
+
+# ----------------------------------------------------------------------
+# job kinds (resolved by name inside the worker)
+# ----------------------------------------------------------------------
+
+JOB_KINDS: Dict[str, Callable[..., JobOutcome]] = {}
+
+
+def job_kind(name: str):
+    """Register a runner under *name* so job descriptors can refer to it."""
+
+    def deco(fn):
+        JOB_KINDS[name] = fn
+        return fn
+
+    return deco
+
+
+#: Attack-scenario builders by name (the §VI attack roster).  Every
+#: builder accepts ``transient=`` so the comparison matrix can reuse it.
+ATTACK_BUILDER_REGISTRY: Dict[str, Callable[..., Any]] = {
+    "reflective_dll_inject": build_reflective_dll_scenario,
+    "reverse_tcp_dns": build_reverse_tcp_dns_scenario,
+    "bypassuac_injection": build_bypassuac_injection_scenario,
+    "process_hollowing": build_process_hollowing_scenario,
+    "code_injection": build_code_injection_scenario,
+    "darkcomet_injection": partial(build_code_injection_scenario, rat="darkcomet"),
+    "njrat_injection": partial(build_code_injection_scenario, rat="njrat"),
+}
+
+
+def _faros_outcome(faros: Faros, exit_code: Optional[int] = None,
+                   extra: Optional[Dict[str, Any]] = None,
+                   include_report: bool = True) -> JobOutcome:
+    return JobOutcome(
+        verdict=faros.attack_detected,
+        exit_code=exit_code,
+        report=faros.report().to_dict() if include_report else None,
+        instructions=faros.tracker.stats.instructions,
+        tainted_bytes=faros.tracker.shadow.tainted_bytes,
+        extra=extra or {},
+    )
+
+
+@job_kind("attack")
+def _run_attack_job(attack: str, transient: bool = False) -> JobOutcome:
+    """Record/replay one attack scenario with FAROS attached (§V-C)."""
+    builder = ATTACK_BUILDER_REGISTRY[attack]
+    scenario = builder(transient=True) if transient else builder()
+    recording = record(scenario.scenario)
+    faros = Faros()
+    replay(recording, plugins=[faros])
+    return _faros_outcome(faros)
+
+
+@job_kind("jit")
+def _run_jit_job(name: str, workload: str) -> JobOutcome:
+    """One Table III JIT workload (Java applet or AJAX site)."""
+    sample = build_jit_scenario(name, workload)
+    faros = Faros()
+    sample.scenario.run(plugins=[faros])
+    return _faros_outcome(
+        faros,
+        include_report=faros.attack_detected,
+        extra={"workload": workload,
+               "expected_flag": sample.uses_native_binding},
+    )
+
+
+@job_kind("corpus")
+def _run_corpus_job(**params) -> JobOutcome:
+    """One Table IV corpus sample, rebuilt from its picklable spec."""
+    spec = SampleSpec.from_params(**params)
+    faros = Faros()
+    machine = spec.scenario().run(plugins=[faros])
+    proc = next(iter(machine.kernel.processes.values()))
+    return _faros_outcome(
+        faros,
+        exit_code=proc.exit_code,
+        include_report=faros.attack_detected,
+        extra={"family": spec.family, "benign": spec.benign},
+    )
+
+
+@job_kind("comparison")
+def _run_comparison_job(attack: str, transient: bool = False) -> JobOutcome:
+    """One §VI-B row: the same attack under FAROS, Cuckoo, and malfind."""
+    builder = ATTACK_BUILDER_REGISTRY[attack]
+    attack_obj = builder(transient=transient)
+    faros = Faros()
+    attack_obj.scenario.run(plugins=[faros])
+    report = faros.report()
+    chains = report.chains()
+    chain = chains[0] if chains else None
+
+    cuckoo_report = CuckooSandbox().analyze(attack_obj.scenario)
+    malfind_detected, _hits = cuckoo_report.detect_injection_with_malfind()
+    return _faros_outcome(
+        faros,
+        extra={
+            "transient": transient,
+            "has_netflow": bool(chain and chain.netflow),
+            "has_provenance": bool(chain and chain.process_chain),
+            "cuckoo_detects": cuckoo_report.detect_injection(),
+            "malfind_detects": malfind_detected,
+        },
+    )
+
+
+@job_kind("pyfunc")
+def _run_pyfunc_job(target: str, kwargs: Optional[dict] = None) -> JobOutcome:
+    """Run ``module:qualname`` with *kwargs* -- the extensibility escape
+    hatch (and the fault-injection hook the test suite uses)."""
+    modname, _, qualname = target.partition(":")
+    fn = operator.attrgetter(qualname)(importlib.import_module(modname))
+    value = fn(**(kwargs or {}))
+    if isinstance(value, JobOutcome):
+        return value
+    return JobOutcome(verdict=bool(value))
+
+
+# ----------------------------------------------------------------------
+# job execution (shared by the serial path and the workers)
+# ----------------------------------------------------------------------
+
+def _error_result(job: TriageJob, attempts: int, reason: str,
+                  duration_s: float = 0.0) -> TriageResult:
+    return TriageResult(
+        job_id=job.job_id, name=job.name, kind=job.kind,
+        status=STATUS_ERROR, verdict=False, error=reason,
+        duration_s=duration_s, attempts=attempts, worker_pid=os.getpid(),
+    )
+
+
+def execute_job(job: TriageJob, attempt: int = 1) -> TriageResult:
+    """Run one job to a :class:`TriageResult`; exceptions become ERROR
+    rows (graceful degradation), never propagate."""
+    start = time.perf_counter()
+    try:
+        runner = JOB_KINDS[job.kind]
+    except KeyError:
+        return _error_result(job, attempt, f"unknown job kind {job.kind!r}")
+    try:
+        outcome = runner(**job.params)
+    except Exception as exc:  # fault isolation: one bad sample != a dead run
+        return _error_result(
+            job, attempt, f"{type(exc).__name__}: {exc}",
+            duration_s=time.perf_counter() - start,
+        )
+    return TriageResult(
+        job_id=job.job_id, name=job.name, kind=job.kind,
+        status=STATUS_OK, verdict=outcome.verdict,
+        exit_code=outcome.exit_code,
+        duration_s=time.perf_counter() - start,
+        attempts=attempt, worker_pid=os.getpid(),
+        instructions=outcome.instructions,
+        tainted_bytes=outcome.tainted_bytes,
+        report=outcome.report, extra=outcome.extra,
+    )
+
+
+# ----------------------------------------------------------------------
+# the worker pool
+# ----------------------------------------------------------------------
+
+def _mp_context():
+    """Fork where available (cheap workers, inherited registries);
+    spawn otherwise -- job kinds resolve by import either way."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX hosts
+        return multiprocessing.get_context("spawn")
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: receive (job, attempt), send back a TriageResult."""
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        if msg is None:
+            return
+        job, attempt = msg
+        result = execute_job(job, attempt=attempt)
+        try:
+            conn.send(result)
+        except (BrokenPipeError, OSError):
+            return
+
+
+class _Worker:
+    """One pool member: a process plus the pipe the parent drives it by.
+
+    The parent hands a worker exactly one job at a time, so when the
+    process dies or overruns its deadline the parent knows precisely
+    which job was in flight.
+    """
+
+    def __init__(self, ctx) -> None:
+        self.conn, child = ctx.Pipe()
+        self.proc = ctx.Process(target=_worker_main, args=(child,), daemon=True)
+        self.proc.start()
+        child.close()
+        self.job: Optional[TriageJob] = None
+        self.attempt = 0
+        self.deadline: Optional[float] = None
+
+    def submit(self, job: TriageJob, attempt: int,
+               timeout: Optional[float]) -> None:
+        self.conn.send((job, attempt))
+        self.job, self.attempt = job, attempt
+        self.deadline = time.monotonic() + timeout if timeout else None
+
+    def finish(self) -> None:
+        self.job, self.attempt, self.deadline = None, 0, None
+
+    def kill(self) -> None:
+        try:
+            self.proc.kill()
+            self.proc.join(timeout=5.0)
+        finally:
+            self.conn.close()
+
+    def close(self) -> None:
+        try:
+            self.conn.send(None)
+            self.conn.close()
+            self.proc.join(timeout=1.0)
+        except (BrokenPipeError, OSError):
+            pass
+        if self.proc.is_alive():  # pragma: no cover - stuck shutdown
+            self.proc.kill()
+            self.proc.join(timeout=1.0)
+
+
+def _wait_budget(workers: Sequence[_Worker], now: float) -> float:
+    deadlines = [w.deadline - now for w in workers if w.deadline is not None]
+    if not deadlines:
+        return _POLL_INTERVAL
+    return max(0.0, min(min(deadlines), _POLL_INTERVAL))
+
+
+def _run_pool(jobs_list: Sequence[TriageJob], jobs: int,
+              timeout: Optional[float], max_retries: int) -> Dict[int, TriageResult]:
+    ctx = _mp_context()
+    pending = deque((job, 1) for job in jobs_list)
+    results: Dict[int, TriageResult] = {}
+    workers = [_Worker(ctx) for _ in range(max(1, min(jobs, len(jobs_list))))]
+    try:
+        while pending or any(w.job is not None for w in workers):
+            # Dispatch: keep every idle worker fed.
+            for i, w in enumerate(workers):
+                if w.job is None and pending:
+                    job, attempt = pending.popleft()
+                    try:
+                        w.submit(job, attempt, timeout)
+                    except (BrokenPipeError, OSError):
+                        # Worker died while idle: replace it, keep the job.
+                        w.kill()
+                        workers[i] = w = _Worker(ctx)
+                        w.submit(job, attempt, timeout)
+            busy = {w.conn: (i, w) for i, w in enumerate(workers)
+                    if w.job is not None}
+            now = time.monotonic()
+            ready = _connection_wait(
+                list(busy), timeout=_wait_budget([w for _, w in busy.values()], now)
+            )
+            for conn in ready:
+                i, w = busy[conn]
+                try:
+                    result = conn.recv()
+                except (EOFError, OSError):
+                    # Crash mid-job (the pipe died with the process).
+                    job, attempt = w.job, w.attempt
+                    exitcode = w.proc.exitcode
+                    w.kill()
+                    workers[i] = _Worker(ctx)
+                    if attempt > max_retries:
+                        results[job.job_id] = _error_result(
+                            job, attempt,
+                            f"worker died (exit code {exitcode}) on "
+                            f"attempt {attempt}/{max_retries + 1}",
+                        )
+                    else:
+                        pending.appendleft((job, attempt + 1))
+                else:
+                    results[result.job_id] = result
+                    w.finish()
+            # Enforce per-sample wall-clock deadlines.
+            now = time.monotonic()
+            for i, w in enumerate(workers):
+                if w.job is None or w.deadline is None or now < w.deadline:
+                    continue
+                job, attempt = w.job, w.attempt
+                w.kill()
+                workers[i] = _Worker(ctx)
+                results[job.job_id] = _error_result(
+                    job, attempt,
+                    f"timeout: exceeded {timeout:g}s wall clock",
+                    duration_s=timeout or 0.0,
+                )
+    finally:
+        for w in workers:
+            if w.job is not None:
+                w.kill()
+            else:
+                w.close()
+    return results
+
+
+def run_triage(
+    jobs_list: Sequence[TriageJob],
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+) -> List[TriageResult]:
+    """Execute *jobs_list*, returning one result per job in submission
+    order.
+
+    ``jobs=1`` runs everything in-process (no pool, no timeout
+    enforcement -- there is no worker to kill).  ``jobs>1`` shards the
+    batch over that many worker processes; *timeout* bounds each
+    sample's wall clock and *max_retries* bounds re-dispatch after a
+    worker crash.
+    """
+    if jobs <= 1:
+        return [execute_job(job) for job in jobs_list]
+    results = _run_pool(jobs_list, jobs, timeout, max_retries)
+    return [results[job.job_id] for job in jobs_list]
+
+
+# ----------------------------------------------------------------------
+# batch builders (the experiment runners' job lists)
+# ----------------------------------------------------------------------
+
+def attack_jobs(names: Sequence[str]) -> List[TriageJob]:
+    return [
+        TriageJob(job_id=i, name=name, kind="attack", params={"attack": name})
+        for i, name in enumerate(names)
+    ]
+
+
+def jit_jobs(workloads: Sequence[Tuple[str, str]]) -> List[TriageJob]:
+    return [
+        TriageJob(job_id=i, name=name, kind="jit",
+                  params={"name": name, "workload": workload})
+        for i, (name, workload) in enumerate(workloads)
+    ]
+
+
+def corpus_jobs(samples: Sequence[SampleSpec]) -> List[TriageJob]:
+    return [
+        TriageJob(job_id=i, name=spec.name, kind="corpus",
+                  params=spec.job_params())
+        for i, spec in enumerate(samples)
+    ]
+
+
+def comparison_jobs(cases: Sequence[Tuple[str, bool]]) -> List[TriageJob]:
+    return [
+        TriageJob(job_id=i, name=attack, kind="comparison",
+                  params={"attack": attack, "transient": transient})
+        for i, (attack, transient) in enumerate(cases)
+    ]

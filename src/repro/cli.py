@@ -12,6 +12,12 @@ regenerated from a shell::
     python -m repro indirect      # Figs. 1-2 policy dilemma
     python -m repro evasion       # §VI-D evasion studies
     python -m repro all           # everything above
+
+The batch commands (``detect``, ``table3``, ``table4``, ``compare``,
+``all``) accept ``--jobs N`` to shard samples over N worker processes
+(output is byte-identical to serial), ``--timeout S`` for a per-sample
+wall-clock bound, and ``--json OUT`` to additionally write the
+machine-readable triage results (``-`` = stdout).
 """
 
 from __future__ import annotations
@@ -21,11 +27,29 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 
-def _cmd_detect(args: argparse.Namespace) -> None:
+def _triage_kwargs(args: argparse.Namespace) -> dict:
+    return {
+        "jobs": getattr(args, "jobs", 1),
+        "timeout": getattr(args, "timeout", None),
+    }
+
+
+def _triage_payload(command: str, args: argparse.Namespace, rows) -> dict:
+    return {
+        "command": command,
+        "jobs": getattr(args, "jobs", 1),
+        "timeout": getattr(args, "timeout", None),
+        "results": [row.result.to_dict() for row in rows if row.result],
+    }
+
+
+def _cmd_detect(args: argparse.Namespace) -> Optional[dict]:
     from repro.analysis.experiments import detection_suite
     from repro.analysis.tables import render_detection_suite
 
-    print(render_detection_suite(detection_suite()))
+    rows = detection_suite(**_triage_kwargs(args))
+    print(render_detection_suite(rows))
+    return _triage_payload("detect", args, rows)
 
 
 def _cmd_table2(args: argparse.Namespace) -> None:
@@ -34,21 +58,25 @@ def _cmd_table2(args: argparse.Namespace) -> None:
     print(table2_output())
 
 
-def _cmd_table3(args: argparse.Namespace) -> None:
+def _cmd_table3(args: argparse.Namespace) -> Optional[dict]:
     from repro.analysis.experiments import jit_fp_experiment
     from repro.analysis.tables import render_table3
 
-    print(render_table3(jit_fp_experiment()))
+    rows = jit_fp_experiment(**_triage_kwargs(args))
+    print(render_table3(rows))
+    return _triage_payload("table3", args, rows)
 
 
-def _cmd_table4(args: argparse.Namespace) -> None:
+def _cmd_table4(args: argparse.Namespace) -> Optional[dict]:
     from repro.analysis.experiments import corpus_fp_experiment
     from repro.analysis.tables import render_table4
 
     limit = None if args.full else 21
     if not args.full:
         print("(one variant per family; pass --full for all 104 samples)")
-    print(render_table4(corpus_fp_experiment(limit=limit)))
+    rows = corpus_fp_experiment(limit=limit, **_triage_kwargs(args))
+    print(render_table4(rows))
+    return _triage_payload("table4", args, rows)
 
 
 def _cmd_table5(args: argparse.Namespace) -> None:
@@ -58,11 +86,13 @@ def _cmd_table5(args: argparse.Namespace) -> None:
     print(render_table5(overhead_experiment(repeat=args.repeat)))
 
 
-def _cmd_compare(args: argparse.Namespace) -> None:
+def _cmd_compare(args: argparse.Namespace) -> Optional[dict]:
     from repro.analysis.experiments import comparison_matrix
     from repro.analysis.tables import render_comparison_matrix
 
-    print(render_comparison_matrix(comparison_matrix(include_transient=True)))
+    rows = comparison_matrix(include_transient=True, **_triage_kwargs(args))
+    print(render_comparison_matrix(rows))
+    return _triage_payload("compare", args, rows)
 
 
 def _cmd_indirect(args: argparse.Namespace) -> None:
@@ -127,14 +157,18 @@ def _cmd_timeline(args: argparse.Namespace) -> None:
     print(faros.report().render())
 
 
-def _cmd_all(args: argparse.Namespace) -> None:
+def _cmd_all(args: argparse.Namespace) -> Optional[dict]:
+    payloads = {}
     for name in ("detect", "table2", "table3", "table4", "table5", "compare",
                  "indirect", "evasion"):
         print(f"\n{'=' * 70}\n== {name}\n{'=' * 70}")
-        _COMMANDS[name](args)
+        payload = _COMMANDS[name](args)
+        if payload is not None:
+            payloads[name] = payload
+    return {"command": "all", "results": payloads}
 
 
-_COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
+_COMMANDS: Dict[str, Callable[[argparse.Namespace], Optional[dict]]] = {
     "detect": _cmd_detect,
     "table2": _cmd_table2,
     "table3": _cmd_table3,
@@ -148,20 +182,39 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
 }
 
 
+def _add_triage_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="shard samples over N worker processes (1 = in-process serial)",
+    )
+    sub.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-sample wall-clock timeout in seconds (needs --jobs >= 2)",
+    )
+    sub.add_argument(
+        "--json", default=None, metavar="OUT",
+        help="write machine-readable triage results to OUT ('-' = stdout)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="FAROS reproduction: regenerate the paper's evaluation artifacts.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("detect", help="run the six in-memory attacks under FAROS")
+    detect = sub.add_parser("detect", help="run the six in-memory attacks under FAROS")
+    _add_triage_flags(detect)
     sub.add_parser("table2", help="FAROS provenance output sample")
-    sub.add_parser("table3", help="JIT false-positive study")
+    table3 = sub.add_parser("table3", help="JIT false-positive study")
+    _add_triage_flags(table3)
     table4 = sub.add_parser("table4", help="corpus false-positive study")
     table4.add_argument("--full", action="store_true", help="run all 104 samples")
+    _add_triage_flags(table4)
     table5 = sub.add_parser("table5", help="FAROS overhead measurement")
     table5.add_argument("--repeat", type=int, default=3, help="timing repetitions")
-    sub.add_parser("compare", help="FAROS vs Cuckoo vs Cuckoo+malfind")
+    compare = sub.add_parser("compare", help="FAROS vs Cuckoo vs Cuckoo+malfind")
+    _add_triage_flags(compare)
     sub.add_parser("indirect", help="Figs. 1-2 indirect-flow dilemma")
     sub.add_parser("evasion", help="§VI-D evasion studies")
     timeline = sub.add_parser("timeline", help="analysis timeline for one attack")
@@ -176,12 +229,28 @@ def build_parser() -> argparse.ArgumentParser:
     everything = sub.add_parser("all", help="regenerate every artifact")
     everything.add_argument("--full", action="store_true", help="full corpus")
     everything.add_argument("--repeat", type=int, default=3)
+    _add_triage_flags(everything)
     return parser
+
+
+def _write_json(destination: str, payload: dict) -> None:
+    import json
+
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if destination == "-":
+        print(text)
+    else:
+        with open(destination, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    _COMMANDS[args.command](args)
+    payload = _COMMANDS[args.command](args)
+    destination = getattr(args, "json", None)
+    # (timeline's --json is a bool flag handled inside the command.)
+    if payload is not None and isinstance(destination, str):
+        _write_json(destination, payload)
     return 0
 
 

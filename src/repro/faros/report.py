@@ -53,6 +53,37 @@ class ProvenanceChain:
     #: Processes from the stitched upstream chain (e.g. the dropper).
     upstream_processes: List[str] = field(default_factory=list)
 
+    def to_dict(self) -> dict:
+        return {
+            "instruction_address": self.instruction_address,
+            "instruction": self.instruction,
+            "executing_process": self.executing_process,
+            "netflow": self.netflow,
+            "stitched_netflow": self.stitched_netflow,
+            "process_chain": list(self.process_chain),
+            "upstream_processes": list(self.upstream_processes),
+            "file_origins": list(self.file_origins),
+            "export_table_address": self.export_table_address,
+            "resolved_function": self.resolved_function,
+            "rule": self.rule,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ProvenanceChain":
+        return cls(
+            instruction_address=d["instruction_address"],
+            instruction=d["instruction"],
+            executing_process=d["executing_process"],
+            netflow=d["netflow"],
+            process_chain=list(d["process_chain"]),
+            file_origins=list(d["file_origins"]),
+            export_table_address=d["export_table_address"],
+            rule=d["rule"],
+            resolved_function=d["resolved_function"],
+            stitched_netflow=d["stitched_netflow"],
+            upstream_processes=list(d["upstream_processes"]),
+        )
+
 
 @dataclass
 class FarosReport:
@@ -141,6 +172,23 @@ class FarosReport:
             )
         return out
 
+    def _flag_dicts(self) -> List[dict]:
+        return [
+            {
+                "tick": c_flag.tick,
+                "pc": c_flag.pc,
+                "instruction": c_flag.insn_text,
+                "executing_process": c_flag.executing_process,
+                "executing_pid": c_flag.executing_pid,
+                "read_vaddr": c_flag.read_vaddr,
+                "rule": c_flag.rule,
+                "provenance": [
+                    self.tag_store.describe(tag) for tag in c_flag.insn_prov
+                ],
+            }
+            for c_flag in self.flagged
+        ]
+
     def to_dict(self) -> dict:
         """Machine-readable report (for pipelines ingesting FAROS output)."""
         return {
@@ -148,38 +196,20 @@ class FarosReport:
             "instructions_analyzed": self.instructions_analyzed,
             "tainted_bytes": self.tainted_bytes,
             "tag_map_sizes": dict(self.tag_map_sizes),
-            "flags": [
-                {
-                    "tick": c_flag.tick,
-                    "pc": c_flag.pc,
-                    "instruction": c_flag.insn_text,
-                    "executing_process": c_flag.executing_process,
-                    "executing_pid": c_flag.executing_pid,
-                    "read_vaddr": c_flag.read_vaddr,
-                    "rule": c_flag.rule,
-                    "provenance": [
-                        self.tag_store.describe(tag) for tag in c_flag.insn_prov
-                    ],
-                }
-                for c_flag in self.flagged
-            ],
-            "chains": [
-                {
-                    "instruction_address": chain.instruction_address,
-                    "instruction": chain.instruction,
-                    "executing_process": chain.executing_process,
-                    "netflow": chain.netflow,
-                    "stitched_netflow": chain.stitched_netflow,
-                    "process_chain": list(chain.process_chain),
-                    "upstream_processes": list(chain.upstream_processes),
-                    "file_origins": list(chain.file_origins),
-                    "export_table_address": chain.export_table_address,
-                    "resolved_function": chain.resolved_function,
-                    "rule": chain.rule,
-                }
-                for chain in self.chains()
-            ],
+            "flags": self._flag_dicts(),
+            "chains": [chain.to_dict() for chain in self.chains()],
         }
+
+    def summary(self) -> "ReportSummary":
+        """The serializable face of this report (what crosses processes)."""
+        return ReportSummary(
+            attack_detected=self.attack_detected,
+            instructions_analyzed=self.instructions_analyzed,
+            tainted_bytes=self.tainted_bytes,
+            tag_map_sizes=dict(self.tag_map_sizes),
+            flags=self._flag_dicts(),
+            chains=self.chains(),
+        )
 
     def render(self) -> str:
         """The human-readable report (Table II format)."""
@@ -212,3 +242,45 @@ class FarosReport:
             f"{self.tainted_bytes} tainted bytes, tag maps {self.tag_map_sizes}"
         )
         return "\n".join(lines)
+
+
+@dataclass
+class ReportSummary:
+    """A :class:`FarosReport` without the live tag store.
+
+    This is the **cross-process result channel**: a worker serializes
+    its report with :meth:`FarosReport.to_dict`, ships it over a pipe
+    (or JSON), and the aggregator reconstructs this summary.  It
+    round-trips losslessly -- ``ReportSummary.from_dict(r.to_dict())``
+    equals ``r.summary()`` -- which the report-export tests lock in for
+    every attack scenario.
+    """
+
+    attack_detected: bool
+    instructions_analyzed: int
+    tainted_bytes: int
+    tag_map_sizes: Dict[str, int]
+    flags: List[dict]
+    chains: List[ProvenanceChain]
+
+    def to_dict(self) -> dict:
+        """Same shape as :meth:`FarosReport.to_dict`."""
+        return {
+            "attack_detected": self.attack_detected,
+            "instructions_analyzed": self.instructions_analyzed,
+            "tainted_bytes": self.tainted_bytes,
+            "tag_map_sizes": dict(self.tag_map_sizes),
+            "flags": [dict(flag) for flag in self.flags],
+            "chains": [chain.to_dict() for chain in self.chains],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ReportSummary":
+        return cls(
+            attack_detected=d["attack_detected"],
+            instructions_analyzed=d["instructions_analyzed"],
+            tainted_bytes=d["tainted_bytes"],
+            tag_map_sizes=dict(d["tag_map_sizes"]),
+            flags=[dict(flag) for flag in d["flags"]],
+            chains=[ProvenanceChain.from_dict(c) for c in d["chains"]],
+        )

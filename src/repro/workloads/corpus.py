@@ -69,6 +69,27 @@ class SampleSpec:
             name=self.name, behaviors=self.behaviors, variant=self.variant
         )
 
+    def job_params(self) -> dict:
+        """This spec as picklable triage-job kwargs (no live objects)."""
+        return {
+            "name": self.name,
+            "family": self.family,
+            "behaviors": list(self.behaviors),
+            "benign": self.benign,
+            "variant": self.variant,
+        }
+
+    @classmethod
+    def from_params(
+        cls, name: str, family: str, behaviors: Sequence[str],
+        benign: bool, variant: int,
+    ) -> "SampleSpec":
+        """Rebuild a spec from :meth:`job_params` output (worker side)."""
+        return cls(
+            name=name, family=family, behaviors=tuple(behaviors),
+            benign=benign, variant=variant,
+        )
+
 
 def _expand(
     rows: Sequence[Tuple[str, Tuple[str, ...]]], total: int, benign: bool

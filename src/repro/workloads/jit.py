@@ -68,6 +68,18 @@ AJAX_SITES: Tuple[str, ...] = (
 #: reports 2 of the Java applets flagged; the names are our choice).
 NATIVE_BINDING_APPLETS = frozenset({"acceleration", "keplerlaw1"})
 
+#: The full Table III roster as picklable ``(name, kind)`` descriptors --
+#: what the triage engine ships to workers (building the scenarios
+#: themselves assembles guest code, so that happens worker-side).
+JIT_WORKLOADS: Tuple[Tuple[str, str], ...] = tuple(
+    (name, "applet") for name in JAVA_APPLETS
+) + tuple((name, "ajax") for name in AJAX_SITES)
+
+
+def uses_native_binding(name: str, kind: str) -> bool:
+    """Ground truth for Table III: does this workload bind native code?"""
+    return kind == "applet" and name in NATIVE_BINDING_APPLETS
+
 #: Classloader obfuscation key (the 'bytecode' is XOR-coded native code).
 CLASS_KEY = 0x5A
 
@@ -184,7 +196,7 @@ def _runtime_asm(code_size: int) -> str:
 
 def build_jit_scenario(name: str, kind: str) -> JitSample:
     """Build one Table III workload (applet or AJAX site)."""
-    native_binding = kind == "applet" and name in NATIVE_BINDING_APPLETS
+    native_binding = uses_native_binding(name, kind)
     native = _applet_native_code(name, native_binding)
     class_bytes = bytes(b ^ CLASS_KEY for b in native)
 
@@ -224,6 +236,4 @@ def build_jit_scenario(name: str, kind: str) -> JitSample:
 
 def jit_samples() -> List[JitSample]:
     """All 20 Table III workloads: 10 applets + 10 AJAX sites."""
-    return [build_jit_scenario(name, "applet") for name in JAVA_APPLETS] + [
-        build_jit_scenario(name, "ajax") for name in AJAX_SITES
-    ]
+    return [build_jit_scenario(name, kind) for name, kind in JIT_WORKLOADS]

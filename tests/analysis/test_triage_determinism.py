@@ -1,0 +1,68 @@
+"""Determinism differential: parallel triage must be byte-identical to
+serial (the parallel analogue of the taint fast-path harness).
+
+Verdicts, FP counts, and the rendered paper tables are compared between
+the in-process serial path and a 4-worker pool on the same rosters.
+"""
+
+import pytest
+
+from repro.analysis.experiments import corpus_fp_experiment, detection_suite
+from repro.analysis.tables import render_detection_suite, render_table4
+
+
+class TestCorpusDeterminism:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return corpus_fp_experiment(limit=21)
+
+    @pytest.fixture(scope="class")
+    def parallel(self):
+        return corpus_fp_experiment(limit=21, jobs=4)
+
+    def test_verdicts_identical(self, serial, parallel):
+        assert [(r.sample.name, r.flagged) for r in serial] == [
+            (r.sample.name, r.flagged) for r in parallel
+        ]
+
+    def test_exit_codes_identical(self, serial, parallel):
+        assert [r.exit_code for r in serial] == [r.exit_code for r in parallel]
+
+    def test_fp_counts_identical(self, serial, parallel):
+        assert sum(r.flagged for r in serial) == sum(r.flagged for r in parallel) == 0
+
+    def test_no_errors_either_path(self, serial, parallel):
+        assert [r.error for r in serial] == [r.error for r in parallel] == [None] * 21
+
+    def test_rendered_table_byte_identical(self, serial, parallel):
+        assert render_table4(serial) == render_table4(parallel)
+
+    def test_tracker_stats_identical(self, serial, parallel):
+        # Not just verdicts: the workers saw the very same executions.
+        assert [(r.result.instructions, r.result.tainted_bytes) for r in serial] == [
+            (r.result.instructions, r.result.tainted_bytes) for r in parallel
+        ]
+
+
+class TestDetectionSuiteDeterminism:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return detection_suite()
+
+    @pytest.fixture(scope="class")
+    def parallel(self):
+        return detection_suite(jobs=4)
+
+    def test_verdicts_identical(self, serial, parallel):
+        assert [(r.name, r.detected) for r in serial] == [
+            (r.name, r.detected) for r in parallel
+        ]
+        assert sum(r.detected for r in parallel) == 6
+
+    def test_chains_identical(self, serial, parallel):
+        # ProvenanceChain is a plain dataclass: deep equality covers
+        # netflows, process chains, file origins, and resolved APIs.
+        assert [r.chains for r in serial] == [r.chains for r in parallel]
+
+    def test_rendered_table_byte_identical(self, serial, parallel):
+        assert render_detection_suite(serial) == render_detection_suite(parallel)

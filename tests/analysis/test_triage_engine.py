@@ -1,0 +1,122 @@
+"""Unit tests for the batch-triage engine's job model and serial path."""
+
+import json
+
+import pytest
+
+from repro.analysis.triage import (
+    STATUS_ERROR,
+    STATUS_OK,
+    TriageJob,
+    TriageResult,
+    attack_jobs,
+    corpus_jobs,
+    execute_job,
+    jit_jobs,
+    run_triage,
+)
+from repro.analysis.experiments import select_corpus_samples
+
+
+def _pyfunc_job(job_id, target, name="fault", **kwargs):
+    return TriageJob(
+        job_id=job_id,
+        name=name,
+        kind="pyfunc",
+        params={"target": f"tests.analysis.triage_fault_jobs:{target}",
+                "kwargs": kwargs},
+    )
+
+
+class TestExecuteJob:
+    def test_corpus_job_ok(self):
+        spec = select_corpus_samples(limit=1)[0]
+        [job] = corpus_jobs([spec])
+        result = execute_job(job)
+        assert result.status == STATUS_OK
+        assert result.verdict is False          # Table IV: no false positives
+        assert result.exit_code == 0
+        assert result.error is None
+        assert result.instructions > 0
+        assert result.duration_s > 0.0
+        assert result.extra["family"] == spec.family
+
+    def test_attack_job_carries_report_and_chains(self):
+        [job] = attack_jobs(["reflective_dll_inject"])
+        result = execute_job(job)
+        assert result.status == STATUS_OK and result.verdict is True
+        assert result.report["attack_detected"] is True
+        [chain] = result.chains()[:1]
+        assert chain.netflow.startswith("169.254.26.161:4444")
+        assert chain.process_chain == ["inject_client.exe", "notepad.exe"]
+
+    def test_unknown_kind_is_error_row(self):
+        job = TriageJob(job_id=0, name="mystery", kind="no-such-kind")
+        result = execute_job(job)
+        assert result.status == STATUS_ERROR
+        assert result.verdict is False
+        assert "no-such-kind" in result.error
+
+    def test_runner_exception_is_error_row(self):
+        result = execute_job(_pyfunc_job(0, "raising_job"))
+        assert result.status == STATUS_ERROR
+        assert result.error == "ValueError: scenario exploded"
+
+
+class TestResultSerialization:
+    def test_round_trip_preserves_everything(self):
+        [job] = jit_jobs([("acceleration", "applet")])
+        result = execute_job(job)
+        assert result.verdict is True           # one of the two JIT FPs
+        clone = TriageResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert clone == result
+
+    def test_error_row_round_trips(self):
+        result = execute_job(_pyfunc_job(3, "raising_job"))
+        clone = TriageResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert clone == result
+
+
+class TestRunTriage:
+    def test_serial_path_matches_execute_job_verdicts(self):
+        jobs = [_pyfunc_job(i, "ok_job", token=i) for i in range(5)]
+        results = run_triage(jobs, jobs=1)
+        assert [r.verdict for r in results] == [False, True, False, True, False]
+        assert all(r.status == STATUS_OK for r in results)
+
+    def test_parallel_results_come_back_in_submission_order(self):
+        # Later jobs finish first (earlier ones sleep longer), yet the
+        # aggregator must return submission order.
+        jobs = [
+            _pyfunc_job(i, "slow_job", name=f"job-{i}",
+                        seconds=0.3 - 0.1 * i if i < 3 else 0.0)
+            for i in range(6)
+        ]
+        results = run_triage(jobs, jobs=3)
+        assert [r.job_id for r in results] == list(range(6))
+        assert [r.name for r in results] == [f"job-{i}" for i in range(6)]
+
+    def test_more_workers_than_jobs(self):
+        jobs = [_pyfunc_job(0, "ok_job", token=1)]
+        [result] = run_triage(jobs, jobs=8)
+        assert result.verdict is True
+
+    def test_empty_batch(self):
+        assert run_triage([], jobs=1) == []
+        assert run_triage([], jobs=4) == []
+
+    def test_workers_report_distinct_pids(self):
+        jobs = [_pyfunc_job(i, "slow_job", seconds=0.15) for i in range(4)]
+        results = run_triage(jobs, jobs=2)
+        assert all(r.worker_pid != 0 for r in results)
+        assert len({r.worker_pid for r in results}) >= 2
+
+
+class TestPicklableSpecs:
+    def test_sample_spec_round_trips_through_job_params(self):
+        from repro.workloads.corpus import SampleSpec
+
+        for spec in select_corpus_samples(limit=5):
+            params = spec.job_params()
+            json.dumps(params)  # the wire format must be JSON-safe too
+            assert SampleSpec.from_params(**params) == spec

@@ -1,0 +1,52 @@
+"""Fault-injection job targets for the triage-engine tests.
+
+These run inside triage workers via the ``pyfunc`` job kind, so they
+live in an importable module (not a test file) and take only picklable
+kwargs.  Each one simulates a distinct production failure mode.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import time
+
+
+def ok_job(token: int = 0) -> bool:
+    """A well-behaved sample: verdict is 'flagged' for odd tokens."""
+    return token % 2 == 1
+
+
+def slow_job(seconds: float = 0.2) -> bool:
+    """A sample that takes a while but finishes (must NOT time out)."""
+    time.sleep(seconds)
+    return False
+
+
+def raising_job() -> bool:
+    """A scenario that blows up inside the analysis."""
+    raise ValueError("scenario exploded")
+
+
+def busy_loop_job() -> bool:
+    """A wedged sample: spins forever, must be killed by the timeout."""
+    while True:  # pragma: no cover - the worker is SIGKILLed mid-spin
+        pass
+
+
+def selfkill_job() -> bool:
+    """A worker death: the process dies without reporting a result."""
+    os.kill(os.getpid(), signal.SIGKILL)
+    return True  # pragma: no cover - never reached
+
+
+def crash_once_job(marker: str) -> bool:
+    """Crashes the worker on the first attempt, succeeds on the retry
+    (the *marker* file records that the first attempt happened)."""
+    path = pathlib.Path(marker)
+    if path.exists():
+        return True
+    path.write_text("first attempt crashed")
+    os.kill(os.getpid(), signal.SIGKILL)
+    return False  # pragma: no cover - never reached

@@ -6,6 +6,7 @@ import pytest
 
 from repro.attacks import build_drop_reload_scenario, build_reflective_dll_scenario
 from repro.faros import Faros
+from repro.faros.report import ProvenanceChain, ReportSummary
 
 
 @pytest.fixture(scope="module")
@@ -61,6 +62,53 @@ class TestToDict:
         d = faros.report().to_dict()
         assert d["attack_detected"] is False
         assert d["flags"] == [] and d["chains"] == []
+
+
+class TestSummaryRoundTrip:
+    """The cross-process result channel: ``to_dict`` -> JSON -> summary
+    must reconstruct exactly what the in-process report says, for every
+    attack in the §VI roster."""
+
+    @pytest.fixture(scope="class")
+    def attack_reports(self):
+        from repro.analysis.experiments import ATTACK_BUILDERS
+
+        reports = {}
+        for name, build in ATTACK_BUILDERS:
+            faros = Faros()
+            build().scenario.run(plugins=[faros])
+            reports[name] = faros.report()
+        return reports
+
+    def test_covers_the_full_attack_roster(self, attack_reports):
+        assert len(attack_reports) == 6
+
+    def test_summary_round_trips_for_every_attack(self, attack_reports):
+        for name, report in attack_reports.items():
+            wire = json.loads(json.dumps(report.to_dict()))
+            rebuilt = ReportSummary.from_dict(wire)
+            assert rebuilt == report.summary(), name
+
+    def test_rebuilt_summary_matches_in_process_values(self, attack_reports):
+        for name, report in attack_reports.items():
+            rebuilt = ReportSummary.from_dict(report.to_dict())
+            assert rebuilt.attack_detected is report.attack_detected, name
+            assert rebuilt.instructions_analyzed == report.instructions_analyzed
+            assert rebuilt.tainted_bytes == report.tainted_bytes
+            assert rebuilt.tag_map_sizes == report.tag_map_sizes
+            assert rebuilt.chains == report.chains(), name
+
+    def test_summary_to_dict_matches_report_to_dict(self, attack_reports):
+        for name, report in attack_reports.items():
+            assert report.summary().to_dict() == report.to_dict(), name
+
+    def test_chain_dict_round_trip(self, attack_reports):
+        for report in attack_reports.values():
+            for chain in report.chains():
+                clone = ProvenanceChain.from_dict(
+                    json.loads(json.dumps(chain.to_dict()))
+                )
+                assert clone == chain
 
 
 class TestCliJson:

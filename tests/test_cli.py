@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -55,3 +57,62 @@ class TestCommands:
     def test_timeline_requires_known_attack(self):
         with pytest.raises(SystemExit):
             main(["timeline", "bogus"])
+
+
+@pytest.fixture
+def no_pool(monkeypatch):
+    """Make spawning a worker pool an error (asserts the serial path)."""
+    import repro.analysis.triage as triage
+
+    def _boom(*args, **kwargs):
+        raise AssertionError("a worker pool was spawned")
+
+    monkeypatch.setattr(triage, "_run_pool", _boom)
+
+
+class TestTriageFlags:
+    @pytest.mark.parametrize("command", ["detect", "table3", "table4", "compare", "all"])
+    def test_flags_parse(self, command):
+        args = build_parser().parse_args(
+            [command, "--jobs", "4", "--timeout", "30", "--json", "out.json"]
+        )
+        assert args.jobs == 4
+        assert args.timeout == 30.0
+        assert args.json == "out.json"
+
+    def test_flag_defaults(self):
+        args = build_parser().parse_args(["detect"])
+        assert args.jobs == 1 and args.timeout is None and args.json is None
+
+    def test_table2_has_no_triage_flags(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table2", "--jobs", "2"])
+
+    def test_jobs_1_stays_in_process(self, capsys, no_pool):
+        # With the pool forbidden, --jobs 1 must still work end to end.
+        assert main(["detect", "--jobs", "1"]) == 0
+        assert "TOTAL: 6/6 flagged" in capsys.readouterr().out
+
+    def test_jobs_2_spawns_the_pool(self, no_pool):
+        with pytest.raises(AssertionError, match="worker pool was spawned"):
+            main(["detect", "--jobs", "2"])
+
+    def test_json_to_file_is_parseable(self, capsys, tmp_path):
+        out = tmp_path / "table4.json"
+        assert main(["table4", "--jobs", "2", "--json", str(out)]) == 0
+        assert "false positives: 0" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["command"] == "table4"
+        assert payload["jobs"] == 2
+        assert len(payload["results"]) == 21
+        assert all(r["status"] == "OK" for r in payload["results"])
+        assert all(r["verdict"] is False for r in payload["results"])
+
+    def test_json_dash_writes_stdout(self, capsys):
+        assert main(["detect", "--jobs", "1", "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        table, _, blob = out.partition("{")
+        assert "TOTAL: 6/6 flagged" in table
+        payload = json.loads("{" + blob)
+        assert payload["command"] == "detect"
+        assert [r["verdict"] for r in payload["results"]] == [True] * 6
