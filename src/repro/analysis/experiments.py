@@ -27,6 +27,7 @@ from repro.analysis.triage import (
 from repro.attacks.metasploit import AttackScenario
 from repro.emulator.record_replay import record, replay
 from repro.faros import Faros, FarosReport
+from repro.obs.session import ObsSession
 from repro.faros.report import ProvenanceChain
 from repro.workloads.behaviors import build_sample_scenario
 from repro.workloads.corpus import SampleSpec, corpus_samples
@@ -66,13 +67,23 @@ class AttackAnalysis:
         return chains[0] if chains else None
 
 
-def run_attack_analysis(name: str, attack: AttackScenario) -> AttackAnalysis:
+def run_attack_analysis(
+    name: str, attack: AttackScenario, metrics: bool = False
+) -> AttackAnalysis:
     """Record/replay one attack with FAROS attached (the §V-C workflow)."""
-    recording = record(attack.scenario)
-    faros = Faros()
-    replay(recording, plugins=[faros])
+    session = ObsSession.create(enabled=metrics)
+    with session.span("attack"):
+        recording = record(attack.scenario)
+    faros = Faros(metrics=session.registry)
+    with session.span("detection"):
+        replay(recording, plugins=session.plugins_for(faros),
+               metrics=session.registry)
+    with session.span("report"):
+        report = faros.report()
+    if session.enabled:
+        report.metrics = session.snapshot()
     return AttackAnalysis(
-        name=name, attack=attack, report=faros.report(), detected=faros.attack_detected
+        name=name, attack=attack, report=report, detected=faros.attack_detected
     )
 
 
@@ -98,10 +109,10 @@ class AttackVerdict:
 
 
 def detection_suite(
-    jobs: int = 1, timeout: Optional[float] = None
+    jobs: int = 1, timeout: Optional[float] = None, metrics: bool = False
 ) -> List[AttackVerdict]:
     """E1-E6: all six attacks.  Expected: 6/6 detected."""
-    job_list = attack_jobs([name for name, _ in ATTACK_BUILDERS])
+    job_list = attack_jobs([name for name, _ in ATTACK_BUILDERS], metrics=metrics)
     return [
         AttackVerdict(
             name=r.name,
@@ -114,12 +125,18 @@ def detection_suite(
     ]
 
 
+def table2_analysis(metrics: bool = False) -> AttackAnalysis:
+    """E5: the Table II reflective-DLL analysis, with its full report."""
+    return run_attack_analysis(
+        "reflective_dll_inject",
+        ATTACK_BUILDER_REGISTRY["reflective_dll_inject"](),
+        metrics=metrics,
+    )
+
+
 def table2_output() -> str:
     """E5: the Table II-style FAROS output for a reflective DLL injection."""
-    analysis = run_attack_analysis(
-        "reflective_dll_inject", ATTACK_BUILDER_REGISTRY["reflective_dll_inject"]()
-    )
-    return analysis.report.render()
+    return table2_analysis().report.render()
 
 
 # ----------------------------------------------------------------------
@@ -137,14 +154,16 @@ class JitResult:
 
 
 def jit_fp_experiment(
-    jobs: int = 1, timeout: Optional[float] = None
+    jobs: int = 1, timeout: Optional[float] = None, metrics: bool = False
 ) -> List[JitResult]:
     """E7: run all 20 Table III workloads under FAROS.
 
     Expected shape: exactly the two native-binding applets flagged
     (10% of the applet set; 2/20 of the JIT set), zero AJAX flags.
     """
-    results = run_triage(jit_jobs(JIT_WORKLOADS), jobs=jobs, timeout=timeout)
+    results = run_triage(
+        jit_jobs(JIT_WORKLOADS, metrics=metrics), jobs=jobs, timeout=timeout
+    )
     return [
         JitResult(
             name=name,
@@ -193,7 +212,8 @@ def select_corpus_samples(limit: Optional[int] = None) -> List[SampleSpec]:
 
 
 def corpus_fp_experiment(
-    limit: Optional[int] = None, jobs: int = 1, timeout: Optional[float] = None
+    limit: Optional[int] = None, jobs: int = 1,
+    timeout: Optional[float] = None, metrics: bool = False
 ) -> List[CorpusResult]:
     """E8: the 90-malware + 14-benign corpus.  Expected: zero flags.
 
@@ -201,7 +221,9 @@ def corpus_fp_experiment(
     family-balanced subset (see :func:`select_corpus_samples`).
     """
     samples = select_corpus_samples(limit)
-    results = run_triage(corpus_jobs(samples), jobs=jobs, timeout=timeout)
+    results = run_triage(
+        corpus_jobs(samples, metrics=metrics), jobs=jobs, timeout=timeout
+    )
     return [
         CorpusResult(
             sample=spec,
@@ -334,11 +356,14 @@ COMPARISON_CASES: Tuple[Tuple[str, bool], ...] = (
 
 
 def comparison_matrix(
-    include_transient: bool = True, jobs: int = 1, timeout: Optional[float] = None
+    include_transient: bool = True, jobs: int = 1,
+    timeout: Optional[float] = None, metrics: bool = False
 ) -> List[ComparisonRow]:
     """E10: FAROS vs Cuckoo vs Cuckoo+malfind on the attack classes."""
     cases = [c for c in COMPARISON_CASES if include_transient or not c[1]]
-    results = run_triage(comparison_jobs(cases), jobs=jobs, timeout=timeout)
+    results = run_triage(
+        comparison_jobs(cases, metrics=metrics), jobs=jobs, timeout=timeout
+    )
     return [
         ComparisonRow(
             attack=name,

@@ -34,6 +34,7 @@ import operator
 import os
 import time
 from collections import deque
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from functools import partial
 from multiprocessing.connection import wait as _connection_wait
@@ -50,6 +51,7 @@ from repro.baselines import CuckooSandbox
 from repro.emulator.record_replay import record, replay
 from repro.faros import Faros
 from repro.faros.report import ProvenanceChain, ReportSummary
+from repro.obs.session import ObsSession
 from repro.workloads.corpus import SampleSpec
 from repro.workloads.jit import build_jit_scenario
 
@@ -88,6 +90,9 @@ class JobOutcome:
     instructions: int = 0
     tainted_bytes: int = 0
     extra: Dict[str, Any] = field(default_factory=dict)
+    #: Observability snapshot (``ObsSession.snapshot``) when the job ran
+    #: with ``metrics=True``; plain data, so it survives the pipe.
+    metrics: Optional[dict] = None
 
 
 @dataclass
@@ -108,6 +113,7 @@ class TriageResult:
     tainted_bytes: int = 0
     report: Optional[dict] = None
     extra: Dict[str, Any] = field(default_factory=dict)
+    metrics: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -117,9 +123,10 @@ class TriageResult:
         """Provenance chains reconstructed from the serialized report."""
         if not self.report:
             return []
-        return ReportSummary.from_dict(self.report).chains
+        return ReportSummary.from_json_dict(self.report).chains
 
-    def to_dict(self) -> dict:
+    def to_json_dict(self) -> dict:
+        """JSON-shaped result row; inverse of :meth:`from_json_dict`."""
         return {
             "job_id": self.job_id,
             "name": self.name,
@@ -135,15 +142,40 @@ class TriageResult:
             "tainted_bytes": self.tainted_bytes,
             "report": self.report,
             "extra": dict(self.extra),
+            "metrics": self.metrics,
         }
 
     @classmethod
+    def from_json_dict(cls, d: dict) -> "TriageResult":
+        return cls(
+            **{k: d[k] for k in (
+                "job_id", "name", "kind", "status", "verdict", "error",
+                "exit_code", "duration_s", "attempts", "worker_pid",
+                "instructions", "tainted_bytes", "report", "extra",
+            )},
+            metrics=d.get("metrics"),  # absent in pre-observability dicts
+        )
+
+    def to_dict(self) -> dict:
+        """Deprecated alias of :meth:`to_json_dict`."""
+        import warnings
+
+        warnings.warn(
+            "TriageResult.to_dict is deprecated; use to_json_dict",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self.to_json_dict()
+
+    @classmethod
     def from_dict(cls, d: dict) -> "TriageResult":
-        return cls(**{k: d[k] for k in (
-            "job_id", "name", "kind", "status", "verdict", "error",
-            "exit_code", "duration_s", "attempts", "worker_pid",
-            "instructions", "tainted_bytes", "report", "extra",
-        )})
+        """Deprecated alias of :meth:`from_json_dict`."""
+        import warnings
+
+        warnings.warn(
+            "TriageResult.from_dict is deprecated; use from_json_dict",
+            DeprecationWarning, stacklevel=2,
+        )
+        return cls.from_json_dict(d)
 
 
 # ----------------------------------------------------------------------
@@ -178,70 +210,108 @@ ATTACK_BUILDER_REGISTRY: Dict[str, Callable[..., Any]] = {
 
 def _faros_outcome(faros: Faros, exit_code: Optional[int] = None,
                    extra: Optional[Dict[str, Any]] = None,
-                   include_report: bool = True) -> JobOutcome:
+                   include_report: bool = True,
+                   session: Optional[ObsSession] = None) -> JobOutcome:
+    with session.span("report") if session is not None else nullcontext():
+        report = faros.report()
+        report_dict = report.to_json_dict() if include_report else None
+    # One snapshot per job, taken after the report span closes, injected
+    # into both the report export and the outcome: ``repro stats`` and
+    # the triage JSON channel must show the *same* numbers.
+    snap = None
+    if session is not None and session.enabled:
+        snap = session.snapshot()
+        if report_dict is not None:
+            report_dict["metrics"] = snap
     return JobOutcome(
         verdict=faros.attack_detected,
         exit_code=exit_code,
-        report=faros.report().to_dict() if include_report else None,
+        report=report_dict,
         instructions=faros.tracker.stats.instructions,
         tainted_bytes=faros.tracker.shadow.tainted_bytes,
         extra=extra or {},
+        metrics=snap,
     )
 
 
 @job_kind("attack")
-def _run_attack_job(attack: str, transient: bool = False) -> JobOutcome:
+def _run_attack_job(attack: str, transient: bool = False,
+                    metrics: bool = False, sample_every: int = 1,
+                    top_blocks: int = 10) -> JobOutcome:
     """Record/replay one attack scenario with FAROS attached (§V-C)."""
-    builder = ATTACK_BUILDER_REGISTRY[attack]
-    scenario = builder(transient=True) if transient else builder()
-    recording = record(scenario.scenario)
-    faros = Faros()
-    replay(recording, plugins=[faros])
-    return _faros_outcome(faros)
+    session = ObsSession.create(enabled=metrics, sample_every=sample_every,
+                                top_blocks=top_blocks)
+    with session.span("boot"):
+        builder = ATTACK_BUILDER_REGISTRY[attack]
+        scenario = builder(transient=True) if transient else builder()
+    with session.span("attack"):
+        recording = record(scenario.scenario)
+    faros = Faros(metrics=session.registry)
+    with session.span("detection"):
+        replay(recording, plugins=session.plugins_for(faros),
+               metrics=session.registry)
+    return _faros_outcome(faros, session=session)
 
 
 @job_kind("jit")
-def _run_jit_job(name: str, workload: str) -> JobOutcome:
+def _run_jit_job(name: str, workload: str,
+                 metrics: bool = False, sample_every: int = 1) -> JobOutcome:
     """One Table III JIT workload (Java applet or AJAX site)."""
-    sample = build_jit_scenario(name, workload)
-    faros = Faros()
-    sample.scenario.run(plugins=[faros])
+    session = ObsSession.create(enabled=metrics, sample_every=sample_every)
+    with session.span("boot"):
+        sample = build_jit_scenario(name, workload)
+    faros = Faros(metrics=session.registry)
+    with session.span("detection"):
+        sample.scenario.run(plugins=session.plugins_for(faros),
+                            metrics=session.registry)
     return _faros_outcome(
         faros,
         include_report=faros.attack_detected,
         extra={"workload": workload,
                "expected_flag": sample.uses_native_binding},
+        session=session,
     )
 
 
 @job_kind("corpus")
-def _run_corpus_job(**params) -> JobOutcome:
+def _run_corpus_job(metrics: bool = False, sample_every: int = 1,
+                    **params) -> JobOutcome:
     """One Table IV corpus sample, rebuilt from its picklable spec."""
-    spec = SampleSpec.from_params(**params)
-    faros = Faros()
-    machine = spec.scenario().run(plugins=[faros])
+    session = ObsSession.create(enabled=metrics, sample_every=sample_every)
+    with session.span("boot"):
+        spec = SampleSpec.from_params(**params)
+    faros = Faros(metrics=session.registry)
+    with session.span("detection"):
+        machine = spec.scenario().run(plugins=session.plugins_for(faros),
+                                      metrics=session.registry)
     proc = next(iter(machine.kernel.processes.values()))
     return _faros_outcome(
         faros,
         exit_code=proc.exit_code,
         include_report=faros.attack_detected,
         extra={"family": spec.family, "benign": spec.benign},
+        session=session,
     )
 
 
 @job_kind("comparison")
-def _run_comparison_job(attack: str, transient: bool = False) -> JobOutcome:
+def _run_comparison_job(attack: str, transient: bool = False,
+                        metrics: bool = False, sample_every: int = 1) -> JobOutcome:
     """One §VI-B row: the same attack under FAROS, Cuckoo, and malfind."""
-    builder = ATTACK_BUILDER_REGISTRY[attack]
-    attack_obj = builder(transient=transient)
-    faros = Faros()
-    attack_obj.scenario.run(plugins=[faros])
-    report = faros.report()
-    chains = report.chains()
+    session = ObsSession.create(enabled=metrics, sample_every=sample_every)
+    with session.span("boot"):
+        builder = ATTACK_BUILDER_REGISTRY[attack]
+        attack_obj = builder(transient=transient)
+    faros = Faros(metrics=session.registry)
+    with session.span("detection"):
+        attack_obj.scenario.run(plugins=session.plugins_for(faros),
+                                metrics=session.registry)
+    chains = faros.report().chains()
     chain = chains[0] if chains else None
 
-    cuckoo_report = CuckooSandbox().analyze(attack_obj.scenario)
-    malfind_detected, _hits = cuckoo_report.detect_injection_with_malfind()
+    with session.span("baselines"):
+        cuckoo_report = CuckooSandbox().analyze(attack_obj.scenario)
+        malfind_detected, _hits = cuckoo_report.detect_injection_with_malfind()
     return _faros_outcome(
         faros,
         extra={
@@ -251,6 +321,7 @@ def _run_comparison_job(attack: str, transient: bool = False) -> JobOutcome:
             "cuckoo_detects": cuckoo_report.detect_injection(),
             "malfind_detects": malfind_detected,
         },
+        session=session,
     )
 
 
@@ -303,6 +374,7 @@ def execute_job(job: TriageJob, attempt: int = 1) -> TriageResult:
         instructions=outcome.instructions,
         tainted_bytes=outcome.tainted_bytes,
         report=outcome.report, extra=outcome.extra,
+        metrics=outcome.metrics,
     )
 
 
@@ -481,32 +553,46 @@ def run_triage(
 # batch builders (the experiment runners' job lists)
 # ----------------------------------------------------------------------
 
-def attack_jobs(names: Sequence[str]) -> List[TriageJob]:
+def _with_metrics(params: Dict[str, Any], metrics: bool) -> Dict[str, Any]:
+    """Only set the key when telemetry is on, so descriptors for plain
+    runs stay byte-identical to the pre-observability wire format."""
+    if metrics:
+        params["metrics"] = True
+    return params
+
+
+def attack_jobs(names: Sequence[str], metrics: bool = False) -> List[TriageJob]:
     return [
-        TriageJob(job_id=i, name=name, kind="attack", params={"attack": name})
+        TriageJob(job_id=i, name=name, kind="attack",
+                  params=_with_metrics({"attack": name}, metrics))
         for i, name in enumerate(names)
     ]
 
 
-def jit_jobs(workloads: Sequence[Tuple[str, str]]) -> List[TriageJob]:
+def jit_jobs(workloads: Sequence[Tuple[str, str]],
+             metrics: bool = False) -> List[TriageJob]:
     return [
         TriageJob(job_id=i, name=name, kind="jit",
-                  params={"name": name, "workload": workload})
+                  params=_with_metrics(
+                      {"name": name, "workload": workload}, metrics))
         for i, (name, workload) in enumerate(workloads)
     ]
 
 
-def corpus_jobs(samples: Sequence[SampleSpec]) -> List[TriageJob]:
+def corpus_jobs(samples: Sequence[SampleSpec],
+                metrics: bool = False) -> List[TriageJob]:
     return [
         TriageJob(job_id=i, name=spec.name, kind="corpus",
-                  params=spec.job_params())
+                  params=_with_metrics(spec.job_params(), metrics))
         for i, spec in enumerate(samples)
     ]
 
 
-def comparison_jobs(cases: Sequence[Tuple[str, bool]]) -> List[TriageJob]:
+def comparison_jobs(cases: Sequence[Tuple[str, bool]],
+                    metrics: bool = False) -> List[TriageJob]:
     return [
         TriageJob(job_id=i, name=attack, kind="comparison",
-                  params={"attack": attack, "transient": transient})
+                  params=_with_metrics(
+                      {"attack": attack, "transient": transient}, metrics))
         for i, (attack, transient) in enumerate(cases)
     ]

@@ -11,13 +11,17 @@ regenerated from a shell::
     python -m repro compare       # FAROS vs Cuckoo vs Cuckoo+malfind
     python -m repro indirect      # Figs. 1-2 policy dilemma
     python -m repro evasion       # §VI-D evasion studies
+    python -m repro stats         # observability snapshot for one attack
     python -m repro all           # everything above
 
-The batch commands (``detect``, ``table3``, ``table4``, ``compare``,
-``all``) accept ``--jobs N`` to shard samples over N worker processes
-(output is byte-identical to serial), ``--timeout S`` for a per-sample
-wall-clock bound, and ``--json OUT`` to additionally write the
-machine-readable triage results (``-`` = stdout).
+**Uniform flags.**  Every experiment subcommand accepts ``--json [OUT]``
+-- write the machine-readable results to OUT, ``-`` (the default when
+the flag is given bare) meaning stdout.  The batch commands (``detect``,
+``table3``, ``table4``, ``compare``, ``all``) also accept ``--jobs N``
+to shard samples over N worker processes (output is byte-identical to
+serial), ``--timeout S`` for a per-sample wall-clock bound, and
+``--metrics`` to collect per-job observability telemetry (counters,
+phase spans, hot blocks) into each result row.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ def _triage_kwargs(args: argparse.Namespace) -> dict:
     return {
         "jobs": getattr(args, "jobs", 1),
         "timeout": getattr(args, "timeout", None),
+        "metrics": getattr(args, "metrics", False),
     }
 
 
@@ -39,7 +44,7 @@ def _triage_payload(command: str, args: argparse.Namespace, rows) -> dict:
         "command": command,
         "jobs": getattr(args, "jobs", 1),
         "timeout": getattr(args, "timeout", None),
-        "results": [row.result.to_dict() for row in rows if row.result],
+        "results": [row.result.to_json_dict() for row in rows if row.result],
     }
 
 
@@ -52,10 +57,17 @@ def _cmd_detect(args: argparse.Namespace) -> Optional[dict]:
     return _triage_payload("detect", args, rows)
 
 
-def _cmd_table2(args: argparse.Namespace) -> None:
-    from repro.analysis.experiments import table2_output
+def _cmd_table2(args: argparse.Namespace) -> Optional[dict]:
+    from repro.analysis.experiments import table2_analysis
 
-    print(table2_output())
+    analysis = table2_analysis(metrics=getattr(args, "metrics", False))
+    print(analysis.report.render())
+    return {
+        "command": "table2",
+        "attack": analysis.name,
+        "detected": analysis.detected,
+        "report": analysis.report.to_json_dict(),
+    }
 
 
 def _cmd_table3(args: argparse.Namespace) -> Optional[dict]:
@@ -79,11 +91,26 @@ def _cmd_table4(args: argparse.Namespace) -> Optional[dict]:
     return _triage_payload("table4", args, rows)
 
 
-def _cmd_table5(args: argparse.Namespace) -> None:
+def _cmd_table5(args: argparse.Namespace) -> Optional[dict]:
     from repro.analysis.experiments import overhead_experiment
     from repro.analysis.tables import render_table5
 
-    print(render_table5(overhead_experiment(repeat=args.repeat)))
+    rows = overhead_experiment(repeat=args.repeat)
+    print(render_table5(rows))
+    return {
+        "command": "table5",
+        "repeat": args.repeat,
+        "results": [
+            {
+                "application": row.application,
+                "replay_seconds": row.replay_seconds,
+                "faros_seconds": row.faros_seconds,
+                "instructions": row.instructions,
+                "slowdown": row.slowdown,
+            }
+            for row in rows
+        ],
+    }
 
 
 def _cmd_compare(args: argparse.Namespace) -> Optional[dict]:
@@ -95,16 +122,30 @@ def _cmd_compare(args: argparse.Namespace) -> Optional[dict]:
     return _triage_payload("compare", args, rows)
 
 
-def _cmd_indirect(args: argparse.Namespace) -> None:
+def _cmd_indirect(args: argparse.Namespace) -> Optional[dict]:
     from repro.analysis.indirect_flows import (
         indirect_flow_experiment,
         render_indirect_flow_table,
     )
 
-    print(render_indirect_flow_table(indirect_flow_experiment()))
+    results = indirect_flow_experiment()
+    print(render_indirect_flow_table(results))
+    return {
+        "command": "indirect",
+        "results": [
+            {
+                "figure": r.figure,
+                "policy": r.policy,
+                "output_tainted": r.output_tainted,
+                "output_value_correct": r.output_value_correct,
+                "tainted_bytes": r.tainted_bytes,
+            }
+            for r in results
+        ],
+    }
 
 
-def _cmd_evasion(args: argparse.Namespace) -> None:
+def _cmd_evasion(args: argparse.Namespace) -> Optional[dict]:
     from repro.analysis.evasion import (
         stub_scanner_experiment,
         tag_pressure_experiment,
@@ -128,6 +169,26 @@ def _cmd_evasion(args: argparse.Namespace) -> None:
     print(f"  file tags minted          : {pressure.file_tags}")
     print(f"  netflow tags minted       : {pressure.netflow_tags}")
     print(f"  map capacity (per type)   : {pressure.map_capacity}")
+    return {
+        "command": "evasion",
+        "laundering": {
+            "stage_ran": laundering.stage_ran,
+            "default_policy_detected": laundering.default_policy_detected,
+            "control_dep_policy_detected": laundering.control_dep_policy_detected,
+        },
+        "stub_scanner": {
+            "stage_ran": scanner.stage_ran,
+            "default_policy_detected": scanner.default_policy_detected,
+            "kernel_code_policy_detected": scanner.kernel_code_policy_detected,
+        },
+        "tag_pressure": {
+            "file_tags": pressure.file_tags,
+            "netflow_tags": pressure.netflow_tags,
+            "process_tags": pressure.process_tags,
+            "tainted_bytes": pressure.tainted_bytes,
+            "map_capacity": pressure.map_capacity,
+        },
+    }
 
 
 _TIMELINE_ATTACKS = {
@@ -139,22 +200,81 @@ _TIMELINE_ATTACKS = {
 }
 
 
-def _cmd_timeline(args: argparse.Namespace) -> None:
+def _cmd_timeline(args: argparse.Namespace) -> Optional[dict]:
     import repro.attacks as attacks
     from repro.faros import Faros
+    from repro.obs.session import ObsSession
 
     builder = getattr(attacks, _TIMELINE_ATTACKS[args.attack])
-    attack = builder()
-    faros = Faros()
-    attack.scenario.run(plugins=[faros])
-    if getattr(args, "json", False):
-        import json
-
-        print(json.dumps(faros.report().to_dict(), indent=2))
-        return
+    session = ObsSession.create(enabled=getattr(args, "metrics", False))
+    with session.span("boot"):
+        attack = builder()
+    faros = Faros(metrics=session.registry)
+    with session.span("detection"):
+        attack.scenario.run(plugins=session.plugins_for(faros),
+                            metrics=session.registry)
+    with session.span("report"):
+        report = faros.report()
+    if session.enabled:
+        report.metrics = session.snapshot()
     print(faros.render_timeline())
     print()
-    print(faros.report().render())
+    print(report.render())
+    return {
+        "command": "timeline",
+        "attack": args.attack,
+        "timeline": [
+            {"tick": e.tick, "kind": e.kind, "description": e.description}
+            for e in faros.timeline
+        ],
+        "report": report.to_json_dict(),
+    }
+
+
+#: The attack roster ``repro stats`` can profile (the triage engine's
+#: attack-kind builders; kept literal so parsing stays import-free).
+_STATS_ATTACKS = (
+    "bypassuac_injection",
+    "code_injection",
+    "darkcomet_injection",
+    "njrat_injection",
+    "process_hollowing",
+    "reflective_dll_inject",
+    "reverse_tcp_dns",
+)
+
+
+def _cmd_stats(args: argparse.Namespace) -> Optional[dict]:
+    """One fully instrumented attack analysis, rendered as a snapshot.
+
+    Runs through :func:`~repro.analysis.triage.execute_job` -- the same
+    code path a ``--metrics`` triage batch uses -- so the numbers here
+    are identical to what the triage JSON export carries for this job.
+    """
+    from repro.analysis.triage import TriageJob, execute_job
+    from repro.obs.render import render_snapshot
+
+    job = TriageJob(
+        job_id=0, name=args.attack, kind="attack",
+        params={
+            "attack": args.attack,
+            "metrics": True,
+            "sample_every": args.sample_every,
+            "top_blocks": args.top,
+        },
+    )
+    result = execute_job(job)
+    if not result.ok:
+        print(f"stats run failed: {result.error}", file=sys.stderr)
+        raise SystemExit(1)
+    print(render_snapshot(result.metrics, title=f"{args.attack} snapshot"))
+    print(f"-- verdict: {'FLAGGED' if result.verdict else 'clean'}, "
+          f"wall clock {result.duration_s:.3f}s")
+    return {
+        "command": "stats",
+        "attack": args.attack,
+        "result": result.to_json_dict(),
+    }
 
 
 def _cmd_all(args: argparse.Namespace) -> Optional[dict]:
@@ -178,8 +298,27 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], Optional[dict]]] = {
     "indirect": _cmd_indirect,
     "evasion": _cmd_evasion,
     "timeline": _cmd_timeline,
+    "stats": _cmd_stats,
     "all": _cmd_all,
 }
+
+
+def _add_json_flag(sub: argparse.ArgumentParser) -> None:
+    """The uniform ``--json [OUT]`` contract every subcommand shares:
+    bare ``--json`` means stdout, ``--json PATH`` writes a file."""
+    sub.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="OUT",
+        help="also write machine-readable results as JSON "
+             "(to OUT, or stdout when no OUT is given)",
+    )
+
+
+def _add_metrics_flag(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--metrics", action="store_true",
+        help="collect observability telemetry (counters, phase spans, "
+             "hot blocks) into the results",
+    )
 
 
 def _add_triage_flags(sub: argparse.ArgumentParser) -> None:
@@ -191,10 +330,8 @@ def _add_triage_flags(sub: argparse.ArgumentParser) -> None:
         "--timeout", type=float, default=None, metavar="S",
         help="per-sample wall-clock timeout in seconds (needs --jobs >= 2)",
     )
-    sub.add_argument(
-        "--json", default=None, metavar="OUT",
-        help="write machine-readable triage results to OUT ('-' = stdout)",
-    )
+    _add_metrics_flag(sub)
+    _add_json_flag(sub)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -205,7 +342,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     detect = sub.add_parser("detect", help="run the six in-memory attacks under FAROS")
     _add_triage_flags(detect)
-    sub.add_parser("table2", help="FAROS provenance output sample")
+    table2 = sub.add_parser("table2", help="FAROS provenance output sample")
+    _add_metrics_flag(table2)
+    _add_json_flag(table2)
     table3 = sub.add_parser("table3", help="JIT false-positive study")
     _add_triage_flags(table3)
     table4 = sub.add_parser("table4", help="corpus false-positive study")
@@ -213,19 +352,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_triage_flags(table4)
     table5 = sub.add_parser("table5", help="FAROS overhead measurement")
     table5.add_argument("--repeat", type=int, default=3, help="timing repetitions")
+    _add_json_flag(table5)
     compare = sub.add_parser("compare", help="FAROS vs Cuckoo vs Cuckoo+malfind")
     _add_triage_flags(compare)
-    sub.add_parser("indirect", help="Figs. 1-2 indirect-flow dilemma")
-    sub.add_parser("evasion", help="§VI-D evasion studies")
+    indirect = sub.add_parser("indirect", help="Figs. 1-2 indirect-flow dilemma")
+    _add_json_flag(indirect)
+    evasion = sub.add_parser("evasion", help="§VI-D evasion studies")
+    _add_json_flag(evasion)
     timeline = sub.add_parser("timeline", help="analysis timeline for one attack")
     timeline.add_argument(
         "attack",
         choices=sorted(_TIMELINE_ATTACKS),
         help="which attack scenario to analyse",
     )
-    timeline.add_argument(
-        "--json", action="store_true", help="emit the machine-readable report"
+    _add_metrics_flag(timeline)
+    _add_json_flag(timeline)
+    stats = sub.add_parser(
+        "stats", help="instrumented analysis of one attack (metrics snapshot)"
     )
+    stats.add_argument(
+        "attack", choices=_STATS_ATTACKS, help="which attack to analyse"
+    )
+    stats.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="how many hot blocks to rank (default 10)",
+    )
+    stats.add_argument(
+        "--sample-every", type=int, default=1, metavar="N",
+        help="profile every Nth retired instruction (default 1 = exact)",
+    )
+    _add_json_flag(stats)
     everything = sub.add_parser("all", help="regenerate every artifact")
     everything.add_argument("--full", action="store_true", help="full corpus")
     everything.add_argument("--repeat", type=int, default=3)
@@ -248,7 +404,6 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     payload = _COMMANDS[args.command](args)
     destination = getattr(args, "json", None)
-    # (timeline's --json is a bool flag handled inside the command.)
     if payload is not None and isinstance(destination, str):
         _write_json(destination, payload)
     return 0

@@ -20,6 +20,7 @@ from typing import List, Optional, Tuple
 
 from repro.emulator.devices import DeviceBoard, NetworkInterface, Packet
 from repro.emulator.plugins import PluginManager
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.guestos import layout
 from repro.guestos.process import ThreadState
 from repro.isa.cpu import CPU
@@ -56,6 +57,8 @@ class Machine:
         self.plugins = PluginManager()
         self.devices = DeviceBoard(nic=NetworkInterface(self.config.guest_ip))
         self._dma_next = layout.DMA_BASE
+        self.metrics = NULL_REGISTRY
+        self._bind_metrics()
         self.allocator.on_free = self._frame_freed
         # Imported here: Kernel and Machine are mutually aware, and the
         # package must be importable from either end of that edge.
@@ -67,6 +70,31 @@ class Machine:
         #: Chronological record of delivered events: (instret, event).
         self.journal: List[Tuple[int, object]] = []
         self._started = False
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def use_metrics(self, registry: Optional[MetricsRegistry]) -> None:
+        """Attach *registry* (None = the disabled null registry).
+
+        Counter handles are cached on the machine at bind time, so the
+        per-event cost with metrics off is a single no-op method call on
+        the shared null counter -- nothing is looked up per event.
+        """
+        self.metrics = registry if registry is not None else NULL_REGISTRY
+        self._bind_metrics()
+
+    def _bind_metrics(self) -> None:
+        m = self.metrics
+        self._ctr_syscalls = m.counter("machine.syscalls")
+        self._ctr_packets_in = m.counter("machine.packets_received")
+        self._ctr_packets_out = m.counter("machine.packets_sent")
+        self._ctr_phys_writes = m.counter("machine.phys_writes")
+        self._ctr_phys_copies = m.counter("machine.phys_copies")
+        self._ctr_faults = m.counter("machine.guest_faults")
+        m.gauge("machine.instructions", lambda: self.cpu.instret)
+        m.gauge("machine.events_delivered", lambda: len(self.journal))
 
     # ------------------------------------------------------------------
     # time & events
@@ -103,7 +131,8 @@ class Machine:
         """Write external *data* (device input, file content) into memory."""
         for paddr, byte in zip(paddrs, data):
             self.memory.write_byte(paddr, byte)
-        self.plugins.dispatch("on_phys_write", self, tuple(paddrs), source)
+        self._ctr_phys_writes.inc()
+        self.plugins.on_phys_write(self, tuple(paddrs), source)
 
     def phys_copy(self, dst_paddrs, src_paddrs, actor=None) -> None:
         """Kernel-mediated byte move: ``dst[i] <- src[i]`` with taint.
@@ -115,12 +144,11 @@ class Machine:
             raise ValueError("phys_copy length mismatch")
         for dst, src in zip(dst_paddrs, src_paddrs):
             self.memory.write_byte(dst, self.memory.read_byte(src))
-        self.plugins.dispatch(
-            "on_phys_copy", self, tuple(dst_paddrs), tuple(src_paddrs), actor
-        )
+        self._ctr_phys_copies.inc()
+        self.plugins.on_phys_copy(self, tuple(dst_paddrs), tuple(src_paddrs), actor)
 
     def _frame_freed(self, frame: int) -> None:
-        self.plugins.dispatch("on_frames_freed", self, (frame,))
+        self.plugins.on_frames_freed(self, (frame,))
 
     def dma_alloc(self, n: int) -> Tuple[int, ...]:
         """Reserve *n* bytes of the NIC DMA ring (wraps around)."""
@@ -135,7 +163,8 @@ class Machine:
     def send_packet(self, packet: Packet) -> None:
         """Transmit *packet* out of the guest (NIC tx path)."""
         self.devices.nic.transmit(packet)
-        self.plugins.dispatch("on_packet_send", self, packet)
+        self._ctr_packets_out.inc()
+        self.plugins.on_packet_send(self, packet)
 
     # ------------------------------------------------------------------
     # the execution loop
@@ -145,7 +174,7 @@ class Machine:
         """Run until idle or until *max_instructions* more retire."""
         if not self._started:
             self._started = True
-            self.plugins.dispatch("on_machine_start", self)
+            self.plugins.on_machine_start(self)
         stats = RunStats()
         deadline = self.now + max_instructions
         while self.now < deadline:
@@ -162,7 +191,7 @@ class Machine:
         if not stats.stop_reason:
             stats.stop_reason = "budget" if self.now >= deadline else "idle"
         stats.instructions = self.now
-        self.plugins.dispatch("on_machine_stop", self)
+        self.plugins.on_machine_stop(self)
         return stats
 
     def _skip_idle_time(self, deadline: int) -> bool:
@@ -197,7 +226,10 @@ class Machine:
         # only point inside a slice where new analysis-relevant state
         # (a tainted packet landing in a recv buffer, a tainted file
         # read) can appear and re-arm a gated plugin.
-        instrumented = self.plugins.needs_insn_effects()
+        plugins = self.plugins
+        on_insn_exec = plugins.on_insn_exec
+        on_insns_skipped = plugins.on_insns_skipped
+        instrumented = plugins.needs_insn_effects()
         step = cpu.step if instrumented else cpu.step_fast
         executed = 0
         skipped = 0  # uninstrumented retirements not yet reported
@@ -206,42 +238,44 @@ class Machine:
                 fx = step()
             except GuestFault as fault:
                 if skipped:
-                    self.plugins.dispatch("on_insns_skipped", self, thread, skipped)
-                self.plugins.dispatch("on_guest_fault", self, thread, fault)
+                    on_insns_skipped(self, thread, skipped)
+                self._ctr_faults.inc()
+                plugins.on_guest_fault(self, thread, fault)
                 self.kernel.crash_process(thread.process, fault)
                 return
             executed += 1
             if instrumented:
-                self.plugins.dispatch_insn(self, thread, fx)
+                on_insn_exec(self, thread, fx)
             else:
                 skipped += 1
 
             if fx.syscall:
                 if skipped:
-                    self.plugins.dispatch("on_insns_skipped", self, thread, skipped)
+                    on_insns_skipped(self, thread, skipped)
                     skipped = 0
                 number = cpu.regs.read(Reg.R0)
                 args = tuple(cpu.regs.read(r) for r in (Reg.R1, Reg.R2, Reg.R3, Reg.R4, Reg.R5))
                 thread.context = cpu.context()
-                self.plugins.dispatch("on_syscall_enter", self, thread, number, args)
+                self._ctr_syscalls.inc()
+                plugins.on_syscall_enter(self, thread, number, args)
                 result = self.kernel.syscall(thread, number, args)
                 if result is None:
                     return  # blocked or terminated; kernel owns the thread now
                 thread.context["regs"][Reg.R0] = result & 0xFFFFFFFF
-                self.plugins.dispatch("on_syscall_return", self, thread, number, result)
+                plugins.on_syscall_return(self, thread, number, result)
                 if thread.state is not ThreadState.RUNNING:
                     return  # suspended/killed by its own syscall
                 cpu.restore_context(thread.context)
-                instrumented = self.plugins.needs_insn_effects()
+                instrumented = plugins.needs_insn_effects()
                 step = cpu.step if instrumented else cpu.step_fast
                 continue
             if fx.halted:
                 if skipped:
-                    self.plugins.dispatch("on_insns_skipped", self, thread, skipped)
+                    on_insns_skipped(self, thread, skipped)
                 thread.context = cpu.context()
                 self.kernel.terminate_process(thread.process, cpu.regs.read(Reg.R0))
                 return
         if skipped:
-            self.plugins.dispatch("on_insns_skipped", self, thread, skipped)
+            on_insns_skipped(self, thread, skipped)
         thread.context = cpu.context()
         self.kernel.requeue(thread)

@@ -15,7 +15,8 @@ than ordering against it (see :mod:`repro.taint.tracker`).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List, Sequence, Tuple
+import warnings
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards, typing only
     from repro.emulator.devices import Packet
@@ -168,37 +169,115 @@ class Plugin:
         """Buffer bytes at *paddrs* were written into file *path*."""
 
 
+#: Every observation point on the Plugin base class.  Computed once at
+#: import: the hook vocabulary is the class surface, not per-instance.
+HOOK_NAMES: Tuple[str, ...] = tuple(
+    sorted(name for name in vars(Plugin) if name.startswith("on_"))
+)
+
+
+def _noop(*args) -> None:
+    """The dispatcher for a hook no registered plugin overrides."""
+
+
+def _fan(handlers: List[Callable]) -> Callable:
+    """A callable invoking *handlers* in order (specialised small cases)."""
+    if not handlers:
+        return _noop
+    if len(handlers) == 1:
+        return handlers[0]
+
+    def fan(*args) -> None:
+        for handler in handlers:
+            handler(*args)
+
+    return fan
+
+
 class PluginManager:
-    """Dispatches machine events to plugins in registration order."""
+    """Dispatches machine events to plugins in registration order.
+
+    Dispatch is **precomputed**: :meth:`register` walks the hook surface
+    once and, for every hook the plugin actually overrides, appends its
+    bound method to that hook's dispatch list.  Each hook is then
+    exposed as a plain attribute -- ``manager.on_syscall_enter(machine,
+    thread, number, args)`` -- whose call cost is the handlers
+    themselves: no string lookup, no ``getattr``, and no visits to
+    plugins that would only run the base-class no-op.  A hook nobody
+    overrides dispatches to a shared no-op, and a hook exactly one
+    plugin overrides dispatches *directly to its bound method*, which is
+    what keeps the per-instruction path (``on_insn_exec``) flat.
+
+    A plugin participates in a hook when ``getattr(plugin, name)`` is
+    not the inherited :class:`Plugin` no-op -- a class override or a
+    callable assigned on the instance both count, but instance
+    assignment must happen *before* :meth:`register` (the lists are not
+    rebuilt when a registered plugin mutates).
+
+    The legacy string-keyed :meth:`dispatch` survives as a deprecated
+    shim over the same precomputed lists.
+    """
 
     def __init__(self) -> None:
         self._plugins: List[Plugin] = []
+        self._handlers: Dict[str, List[Callable]] = {}
+        self._rebuild()
 
     @property
     def plugins(self) -> Tuple[Plugin, ...]:
         return tuple(self._plugins)
 
+    def _rebuild(self) -> None:
+        """Recompute every hook's dispatch list and its fan attribute."""
+        handlers: Dict[str, List[Callable]] = {name: [] for name in HOOK_NAMES}
+        for plugin in self._plugins:
+            for name in HOOK_NAMES:
+                # A bound method's __func__ is its class function; a
+                # callable assigned on the instance has no __func__ and
+                # compares as itself.  Either way, anything that is not
+                # the Plugin base no-op participates in the hook.
+                hook = getattr(plugin, name)
+                if getattr(hook, "__func__", hook) is not getattr(Plugin, name):
+                    handlers[name].append(hook)
+        self._handlers = handlers
+        for name, hooked in handlers.items():
+            setattr(self, name, _fan(hooked))
+
     def register(self, plugin: Plugin) -> Plugin:
-        """Attach *plugin*; returns it for chaining."""
+        """Attach *plugin* and precompute its hook dispatch; returns it
+        for chaining."""
         self._plugins.append(plugin)
+        self._rebuild()
         return plugin
 
     def register_all(self, plugins: Iterable[Plugin]) -> None:
         for plugin in plugins:
-            self.register(plugin)
+            self._plugins.append(plugin)
+        self._rebuild()
 
     def unregister(self, plugin: Plugin) -> None:
         self._plugins.remove(plugin)
+        self._rebuild()
+
+    def handlers(self, hook: str) -> Tuple[Callable, ...]:
+        """The precomputed dispatch list for *hook* (introspection)."""
+        return tuple(self._handlers[hook])
 
     def dispatch(self, callback: str, *args) -> None:
-        """Invoke *callback* on every plugin that overrides it."""
-        for plugin in self._plugins:
-            getattr(plugin, callback)(*args)
+        """Deprecated: invoke *callback* on every plugin overriding it.
 
-    # Hot path: inlined loop, called once per retired instruction.
-    def dispatch_insn(self, machine: "Machine", thread: "Thread", fx) -> None:
-        for plugin in self._plugins:
-            plugin.on_insn_exec(machine, thread, fx)
+        Use the per-hook dispatcher attribute instead, e.g.
+        ``manager.on_syscall_enter(...)`` -- same semantics, no string
+        key, no per-call hook lookup.
+        """
+        warnings.warn(
+            "PluginManager.dispatch(name, ...) is deprecated; call the "
+            f"precomputed per-hook dispatcher (manager.{callback}(...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        for handler in self._handlers[callback]:
+            handler(*args)
 
     def needs_insn_effects(self) -> bool:
         """True if any plugin currently wants per-instruction effects.

@@ -69,14 +69,21 @@ class Scenario:
     config: Optional[MachineConfig] = None
     max_instructions: int = 2_000_000
 
-    def build(self, plugins: Sequence[Plugin] = ()) -> Machine:
+    def build(self, plugins: Sequence[Plugin] = (), metrics=None) -> Machine:
         """Construct a fresh machine with *plugins* attached.
 
         Plugins are registered *before* setup so they observe boot-time
         events (initial process creation, module loads) -- FAROS needs
         the kernel-module load event to plant export-table tags.
+
+        *metrics* is an optional
+        :class:`~repro.obs.metrics.MetricsRegistry` the machine binds
+        its event counters into (None keeps the zero-cost null
+        registry).
         """
         machine = Machine(self.config)
+        if metrics is not None:
+            machine.use_metrics(metrics)
         for plugin in plugins:
             machine.plugins.register(plugin)
         self.setup(machine)
@@ -84,9 +91,9 @@ class Scenario:
             machine.schedule(at, event)
         return machine
 
-    def run(self, plugins: Sequence[Plugin] = ()) -> Machine:
+    def run(self, plugins: Sequence[Plugin] = (), metrics=None) -> Machine:
         """Build and run to completion; returns the finished machine."""
-        machine = self.build(plugins)
+        machine = self.build(plugins, metrics=metrics)
         machine.run(self.max_instructions)
         return machine
 
@@ -105,13 +112,13 @@ class ReplayDivergence(Exception):
     """A replay did not reproduce the recorded execution."""
 
 
-def record(scenario: Scenario, plugins: Sequence[Plugin] = ()) -> Recording:
+def record(scenario: Scenario, plugins: Sequence[Plugin] = (), metrics=None) -> Recording:
     """Execute *scenario* once (cheaply) and capture its journal.
 
     *plugins* here are lightweight observers (e.g. a syscall tracer);
     the expensive analysis belongs in :func:`replay`.
     """
-    machine = scenario.build(plugins)
+    machine = scenario.build(plugins, metrics=metrics)
     stats = machine.run(scenario.max_instructions)
     return Recording(
         scenario=scenario,
@@ -125,6 +132,7 @@ def replay(
     recording: Recording,
     plugins: Sequence[Plugin] = (),
     verify: bool = True,
+    metrics=None,
 ) -> Machine:
     """Re-execute a recording with analysis *plugins* attached.
 
@@ -133,7 +141,7 @@ def replay(
     different event sequence than the recording -- the smoke test that
     determinism held.
     """
-    machine = recording.scenario.build(plugins)
+    machine = recording.scenario.build(plugins, metrics=metrics)
     machine.run(recording.scenario.max_instructions)
     if verify:
         if machine.now != recording.final_instret:

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
 from repro.isa.instructions import format_instruction
+from repro.obs.metrics import NULL_REGISTRY
 from repro.taint.tags import Tag, TagStore, TagType
 from repro.taint.tracker import LoadObservation
 
@@ -67,7 +68,12 @@ class FlaggedInstruction:
 class Detector:
     """Observes tainted loads and applies the confluence rules."""
 
-    def __init__(self, tags: TagStore, config: Optional[DetectionConfig] = None) -> None:
+    def __init__(
+        self,
+        tags: TagStore,
+        config: Optional[DetectionConfig] = None,
+        metrics=None,
+    ) -> None:
         self.tags = tags
         self.config = config or DetectionConfig()
         self.flagged: List[FlaggedInstruction] = []
@@ -78,6 +84,14 @@ class Detector:
         #: scanning the whole export table yields a handful of entries,
         #: not one per entry compared.
         self._seen: Set[Tuple[int, int, int]] = set()
+        m = metrics if metrics is not None else NULL_REGISTRY
+        self._ctr_flags = m.counter("faros.detector.flags")
+        self._ctr_by_rule = {
+            "netflow+export-table": m.counter("faros.detector.flags.netflow"),
+            "cross-process+export-table": m.counter(
+                "faros.detector.flags.cross_process"
+            ),
+        }
 
     def observe_load(self, machine, obs: LoadObservation) -> None:
         """Load-listener callback wired into the taint tracker."""
@@ -118,6 +132,8 @@ class Detector:
                 rule=rule,
             )
             self.flagged.append(flagged)
+            self._ctr_flags.inc()
+            self._ctr_by_rule[rule].inc()
             for callback in self.on_flag:
                 callback(flagged)
 

@@ -28,9 +28,10 @@ from repro.faros.detector import DetectionConfig, Detector
 from repro.faros.osi import OSIPlugin
 from repro.faros.report import FarosReport
 from repro.isa.cpu import AccessKind
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.taint.policy import TaintPolicy
 from repro.taint.tags import TagStore
-from repro.taint.tracker import TaintTracker
+from repro.taint.tracker import TaintTracker, register_tracker_metrics
 
 
 @dataclass(frozen=True)
@@ -57,6 +58,7 @@ class Faros(Plugin):
         augment_export_tags: bool = True,
         taint_kernel_code: bool = False,
         tracker_cls=TaintTracker,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         """Create the plugin.
 
@@ -74,11 +76,18 @@ class Faros(Plugin):
             differential harness passes
             :class:`~repro.taint.reference.ReferenceTaintTracker` to
             check detection verdicts never drift between the two.
+        :param metrics: a :class:`~repro.obs.metrics.MetricsRegistry` to
+            publish taint/detector instrumentation into.  ``None`` binds
+            the shared null registry -- the analysis hot paths then touch
+            only no-op counter singletons.
         """
         super().__init__()
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.tags = TagStore()
         self.tracker = tracker_cls(policy=policy or TaintPolicy(), tags=self.tags)
-        self.detector = Detector(self.tags, detection)
+        self.detector = Detector(self.tags, detection, metrics=self.metrics)
+        if self.metrics.enabled:
+            register_tracker_metrics(self.metrics, self.tracker)
         self.osi = OSIPlugin()
         self.augment_export_tags = augment_export_tags
         self.taint_kernel_code = taint_kernel_code

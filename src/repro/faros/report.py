@@ -15,6 +15,7 @@ rendering.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -22,6 +23,16 @@ from repro.faros.detector import FlaggedInstruction
 from repro.taint.tags import Tag, TagStore, TagType
 
 Prov = Tuple[Tag, ...]
+
+
+def _warn_renamed(old: str, new: str) -> None:
+    """One DeprecationWarning per legacy export-API call site."""
+    warnings.warn(
+        f"{old} is deprecated; use {new} -- same JSON shape, but the "
+        "to_json_dict/from_json_dict pair names the symmetric contract",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def render_provenance(tags: TagStore, prov: Prov) -> str:
@@ -53,7 +64,8 @@ class ProvenanceChain:
     #: Processes from the stitched upstream chain (e.g. the dropper).
     upstream_processes: List[str] = field(default_factory=list)
 
-    def to_dict(self) -> dict:
+    def to_json_dict(self) -> dict:
+        """JSON-shaped chain; inverse of :meth:`from_json_dict`."""
         return {
             "instruction_address": self.instruction_address,
             "instruction": self.instruction,
@@ -69,7 +81,8 @@ class ProvenanceChain:
         }
 
     @classmethod
-    def from_dict(cls, d: dict) -> "ProvenanceChain":
+    def from_json_dict(cls, d: dict) -> "ProvenanceChain":
+        """Rebuild a chain from :meth:`to_json_dict` output."""
         return cls(
             instruction_address=d["instruction_address"],
             instruction=d["instruction"],
@@ -84,6 +97,17 @@ class ProvenanceChain:
             upstream_processes=list(d["upstream_processes"]),
         )
 
+    def to_dict(self) -> dict:
+        """Deprecated alias of :meth:`to_json_dict`."""
+        _warn_renamed("ProvenanceChain.to_dict", "to_json_dict")
+        return self.to_json_dict()
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ProvenanceChain":
+        """Deprecated alias of :meth:`from_json_dict`."""
+        _warn_renamed("ProvenanceChain.from_dict", "from_json_dict")
+        return cls.from_json_dict(d)
+
 
 @dataclass
 class FarosReport:
@@ -96,6 +120,11 @@ class FarosReport:
     instructions_analyzed: int
     #: path (lowercase) -> [(version, buffer provenance at write time)].
     file_lineage: Dict[str, List[Tuple[int, Prov]]] = field(default_factory=dict)
+    #: Observability snapshot for the run that produced this report
+    #: (:meth:`repro.obs.session.ObsSession.snapshot`), or None when the
+    #: run was not instrumented.  Injected by the analysis runners so the
+    #: same numbers appear in ``repro stats`` and triage JSON exports.
+    metrics: Optional[dict] = None
 
     @property
     def attack_detected(self) -> bool:
@@ -189,16 +218,27 @@ class FarosReport:
             for c_flag in self.flagged
         ]
 
-    def to_dict(self) -> dict:
-        """Machine-readable report (for pipelines ingesting FAROS output)."""
+    def to_json_dict(self) -> dict:
+        """Machine-readable report (for pipelines ingesting FAROS output).
+
+        Symmetric with :meth:`ReportSummary.from_json_dict`:
+        ``ReportSummary.from_json_dict(report.to_json_dict())`` equals
+        ``report.summary()``.
+        """
         return {
             "attack_detected": self.attack_detected,
             "instructions_analyzed": self.instructions_analyzed,
             "tainted_bytes": self.tainted_bytes,
             "tag_map_sizes": dict(self.tag_map_sizes),
             "flags": self._flag_dicts(),
-            "chains": [chain.to_dict() for chain in self.chains()],
+            "chains": [chain.to_json_dict() for chain in self.chains()],
+            "metrics": self.metrics,
         }
+
+    def to_dict(self) -> dict:
+        """Deprecated alias of :meth:`to_json_dict`."""
+        _warn_renamed("FarosReport.to_dict", "to_json_dict")
+        return self.to_json_dict()
 
     def summary(self) -> "ReportSummary":
         """The serializable face of this report (what crosses processes)."""
@@ -209,6 +249,7 @@ class FarosReport:
             tag_map_sizes=dict(self.tag_map_sizes),
             flags=self._flag_dicts(),
             chains=self.chains(),
+            metrics=self.metrics,
         )
 
     def render(self) -> str:
@@ -249,11 +290,12 @@ class ReportSummary:
     """A :class:`FarosReport` without the live tag store.
 
     This is the **cross-process result channel**: a worker serializes
-    its report with :meth:`FarosReport.to_dict`, ships it over a pipe
-    (or JSON), and the aggregator reconstructs this summary.  It
-    round-trips losslessly -- ``ReportSummary.from_dict(r.to_dict())``
-    equals ``r.summary()`` -- which the report-export tests lock in for
-    every attack scenario.
+    its report with :meth:`FarosReport.to_json_dict`, ships it over a
+    pipe (or JSON), and the aggregator reconstructs this summary.  It
+    round-trips losslessly --
+    ``ReportSummary.from_json_dict(r.to_json_dict())`` equals
+    ``r.summary()`` -- which the report-export tests lock in for every
+    attack scenario.
     """
 
     attack_detected: bool
@@ -262,25 +304,45 @@ class ReportSummary:
     tag_map_sizes: Dict[str, int]
     flags: List[dict]
     chains: List[ProvenanceChain]
+    #: Observability snapshot of the producing run (or None).
+    metrics: Optional[dict] = None
 
-    def to_dict(self) -> dict:
-        """Same shape as :meth:`FarosReport.to_dict`."""
+    def to_json_dict(self) -> dict:
+        """Same shape as :meth:`FarosReport.to_json_dict`."""
         return {
             "attack_detected": self.attack_detected,
             "instructions_analyzed": self.instructions_analyzed,
             "tainted_bytes": self.tainted_bytes,
             "tag_map_sizes": dict(self.tag_map_sizes),
             "flags": [dict(flag) for flag in self.flags],
-            "chains": [chain.to_dict() for chain in self.chains],
+            "chains": [chain.to_json_dict() for chain in self.chains],
+            "metrics": self.metrics,
         }
 
     @classmethod
-    def from_dict(cls, d: dict) -> "ReportSummary":
+    def from_json_dict(cls, d: dict) -> "ReportSummary":
+        """Rebuild a summary from either side of the symmetric pair.
+
+        ``metrics`` is read with ``.get`` so dicts produced before the
+        observability layer existed still deserialize.
+        """
         return cls(
             attack_detected=d["attack_detected"],
             instructions_analyzed=d["instructions_analyzed"],
             tainted_bytes=d["tainted_bytes"],
             tag_map_sizes=dict(d["tag_map_sizes"]),
             flags=[dict(flag) for flag in d["flags"]],
-            chains=[ProvenanceChain.from_dict(c) for c in d["chains"]],
+            chains=[ProvenanceChain.from_json_dict(c) for c in d["chains"]],
+            metrics=d.get("metrics"),
         )
+
+    def to_dict(self) -> dict:
+        """Deprecated alias of :meth:`to_json_dict`."""
+        _warn_renamed("ReportSummary.to_dict", "to_json_dict")
+        return self.to_json_dict()
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ReportSummary":
+        """Deprecated alias of :meth:`from_json_dict`."""
+        _warn_renamed("ReportSummary.from_dict", "from_json_dict")
+        return cls.from_json_dict(d)

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Set
 
 from repro.faros.detector import FlaggedInstruction
+from repro.obs.metrics import NULL_REGISTRY
 from repro.taint.tags import TagType
 
 #: Runtimes the paper's analyst would whitelist out of the box.
@@ -38,8 +39,15 @@ class TriagedFlag:
 class Whitelist:
     """Process-name whitelist for JIT-style self-generating code."""
 
-    def __init__(self, process_names: Iterable[str] = DEFAULT_JIT_RUNTIMES) -> None:
+    def __init__(
+        self,
+        process_names: Iterable[str] = DEFAULT_JIT_RUNTIMES,
+        metrics=None,
+    ) -> None:
         self._names: Set[str] = {name.lower() for name in process_names}
+        m = metrics if metrics is not None else NULL_REGISTRY
+        self._ctr_dismissed = m.counter("faros.whitelist.dismissed")
+        self._ctr_kept = m.counter("faros.whitelist.kept")
 
     def add(self, process_name: str) -> None:
         self._names.add(process_name.lower())
@@ -57,6 +65,7 @@ class Whitelist:
             }
             self_generated = len(process_tags) <= 1
             if self.covers(flag.executing_process) and self_generated:
+                self._ctr_dismissed.inc()
                 out.append(
                     TriagedFlag(
                         flag=flag,
@@ -74,6 +83,7 @@ class Whitelist:
                         "whitelisted process, but the code was written by "
                         "another process (injection, not JIT)"
                     )
+                self._ctr_kept.inc()
                 out.append(TriagedFlag(flag=flag, dismissed=False, reason=reason))
         return out
 

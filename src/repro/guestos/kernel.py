@@ -184,8 +184,8 @@ class Kernel:
             layout.IMAGE_BASE, len(program.code), AccessKind.WRITE
         )
         self.machine.phys_write(paddrs, program.code, source=f"file:{image_path}")
-        self.machine.plugins.dispatch(
-            "on_file_read", self.machine, proc, node.path, version, paddrs
+        self.machine.plugins.on_file_read(
+            self.machine, proc, node.path, version, paddrs
         )
 
         image_module = Module(
@@ -199,9 +199,9 @@ class Kernel:
         else:
             self._enqueue(thread)
 
-        self.machine.plugins.dispatch("on_module_load", self.machine, proc, self.kernel_module)
-        self.machine.plugins.dispatch("on_module_load", self.machine, proc, image_module)
-        self.machine.plugins.dispatch("on_process_create", self.machine, proc)
+        self.machine.plugins.on_module_load(self.machine, proc, self.kernel_module)
+        self.machine.plugins.on_module_load(self.machine, proc, image_module)
+        self.machine.plugins.on_process_create(self.machine, proc)
         return proc
 
     def _new_thread(self, proc: Process, entry: int, sp: Optional[int] = None, arg: int = 0) -> Thread:
@@ -226,7 +226,7 @@ class Kernel:
                 self._blocked.remove(thread)
         self._ready = deque(t for t in self._ready if t.process is not proc)
         proc.aspace.release_all()
-        self.machine.plugins.dispatch("on_process_exit", self.machine, proc, status)
+        self.machine.plugins.on_process_exit(self.machine, proc, status)
 
     def crash_process(self, proc: Process, fault: GuestFault) -> None:
         """Kill *proc* after an unhandled guest fault."""
@@ -295,8 +295,8 @@ class Kernel:
         thread.context["regs"][Reg.R0] = result & 0xFFFFFFFF
         self._enqueue(thread)
         if wait is not None:
-            self.machine.plugins.dispatch(
-                "on_syscall_return", self.machine, thread, wait.syscall, result
+            self.machine.plugins.on_syscall_return(
+                self.machine, thread, wait.syscall, result
             )
 
     def _retry_blocked_io(self) -> None:
@@ -318,8 +318,9 @@ class Kernel:
         paddrs = self.machine.dma_alloc(len(packet.payload))
         if packet.payload:
             self.machine.phys_write(paddrs, packet.payload, source="nic")
-        self.machine.plugins.dispatch(
-            "on_packet_receive", self.machine, packet, paddrs
+        self.machine._ctr_packets_in.inc()
+        self.machine.plugins.on_packet_receive(
+            self.machine, packet, paddrs
         )
         if self.netstack.deliver(packet, paddrs) is not None:
             self._retry_blocked_io()
@@ -418,8 +419,8 @@ class Kernel:
             data = bytes(fh.node.data[fh.offset : fh.offset + n])
             paddrs = proc.aspace.translate_range(a2, n, AccessKind.WRITE)
             machine.phys_write(paddrs, data, source=f"file:{fh.node.path}")
-            machine.plugins.dispatch(
-                "on_file_read", machine, proc, fh.node.path, version, paddrs
+            machine.plugins.on_file_read(
+                machine, proc, fh.node.path, version, paddrs
             )
             fh.offset += n
             return n
@@ -434,8 +435,8 @@ class Kernel:
             if len(fh.node.data) < end:
                 fh.node.data.extend(b"\x00" * (end - len(fh.node.data)))
             fh.node.data[fh.offset : end] = data
-            machine.plugins.dispatch(
-                "on_file_write", machine, proc, fh.node.path, version, src_paddrs
+            machine.plugins.on_file_write(
+                machine, proc, fh.node.path, version, src_paddrs
             )
             fh.offset = end
             return len(data)
@@ -777,10 +778,10 @@ class Kernel:
         if image:
             paddrs = proc.aspace.translate_range(base, len(image), AccessKind.WRITE)
             self.machine.phys_write(paddrs, image, source=f"file:{path}")
-            self.machine.plugins.dispatch(
-                "on_file_read", self.machine, proc, node.path, version, paddrs
+            self.machine.plugins.on_file_read(
+                self.machine, proc, node.path, version, paddrs
             )
         module = Module(name=path, base=base, image=image, path=path)
         proc.modules.append(module)
-        self.machine.plugins.dispatch("on_module_load", self.machine, proc, module)
+        self.machine.plugins.on_module_load(self.machine, proc, module)
         return base

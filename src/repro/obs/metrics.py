@@ -1,0 +1,203 @@
+"""Counters, gauges, and histograms with a zero-cost disabled path.
+
+The ROADMAP's "fast as the hardware allows" goal is only honest if
+overhead is *measured*: the DIFT literature (and the paper's own Table V)
+treats tracking cost as a first-class result, and the triage fleet needs
+per-sample telemetry to explain verdicts.  At the same time the metrics
+layer must never tax the very hot paths it observes, so the design splits
+into two regimes:
+
+* **enabled** -- :class:`MetricsRegistry` hands out real
+  :class:`Counter` / :class:`Gauge` / :class:`Histogram` instruments and
+  collects them into one :meth:`~MetricsRegistry.snapshot` dict;
+* **disabled** -- the registry hands out the *same* module-level no-op
+  singletons (:data:`NULL_COUNTER`, :data:`NULL_HISTOGRAM`) for every
+  name.  ``NULL_COUNTER.inc()`` is an empty method on an object that is
+  shared process-wide, so a disabled instrument costs one no-op call at
+  its call site and zero allocations anywhere -- the "counter identity
+  check" the test suite locks in (``instrument is NULL_COUNTER``).
+
+Gauges go one step further: they are *pull-based* (a callback sampled at
+snapshot time), so instrumenting a hot structure with a gauge costs the
+hot path literally nothing -- the existing counters inside
+:class:`~repro.taint.tracker.TrackerStats` and friends are simply read
+when someone asks.  A disabled registry drops gauge registrations on the
+floor.
+
+Instrument names are dotted paths (``taint.fast_retirements``,
+``machine.syscalls``); the full vocabulary is documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_HISTOGRAM",
+    "NULL_REGISTRY",
+]
+
+
+class Counter:
+    """A monotonically increasing integer (events since registry birth)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class _NullCounter:
+    """The shared do-nothing counter every disabled registry hands out."""
+
+    __slots__ = ()
+    name = "<null>"
+    value = 0
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+#: Process-wide no-op counter; ``registry.counter(...) is NULL_COUNTER``
+#: is the disabled-path identity test.
+NULL_COUNTER = _NullCounter()
+
+
+class Gauge:
+    """A named callback sampled at snapshot time (pull-based, zero hot cost)."""
+
+    __slots__ = ("name", "fn")
+
+    def __init__(self, name: str, fn: Callable[[], float]) -> None:
+        self.name = name
+        self.fn = fn
+
+    def value(self) -> float:
+        return self.fn()
+
+
+#: Default histogram buckets: powers of four, a decent spread for both
+#: byte counts and instruction counts.
+DEFAULT_BUCKETS = tuple(4 ** i for i in range(1, 12))
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative-free: one count per bucket).
+
+    ``bounds[i]`` is the *inclusive* upper edge of bucket ``i``; one
+    overflow bucket catches everything beyond the last bound.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "sum")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.bounds = tuple(sorted(bounds))
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        # bisect_left puts value == bound into that bound's bucket
+        # (inclusive upper edges); anything beyond the last bound lands
+        # in the overflow slot.
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    def to_dict(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+        }
+
+
+class _NullHistogram:
+    """The shared do-nothing histogram for disabled registries."""
+
+    __slots__ = ()
+    name = "<null>"
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Named instruments plus the snapshot that serializes them.
+
+    One registry per analysis session (one sample, one ``repro stats``
+    run); sharing across sessions would mix unrelated runs' numbers.
+    ``enabled=False`` turns every factory into a return of the shared
+    null singletons -- see the module docstring.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- factories ---------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under *name* (created on first use)."""
+        if not self.enabled:
+            return NULL_COUNTER  # type: ignore[return-value]
+        ctr = self._counters.get(name)
+        if ctr is None:
+            ctr = self._counters[name] = Counter(name)
+        return ctr
+
+    def gauge(self, name: str, fn: Callable[[], float]) -> Optional[Gauge]:
+        """Register callback *fn* to be sampled as *name* at snapshot time.
+
+        Re-registering a name replaces its callback (a fresh tracker
+        re-binding its gauges is the common case).  Disabled registries
+        return None and remember nothing.
+        """
+        if not self.enabled:
+            return None
+        gauge = Gauge(name, fn)
+        self._gauges[name] = gauge
+        return gauge
+
+    def histogram(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM  # type: ignore[return-value]
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram(name, bounds)
+        return hist
+
+    # -- collection --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Sample every instrument into one JSON-serializable dict."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value() for name, g in sorted(self._gauges.items())},
+            "histograms": {
+                name: h.to_dict() for name, h in sorted(self._histograms.items())
+            },
+        }
+
+
+#: Process-wide disabled registry: the default wired into components so
+#: un-instrumented runs pay only no-op calls.
+NULL_REGISTRY = MetricsRegistry(enabled=False)

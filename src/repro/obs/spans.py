@@ -1,0 +1,105 @@
+"""Phase tracing: nested spans over an analysis run.
+
+An analysis session has a natural phase structure -- boot (build the
+scenario), attack (the cheap recording run), detection (the heavyweight
+replay with FAROS attached), report (serialization) -- and the DARPA TC
+engagement experience is that triage telemetry must say *where the time
+went*, not just that the sample was slow.  :class:`Tracer` records that
+structure as a list of finished :class:`SpanRecord` rows: wall-clock
+durations plus, when the span closes over machine execution, the guest
+instruction counts bracketing it.
+
+Spans nest: entering a span while another is open records the parent's
+name so renderers can indent.  The tracer is deliberately tiny -- no
+sampling, no export protocol -- because span counts here are O(phases),
+not O(instructions).
+
+A disabled tracer (``Tracer(enabled=False)``) yields from
+:meth:`~Tracer.span` without recording anything, so span call sites can
+stay unconditional.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+__all__ = ["SpanRecord", "Tracer", "NULL_TRACER"]
+
+
+@dataclass
+class SpanRecord:
+    """One finished phase: name, nesting, and where the time went."""
+
+    name: str
+    parent: Optional[str]
+    depth: int
+    start_s: float
+    duration_s: float
+    #: Guest clock (retired instructions) at entry/exit, when the span
+    #: was given a machine clock to read; None for pure host-side spans.
+    start_tick: Optional[int] = None
+    end_tick: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "parent": self.parent,
+            "depth": self.depth,
+            "duration_s": self.duration_s,
+            "start_tick": self.start_tick,
+            "end_tick": self.end_tick,
+        }
+
+
+class Tracer:
+    """Records nested spans; ``spans`` lists them in completion order."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.spans: List[SpanRecord] = []
+        self._stack: List[str] = []
+        self._origin = time.perf_counter()
+
+    @contextmanager
+    def span(self, name: str, clock=None) -> Iterator[None]:
+        """Trace the enclosed block as phase *name*.
+
+        *clock* is an optional zero-argument callable returning the
+        guest instruction count (e.g. ``lambda: machine.now``); when
+        given, the span records the guest ticks it covered as well.
+        """
+        if not self.enabled:
+            yield
+            return
+        parent = self._stack[-1] if self._stack else None
+        depth = len(self._stack)
+        self._stack.append(name)
+        start_tick = clock() if clock is not None else None
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            duration = time.perf_counter() - start
+            self._stack.pop()
+            self.spans.append(
+                SpanRecord(
+                    name=name,
+                    parent=parent,
+                    depth=depth,
+                    start_s=start - self._origin,
+                    duration_s=duration,
+                    start_tick=start_tick,
+                    end_tick=clock() if clock is not None else None,
+                )
+            )
+
+    def to_dicts(self) -> List[dict]:
+        """Finished spans in *start* order (stable for rendering)."""
+        return [s.to_dict() for s in sorted(self.spans, key=lambda s: s.start_s)]
+
+
+#: Shared disabled tracer for un-instrumented runs.
+NULL_TRACER = Tracer(enabled=False)

@@ -136,6 +136,15 @@ class ProvInterner:
     # introspection (for TrackerStats / benchmarks)
     # ------------------------------------------------------------------
 
+    def hit_rate(self) -> float:
+        """Fraction of memoised union/append calls served from cache.
+
+        0.0 when the interner has seen no algebra at all (a run that
+        never propagated taint), so the gauge is always well-defined.
+        """
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
     def cache_sizes(self) -> Dict[str, int]:
         """Current interner/cache populations (tag-memory pressure)."""
         return {

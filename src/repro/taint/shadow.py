@@ -207,6 +207,17 @@ class ShadowMemory:
         """How many physical bytes currently carry provenance (E12)."""
         return self._count
 
+    @property
+    def dirty_page_count(self) -> int:
+        """How many 4 KiB shadow pages hold at least one tainted byte.
+
+        With :attr:`tainted_bytes` this gives shadow-page *occupancy*
+        (tainted bytes per dirty page) -- the density figure that says
+        whether taint is concentrated (cheap page probes) or smeared
+        across many pages (the tag-pressure failure mode).
+        """
+        return len(self._pages)
+
     def dirty_pages(self) -> List[int]:
         """Shadow page numbers holding at least one tainted byte."""
         return sorted(self._pages)

@@ -90,6 +90,61 @@ class TrackerStats:
     slow_retirements: int = 0
 
 
+def register_tracker_metrics(registry, tracker) -> None:
+    """Expose *tracker*'s hot-path counters as pull-based gauges.
+
+    Everything here is sampled at snapshot time, so instrumentation
+    costs the per-instruction path nothing: the gauges read the counters
+    the tracker already maintains (:class:`TrackerStats`, the interner's
+    hit/miss totals, the shadow store's occupancy).
+
+    Interner hits/misses are reported as **deltas from registration
+    time**: trackers default to the process-wide
+    :data:`~repro.taint.intern.GLOBAL_INTERNER`, whose absolute totals
+    accumulate across every analysis the process has run, and a per-run
+    metric must not inherit a previous sample's traffic.
+    """
+    stats = tracker.stats
+    registry.gauge("taint.instructions", lambda: stats.instructions)
+    registry.gauge("taint.fast_retirements", lambda: stats.fast_retirements)
+    registry.gauge("taint.slow_retirements", lambda: stats.slow_retirements)
+    registry.gauge("taint.kernel_copies", lambda: stats.kernel_copies)
+    registry.gauge("taint.external_writes", lambda: stats.external_writes)
+    registry.gauge("taint.process_tag_appends", lambda: stats.process_tag_appends)
+
+    # The reference tracker has neither an interner nor a paged shadow;
+    # only publish what this tracker actually maintains.
+    interner = getattr(tracker, "interner", None)
+    if interner is not None:
+        hits0, misses0 = interner.hits, interner.misses
+
+        def _hit_rate() -> float:
+            hits = interner.hits - hits0
+            total = hits + (interner.misses - misses0)
+            return hits / total if total else 0.0
+
+        registry.gauge("taint.interner.hits", lambda: interner.hits - hits0)
+        registry.gauge("taint.interner.misses", lambda: interner.misses - misses0)
+        registry.gauge("taint.interner.hit_rate", _hit_rate)
+        registry.gauge(
+            "taint.interner.canonical_lists",
+            lambda: interner.cache_sizes()["canonical"],
+        )
+
+    shadow = tracker.shadow
+    registry.gauge("taint.shadow.tainted_bytes", lambda: shadow.tainted_bytes)
+    if hasattr(shadow, "dirty_page_count"):
+        registry.gauge("taint.shadow.dirty_pages", lambda: shadow.dirty_page_count)
+        registry.gauge(
+            "taint.shadow.page_occupancy",
+            lambda: (
+                shadow.tainted_bytes / shadow.dirty_page_count
+                if shadow.dirty_page_count
+                else 0.0
+            ),
+        )
+
+
 class TaintTracker(Plugin):
     """Byte-granular, whole-system DIFT with provenance lists."""
 

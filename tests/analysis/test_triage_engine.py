@@ -68,12 +68,12 @@ class TestResultSerialization:
         [job] = jit_jobs([("acceleration", "applet")])
         result = execute_job(job)
         assert result.verdict is True           # one of the two JIT FPs
-        clone = TriageResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        clone = TriageResult.from_json_dict(json.loads(json.dumps(result.to_json_dict())))
         assert clone == result
 
     def test_error_row_round_trips(self):
         result = execute_job(_pyfunc_job(3, "raising_job"))
-        clone = TriageResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        clone = TriageResult.from_json_dict(json.loads(json.dumps(result.to_json_dict())))
         assert clone == result
 
 

@@ -1,0 +1,87 @@
+"""Per-job observability through the triage engine's worker channel.
+
+The acceptance bar: a ``--metrics`` triage run must carry each job's
+snapshot through the (pickle/JSON) worker channel intact, and the
+numbers in the job's report export must be the same object's numbers --
+``repro stats`` and the triage JSON export may never disagree.
+"""
+
+import json
+
+from repro.analysis.triage import (
+    STATUS_OK,
+    TriageResult,
+    attack_jobs,
+    execute_job,
+    run_triage,
+)
+
+#: Snapshot keys that are deterministic functions of the guest execution
+#: (wall-clock spans and absolute interner cache sizes are not -- the
+#: process-wide interner may be pre-warmed by earlier in-process runs).
+_DETERMINISTIC_GAUGES = (
+    "taint.instructions",
+    "taint.fast_retirements",
+    "taint.slow_retirements",
+    "taint.interner.hits",
+    "taint.interner.misses",
+    "taint.shadow.tainted_bytes",
+    "taint.shadow.dirty_pages",
+    "machine.instructions",
+)
+
+
+class TestMetricsThroughWorkers:
+    def test_snapshot_survives_the_worker_round_trip(self):
+        [result] = run_triage(
+            attack_jobs(["code_injection"], metrics=True), jobs=2
+        )
+        assert result.status == STATUS_OK and result.verdict is True
+        snap = result.metrics
+        assert set(snap) >= {"counters", "gauges", "histograms",
+                             "spans", "hot_blocks"}
+        assert snap["counters"]["faros.detector.flags"] > 0
+        assert snap["gauges"]["taint.slow_retirements"] > 0
+        assert [s["name"] for s in snap["spans"]] == [
+            "boot", "attack", "detection", "report",
+        ]
+        assert snap["hot_blocks"]["top"]
+
+    def test_report_and_outcome_carry_the_same_numbers(self):
+        [result] = run_triage(
+            attack_jobs(["code_injection"], metrics=True), jobs=2
+        )
+        assert result.report["metrics"] == result.metrics
+
+    def test_worker_numbers_match_in_process_numbers(self):
+        jobs = attack_jobs(["code_injection"], metrics=True)
+        [in_process] = run_triage(jobs, jobs=1)
+        [via_worker] = run_triage(jobs, jobs=2)
+        for name in _DETERMINISTIC_GAUGES:
+            assert in_process.metrics["gauges"][name] == \
+                via_worker.metrics["gauges"][name], name
+        assert in_process.metrics["counters"] == via_worker.metrics["counters"]
+        assert in_process.metrics["hot_blocks"]["top"] == \
+            via_worker.metrics["hot_blocks"]["top"]
+
+    def test_metrics_round_trip_through_json(self):
+        [job] = attack_jobs(["code_injection"], metrics=True)
+        result = execute_job(job)
+        clone = TriageResult.from_json_dict(
+            json.loads(json.dumps(result.to_json_dict()))
+        )
+        assert clone == result
+        assert clone.metrics == result.metrics
+
+
+class TestMetricsStayOptIn:
+    def test_plain_jobs_carry_no_snapshot(self):
+        [result] = run_triage(attack_jobs(["code_injection"]), jobs=1)
+        assert result.metrics is None
+        assert result.report["metrics"] is None
+
+    def test_plain_job_params_are_unchanged(self):
+        # metrics=False must not even add the key, so pre-observability
+        # job descriptors stay byte-identical on the wire.
+        [job] = attack_jobs(["code_injection"])
+        assert "metrics" not in job.params

@@ -57,12 +57,47 @@ class TestPluginManager:
         assert Plugin().name == "Plugin"
         assert Recorder().name == "Recorder"
 
-    def test_dispatch_reaches_every_plugin(self):
+    def test_hook_attribute_reaches_every_plugin(self):
         manager = PluginManager()
         a, b = Recorder(), Recorder()
         manager.register_all([a, b])
-        manager.dispatch("on_machine_start", None)
+        manager.on_machine_start(None)
         assert a.calls == ["start"] and b.calls == ["start"]
+
+    def test_base_noops_are_skipped_in_dispatch_lists(self):
+        # A bare Plugin() overrides nothing, so no hook list contains it.
+        manager = PluginManager()
+        manager.register(Plugin())
+        recorder = manager.register(Recorder())
+        assert manager.handlers("on_machine_start") == (
+            recorder.on_machine_start,
+        )
+        assert manager.handlers("on_guest_fault") == ()
+
+    def test_instance_assigned_hook_participates(self):
+        # The documented contract: a callable assigned on the instance
+        # *before* register() joins the dispatch list like an override.
+        seen = []
+        seeder = Plugin()
+        seeder.on_machine_start = lambda machine: seen.append(machine)
+        manager = PluginManager()
+        manager.register(seeder)
+        manager.on_machine_start("m")
+        assert seen == ["m"]
+
+    def test_unregister_rebuilds_dispatch_lists(self):
+        manager = PluginManager()
+        recorder = manager.register(Recorder())
+        manager.unregister(recorder)
+        manager.on_machine_start(None)
+        assert recorder.calls == []
+
+    def test_dispatch_shim_still_works_but_warns(self):
+        manager = PluginManager()
+        recorder = manager.register(Recorder())
+        with pytest.warns(DeprecationWarning, match="on_machine_start"):
+            manager.dispatch("on_machine_start", None)
+        assert recorder.calls == ["start"]
 
 
 class TestCallbackFlow:

@@ -18,25 +18,25 @@ def report():
 
 class TestToDict:
     def test_json_serialisable(self, report):
-        text = json.dumps(report.to_dict())
+        text = json.dumps(report.to_json_dict())
         assert "attack_detected" in text
 
     def test_top_level_fields(self, report):
-        d = report.to_dict()
+        d = report.to_json_dict()
         assert d["attack_detected"] is True
         assert d["instructions_analyzed"] > 0
         assert d["tainted_bytes"] > 0
         assert set(d["tag_map_sizes"]) == {"netflow", "process", "file", "export"}
 
     def test_flag_entries_complete(self, report):
-        flag = report.to_dict()["flags"][0]
+        flag = report.to_json_dict()["flags"][0]
         assert flag["executing_process"] == "notepad.exe"
         assert flag["instruction"].startswith("ld")
         assert flag["rule"] == "netflow+export-table"
         assert any(p.startswith("NetFlow:") for p in flag["provenance"])
 
     def test_chain_entries_complete(self, report):
-        chain = report.to_dict()["chains"][0]
+        chain = report.to_json_dict()["chains"][0]
         assert chain["netflow"].startswith("169.254.26.161:4444")
         assert chain["process_chain"] == ["inject_client.exe", "notepad.exe"]
         assert chain["resolved_function"] == "WriteConsoleA"
@@ -44,7 +44,7 @@ class TestToDict:
     def test_stitched_fields_in_export(self):
         faros = Faros()
         build_drop_reload_scenario().scenario.run(plugins=[faros])
-        chain = faros.report().to_dict()["chains"][0]
+        chain = faros.report().to_json_dict()["chains"][0]
         assert chain["netflow"] is None
         assert chain["stitched_netflow"].startswith("169.254.26.161")
         assert "dropper.exe" in chain["upstream_processes"]
@@ -59,13 +59,13 @@ class TestToDict:
 
         faros = Faros()
         Scenario(name="clean", setup=setup).run(plugins=[faros])
-        d = faros.report().to_dict()
+        d = faros.report().to_json_dict()
         assert d["attack_detected"] is False
         assert d["flags"] == [] and d["chains"] == []
 
 
 class TestSummaryRoundTrip:
-    """The cross-process result channel: ``to_dict`` -> JSON -> summary
+    """The cross-process result channel: ``to_json_dict`` -> JSON -> summary
     must reconstruct exactly what the in-process report says, for every
     attack in the §VI roster."""
 
@@ -85,30 +85,54 @@ class TestSummaryRoundTrip:
 
     def test_summary_round_trips_for_every_attack(self, attack_reports):
         for name, report in attack_reports.items():
-            wire = json.loads(json.dumps(report.to_dict()))
-            rebuilt = ReportSummary.from_dict(wire)
+            wire = json.loads(json.dumps(report.to_json_dict()))
+            rebuilt = ReportSummary.from_json_dict(wire)
             assert rebuilt == report.summary(), name
 
     def test_rebuilt_summary_matches_in_process_values(self, attack_reports):
         for name, report in attack_reports.items():
-            rebuilt = ReportSummary.from_dict(report.to_dict())
+            rebuilt = ReportSummary.from_json_dict(report.to_json_dict())
             assert rebuilt.attack_detected is report.attack_detected, name
             assert rebuilt.instructions_analyzed == report.instructions_analyzed
             assert rebuilt.tainted_bytes == report.tainted_bytes
             assert rebuilt.tag_map_sizes == report.tag_map_sizes
             assert rebuilt.chains == report.chains(), name
 
-    def test_summary_to_dict_matches_report_to_dict(self, attack_reports):
+    def test_summary_export_matches_report_export(self, attack_reports):
         for name, report in attack_reports.items():
-            assert report.summary().to_dict() == report.to_dict(), name
+            assert report.summary().to_json_dict() == report.to_json_dict(), name
 
     def test_chain_dict_round_trip(self, attack_reports):
         for report in attack_reports.values():
             for chain in report.chains():
-                clone = ProvenanceChain.from_dict(
-                    json.loads(json.dumps(chain.to_dict()))
+                clone = ProvenanceChain.from_json_dict(
+                    json.loads(json.dumps(chain.to_json_dict()))
                 )
                 assert clone == chain
+
+
+class TestDeprecatedNames:
+    """The renamed export pair keeps working under the old names, with a
+    DeprecationWarning pointing at the replacement."""
+
+    def test_report_to_dict_shim(self, report):
+        with pytest.warns(DeprecationWarning, match="to_json_dict"):
+            old = report.to_dict()
+        assert old == report.to_json_dict()
+
+    def test_summary_from_dict_shim(self, report):
+        wire = report.to_json_dict()
+        with pytest.warns(DeprecationWarning, match="from_json_dict"):
+            rebuilt = ReportSummary.from_dict(wire)
+        assert rebuilt == report.summary()
+
+    def test_chain_shims(self, report):
+        chain = report.chains()[0]
+        with pytest.warns(DeprecationWarning):
+            d = chain.to_dict()
+        with pytest.warns(DeprecationWarning):
+            clone = ProvenanceChain.from_dict(d)
+        assert clone == chain
 
 
 class TestCliJson:
@@ -116,5 +140,10 @@ class TestCliJson:
         from repro.cli import main
 
         assert main(["timeline", "reflective", "--json"]) == 0
-        payload = json.loads(capsys.readouterr().out)
-        assert payload["attack_detected"] is True
+        out = capsys.readouterr().out
+        # The JSON document starts at the first line that is exactly "{"
+        # (the human-readable render above uses braces mid-line).
+        payload = json.loads(out[out.index("\n{\n") + 1:])
+        assert payload["command"] == "timeline"
+        assert payload["report"]["attack_detected"] is True
+        assert payload["timeline"], "timeline events should be exported"

@@ -1,0 +1,108 @@
+"""Unit tests for the metrics registry and its zero-cost disabled path."""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_HISTOGRAM,
+    NULL_REGISTRY,
+)
+
+
+class TestCounter:
+    def test_inc_defaults_to_one(self):
+        ctr = MetricsRegistry(enabled=True).counter("a")
+        ctr.inc()
+        ctr.inc(4)
+        assert ctr.value == 5
+
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry(enabled=True)
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a") is not registry.counter("b")
+
+
+class TestDisabledRegistry:
+    """The zero-overhead contract: a disabled registry hands out the
+    shared process-wide null singletons, so instrumented call sites pay
+    one no-op method call and zero allocations."""
+
+    def test_counter_identity(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("taint.instructions") is NULL_COUNTER
+        assert registry.counter("anything.else") is NULL_COUNTER
+
+    def test_histogram_identity(self):
+        assert NULL_REGISTRY.histogram("x") is NULL_HISTOGRAM
+
+    def test_gauge_registration_is_dropped(self):
+        assert NULL_REGISTRY.gauge("x", lambda: 1) is None
+
+    def test_null_instruments_absorb_updates(self):
+        NULL_COUNTER.inc()
+        NULL_COUNTER.inc(100)
+        NULL_HISTOGRAM.observe(42.0)
+        assert NULL_COUNTER.value == 0
+
+    def test_snapshot_is_empty(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("a").inc()
+        registry.gauge("b", lambda: 2)
+        snap = registry.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_machine_and_faros_default_to_null_registry(self):
+        from repro.emulator.machine import Machine, MachineConfig
+        from repro.faros import Faros
+
+        assert Machine(MachineConfig()).metrics is NULL_REGISTRY
+        assert Faros().metrics is NULL_REGISTRY
+
+
+class TestGauge:
+    def test_pull_based_sampling(self):
+        # The callback is read at snapshot time, so the instrumented
+        # structure's *current* value shows up -- no hot-path pushes.
+        registry = MetricsRegistry(enabled=True)
+        box = {"n": 1}
+        registry.gauge("box.n", lambda: box["n"])
+        box["n"] = 7
+        assert registry.snapshot()["gauges"]["box.n"] == 7
+
+    def test_reregistration_replaces_callback(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.gauge("g", lambda: 1)
+        registry.gauge("g", lambda: 2)
+        assert registry.snapshot()["gauges"]["g"] == 2
+
+
+class TestHistogram:
+    def test_inclusive_upper_edges(self):
+        registry = MetricsRegistry(enabled=True)
+        hist = registry.histogram("h", bounds=(10, 100))
+        hist.observe(10)    # == first bound -> bucket 0
+        hist.observe(11)    # -> bucket 1
+        hist.observe(1000)  # beyond last bound -> overflow bucket
+        assert hist.counts == [1, 1, 1]
+        assert hist.total == 3 and hist.sum == 1021.0
+
+    def test_default_bounds_are_sorted_powers_of_four(self):
+        assert DEFAULT_BUCKETS == tuple(sorted(DEFAULT_BUCKETS))
+        assert DEFAULT_BUCKETS[0] == 4 and DEFAULT_BUCKETS[1] == 16
+
+    def test_to_dict_shape(self):
+        hist = MetricsRegistry(enabled=True).histogram("h", bounds=(1, 2))
+        hist.observe(1.5)
+        assert hist.to_dict() == {
+            "bounds": [1, 2], "counts": [0, 1, 0], "total": 1, "sum": 1.5,
+        }
+
+
+class TestSnapshot:
+    def test_names_come_back_sorted(self):
+        registry = MetricsRegistry(enabled=True)
+        for name in ("z.last", "a.first", "m.middle"):
+            registry.counter(name).inc()
+        assert list(registry.snapshot()["counters"]) == [
+            "a.first", "m.middle", "z.last",
+        ]

@@ -1,0 +1,67 @@
+"""Unit tests for the phase tracer."""
+
+from repro.obs.spans import NULL_TRACER, Tracer
+
+
+class TestTracer:
+    def test_records_name_and_duration(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("boot"):
+            pass
+        [span] = tracer.spans
+        assert span.name == "boot"
+        assert span.parent is None and span.depth == 0
+        assert span.duration_s >= 0.0
+
+    def test_nesting_records_parent_and_depth(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("detection"):
+            with tracer.span("report"):
+                pass
+        # Completion order: inner first.
+        inner, outer = tracer.spans
+        assert inner.name == "report"
+        assert inner.parent == "detection" and inner.depth == 1
+        assert outer.name == "detection" and outer.depth == 0
+
+    def test_to_dicts_comes_back_in_start_order(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [d["name"] for d in tracer.to_dicts()] == ["outer", "inner"]
+
+    def test_guest_clock_bracketing(self):
+        tracer = Tracer(enabled=True)
+        ticks = iter((100, 250))
+        with tracer.span("detection", clock=lambda: next(ticks)):
+            pass
+        [span] = tracer.spans
+        assert span.start_tick == 100 and span.end_tick == 250
+
+    def test_span_survives_exceptions(self):
+        tracer = Tracer(enabled=True)
+        try:
+            with tracer.span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        assert [s.name for s in tracer.spans] == ["boom"]
+        # The stack unwound, so the next span is top-level again.
+        with tracer.span("after"):
+            pass
+        assert tracer.spans[-1].depth == 0
+
+
+class TestDisabledTracer:
+    def test_records_nothing(self):
+        with NULL_TRACER.span("boot"):
+            pass
+        assert NULL_TRACER.spans == []
+
+    def test_clock_never_called(self):
+        def explode():
+            raise AssertionError("disabled tracer must not sample the clock")
+
+        with NULL_TRACER.span("boot", clock=explode):
+            pass
