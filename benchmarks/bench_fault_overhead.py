@@ -1,0 +1,168 @@
+"""Microbenchmark: what does the hardened emulation core cost?
+
+The fault-injection PR threads three checks through the machine's run
+loop -- the instruction-budget watchdog, the syscall-step watchdog, and
+the progress-sink publish -- all deliberately accounted **per scheduler
+slice**, never per instruction.  This bench measures the uninstrumented
+fast path (no plugins, no taint) in three configurations over the same
+compute-heavy guest:
+
+* ``baseline``  -- stock :class:`~repro.emulator.machine.MachineConfig`;
+* ``watchdogs`` -- both budgets armed far above the workload, so every
+  slice pays the checks but none fires;
+* ``hardened``  -- watchdogs plus an installed
+  :class:`~repro.faults.watchdog.SharedProgressSink` (the triage-worker
+  configuration).
+
+The gate: the fully hardened configuration must stay within **5%** of
+baseline throughput.  Timings take the best of several repetitions, so
+the comparison is machine-speed, not scheduler-noise.
+
+Standalone smoke run (no pytest needed, used by CI)::
+
+    PYTHONPATH=src python benchmarks/bench_fault_overhead.py --smoke
+"""
+
+import sys
+import time
+
+import pytest
+
+from repro.emulator.machine import Machine, MachineConfig
+from repro.faults.watchdog import SharedProgressSink, set_progress_sink
+from repro.guestos import layout
+from repro.guestos.asmlib import program
+from repro.isa.assembler import assemble
+
+#: Compute-heavy guest with a sparse syscall cadence (so the syscall-step
+#: watchdog's counter is exercised across slices but never trips).
+WORK = """
+start:
+    movi r5, 20
+outer:
+    movi r4, 4000
+inner:
+    muli r6, r6, 3
+    addi r6, r6, 7
+    xori r6, r6, 0x55
+    subi r4, r4, 1
+    cmpi r4, 0
+    jnz inner
+    movi r1, 1
+    movi r0, SYS_SLEEP
+    syscall
+    subi r5, r5, 1
+    cmpi r5, 0
+    jnz outer
+    movi r1, 0
+    movi r0, SYS_EXIT
+    syscall
+"""
+
+BUDGET = 2_000_000
+REPS = 7
+
+#: Armed far above anything the workload reaches: every slice pays the
+#: comparison, no run ever faults.
+ARMED = dict(instruction_budget=10**12, syscall_step_budget=10**9)
+
+
+def _run_once(config, sink=None):
+    """One timed run; returns (machine, seconds)."""
+    set_progress_sink(sink)
+    try:
+        machine = Machine(config)
+        machine.kernel.register_image(
+            "work.exe", assemble(program(WORK), base=layout.IMAGE_BASE)
+        )
+        machine.kernel.spawn("work.exe")
+        start = time.perf_counter()
+        machine.run(BUDGET)
+        return machine, time.perf_counter() - start
+    finally:
+        set_progress_sink(None)
+
+
+def compare_overhead(reps=REPS):
+    """Run all three configurations; returns (overhead_pct, report).
+
+    Repetitions are interleaved round-robin across the configurations
+    and each takes its best time, so slow drift in the host's speed
+    (thermal/steal noise) cannot masquerade as configuration cost.
+    """
+    configs = [
+        ("baseline", MachineConfig(), None),
+        ("watchdogs armed", MachineConfig(**ARMED), None),
+        ("hardened (+sink)", MachineConfig(**ARMED), SharedProgressSink([0] * 4)),
+    ]
+    best = [float("inf")] * len(configs)
+    machines = [None] * len(configs)
+    for _ in range(reps):
+        for i, (_, config, sink) in enumerate(configs):
+            machines[i], seconds = _run_once(config, sink=sink)
+            best[i] = min(best[i], seconds)
+    base_machine, wd_machine, hard_machine = machines
+    base, watchdogs, hardened = best
+
+    # The checks must be invisible to the execution itself.
+    assert base_machine.now == wd_machine.now == hard_machine.now
+    assert base_machine.fault is None and hard_machine.fault is None
+    assert base_machine.kernel.processes[100].exit_code == 0
+
+    insns = base_machine.now
+    overhead_pct = (hardened / base - 1.0) * 100.0
+    rows = [
+        ("baseline", base, None),
+        ("watchdogs armed", watchdogs, (watchdogs / base - 1.0) * 100.0),
+        ("hardened (+sink)", hardened, overhead_pct),
+    ]
+    lines = [
+        f"hardened-core overhead, uninstrumented fast path "
+        f"({insns} insns, quantum {base_machine.config.quantum}, best of {reps})",
+    ]
+    for name, seconds, delta in rows:
+        suffix = "" if delta is None else f"  ({delta:+5.2f}%)"
+        lines.append(
+            f"  {name:<17}: {seconds:6.3f}s  {insns / seconds:12.0f} insn/s{suffix}"
+        )
+    lines.append(f"  gate      : hardened within 5% of baseline")
+    return overhead_pct, "\n".join(lines)
+
+
+def test_watchdog_checks_do_not_perturb_execution():
+    """Cheap correctness probe: armed budgets change nothing observable."""
+    base_machine, _ = _run_once(MachineConfig())
+    hard_machine, _ = _run_once(
+        MachineConfig(**ARMED), sink=SharedProgressSink([0] * 4)
+    )
+    assert base_machine.now == hard_machine.now
+    assert hard_machine.fault is None
+    assert (
+        base_machine.kernel.processes[100].exit_code
+        == hard_machine.kernel.processes[100].exit_code
+        == 0
+    )
+
+
+@pytest.mark.slow
+def test_hardened_core_overhead_under_five_percent(emit):
+    overhead_pct, report = compare_overhead()
+    emit("fault_overhead", report)
+    assert overhead_pct < 5.0, f"hardened core costs {overhead_pct:.2f}% (gate: 5%)"
+
+
+def main(argv):
+    if "--smoke" not in argv:
+        print(__doc__)
+        return 2
+    overhead_pct, report = compare_overhead()
+    print(report)
+    if overhead_pct >= 5.0:
+        print(f"FAIL: hardened core overhead {overhead_pct:.2f}% >= 5%", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

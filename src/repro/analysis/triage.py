@@ -49,6 +49,14 @@ from repro.attacks import (
 )
 from repro.baselines import CuckooSandbox
 from repro.emulator.record_replay import record, replay
+from repro.faults.errors import EmulatorFault, FaultRecord
+from repro.faults.plan import FaultPlan
+from repro.faults.watchdog import (
+    PROGRESS_SLOTS,
+    SharedProgressSink,
+    read_progress,
+    set_progress_sink,
+)
 from repro.faros import Faros
 from repro.faros.report import ProvenanceChain, ReportSummary
 from repro.obs.session import ObsSession
@@ -57,11 +65,22 @@ from repro.workloads.jit import build_jit_scenario
 
 STATUS_OK = "OK"
 STATUS_ERROR = "ERROR"
+#: The sample ran, but a fault cut it short or perturbed it: the report
+#: covers a prefix of execution.  Deterministic guest faults land here
+#: (not ERROR) and are never retried -- re-running replays the same
+#: fault.
+STATUS_DEGRADED = "DEGRADED"
 
 #: Retry budget: a job may be re-dispatched this many times after a
 #: worker crash before it is written off as an ``ERROR`` row (so the
 #: default of 1 means "crashes twice -> ERROR").
 DEFAULT_MAX_RETRIES = 1
+
+#: Base delay before re-dispatching a crash-retried job; doubles per
+#: additional attempt.  A crashed worker is a *host*-transient fault, so
+#: backing off gives transient pressure (OOM killer, fork storms) room
+#: to clear instead of immediately re-hitting it.
+DEFAULT_RETRY_BACKOFF = 0.05
 
 _POLL_INTERVAL = 0.1
 
@@ -93,6 +112,9 @@ class JobOutcome:
     #: Observability snapshot (``ObsSession.snapshot``) when the job ran
     #: with ``metrics=True``; plain data, so it survives the pipe.
     metrics: Optional[dict] = None
+    #: Serialized :class:`~repro.faults.errors.FaultRecord` when the run
+    #: was faulted (degraded), else None.
+    fault: Optional[dict] = None
 
 
 @dataclass
@@ -114,10 +136,18 @@ class TriageResult:
     report: Optional[dict] = None
     extra: Dict[str, Any] = field(default_factory=dict)
     metrics: Optional[dict] = None
+    #: Serialized fault record for DEGRADED rows (and for ERROR rows
+    #: produced by timeouts/crashes, where it carries the watchdog's
+    #: last-known guest state), else None.
+    fault: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
         return self.status == STATUS_OK
+
+    @property
+    def degraded(self) -> bool:
+        return self.status == STATUS_DEGRADED
 
     def chains(self) -> List[ProvenanceChain]:
         """Provenance chains reconstructed from the serialized report."""
@@ -143,6 +173,7 @@ class TriageResult:
             "report": self.report,
             "extra": dict(self.extra),
             "metrics": self.metrics,
+            "fault": self.fault,
         }
 
     @classmethod
@@ -154,6 +185,7 @@ class TriageResult:
                 "instructions", "tainted_bytes", "report", "extra",
             )},
             metrics=d.get("metrics"),  # absent in pre-observability dicts
+            fault=d.get("fault"),      # absent in pre-fault-taxonomy dicts
         )
 
     def to_dict(self) -> dict:
@@ -231,6 +263,11 @@ def _faros_outcome(faros: Faros, exit_code: Optional[int] = None,
         tainted_bytes=faros.tracker.shadow.tainted_bytes,
         extra=extra or {},
         metrics=snap,
+        fault=(
+            faros.fault_record.to_json_dict()
+            if faros.fault_record is not None
+            else None
+        ),
     )
 
 
@@ -325,6 +362,39 @@ def _run_comparison_job(attack: str, transient: bool = False,
     )
 
 
+@job_kind("chaos")
+def _run_chaos_job(attack: str, plan: dict, fault_name: str = "",
+                   metrics: bool = False, sample_every: int = 1) -> JobOutcome:
+    """One chaos-matrix cell: record *attack* under an injected
+    :class:`~repro.faults.plan.FaultPlan`, then replay with FAROS.
+
+    The plan travels as its ``to_json_dict`` form so the descriptor
+    stays picklable plain data like every other job kind.
+    """
+    session = ObsSession.create(enabled=metrics, sample_every=sample_every)
+    fault_plan = FaultPlan.from_json_dict(plan)
+    extra = {"attack": attack, "fault_name": fault_name,
+             "rules": [r.describe() for r in fault_plan.rules]}
+    try:
+        with session.span("boot"):
+            scenario = fault_plan.apply(ATTACK_BUILDER_REGISTRY[attack]().scenario)
+        with session.span("attack"):
+            recording = record(scenario)
+        faros = Faros(policy=fault_plan.taint_policy(), metrics=session.registry)
+        with session.span("detection"):
+            replay(recording, plugins=session.plugins_for(faros),
+                   metrics=session.registry)
+    except EmulatorFault as exc:
+        # A fault outside the machine's run-loop backstop (e.g. a taint
+        # budget tripping while the guest *boots*, before run() starts).
+        # Still deterministic, still degraded -- just no partial report.
+        return JobOutcome(
+            verdict=False, extra=extra,
+            fault=FaultRecord.from_exception(exc).to_json_dict(),
+        )
+    return _faros_outcome(faros, extra=extra, session=session)
+
+
 @job_kind("pyfunc")
 def _run_pyfunc_job(target: str, kwargs: Optional[dict] = None) -> JobOutcome:
     """Run ``module:qualname`` with *kwargs* -- the extensibility escape
@@ -342,17 +412,20 @@ def _run_pyfunc_job(target: str, kwargs: Optional[dict] = None) -> JobOutcome:
 # ----------------------------------------------------------------------
 
 def _error_result(job: TriageJob, attempts: int, reason: str,
-                  duration_s: float = 0.0) -> TriageResult:
+                  duration_s: float = 0.0,
+                  fault: Optional[dict] = None) -> TriageResult:
     return TriageResult(
         job_id=job.job_id, name=job.name, kind=job.kind,
         status=STATUS_ERROR, verdict=False, error=reason,
         duration_s=duration_s, attempts=attempts, worker_pid=os.getpid(),
+        fault=fault,
     )
 
 
 def execute_job(job: TriageJob, attempt: int = 1) -> TriageResult:
     """Run one job to a :class:`TriageResult`; exceptions become ERROR
-    rows (graceful degradation), never propagate."""
+    rows and emulator faults DEGRADED rows (graceful degradation),
+    never propagate."""
     start = time.perf_counter()
     try:
         runner = JOB_KINDS[job.kind]
@@ -360,14 +433,30 @@ def execute_job(job: TriageJob, attempt: int = 1) -> TriageResult:
         return _error_result(job, attempt, f"unknown job kind {job.kind!r}")
     try:
         outcome = runner(**job.params)
+    except EmulatorFault as exc:
+        # A guest/emulation fault that escaped the machine's backstop
+        # (e.g. raised during scenario construction).  Deterministic:
+        # the row is DEGRADED, not ERROR, and is never retried.
+        fault = FaultRecord.from_exception(exc)
+        return TriageResult(
+            job_id=job.job_id, name=job.name, kind=job.kind,
+            status=STATUS_DEGRADED, verdict=False,
+            error=f"{type(exc).__name__}: {exc}",
+            duration_s=time.perf_counter() - start,
+            attempts=attempt, worker_pid=os.getpid(),
+            fault=fault.to_json_dict(),
+        )
     except Exception as exc:  # fault isolation: one bad sample != a dead run
         return _error_result(
             job, attempt, f"{type(exc).__name__}: {exc}",
             duration_s=time.perf_counter() - start,
         )
+    # A runner that completed but observed a machine fault produces a
+    # DEGRADED row: the report is real but covers a prefix of execution.
+    status = STATUS_DEGRADED if outcome.fault is not None else STATUS_OK
     return TriageResult(
         job_id=job.job_id, name=job.name, kind=job.kind,
-        status=STATUS_OK, verdict=outcome.verdict,
+        status=status, verdict=outcome.verdict,
         exit_code=outcome.exit_code,
         duration_s=time.perf_counter() - start,
         attempts=attempt, worker_pid=os.getpid(),
@@ -375,6 +464,7 @@ def execute_job(job: TriageJob, attempt: int = 1) -> TriageResult:
         tainted_bytes=outcome.tainted_bytes,
         report=outcome.report, extra=outcome.extra,
         metrics=outcome.metrics,
+        fault=outcome.fault,
     )
 
 
@@ -391,8 +481,16 @@ def _mp_context():
         return multiprocessing.get_context("spawn")
 
 
-def _worker_main(conn) -> None:
-    """Worker loop: receive (job, attempt), send back a TriageResult."""
+def _worker_main(conn, progress=None) -> None:
+    """Worker loop: receive (job, attempt), send back a TriageResult.
+
+    *progress* is the shared watchdog array the parent reads after a
+    timeout kill; installing it as the process-global progress sink
+    makes every machine this worker runs publish its last-known state
+    (instruction count, PC, active syscall) into it.
+    """
+    if progress is not None:
+        set_progress_sink(SharedProgressSink(progress))
     while True:
         try:
             msg = conn.recv()
@@ -418,7 +516,12 @@ class _Worker:
 
     def __init__(self, ctx) -> None:
         self.conn, child = ctx.Pipe()
-        self.proc = ctx.Process(target=_worker_main, args=(child,), daemon=True)
+        #: Shared last-known-state array the worker's machines publish
+        #: into; survives the worker being killed, which is the point.
+        self.progress = ctx.Array("q", PROGRESS_SLOTS, lock=False)
+        self.proc = ctx.Process(
+            target=_worker_main, args=(child, self.progress), daemon=True
+        )
         self.proc.start()
         child.close()
         self.job: Optional[TriageJob] = None
@@ -427,9 +530,16 @@ class _Worker:
 
     def submit(self, job: TriageJob, attempt: int,
                timeout: Optional[float]) -> None:
+        # Clear stale progress so a kill during *this* job can't be
+        # attributed guest state from the previous one.
+        SharedProgressSink(self.progress).reset()
         self.conn.send((job, attempt))
         self.job, self.attempt = job, attempt
         self.deadline = time.monotonic() + timeout if timeout else None
+
+    def last_progress(self) -> Optional[dict]:
+        """Last guest state the worker published, or None if none yet."""
+        return read_progress(self.progress)
 
     def finish(self) -> None:
         self.job, self.attempt, self.deadline = None, 0, None
@@ -460,31 +570,69 @@ def _wait_budget(workers: Sequence[_Worker], now: float) -> float:
     return max(0.0, min(min(deadlines), _POLL_INTERVAL))
 
 
+def _kill_fault(kind: str, detail: str,
+                progress: Optional[dict]) -> FaultRecord:
+    """A host-side fault record, enriched with the watchdog's last-known
+    guest state (published into shared memory, so it survives the kill)."""
+    progress = progress or {}
+    return FaultRecord(
+        kind=kind, detail=detail,
+        tick=progress.get("tick"), pc=progress.get("pc"),
+        syscall=progress.get("syscall"),
+    )
+
+
 def _run_pool(jobs_list: Sequence[TriageJob], jobs: int,
-              timeout: Optional[float], max_retries: int) -> Dict[int, TriageResult]:
+              timeout: Optional[float], max_retries: int,
+              retry_backoff: float) -> Dict[int, TriageResult]:
     ctx = _mp_context()
-    pending = deque((job, 1) for job in jobs_list)
+    # Entries are (job, attempt, ready_at): a retried job only becomes
+    # dispatchable once its backoff delay has elapsed.
+    pending = deque((job, 1, 0.0) for job in jobs_list)
     results: Dict[int, TriageResult] = {}
     workers = [_Worker(ctx) for _ in range(max(1, min(jobs, len(jobs_list))))]
+
+    def next_ready():
+        now = time.monotonic()
+        for idx, (job, attempt, ready_at) in enumerate(pending):
+            if ready_at <= now:
+                del pending[idx]
+                return job, attempt
+        return None
+
+    def requeue(job: TriageJob, attempt: int) -> None:
+        delay = retry_backoff * (2 ** (attempt - 2)) if retry_backoff else 0.0
+        pending.appendleft((job, attempt, time.monotonic() + delay))
+
     try:
         while pending or any(w.job is not None for w in workers):
-            # Dispatch: keep every idle worker fed.
+            # Dispatch: keep every idle worker fed with ready jobs.
             for i, w in enumerate(workers):
-                if w.job is None and pending:
-                    job, attempt = pending.popleft()
-                    try:
-                        w.submit(job, attempt, timeout)
-                    except (BrokenPipeError, OSError):
-                        # Worker died while idle: replace it, keep the job.
-                        w.kill()
-                        workers[i] = w = _Worker(ctx)
-                        w.submit(job, attempt, timeout)
+                if w.job is not None:
+                    continue
+                entry = next_ready()
+                if entry is None:
+                    break
+                job, attempt = entry
+                try:
+                    w.submit(job, attempt, timeout)
+                except (BrokenPipeError, OSError):
+                    # Worker died while idle: replace it, keep the job.
+                    w.kill()
+                    workers[i] = w = _Worker(ctx)
+                    w.submit(job, attempt, timeout)
             busy = {w.conn: (i, w) for i, w in enumerate(workers)
                     if w.job is not None}
             now = time.monotonic()
-            ready = _connection_wait(
-                list(busy), timeout=_wait_budget([w for _, w in busy.values()], now)
-            )
+            if busy:
+                ready = _connection_wait(
+                    list(busy),
+                    timeout=_wait_budget([w for _, w in busy.values()], now),
+                )
+            else:
+                # Nothing in flight: everything pending is backing off.
+                time.sleep(min(_POLL_INTERVAL, retry_backoff or _POLL_INTERVAL))
+                ready = []
             for conn in ready:
                 i, w = busy[conn]
                 try:
@@ -493,6 +641,7 @@ def _run_pool(jobs_list: Sequence[TriageJob], jobs: int,
                     # Crash mid-job (the pipe died with the process).
                     job, attempt = w.job, w.attempt
                     exitcode = w.proc.exitcode
+                    progress = w.last_progress()
                     w.kill()
                     workers[i] = _Worker(ctx)
                     if attempt > max_retries:
@@ -500,24 +649,37 @@ def _run_pool(jobs_list: Sequence[TriageJob], jobs: int,
                             job, attempt,
                             f"worker died (exit code {exitcode}) on "
                             f"attempt {attempt}/{max_retries + 1}",
+                            fault=_kill_fault(
+                                "WorkerCrash",
+                                f"worker exit code {exitcode}",
+                                progress,
+                            ).to_json_dict(),
                         )
                     else:
-                        pending.appendleft((job, attempt + 1))
+                        requeue(job, attempt + 1)
                 else:
                     results[result.job_id] = result
                     w.finish()
-            # Enforce per-sample wall-clock deadlines.
+            # Enforce per-sample wall-clock deadlines.  Timeouts are
+            # terminal (never retried): with a deterministic guest, the
+            # re-run would hit the same wall.
             now = time.monotonic()
             for i, w in enumerate(workers):
                 if w.job is None or w.deadline is None or now < w.deadline:
                     continue
                 job, attempt = w.job, w.attempt
+                progress = w.last_progress()
                 w.kill()
                 workers[i] = _Worker(ctx)
                 results[job.job_id] = _error_result(
                     job, attempt,
                     f"timeout: exceeded {timeout:g}s wall clock",
                     duration_s=timeout or 0.0,
+                    fault=_kill_fault(
+                        "Timeout",
+                        f"exceeded {timeout:g}s wall clock",
+                        progress,
+                    ).to_json_dict(),
                 )
     finally:
         for w in workers:
@@ -533,6 +695,7 @@ def run_triage(
     jobs: int = 1,
     timeout: Optional[float] = None,
     max_retries: int = DEFAULT_MAX_RETRIES,
+    retry_backoff: float = DEFAULT_RETRY_BACKOFF,
 ) -> List[TriageResult]:
     """Execute *jobs_list*, returning one result per job in submission
     order.
@@ -540,12 +703,15 @@ def run_triage(
     ``jobs=1`` runs everything in-process (no pool, no timeout
     enforcement -- there is no worker to kill).  ``jobs>1`` shards the
     batch over that many worker processes; *timeout* bounds each
-    sample's wall clock and *max_retries* bounds re-dispatch after a
-    worker crash.
+    sample's wall clock, *max_retries* bounds re-dispatch after a
+    worker crash, and *retry_backoff* is the base delay before a
+    crash-retried job is re-dispatched (doubling per extra attempt).
+    Only host-transient faults (worker crashes) are retried; timeouts
+    and deterministic guest faults (DEGRADED rows) are not.
     """
     if jobs <= 1:
         return [execute_job(job) for job in jobs_list]
-    results = _run_pool(jobs_list, jobs, timeout, max_retries)
+    results = _run_pool(jobs_list, jobs, timeout, max_retries, retry_backoff)
     return [results[job.job_id] for job in jobs_list]
 
 

@@ -277,6 +277,58 @@ def _cmd_stats(args: argparse.Namespace) -> Optional[dict]:
     }
 
 
+def _cmd_chaos(args: argparse.Namespace) -> Optional[dict]:
+    """The fault-injection matrix: every attack under every fault spec.
+
+    ``--smoke`` additionally asserts the degradation contract (no ERROR
+    rows, every faulted row carries a fault record, always-firing specs
+    fire) plus a replay-determinism probe, exiting 1 on any violation.
+    """
+    from repro.analysis.chaos import (
+        FAULT_SPECS,
+        render_chaos_matrix,
+        replay_determinism_probe,
+        run_chaos_matrix,
+        smoke_violations,
+    )
+
+    results = run_chaos_matrix(
+        attacks=args.attack or None,
+        fault_names=args.fault or None,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        metrics=getattr(args, "metrics", False),
+    )
+    print(render_chaos_matrix(results))
+    payload = {
+        "command": "chaos",
+        "jobs": args.jobs,
+        "timeout": args.timeout,
+        "specs": {name: spec.description for name, spec in FAULT_SPECS.items()},
+        "results": [r.to_json_dict() for r in results],
+    }
+    if args.smoke:
+        violations = list(smoke_violations(results))
+        probe_attack = (args.attack or ["reflective_dll_inject"])[0]
+        probe_fault = (args.fault or ["syscall-fault"])[0]
+        identical, detail = replay_determinism_probe(probe_attack, probe_fault)
+        print(f"replay determinism probe: {detail}")
+        if not identical:
+            violations.append(f"determinism probe failed: {detail}")
+        payload["violations"] = violations
+        payload["determinism_probe"] = {"ok": identical, "detail": detail}
+        if violations:
+            for v in violations:
+                print(f"VIOLATION: {v}", file=sys.stderr)
+            destination = getattr(args, "json", None)
+            if isinstance(destination, str):
+                _write_json(destination, payload)
+            raise SystemExit(1)
+        print("chaos smoke: degradation contract held across "
+              f"{len(results)} cells")
+    return payload
+
+
 def _cmd_all(args: argparse.Namespace) -> Optional[dict]:
     payloads = {}
     for name in ("detect", "table2", "table3", "table4", "table5", "compare",
@@ -299,6 +351,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], Optional[dict]]] = {
     "evasion": _cmd_evasion,
     "timeline": _cmd_timeline,
     "stats": _cmd_stats,
+    "chaos": _cmd_chaos,
     "all": _cmd_all,
 }
 
@@ -382,6 +435,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile every Nth retired instruction (default 1 = exact)",
     )
     _add_json_flag(stats)
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection matrix: attacks x deterministic fault specs",
+    )
+    chaos.add_argument(
+        "--attack", action="append", choices=_STATS_ATTACKS, metavar="NAME",
+        help="restrict to this attack (repeatable; default: all)",
+    )
+    chaos.add_argument(
+        "--fault", action="append", metavar="SPEC",
+        help="restrict to this fault spec (repeatable; default: all)",
+    )
+    chaos.add_argument(
+        "--smoke", action="store_true",
+        help="assert the degradation contract and replay determinism; "
+             "exit 1 on any violation",
+    )
+    _add_triage_flags(chaos)
     everything = sub.add_parser("all", help="regenerate every artifact")
     everything.add_argument("--full", action="store_true", help="full corpus")
     everything.add_argument("--repeat", type=int, default=3)

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.faults.errors import DeviceFault
+
 
 @dataclass(frozen=True)
 class Packet:
@@ -121,12 +123,12 @@ class ScreenDevice:
     def draw(self, offset: int, data: bytes) -> None:
         end = offset + len(data)
         if offset < 0 or end > len(self.framebuffer):
-            raise ValueError("draw outside framebuffer")
+            raise DeviceFault("screen", "draw outside framebuffer")
         self.framebuffer[offset:end] = data
 
     def capture(self, offset: int, n: int) -> bytes:
         if offset < 0 or offset + n > len(self.framebuffer):
-            raise ValueError("capture outside framebuffer")
+            raise DeviceFault("screen", "capture outside framebuffer")
         return bytes(self.framebuffer[offset : offset + n])
 
 

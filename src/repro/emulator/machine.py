@@ -20,6 +20,14 @@ from typing import List, Optional, Tuple
 
 from repro.emulator.devices import DeviceBoard, NetworkInterface, Packet
 from repro.emulator.plugins import PluginManager
+from repro.faults.errors import (
+    DeviceFault,
+    EmulatorFault,
+    FaultMarker,
+    FaultRecord,
+    WatchdogExpired,
+)
+from repro.faults.watchdog import progress_sink
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.guestos import layout
 from repro.guestos.process import ThreadState
@@ -36,6 +44,14 @@ class MachineConfig:
     mem_size: int = 1 << 20          # 1 MiB of guest RAM
     quantum: int = 100               # instructions per scheduler slice
     guest_ip: str = "169.254.57.168" # the victim VM's address in the paper
+    #: Watchdog: absolute machine-clock cap; execution past this tick
+    #: trips :class:`~repro.faults.errors.WatchdogExpired` (a *fault*,
+    #: unlike ``run``'s ``max_instructions`` which is a graceful budget
+    #: stop).  None disables.
+    instruction_budget: Optional[int] = None
+    #: Watchdog: max instructions any thread may retire between syscalls
+    #: before it is declared a runaway loop.  None disables.
+    syscall_step_budget: Optional[int] = None
 
 
 @dataclass
@@ -44,6 +60,8 @@ class RunStats:
 
     instructions: int = 0
     stop_reason: str = ""
+    #: The terminal fault when ``stop_reason == "fault"``, else None.
+    fault: Optional[FaultRecord] = None
 
 
 class Machine:
@@ -70,6 +88,15 @@ class Machine:
         #: Chronological record of delivered events: (instret, event).
         self.journal: List[Tuple[int, object]] = []
         self._started = False
+        #: The terminal fault that stopped :meth:`run`, or None.
+        self.fault: Optional[FaultRecord] = None
+        #: Every fault observed on this machine, terminal and injected.
+        self.fault_records: List[FaultRecord] = []
+        #: Most recently dispatched syscall number (watchdog diagnostics).
+        self.last_syscall: Optional[int] = None
+        self._current_thread = None
+        self._pending_fault: Optional[EmulatorFault] = None
+        self._syscall_override: Optional[Tuple[str, object, str]] = None
 
     # ------------------------------------------------------------------
     # observability
@@ -93,8 +120,19 @@ class Machine:
         self._ctr_phys_writes = m.counter("machine.phys_writes")
         self._ctr_phys_copies = m.counter("machine.phys_copies")
         self._ctr_faults = m.counter("machine.guest_faults")
+        self._ctr_machine_faults = m.counter("machine.faults")
+        self._ctr_injected_faults = m.counter("machine.injected_faults")
         m.gauge("machine.instructions", lambda: self.cpu.instret)
         m.gauge("machine.events_delivered", lambda: len(self.journal))
+        m.gauge("machine.fault_records", lambda: len(self.fault_records))
+        m.gauge(
+            "machine.watchdog.instruction_budget",
+            lambda: self.config.instruction_budget or 0,
+        )
+        m.gauge(
+            "machine.watchdog.syscall_step_budget",
+            lambda: self.config.syscall_step_budget or 0,
+        )
 
     # ------------------------------------------------------------------
     # time & events
@@ -141,7 +179,10 @@ class Machine:
         requester); provenance plugins tag moved bytes with it.
         """
         if len(dst_paddrs) != len(src_paddrs):
-            raise ValueError("phys_copy length mismatch")
+            raise DeviceFault(
+                "phys-copy",
+                f"length mismatch: {len(dst_paddrs)} dst vs {len(src_paddrs)} src bytes",
+            )
         for dst, src in zip(dst_paddrs, src_paddrs):
             self.memory.write_byte(dst, self.memory.read_byte(src))
         self._ctr_phys_copies.inc()
@@ -153,7 +194,9 @@ class Machine:
     def dma_alloc(self, n: int) -> Tuple[int, ...]:
         """Reserve *n* bytes of the NIC DMA ring (wraps around)."""
         if n > layout.DMA_SIZE:
-            raise MemoryError(f"packet of {n} bytes exceeds DMA ring")
+            raise DeviceFault(
+                "nic-dma", f"packet of {n} bytes exceeds {layout.DMA_SIZE}-byte DMA ring"
+            )
         if self._dma_next + n > layout.DMA_BASE + layout.DMA_SIZE:
             self._dma_next = layout.DMA_BASE
         start = self._dma_next
@@ -167,27 +210,103 @@ class Machine:
         self.plugins.on_packet_send(self, packet)
 
     # ------------------------------------------------------------------
+    # fault plumbing (graceful degradation + deterministic injection)
+    # ------------------------------------------------------------------
+
+    def inject_syscall_result(self, result: int, note: str) -> None:
+        """Arm an override: the syscall being entered returns *result*
+        without running (called from ``on_syscall_enter`` hooks)."""
+        self._syscall_override = ("result", result, note)
+
+    def inject_syscall_fault(self, fault: EmulatorFault, note: str) -> None:
+        """Arm an override: the syscall being entered raises *fault*."""
+        self._syscall_override = ("fault", fault, note)
+
+    def note_injected_fault(self, kind: str, detail: str, journal: bool = True) -> FaultRecord:
+        """Record a non-terminal injected fault (the run continues).
+
+        With *journal*, a :class:`~repro.faults.errors.FaultMarker` is
+        appended to the delivery journal so replay verification covers
+        the injection point; pass ``journal=False`` when the caller is
+        itself a journaled event.
+        """
+        if journal:
+            self.journal.append((self.now, FaultMarker(f"{kind}: {detail}")))
+        thread = self._current_thread
+        record = FaultRecord(
+            kind=kind,
+            detail=detail,
+            tick=self.now,
+            pc=self.cpu.pc,
+            pid=thread.process.pid if thread is not None else None,
+            process=thread.process.name if thread is not None else None,
+            syscall=self.last_syscall,
+            injected=True,
+        )
+        self.fault_records.append(record)
+        self._ctr_injected_faults.inc()
+        self.plugins.on_machine_fault(self, record)
+        return record
+
+    def _apply_syscall_override(self, override: Tuple[str, object, str]):
+        mode, payload, note = override
+        self.journal.append((self.now, FaultMarker(note)))
+        if mode == "result":
+            self.note_injected_fault("InjectedFault", note, journal=False)
+            return payload
+        raise payload  # type: ignore[misc]  # an armed EmulatorFault
+
+    # ------------------------------------------------------------------
     # the execution loop
     # ------------------------------------------------------------------
 
     def run(self, max_instructions: int = 2_000_000) -> RunStats:
-        """Run until idle or until *max_instructions* more retire."""
+        """Run until idle or until *max_instructions* more retire.
+
+        Any :class:`~repro.faults.errors.EmulatorFault` that reaches
+        this loop -- a device fault out of event delivery, a watchdog or
+        taint-budget trip, an injected fault -- stops the run gracefully:
+        the machine records a :class:`~repro.faults.errors.FaultRecord`
+        (``stats.stop_reason == "fault"``) instead of propagating a host
+        exception, so a degraded analysis can still produce a report.
+        """
         if not self._started:
             self._started = True
             self.plugins.on_machine_start(self)
         stats = RunStats()
         deadline = self.now + max_instructions
-        while self.now < deadline:
-            self._deliver_due_events()
-            thread = self.kernel.pick_thread()
-            if thread is None:
-                if not self._skip_idle_time(deadline):
-                    stats.stop_reason = "idle"
-                    break
-                continue
-            self._run_thread(thread, min(self.config.quantum, deadline - self.now))
-        else:
-            stats.stop_reason = "budget"
+        insn_budget = self.config.instruction_budget
+        progress = progress_sink()
+        try:
+            while self.now < deadline:
+                self._deliver_due_events()
+                if self._pending_fault is not None:
+                    fault, self._pending_fault = self._pending_fault, None
+                    raise fault
+                if insn_budget is not None and self.now >= insn_budget:
+                    raise WatchdogExpired(
+                        "instruction", insn_budget,
+                        f"machine clock reached {self.now}",
+                    )
+                thread = self.kernel.pick_thread()
+                if thread is None:
+                    if not self._skip_idle_time(deadline):
+                        stats.stop_reason = "idle"
+                        break
+                    continue
+                self._run_thread(thread, min(self.config.quantum, deadline - self.now))
+                if progress is not None:
+                    progress.update(self)
+        except EmulatorFault as fault:
+            record = FaultRecord.from_exception(fault, self)
+            self.fault = record
+            self.fault_records.append(record)
+            self._ctr_machine_faults.inc()
+            stats.stop_reason = "fault"
+            stats.fault = record
+            if progress is not None:
+                progress.update(self)
+            self.plugins.on_machine_fault(self, record)
         if not stats.stop_reason:
             stats.stop_reason = "budget" if self.now >= deadline else "idle"
         stats.instructions = self.now
@@ -215,6 +334,7 @@ class Machine:
 
     def _run_thread(self, thread, quantum: int) -> None:
         cpu = self.cpu
+        self._current_thread = thread
         cpu.mmu = thread.process.aspace
         cpu.restore_context(thread.context)
         cpu.halted = False
@@ -233,6 +353,7 @@ class Machine:
         step = cpu.step if instrumented else cpu.step_fast
         executed = 0
         skipped = 0  # uninstrumented retirements not yet reported
+        sys_at = 0   # `executed` offset of this slice's latest syscall
         while executed < quantum:
             try:
                 fx = step()
@@ -257,8 +378,16 @@ class Machine:
                 args = tuple(cpu.regs.read(r) for r in (Reg.R1, Reg.R2, Reg.R3, Reg.R4, Reg.R5))
                 thread.context = cpu.context()
                 self._ctr_syscalls.inc()
+                self.last_syscall = number
+                sys_at = executed
+                thread.steps_since_syscall = 0
                 plugins.on_syscall_enter(self, thread, number, args)
-                result = self.kernel.syscall(thread, number, args)
+                override = self._syscall_override
+                if override is None:
+                    result = self.kernel.syscall(thread, number, args)
+                else:
+                    self._syscall_override = None
+                    result = self._apply_syscall_override(override)
                 if result is None:
                     return  # blocked or terminated; kernel owns the thread now
                 thread.context["regs"][Reg.R0] = result & 0xFFFFFFFF
@@ -278,4 +407,20 @@ class Machine:
         if skipped:
             on_insns_skipped(self, thread, skipped)
         thread.context = cpu.context()
+        # Syscall-step watchdog, accounted per slice (never per
+        # instruction) so the uninstrumented fast path stays fast.
+        thread.steps_since_syscall += executed - sys_at
+        budget = self.config.syscall_step_budget
+        if budget is not None and thread.steps_since_syscall > budget:
+            raise WatchdogExpired(
+                "syscall-step", budget,
+                f"{thread.process.name}(tid={thread.tid}) retired "
+                f"{thread.steps_since_syscall} instructions without a syscall",
+            )
         self.kernel.requeue(thread)
+
+
+#: The result of one machine run.  ``RunStats`` predates the fault
+#: taxonomy; ``MachineResult`` is the name the degradation contract uses
+#: (a run *result* that may carry a :class:`FaultRecord`).
+MachineResult = RunStats

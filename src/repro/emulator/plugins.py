@@ -81,6 +81,12 @@ class Plugin:
     def on_guest_fault(self, machine: "Machine", thread: "Thread", fault: Exception) -> None:
         """*thread* raised a guest fault (the kernel will kill the process)."""
 
+    def on_machine_fault(self, machine: "Machine", record) -> None:
+        """A machine-level fault was recorded (terminal, or an injected
+        non-terminal one).  *record* is a
+        :class:`~repro.faults.errors.FaultRecord`; analysis plugins use
+        it to mark their reports degraded."""
+
     # -- syscalls (the syscalls2 surface) ------------------------------------------
 
     def on_syscall_enter(

@@ -144,13 +144,29 @@ def replay(
     machine = recording.scenario.build(plugins, metrics=metrics)
     machine.run(recording.scenario.max_instructions)
     if verify:
-        if machine.now != recording.final_instret:
-            raise ReplayDivergence(
-                f"replay retired {machine.now} instructions, "
-                f"recording retired {recording.final_instret}"
-            )
         recorded = [(at, repr(ev)) for at, ev in recording.journal]
         replayed = [(at, repr(ev)) for at, ev in machine.journal]
-        if recorded != replayed:
-            raise ReplayDivergence("replay delivered a different event sequence")
+        if machine.fault is not None or recording.stats.fault is not None:
+            # A faulted run stops at the fault, so the replay may retire
+            # fewer instructions than the recording did (analysis plugins
+            # can trip replay-only faults, e.g. a taint budget that only
+            # exists when FAROS is attached).  Determinism still requires
+            # the replayed execution to be a *prefix* of the recording.
+            if machine.now > recording.final_instret:
+                raise ReplayDivergence(
+                    f"faulted replay retired {machine.now} instructions, "
+                    f"past the recording's {recording.final_instret}"
+                )
+            if replayed != recorded[: len(replayed)]:
+                raise ReplayDivergence(
+                    "faulted replay delivered events the recording did not"
+                )
+        else:
+            if machine.now != recording.final_instret:
+                raise ReplayDivergence(
+                    f"replay retired {machine.now} instructions, "
+                    f"recording retired {recording.final_instret}"
+                )
+            if recorded != replayed:
+                raise ReplayDivergence("replay delivered a different event sequence")
     return machine

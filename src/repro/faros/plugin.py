@@ -99,6 +99,10 @@ class Faros(Plugin):
         #: Chronological record of analysis-relevant events, so the
         #: analyst reads one story instead of correlating four logs.
         self.timeline = []
+        #: The machine-level fault that cut this run short (a
+        #: :class:`~repro.faults.errors.FaultRecord`), or None for a
+        #: clean run.  When set, :meth:`report` marks itself degraded.
+        self.fault_record = None
         self.tracker.add_load_listener(self.detector.observe_load)
         self.detector.on_flag.append(self._record_flag)
 
@@ -220,6 +224,16 @@ class Faros(Plugin):
             machine.now, "process", f"{process.name}(pid={process.pid}) exited ({status:#x})"
         )
 
+    def on_machine_fault(self, machine, record) -> None:
+        """Record faults so the report can flag itself degraded.
+
+        Non-terminal injected faults arrive first, then (if the run
+        dies) the terminal one -- keeping the *last* record means the
+        report carries the fault that actually ended the run.
+        """
+        self.fault_record = record
+        self._note(machine.now, "fault", record.describe())
+
     # ------------------------------------------------------------------
     # results
     # ------------------------------------------------------------------
@@ -237,6 +251,11 @@ class Faros(Plugin):
             tag_map_sizes=self.tags.sizes(),
             instructions_analyzed=self.tracker.stats.instructions,
             file_lineage={k: list(v) for k, v in self.file_lineage.items()},
+            fault=(
+                self.fault_record.to_json_dict()
+                if self.fault_record is not None
+                else None
+            ),
         )
 
     def render_timeline(self) -> str:

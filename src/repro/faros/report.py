@@ -125,10 +125,21 @@ class FarosReport:
     #: run was not instrumented.  Injected by the analysis runners so the
     #: same numbers appear in ``repro stats`` and triage JSON exports.
     metrics: Optional[dict] = None
+    #: The fault that perturbed or ended the producing run, as a
+    #: :meth:`~repro.faults.errors.FaultRecord.to_json_dict` dict, or
+    #: None for a clean run.  A report with a fault is *degraded*: its
+    #: numbers describe the prefix of execution that completed.
+    fault: Optional[dict] = None
 
     @property
     def attack_detected(self) -> bool:
         return bool(self.flagged)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the producing run was cut short or perturbed by a
+        fault -- the report is still valid, but partial."""
+        return self.fault is not None
 
     def origin_of_file(self, path: str, before_version: int) -> Prov:
         """Provenance of the most recent write to *path* whose version
@@ -233,6 +244,8 @@ class FarosReport:
             "flags": self._flag_dicts(),
             "chains": [chain.to_json_dict() for chain in self.chains()],
             "metrics": self.metrics,
+            "degraded": self.degraded,
+            "fault": self.fault,
         }
 
     def to_dict(self) -> dict:
@@ -250,11 +263,19 @@ class FarosReport:
             flags=self._flag_dicts(),
             chains=self.chains(),
             metrics=self.metrics,
+            fault=self.fault,
         )
 
     def render(self) -> str:
         """The human-readable report (Table II format)."""
         lines = ["=== FAROS analysis report ==="]
+        if self.degraded:
+            fault = self.fault or {}
+            lines.append(
+                "DEGRADED RUN: "
+                f"{fault.get('kind', 'fault')}: {fault.get('detail', '')} "
+                "(results cover the completed prefix of execution)"
+            )
         if not self.flagged:
             lines.append("no in-memory injection attack flagged")
         else:
@@ -306,6 +327,12 @@ class ReportSummary:
     chains: List[ProvenanceChain]
     #: Observability snapshot of the producing run (or None).
     metrics: Optional[dict] = None
+    #: Serialized fault record of the producing run (or None).
+    fault: Optional[dict] = None
+
+    @property
+    def degraded(self) -> bool:
+        return self.fault is not None
 
     def to_json_dict(self) -> dict:
         """Same shape as :meth:`FarosReport.to_json_dict`."""
@@ -317,6 +344,8 @@ class ReportSummary:
             "flags": [dict(flag) for flag in self.flags],
             "chains": [chain.to_json_dict() for chain in self.chains],
             "metrics": self.metrics,
+            "degraded": self.degraded,
+            "fault": self.fault,
         }
 
     @classmethod
@@ -334,6 +363,7 @@ class ReportSummary:
             flags=[dict(flag) for flag in d["flags"]],
             chains=[ProvenanceChain.from_json_dict(c) for c in d["chains"]],
             metrics=d.get("metrics"),
+            fault=d.get("fault"),
         )
 
     def to_dict(self) -> dict:

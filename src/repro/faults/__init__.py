@@ -1,0 +1,56 @@
+"""Fault taxonomy, deterministic fault injection, and watchdogs.
+
+See :mod:`repro.faults.errors` for the exception hierarchy and
+:class:`FaultRecord`, :mod:`repro.faults.plan` for the
+:class:`FaultPlan` injection engine, and :mod:`repro.faults.watchdog`
+for the timeout-diagnostics progress channel.
+
+The taxonomy is imported eagerly (every layer needs it); the plan
+machinery is exposed lazily because it sits *above* the emulator in the
+import graph -- ``isa``/``emulator`` modules import
+``repro.faults.errors``, which must not drag ``repro.faults.plan`` (and
+therefore the emulator itself) back in.
+"""
+
+from repro.faults.errors import (
+    CLASS_DEGRADED,
+    CLASS_RETRYABLE,
+    DeviceFault,
+    EmulatorFault,
+    FAULT_CLASSIFICATION,
+    FaultMarker,
+    FaultRecord,
+    GuestResourceExhausted,
+    InjectedFault,
+    TaintBudgetExceeded,
+    WatchdogExpired,
+    classify_fault_kind,
+)
+
+__all__ = [
+    "CLASS_DEGRADED",
+    "CLASS_RETRYABLE",
+    "DeviceFault",
+    "EmulatorFault",
+    "FAULT_CLASSIFICATION",
+    "FaultMarker",
+    "FaultRecord",
+    "GuestResourceExhausted",
+    "InjectedFault",
+    "TaintBudgetExceeded",
+    "WatchdogExpired",
+    "classify_fault_kind",
+    "FaultPlan",
+    "FaultRule",
+    "SyscallFaultInjector",
+]
+
+_PLAN_EXPORTS = {"FaultPlan", "FaultRule", "SyscallFaultInjector", "build_fault"}
+
+
+def __getattr__(name: str):
+    if name in _PLAN_EXPORTS:
+        from repro.faults import plan
+
+        return getattr(plan, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

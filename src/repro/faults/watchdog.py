@@ -1,0 +1,80 @@
+"""Watchdog progress publishing (the timeout-diagnostics channel).
+
+When the triage pool kills a worker that overran its wall-clock budget,
+the parent used to learn nothing about *where* the guest was stuck.
+This module is the one-way channel that fixes it: each worker installs a
+process-global :class:`SharedProgressSink` over a lock-free shared
+array, the machine's run loop publishes its position into it once per
+scheduler slice, and the parent reads the last-published state after the
+kill to populate the timeout :class:`~repro.faults.errors.FaultRecord`.
+
+The sink is diagnostics-only: values are advisory (torn reads across the
+kill are acceptable), which is why a raw array with no lock is correct
+here -- the hot path must not pay for synchronization it does not need.
+With no sink installed (serial runs, benchmarks), the machine's cost is
+one ``is None`` test per slice.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "SharedProgressSink",
+    "set_progress_sink",
+    "progress_sink",
+    "read_progress",
+]
+
+#: Array slots: [instret, pc, last syscall number (-1 = none), fresh flag].
+PROGRESS_SLOTS = 4
+
+_SINK: Optional["SharedProgressSink"] = None
+
+
+def set_progress_sink(sink: Optional["SharedProgressSink"]) -> None:
+    """Install the process-global sink (workers call this once at start;
+    ``None`` uninstalls)."""
+    global _SINK
+    _SINK = sink
+
+
+def progress_sink() -> Optional["SharedProgressSink"]:
+    """The installed sink, or None (the common serial/bench case)."""
+    return _SINK
+
+
+class SharedProgressSink:
+    """Publishes machine progress into a shared ``[tick, pc, syscall,
+    fresh]`` array the parent process can read after a kill."""
+
+    __slots__ = ("array",)
+
+    def __init__(self, array) -> None:
+        self.array = array
+
+    def update(self, machine) -> None:
+        arr = self.array
+        arr[0] = machine.now
+        arr[1] = machine.cpu.pc
+        last = machine.last_syscall
+        arr[2] = -1 if last is None else last
+        arr[3] = 1
+
+    def reset(self) -> None:
+        arr = self.array
+        arr[0] = arr[1] = arr[2] = -1
+        arr[3] = 0
+
+
+def read_progress(array) -> Optional[dict]:
+    """Decode a progress array into FaultRecord-shaped fields, or None
+    if the worker never published (died before its first slice)."""
+    if not array[3]:
+        return None
+    syscall = array[2]
+    return {
+        "tick": int(array[0]),
+        "pc": int(array[1]),
+        "syscall": None if syscall < 0 else int(syscall),
+    }

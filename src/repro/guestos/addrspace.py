@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.faults.errors import GuestResourceExhausted
 from repro.isa.cpu import AccessKind
 from repro.isa.errors import PageFault
 from repro.isa.memory import PAGE_SHIFT, PAGE_SIZE, FrameAllocator
@@ -201,7 +202,9 @@ class AddressSpace:
             if all((vpn + i) not in self._pages for i in range(n_pages)):
                 return vpn << PAGE_SHIFT
             vpn += 1
-        raise MemoryError(f"no free region of {size} bytes in [{lo:#x}, {hi:#x})")
+        raise GuestResourceExhausted(
+            "address space", f"no free region of {size} bytes in [{lo:#x}, {hi:#x})"
+        )
 
     # -- internals ----------------------------------------------------------------------
 

@@ -62,6 +62,9 @@ class Thread:
     context: dict
     state: ThreadState = ThreadState.READY
     wait: Optional[Wait] = None
+    #: Instructions retired since this thread's last syscall, accounted
+    #: per scheduler slice by the machine's syscall-step watchdog.
+    steps_since_syscall: int = 0
 
     @property
     def runnable(self) -> bool:

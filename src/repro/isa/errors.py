@@ -12,7 +12,13 @@ Two families of failure exist at this layer:
   fetched from guest memory.  The emulator catches these and turns them into
   guest-visible events (process termination by the kernel), the same way a
   hardware fault traps to the OS.
+
+:class:`GuestFault` additionally participates in the repo-wide
+:class:`~repro.faults.errors.EmulatorFault` taxonomy, so the machine's
+run loop has a single backstop for every guest-attributable condition.
 """
+
+from repro.faults.errors import EmulatorFault
 
 
 class IsaError(Exception):
@@ -28,12 +34,14 @@ class PhysicalMemoryError(IsaError):
         self.size = size
 
 
-class GuestFault(IsaError):
+class GuestFault(IsaError, EmulatorFault):
     """Base class for faults attributable to guest execution.
 
     The kernel treats an uncaught guest fault as fatal for the faulting
     process (an access violation / illegal instruction crash), never for
-    the whole machine.
+    the whole machine.  As an :class:`~repro.faults.errors.EmulatorFault`
+    it is also caught by the machine's graceful-degradation backstop if
+    it ever escapes the per-process handling.
     """
 
 

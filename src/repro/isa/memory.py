@@ -16,6 +16,7 @@ from __future__ import annotations
 import struct
 from typing import List
 
+from repro.faults.errors import GuestResourceExhausted
 from repro.isa.errors import PhysicalMemoryError
 
 PAGE_SIZE = 256
@@ -120,7 +121,7 @@ class FrameAllocator:
     def alloc(self) -> int:
         """Allocate one frame; return its frame number (paddr >> PAGE_SHIFT)."""
         if not self._free:
-            raise MemoryError("out of physical frames")
+            raise GuestResourceExhausted("physical frames", "no frames free")
         frame = self._free.pop()
         self._memory.fill(frame << PAGE_SHIFT, PAGE_SIZE, 0)
         return frame
@@ -128,7 +129,9 @@ class FrameAllocator:
     def alloc_many(self, n: int) -> List[int]:
         """Allocate *n* frames (not necessarily contiguous)."""
         if n > len(self._free):
-            raise MemoryError(f"requested {n} frames, only {len(self._free)} free")
+            raise GuestResourceExhausted(
+                "physical frames", f"requested {n}, only {len(self._free)} free"
+            )
         return [self.alloc() for _ in range(n)]
 
     def free(self, frame: int) -> None:

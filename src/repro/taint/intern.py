@@ -145,6 +145,15 @@ class ProvInterner:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    @property
+    def canonical_count(self) -> int:
+        """Live canonical provenance lists (cheap: one ``len``).
+
+        The taint-budget watchdog polls this on every propagation batch,
+        so it must not build the full :meth:`cache_sizes` dict.
+        """
+        return len(self._canon)
+
     def cache_sizes(self) -> Dict[str, int]:
         """Current interner/cache populations (tag-memory pressure)."""
         return {

@@ -46,6 +46,23 @@ class TaintPolicy:
     #: classic origin-only DIFT.
     process_tags_on_access: bool = True
 
+    #: Watchdog: maximum live tainted bytes in shadow memory before the
+    #: tracker trips :class:`~repro.faults.errors.TaintBudgetExceeded`
+    #: (the paper's overtainting explosion, caught instead of suffered).
+    #: None disables.
+    max_tainted_bytes: "int | None" = None
+
+    #: Watchdog: maximum canonical provenance lists the interner may
+    #: hold.  A run that manufactures unbounded distinct chronologies is
+    #: state-space exhaustion; trip deterministically rather than
+    #: degrade the host.  None disables.
+    max_prov_nodes: "int | None" = None
+
+    @property
+    def has_taint_budget(self) -> bool:
+        """True when any taint-budget watchdog is armed."""
+        return self.max_tainted_bytes is not None or self.max_prov_nodes is not None
+
 
 #: FAROS' production configuration: no indirect flows, rich provenance.
 FAROS_POLICY = TaintPolicy()

@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.emulator.plugins import Plugin
+from repro.faults.errors import TaintBudgetExceeded
 from repro.isa.cpu import InstructionEffects, MemoryAccess
 from repro.isa.instructions import IMM_ALU_OPS, Op, REG_ALU_OPS
 from repro.isa.registers import Reg
@@ -157,8 +158,16 @@ class TaintTracker(Plugin):
         super().__init__()
         self.policy = policy or TaintPolicy()
         self.tags = tags or TagStore()
+        if interner is None and self.policy.max_prov_nodes is not None:
+            # A node budget must count only *this run's* provenance: the
+            # process-wide GLOBAL_INTERNER accumulates across runs, which
+            # would make the trip point depend on what ran before --
+            # breaking the determinism contract faulted replays rely on.
+            interner = ProvInterner()
         self.interner = interner if interner is not None else GLOBAL_INTERNER
         self.shadow = ShadowMemory(self.interner)
+        self._max_tainted_bytes = self.policy.max_tainted_bytes
+        self._max_prov_nodes = self.policy.max_prov_nodes
         self.banks = ShadowBank()
         self.stats = TrackerStats()
         self._load_listeners: List[LoadListener] = []
@@ -183,6 +192,26 @@ class TaintTracker(Plugin):
         append = self.interner.append
         for paddr in paddrs:
             shadow.set(paddr, append(shadow.get(paddr), tag))
+        if self._max_tainted_bytes is not None or self._max_prov_nodes is not None:
+            self._check_budget()
+
+    def _check_budget(self) -> None:
+        """Trip :class:`TaintBudgetExceeded` if a taint budget is blown.
+
+        Checked per *batch* (taint seeding, kernel copy, slow-path
+        instruction), never on the fast path -- the budgets guard
+        state-space explosions, which only the slow path can cause.
+        """
+        limit = self._max_tainted_bytes
+        if limit is not None:
+            used = self.shadow.tainted_bytes
+            if used > limit:
+                raise TaintBudgetExceeded("tainted bytes", used, limit)
+        limit = self._max_prov_nodes
+        if limit is not None:
+            used = self.interner.canonical_count
+            if used > limit:
+                raise TaintBudgetExceeded("provenance nodes", used, limit)
 
     def prov_at(self, paddr: int) -> Prov:
         return self.shadow.get(paddr)
@@ -218,6 +247,8 @@ class TaintTracker(Plugin):
                 self.stats.process_tag_appends += 1
             shadow.set(dst, prov)
         self.stats.kernel_copies += 1
+        if self._max_tainted_bytes is not None or self._max_prov_nodes is not None:
+            self._check_budget()
 
     def on_frames_freed(self, machine, frames) -> None:
         from repro.isa.memory import PAGE_SHIFT, PAGE_SIZE
@@ -349,6 +380,11 @@ class TaintTracker(Plugin):
             and bank.flags
         ):
             self._pending_control[tid] = [bank.flags, policy.control_dep_window]
+
+        # 6. Taint-budget watchdog (slow path only; the fast exits above
+        #    cannot grow shadow state or mint provenance lists).
+        if self._max_tainted_bytes is not None or self._max_prov_nodes is not None:
+            self._check_budget()
 
     # ------------------------------------------------------------------
     # propagation rules

@@ -35,6 +35,26 @@ def busy_loop_job() -> bool:
         pass
 
 
+def spinning_machine_job() -> bool:
+    """A wedged *guest*: the emulated machine spins forever, publishing
+    watchdog progress each scheduler slice, until the pool's wall-clock
+    timeout kills the worker.  The parent's timeout FaultRecord must
+    then carry the machine's last-known position."""
+    from repro.emulator.machine import Machine, MachineConfig
+    from repro.guestos import layout
+    from repro.guestos.asmlib import program
+    from repro.isa.assembler import assemble
+
+    machine = Machine(MachineConfig())
+    spin = "start:\n    movi r7, 0\nloop:\n    addi r7, r7, 1\n    jmp loop"
+    machine.kernel.register_image(
+        "spin.exe", assemble(program(spin), base=layout.IMAGE_BASE)
+    )
+    machine.kernel.spawn("spin.exe")
+    while True:  # pragma: no cover - the worker is SIGKILLed mid-run
+        machine.run(max_instructions=10_000_000)
+
+
 def selfkill_job() -> bool:
     """A worker death: the process dies without reporting a result."""
     os.kill(os.getpid(), signal.SIGKILL)

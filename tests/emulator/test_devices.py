@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.faults.errors import DeviceFault
+
 from repro.emulator.devices import (
     AudioSource,
     DeviceBoard,
@@ -71,12 +73,14 @@ class TestScreen:
 
     def test_draw_out_of_bounds_rejected(self):
         screen = ScreenDevice(size=16)
-        with pytest.raises(ValueError):
+        with pytest.raises(DeviceFault) as exc:
             screen.draw(12, b"too long")
+        # Device errors are DeviceFault, not host ValueError/MemoryError.
+        assert not isinstance(exc.value, (ValueError, MemoryError))
 
     def test_capture_out_of_bounds_rejected(self):
         screen = ScreenDevice(size=16)
-        with pytest.raises(ValueError):
+        with pytest.raises(DeviceFault):
             screen.capture(10, 10)
 
 

@@ -202,7 +202,11 @@ class TestDmaRing:
         assert wrapped[0] == layout.DMA_BASE
 
     def test_oversized_packet_rejected(self, machine):
+        from repro.faults.errors import DeviceFault
         from repro.guestos import layout
 
-        with pytest.raises(MemoryError):
+        with pytest.raises(DeviceFault) as exc:
             machine.dma_alloc(layout.DMA_SIZE + 1)
+        # The old conflation with host MemoryError is gone: a DMA-ring
+        # overflow is a device fault, not a host allocation failure.
+        assert not isinstance(exc.value, (MemoryError, ValueError))

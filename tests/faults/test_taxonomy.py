@@ -1,0 +1,165 @@
+"""The structured fault taxonomy: hierarchy, records, classification."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.faults.errors import (
+    CLASS_DEGRADED,
+    CLASS_RETRYABLE,
+    DeviceFault,
+    EmulatorFault,
+    FAULT_CLASSIFICATION,
+    FaultMarker,
+    FaultRecord,
+    GuestResourceExhausted,
+    InjectedFault,
+    TaintBudgetExceeded,
+    WatchdogExpired,
+    classify_fault_kind,
+)
+from repro.faults.plan import build_fault
+
+
+class TestHierarchy:
+    def test_every_kind_derives_from_emulator_fault(self):
+        for exc in (
+            DeviceFault("nic-dma", "overflow"),
+            GuestResourceExhausted("frames", "none left"),
+            WatchdogExpired("instruction", 100),
+            TaintBudgetExceeded("tainted bytes", 9, 8),
+            InjectedFault("chaos"),
+        ):
+            assert isinstance(exc, EmulatorFault)
+
+    def test_device_fault_is_not_a_host_error(self):
+        # The pre-taxonomy code raised MemoryError for DMA overflows and
+        # ValueError for phys-copy length mismatches; that conflation
+        # with host bugs is exactly what the taxonomy removes.
+        exc = DeviceFault("nic-dma", "packet too large")
+        assert not isinstance(exc, (MemoryError, ValueError))
+        assert str(exc) == "nic-dma: packet too large"
+
+    def test_resource_exhaustion_is_still_a_memory_error(self):
+        # Dual parentage: kernel `except MemoryError -> ERR` sites keep
+        # working, while escapes land in the machine's fault backstop.
+        exc = GuestResourceExhausted("physical frames", "pool empty")
+        assert isinstance(exc, MemoryError)
+        assert isinstance(exc, EmulatorFault)
+        assert str(exc) == "physical frames exhausted: pool empty"
+
+    def test_watchdog_message_includes_budget_and_detail(self):
+        assert str(WatchdogExpired("instruction", 500)) == (
+            "instruction watchdog expired (budget 500)"
+        )
+        assert str(WatchdogExpired("syscall-steps", 9, "runaway")).endswith(
+            ": runaway"
+        )
+
+    def test_taint_budget_message_names_usage_and_cap(self):
+        exc = TaintBudgetExceeded("tainted bytes", 600, 512)
+        assert str(exc) == "taint budget exceeded: 600 tainted bytes > cap 512"
+
+    def test_injected_flag_defaults(self):
+        assert DeviceFault("d", "x").injected is False
+        assert InjectedFault("x").injected is True
+
+    def test_build_fault_marks_every_kind_injected(self):
+        for kind in (
+            "DeviceFault",
+            "GuestResourceExhausted",
+            "WatchdogExpired",
+            "TaintBudgetExceeded",
+            "InjectedFault",
+            "SomethingUnknown",
+        ):
+            fault = build_fault(kind, "planted")
+            assert isinstance(fault, EmulatorFault)
+            assert fault.injected is True
+
+    def test_fault_marker_is_inert_with_stable_repr(self):
+        marker = FaultMarker("syscall 3 overridden")
+        assert repr(marker) == "FaultMarker('syscall 3 overridden')"
+        marker.deliver(machine=None)  # must not touch the machine
+
+
+class TestFaultRecord:
+    def test_json_round_trip(self):
+        record = FaultRecord(
+            kind="DeviceFault",
+            detail="nic-dma: overflow",
+            tick=1234,
+            pc=0x40010,
+            pid=101,
+            process="dropper.exe",
+            syscall=7,
+            injected=True,
+        )
+        d = record.to_json_dict()
+        assert d["classification"] == CLASS_DEGRADED  # derived, not stored
+        assert FaultRecord.from_json_dict(d) == record
+
+    def test_describe_names_location_and_injection(self):
+        record = FaultRecord(
+            kind="WatchdogExpired", detail="boom", tick=5, pc=0x10,
+            process="a.exe", syscall=3, injected=True,
+        )
+        text = record.describe()
+        assert text.startswith("injected WatchdogExpired: boom")
+        for fragment in ("tick=5", "pc=0x10", "process=a.exe", "syscall=3"):
+            assert fragment in text
+        # A bare record has no location suffix at all.
+        assert FaultRecord(kind="Timeout", detail="x").describe() == "Timeout: x"
+
+    def test_from_exception_without_machine(self):
+        record = FaultRecord.from_exception(InjectedFault("chaos"))
+        assert record.kind == "InjectedFault"
+        assert record.detail == "chaos"
+        assert record.injected is True
+        assert record.tick is None and record.pc is None
+
+    def test_from_exception_reads_machine_state(self, machine):
+        record = FaultRecord.from_exception(DeviceFault("d", "x"), machine)
+        assert record.tick == machine.now
+        assert record.pc == machine.cpu.pc
+        assert record.pid is None  # no thread was running
+        assert record.injected is False
+
+    def test_retryable_property_matches_classification(self):
+        assert FaultRecord(kind="Timeout", detail="x").retryable is True
+        assert FaultRecord(kind="DeviceFault", detail="x").retryable is False
+
+
+class TestClassification:
+    def test_known_taxonomy_split(self):
+        assert classify_fault_kind("WatchdogExpired") == CLASS_DEGRADED
+        assert classify_fault_kind("TaintBudgetExceeded") == CLASS_DEGRADED
+        assert classify_fault_kind("WorkerCrash") == CLASS_RETRYABLE
+        assert classify_fault_kind("Timeout") == CLASS_RETRYABLE
+
+    def test_every_emulator_fault_kind_is_degraded(self):
+        # Anything a sample can deterministically provoke must never be
+        # retried: a retry would reproduce it and waste a worker slot.
+        for cls in (
+            EmulatorFault, DeviceFault, GuestResourceExhausted,
+            WatchdogExpired, TaintBudgetExceeded, InjectedFault,
+        ):
+            assert classify_fault_kind(cls.__name__) == CLASS_DEGRADED
+
+    @given(st.sampled_from(sorted(FAULT_CLASSIFICATION)))
+    def test_known_kinds_land_in_exactly_one_class(self, kind):
+        classification = classify_fault_kind(kind)
+        assert classification in (CLASS_DEGRADED, CLASS_RETRYABLE)
+        assert (classification == CLASS_DEGRADED) != (
+            classification == CLASS_RETRYABLE
+        )
+        assert FaultRecord(kind=kind, detail="").classification == classification
+
+    @given(st.text(max_size=40))
+    def test_classification_is_total_over_arbitrary_kinds(self, kind):
+        # Unknown kinds are host-transient by assumption: only the
+        # taxonomy is known to be deterministic, so everything else is
+        # worth one more attempt.
+        classification = classify_fault_kind(kind)
+        assert classification in (CLASS_DEGRADED, CLASS_RETRYABLE)
+        if kind not in FAULT_CLASSIFICATION:
+            assert classification == CLASS_RETRYABLE
