@@ -35,6 +35,7 @@ from repro.isa.cpu import CPU
 from repro.isa.errors import GuestFault
 from repro.isa.memory import FrameAllocator, PhysicalMemory
 from repro.isa.registers import Reg
+from repro.isa.translate import BlockTranslator
 
 
 @dataclass
@@ -52,6 +53,13 @@ class MachineConfig:
     #: Watchdog: max instructions any thread may retire between syscalls
     #: before it is declared a runaway loop.  None disables.
     syscall_step_budget: Optional[int] = None
+    #: Execute the uninstrumented path through the basic-block
+    #: translation cache (:mod:`repro.isa.translate`).  Semantically
+    #: identical to instruction-at-a-time execution -- same ``instret``,
+    #: journals, faults, and reports -- just faster.  Off means every
+    #: uninstrumented slice runs through ``cpu.step_fast`` (the seed
+    #: path, kept for differential testing and benchmarks).
+    translate: bool = True
 
 
 @dataclass
@@ -72,6 +80,10 @@ class Machine:
         self.memory = PhysicalMemory(self.config.mem_size)
         self.allocator = FrameAllocator(self.memory, reserved_low=layout.KERNEL_RESERVED)
         self.cpu = CPU(self.memory)
+        #: The basic-block translation cache (None when disabled).
+        self.translator: Optional[BlockTranslator] = (
+            BlockTranslator(self.memory) if self.config.translate else None
+        )
         self.plugins = PluginManager()
         self.devices = DeviceBoard(nic=NetworkInterface(self.config.guest_ip))
         self._dma_next = layout.DMA_BASE
@@ -133,6 +145,14 @@ class Machine:
             "machine.watchdog.syscall_step_budget",
             lambda: self.config.syscall_step_budget or 0,
         )
+        translator = self.translator
+        if translator is not None:
+            m.gauge("translate.translations", lambda: translator.translations)
+            m.gauge("translate.executions", lambda: translator.executions)
+            m.gauge("translate.invalidations", lambda: translator.invalidations)
+            m.gauge("translate.chain_hits", lambda: translator.chain_hits)
+            m.gauge("translate.single_steps", lambda: translator.single_steps)
+            m.gauge("translate.cached_blocks", translator.cached_blocks)
 
     # ------------------------------------------------------------------
     # time & events
@@ -350,60 +370,95 @@ class Machine:
         on_insn_exec = plugins.on_insn_exec
         on_insns_skipped = plugins.on_insns_skipped
         instrumented = plugins.needs_insn_effects()
+        # The uninstrumented path executes whole translated blocks per
+        # dispatch (the QEMU TB-cache analog); the budget passed to the
+        # translator is the remaining quantum, so slice boundaries --
+        # and with them event delivery, watchdog checks, and FaultPlan
+        # instret triggers -- land on the exact same retirement counts
+        # as instruction-at-a-time execution.
+        translator = None if instrumented else self.translator
         step = cpu.step if instrumented else cpu.step_fast
         executed = 0
         skipped = 0  # uninstrumented retirements not yet reported
         sys_at = 0   # `executed` offset of this slice's latest syscall
         while executed < quantum:
-            try:
-                fx = step()
-            except GuestFault as fault:
-                if skipped:
-                    on_insns_skipped(self, thread, skipped)
-                self._ctr_faults.inc()
-                plugins.on_guest_fault(self, thread, fault)
-                self.kernel.crash_process(thread.process, fault)
-                return
-            executed += 1
-            if instrumented:
-                on_insn_exec(self, thread, fx)
+            if translator is not None:
+                before = cpu.instret
+                try:
+                    reason = translator.run(cpu, quantum - executed)
+                except GuestFault as fault:
+                    delta = cpu.instret - before
+                    executed += delta
+                    skipped += delta
+                    if skipped:
+                        on_insns_skipped(self, thread, skipped)
+                    self._ctr_faults.inc()
+                    plugins.on_guest_fault(self, thread, fault)
+                    self.kernel.crash_process(thread.process, fault)
+                    return
+                delta = cpu.instret - before
+                executed += delta
+                skipped += delta
+                if reason == "halt":
+                    if skipped:
+                        on_insns_skipped(self, thread, skipped)
+                    thread.context = cpu.context()
+                    self.kernel.terminate_process(thread.process, cpu.regs.read(Reg.R0))
+                    return
+                if reason != "syscall":
+                    continue
             else:
-                skipped += 1
-
-            if fx.syscall:
-                if skipped:
-                    on_insns_skipped(self, thread, skipped)
-                    skipped = 0
-                number = cpu.regs.read(Reg.R0)
-                args = tuple(cpu.regs.read(r) for r in (Reg.R1, Reg.R2, Reg.R3, Reg.R4, Reg.R5))
-                thread.context = cpu.context()
-                self._ctr_syscalls.inc()
-                self.last_syscall = number
-                sys_at = executed
-                thread.steps_since_syscall = 0
-                plugins.on_syscall_enter(self, thread, number, args)
-                override = self._syscall_override
-                if override is None:
-                    result = self.kernel.syscall(thread, number, args)
+                try:
+                    fx = step()
+                except GuestFault as fault:
+                    if skipped:
+                        on_insns_skipped(self, thread, skipped)
+                    self._ctr_faults.inc()
+                    plugins.on_guest_fault(self, thread, fault)
+                    self.kernel.crash_process(thread.process, fault)
+                    return
+                executed += 1
+                if instrumented:
+                    on_insn_exec(self, thread, fx)
                 else:
-                    self._syscall_override = None
-                    result = self._apply_syscall_override(override)
-                if result is None:
-                    return  # blocked or terminated; kernel owns the thread now
-                thread.context["regs"][Reg.R0] = result & 0xFFFFFFFF
-                plugins.on_syscall_return(self, thread, number, result)
-                if thread.state is not ThreadState.RUNNING:
-                    return  # suspended/killed by its own syscall
-                cpu.restore_context(thread.context)
-                instrumented = plugins.needs_insn_effects()
-                step = cpu.step if instrumented else cpu.step_fast
-                continue
-            if fx.halted:
-                if skipped:
-                    on_insns_skipped(self, thread, skipped)
-                thread.context = cpu.context()
-                self.kernel.terminate_process(thread.process, cpu.regs.read(Reg.R0))
-                return
+                    skipped += 1
+                if fx.halted:
+                    if skipped:
+                        on_insns_skipped(self, thread, skipped)
+                    thread.context = cpu.context()
+                    self.kernel.terminate_process(thread.process, cpu.regs.read(Reg.R0))
+                    return
+                if not fx.syscall:
+                    continue
+
+            # -- syscall trap (shared by both execution paths) -----------------
+            if skipped:
+                on_insns_skipped(self, thread, skipped)
+                skipped = 0
+            number = cpu.regs.read(Reg.R0)
+            args = tuple(cpu.regs.read(r) for r in (Reg.R1, Reg.R2, Reg.R3, Reg.R4, Reg.R5))
+            thread.context = cpu.context()
+            self._ctr_syscalls.inc()
+            self.last_syscall = number
+            sys_at = executed
+            thread.steps_since_syscall = 0
+            plugins.on_syscall_enter(self, thread, number, args)
+            override = self._syscall_override
+            if override is None:
+                result = self.kernel.syscall(thread, number, args)
+            else:
+                self._syscall_override = None
+                result = self._apply_syscall_override(override)
+            if result is None:
+                return  # blocked or terminated; kernel owns the thread now
+            thread.context["regs"][Reg.R0] = result & 0xFFFFFFFF
+            plugins.on_syscall_return(self, thread, number, result)
+            if thread.state is not ThreadState.RUNNING:
+                return  # suspended/killed by its own syscall
+            cpu.restore_context(thread.context)
+            instrumented = plugins.needs_insn_effects()
+            translator = None if instrumented else self.translator
+            step = cpu.step if instrumented else cpu.step_fast
         if skipped:
             on_insns_skipped(self, thread, skipped)
         thread.context = cpu.context()

@@ -15,6 +15,14 @@ Because every nondeterministic input enters through the machine's event
 queue at an instruction-count timestamp, replays are bit-identical --
 the property whole-system taint analysis needs to observe "the same"
 execution it recorded.
+
+The recording run usually executes through the basic-block translation
+cache (:mod:`repro.isa.translate`) while the analysis replay steps
+instruction-at-a-time with plugins attached.  That asymmetry is safe by
+construction: block execution retires the same instruction stream at
+the same clock ticks as interpretation, so journals, divergence checks,
+and the faulted-replay *prefix rule* below are unaffected by which path
+either run happened to take.
 """
 
 from __future__ import annotations

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import List, Optional, Protocol, Tuple
 
 from repro.isa.errors import DecodeError, InvalidInstruction
@@ -30,8 +31,38 @@ from repro.isa.instructions import (
     decode,
     signed32,
 )
-from repro.isa.memory import PhysicalMemory
+from repro.isa.memory import PAGE_SHIFT, PAGE_SIZE, PhysicalMemory
 from repro.isa.registers import MASK32, Reg, RegisterFile
+
+# Page geometry, derived from the one authoritative definition in
+# repro.isa.memory so the fast-path masks can never drift from the MMU's.
+_PAGE_MASK = PAGE_SIZE - 1
+_FETCH_FAST_LIMIT = PAGE_SIZE - INSTRUCTION_SIZE
+
+#: Capacity of the process-wide decoded-instruction cache.  Sized so a
+#: whole triage corpus of distinct guest images fits with room to spare
+#: (one entry per distinct 8-byte encoding, not per address).
+DECODE_CACHE_SIZE = 1 << 16
+
+
+@lru_cache(maxsize=DECODE_CACHE_SIZE)
+def cached_decode(raw: bytes) -> Instruction:
+    """Decode *raw* through the shared, bounded, process-wide LRU.
+
+    Keyed by the raw 8 bytes -- content, not address -- so
+    self-modifying/injected code can never be served a stale decode.
+    Module-level on purpose: every CPU in the process (and, via fork,
+    every batch-triage worker) shares one warm cache instead of
+    re-decoding identical guest code per machine.  Decode *failures*
+    are not cached; the error path re-raises per fetch, which is fine
+    because a faulting fetch kills the guest process anyway.
+    """
+    return decode(raw)
+
+
+def decode_cache_info():
+    """Hit/miss statistics of the shared decode LRU (for tests/obs)."""
+    return cached_decode.cache_info()
 
 
 class AccessKind(enum.Enum):
@@ -111,11 +142,6 @@ class CPU:
         self.flag_n = False
         self.halted = False
         self.instret = 0  # retired-instruction counter (the machine's clock)
-        # Decoded-instruction cache for the uninstrumented fast path
-        # (the analog of QEMU's translated-block cache).  Keyed by the
-        # raw 8 bytes, so self-modifying/injected code can never be
-        # served a stale decode.
-        self._decode_cache: dict = {}
 
     # -- context switching -------------------------------------------------------
 
@@ -320,8 +346,8 @@ class CPU:
         pc = self.pc
         memory = self.memory
         mmu = self.mmu
-        page_offset = pc & (0xFF)
-        if page_offset <= 256 - INSTRUCTION_SIZE:
+        page_offset = pc & _PAGE_MASK
+        if page_offset <= _FETCH_FAST_LIMIT:
             base = mmu.translate(pc, AccessKind.FETCH)
             raw = memory.read_bytes(base, INSTRUCTION_SIZE)
         else:
@@ -329,13 +355,10 @@ class CPU:
                 memory.read_byte(mmu.translate(pc + i, AccessKind.FETCH))
                 for i in range(INSTRUCTION_SIZE)
             )
-        insn = self._decode_cache.get(raw)
-        if insn is None:
-            try:
-                insn = decode(raw)
-            except DecodeError as exc:
-                raise InvalidInstruction(pc, str(exc)) from None
-            self._decode_cache[raw] = insn
+        try:
+            insn = cached_decode(raw)
+        except DecodeError as exc:
+            raise InvalidInstruction(pc, str(exc)) from None
 
         fx = InstructionEffects(
             pc=pc,
@@ -351,7 +374,7 @@ class CPU:
         return fx
 
     def _fast_load(self, vaddr: int, size: int) -> int:
-        if (vaddr & 0xFF) <= 256 - size:
+        if (vaddr & _PAGE_MASK) <= PAGE_SIZE - size:
             paddr = self.mmu.translate(vaddr, AccessKind.READ)
             if size == 4:
                 return self.memory.read_word(paddr)
@@ -360,7 +383,7 @@ class CPU:
         return value
 
     def _fast_store(self, vaddr: int, size: int, value: int) -> None:
-        if (vaddr & 0xFF) <= 256 - size:
+        if (vaddr & _PAGE_MASK) <= PAGE_SIZE - size:
             paddr = self.mmu.translate(vaddr, AccessKind.WRITE)
             if size == 4:
                 self.memory.write_word(paddr, value)

@@ -14,7 +14,7 @@ machinery honest without inflating emulation cost.
 from __future__ import annotations
 
 import struct
-from typing import List
+from typing import Dict, List
 
 from repro.faults.errors import GuestResourceExhausted
 from repro.isa.errors import PhysicalMemoryError
@@ -33,6 +33,17 @@ class PhysicalMemory:
     installed range raise :class:`PhysicalMemoryError` -- the emulator
     never lets guest-originated addresses reach here unchecked, so such an
     error indicates a harness bug.
+
+    **Code versioning.**  Pages that hold translated basic blocks
+    (:mod:`repro.isa.translate`) are *watched*: every write landing in a
+    watched page bumps its code-version counter, which is part of the
+    translation cache key -- so self-modifying and injected code
+    (process hollowing, reflective DLL loads, AtomBombing writes) can
+    never execute a stale translation.  Unwatched pages pay one dict
+    membership test per write; versions are monotonic for the lifetime
+    of the memory, surviving cache drops and frame recycling (frame
+    reallocation zeroes the page through :meth:`fill`, which itself
+    bumps the version).
     """
 
     def __init__(self, size: int) -> None:
@@ -40,6 +51,31 @@ class PhysicalMemory:
             raise ValueError(f"memory size must be a positive multiple of {PAGE_SIZE}")
         self._buf = bytearray(size)
         self.size = size
+        #: page number -> write-version counter, for watched pages only.
+        self._code_versions: Dict[int, int] = {}
+
+    # -- code-version tracking (translation-cache invalidation) -----------------
+
+    def watch_code_page(self, page: int) -> None:
+        """Start bumping *page*'s code version on every write into it.
+
+        Idempotent; called by the block translator when it caches a
+        block decoded from *page*.  Watched pages are never unwatched --
+        the version must stay monotonic so a stale
+        ``(page, version)``-keyed block can never validate again.
+        """
+        self._code_versions.setdefault(page, 0)
+
+    def code_version(self, page: int) -> int:
+        """Current write-version of *page* (0 while unwatched/untouched)."""
+        return self._code_versions.get(page, 0)
+
+    def _bump_range(self, paddr: int, n: int) -> None:
+        """Bump the version of every watched page overlapping the write."""
+        cv = self._code_versions
+        for page in range(paddr >> PAGE_SHIFT, (paddr + n - 1 >> PAGE_SHIFT) + 1):
+            if page in cv:
+                cv[page] += 1
 
     # -- byte / word primitives -------------------------------------------------
 
@@ -52,6 +88,11 @@ class PhysicalMemory:
         """Store the low 8 bits of *value* at *paddr*."""
         self._check(paddr, 1)
         self._buf[paddr] = value & 0xFF
+        cv = self._code_versions
+        if cv:
+            page = paddr >> PAGE_SHIFT
+            if page in cv:
+                cv[page] += 1
 
     def read_word(self, paddr: int) -> int:
         """Return the little-endian 32-bit word at *paddr*."""
@@ -62,6 +103,14 @@ class PhysicalMemory:
         """Store *value* as a little-endian 32-bit word at *paddr*."""
         self._check(paddr, 4)
         _U32.pack_into(self._buf, paddr, value & 0xFFFFFFFF)
+        cv = self._code_versions
+        if cv:
+            page = paddr >> PAGE_SHIFT
+            if page in cv:
+                cv[page] += 1
+            last = (paddr + 3) >> PAGE_SHIFT
+            if last != page and last in cv:
+                cv[last] += 1
 
     # -- bulk accessors ---------------------------------------------------------
 
@@ -74,11 +123,15 @@ class PhysicalMemory:
         """Store *data* starting at *paddr*."""
         self._check(paddr, len(data))
         self._buf[paddr : paddr + len(data)] = data
+        if self._code_versions and data:
+            self._bump_range(paddr, len(data))
 
     def fill(self, paddr: int, n: int, value: int = 0) -> None:
         """Set *n* bytes starting at *paddr* to *value*."""
         self._check(paddr, n)
         self._buf[paddr : paddr + n] = bytes([value & 0xFF]) * n
+        if self._code_versions and n:
+            self._bump_range(paddr, n)
 
     def _check(self, paddr: int, n: int) -> None:
         if paddr < 0 or n < 0 or paddr + n > self.size:

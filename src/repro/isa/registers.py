@@ -51,7 +51,14 @@ NUM_REGS = len(Reg)
 
 
 class RegisterFile:
-    """The architectural register file: 11 x 32-bit unsigned values."""
+    """The architectural register file: 11 x 32-bit unsigned values.
+
+    The backing list's identity is stable for the lifetime of the file:
+    :meth:`restore` copies values *into* it rather than replacing it.
+    Translated basic blocks (:mod:`repro.isa.translate`) bind the list
+    at translation time, so every write -- including context-switch
+    restores -- must land in the same object.
+    """
 
     __slots__ = ("_values",)
 
@@ -71,10 +78,14 @@ class RegisterFile:
         return list(self._values)
 
     def restore(self, values: List[int]) -> None:
-        """Load all register values from a :meth:`snapshot` copy."""
+        """Load all register values from a :meth:`snapshot` copy.
+
+        Copies in place -- the backing list's identity is load-bearing
+        (see the class docstring).
+        """
         if len(values) != NUM_REGS:
             raise ValueError(f"expected {NUM_REGS} register values, got {len(values)}")
-        self._values = [v & MASK32 for v in values]
+        self._values[:] = [v & MASK32 for v in values]
 
     def __iter__(self) -> Iterator[int]:
         return iter(self._values)

@@ -1,0 +1,638 @@
+"""Basic-block translation cache: the QEMU translated-block analog.
+
+:class:`CPU.step_fast` already skips effect tracing, but it still pays
+one Python call, one decode-cache probe, one fetch translation, and one
+if/elif dispatch *per retired instruction*.  This module translates each
+straight-line run of guest code -- ending at the first branch, syscall,
+``HLT``, undecodable word, or page boundary -- **once**, into a
+:class:`TranslatedBlock` of per-instruction specialized closures:
+
+* the decode is resolved at translation time (no per-step cache probe);
+* the ALU operation and operand register indices are bound into each
+  closure (no opcode dispatch at execution time);
+* page-local load/store fast paths are precomputed (one MMU translation
+  per access, word-wide physical I/O when the access cannot span pages).
+
+Executing a block is then one closure call per instruction plus a few
+per-block bookkeeping operations, which is where the bulk of the
+uninstrumented path's speedup comes from.
+
+**Cache keying and invalidation.**  Blocks are cached per address space
+(the MMU object), keyed by ``(physical page, page code-version)`` and
+the virtual start pc.  The translator *watches* every physical page it
+translates from (:meth:`PhysicalMemory.watch_code_page`); any write into
+a watched page -- an instruction store, a kernel ``NtWriteVirtualMemory``
+into a hollowed victim, a DMA-style device copy, or frame recycling --
+bumps the page's code version, so the next lookup discards every block
+decoded from the stale bytes.  Injected code is *freshly written memory*,
+which makes this invalidation the threat model rather than an edge case:
+each code-writing attack in the suite doubles as an invalidation test.
+
+A store *inside* a block re-checks its own page's version immediately,
+so a block that overwrites itself stops at the exact store that modified
+it (reason ``"smc"``), with ``pc``/``instret`` pointing at the next
+instruction -- precisely what the interpreter would have retired.
+
+**Exactness contract.**  Block execution is budget-limited: the machine
+passes the remaining slice quantum, and a block never retires more than
+that, so quantum expiry, watchdog instruction budgets, and journaled
+``FaultPlan`` instret triggers all fire at the same retirement count as
+instruction-at-a-time execution.  Guest faults restore ``pc`` and
+``instret`` to the faulting instruction before propagating.  See
+``docs/block_translation.md``.
+
+Blocks bind a specific CPU's register file and a specific MMU at
+translation time; a :class:`BlockTranslator` therefore belongs to one
+machine, and its cache is keyed by the MMU object so a block can only
+ever run under the address space it was translated for.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.isa.cpu import CPU, AccessKind, cached_decode
+from repro.isa.errors import DecodeError, GuestFault, InvalidInstruction
+from repro.isa.instructions import (
+    COND_BRANCH_OPS,
+    INSTRUCTION_SIZE,
+    Instruction,
+    Op,
+    signed32,
+)
+from repro.isa.memory import PAGE_SHIFT, PAGE_SIZE, PhysicalMemory
+from repro.isa.registers import MASK32, Reg
+
+_PAGE_MASK = PAGE_SIZE - 1
+#: Highest page offset at which a 4-byte access cannot span pages.
+_WORD_FAST_LIMIT = PAGE_SIZE - 4
+#: Highest page offset at which a whole instruction fits in the page.
+_FETCH_FAST_LIMIT = PAGE_SIZE - INSTRUCTION_SIZE
+
+_SP = int(Reg.SP)
+_LR = int(Reg.LR)
+_SIGN_BIT = 0x80000000
+_WRAP = 0x100000000
+
+#: Opcodes that end a block with a control transfer.
+_JUMP_OPS = frozenset(COND_BRANCH_OPS) | {Op.JMP, Op.JMPR, Op.CALL, Op.CALLR, Op.RET}
+
+#: Max direct-jump successors remembered per block.
+_CHAIN_LIMIT = 8
+
+
+class TranslatedBlock:
+    """One translated straight-line run of guest instructions.
+
+    ``body`` holds one closure per non-terminating instruction; a store
+    closure returns ``True`` so the executor knows to re-check the code
+    version.  ``kind`` says how the block ends: ``"jump"`` (a control
+    transfer, executed by the ``term`` closure), ``"syscall"``,
+    ``"halt"``, or ``"fall"`` (page boundary / undecodable successor --
+    execution continues at the next pc with a fresh lookup).
+    """
+
+    __slots__ = (
+        "cpu",
+        "start_pc",
+        "start_paddr",
+        "phys_page",
+        "version",
+        "body",
+        "n_body",
+        "kind",
+        "term",
+        "pure",
+        "chain",
+        "exec_count",
+        "retired",
+        "_code_version",
+    )
+
+    def __init__(
+        self,
+        cpu: CPU,
+        start_pc: int,
+        start_paddr: int,
+        version: int,
+        body: List[Callable[[], Optional[bool]]],
+        kind: str,
+        term: Optional[Callable[[], int]],
+    ) -> None:
+        self.cpu = cpu
+        self.start_pc = start_pc
+        self.start_paddr = start_paddr
+        self.phys_page = start_paddr >> PAGE_SHIFT
+        self.version = version
+        self.body = body
+        self.n_body = len(body)
+        self.kind = kind
+        self.term = term
+        # A block with no memory operations can neither fault nor modify
+        # code, so it runs on an unindexed loop when the budget allows.
+        self.pure = not any(getattr(fn, "is_mem", False) for fn in body)
+        self.chain: Dict[int, "TranslatedBlock"] = {}
+        self.exec_count = 0
+        self.retired = 0
+        self._code_version = cpu.memory.code_version
+
+    @property
+    def n_insns(self) -> int:
+        """Total instructions in the block, terminator included."""
+        return self.n_body + (1 if self.kind != "fall" else 0)
+
+    def execute(self, budget: int) -> str:
+        """Run up to *budget* instructions of this block.
+
+        Returns the reason execution stopped: the block ``kind`` when it
+        ran to completion, ``"smc"`` if a store invalidated the block's
+        own page, or ``"fall"`` on a budget cut or fall-through end.
+        On return (or guest fault), ``cpu.pc`` and ``cpu.instret`` are
+        exactly where instruction-at-a-time execution would have left
+        them.
+        """
+        cpu = self.cpu
+        n = self.n_body
+        i = 0
+        if self.pure and budget >= n:
+            for fn in self.body:
+                fn()
+            i = n
+        else:
+            body = self.body
+            limit = n if budget >= n else budget
+            code_version = self._code_version
+            page = self.phys_page
+            version = self.version
+            try:
+                while i < limit:
+                    if body[i]():
+                        i += 1
+                        if code_version(page) != version:
+                            cpu.pc = (self.start_pc + i * INSTRUCTION_SIZE) & MASK32
+                            cpu.instret += i
+                            self.exec_count += 1
+                            self.retired += i
+                            return "smc"
+                    else:
+                        i += 1
+            except GuestFault:
+                # Precise fault: state points at the faulting instruction.
+                cpu.pc = (self.start_pc + i * INSTRUCTION_SIZE) & MASK32
+                cpu.instret += i
+                self.exec_count += 1
+                self.retired += i
+                raise
+        kind = self.kind
+        if i == n and budget > n and kind != "fall":
+            # Retire the terminator too.
+            if kind == "jump":
+                cpu.pc = self.term()
+            else:
+                cpu.pc = (self.start_pc + (n + 1) * INSTRUCTION_SIZE) & MASK32
+                if kind == "halt":
+                    cpu.halted = True
+            cpu.instret += n + 1
+            self.exec_count += 1
+            self.retired += n + 1
+            return kind
+        cpu.pc = (self.start_pc + i * INSTRUCTION_SIZE) & MASK32
+        cpu.instret += i
+        self.exec_count += 1
+        self.retired += i
+        return "fall"
+
+
+def _mem(fn: Callable) -> Callable:
+    """Tag a closure as performing a data-memory access."""
+    fn.is_mem = True
+    return fn
+
+
+def _compile_straight(insn: Instruction, cpu: CPU) -> Callable[[], Optional[bool]]:
+    """Compile one non-terminating instruction into a closure.
+
+    Registers, immediates, and the MMU/memory entry points are bound
+    now; executing the closure performs only the instruction's work.
+    Store closures return ``True`` (see :meth:`TranslatedBlock.execute`);
+    everything else returns ``None``.
+    """
+    op = insn.op
+    v = cpu.regs._values
+    rd = int(insn.rd)
+    rs1 = int(insn.rs1)
+    rs2 = int(insn.rs2)
+    imm = insn.imm & MASK32
+
+    if op is Op.NOP:
+        def nop() -> None:
+            return None
+        return nop
+    if op is Op.MOV:
+        def mov() -> None:
+            v[rd] = v[rs1]
+        return mov
+    if op is Op.MOVI:
+        def movi() -> None:
+            v[rd] = imm
+        return movi
+
+    if op in (Op.LD, Op.LDB, Op.ST, Op.STB, Op.PUSH, Op.POP):
+        disp = signed32(insn.imm)
+        translate = cpu.mmu.translate
+        memory = cpu.memory
+        read_word = memory.read_word
+        read_byte = memory.read_byte
+        write_word = memory.write_word
+        write_byte = memory.write_byte
+        load_slow = cpu._load
+        store_slow = cpu._store
+        READ = AccessKind.READ
+        WRITE = AccessKind.WRITE
+
+        if op is Op.LD:
+            @_mem
+            def ld() -> None:
+                vaddr = (v[rs1] + disp) & MASK32
+                if (vaddr & _PAGE_MASK) <= _WORD_FAST_LIMIT:
+                    v[rd] = read_word(translate(vaddr, READ))
+                else:
+                    v[rd] = load_slow(vaddr, 4)[0]
+            return ld
+        if op is Op.LDB:
+            @_mem
+            def ldb() -> None:
+                v[rd] = read_byte(translate((v[rs1] + disp) & MASK32, READ))
+            return ldb
+        if op is Op.ST:
+            @_mem
+            def st() -> bool:
+                vaddr = (v[rs1] + disp) & MASK32
+                if (vaddr & _PAGE_MASK) <= _WORD_FAST_LIMIT:
+                    write_word(translate(vaddr, WRITE), v[rs2])
+                else:
+                    store_slow(vaddr, 4, v[rs2])
+                return True
+            return st
+        if op is Op.STB:
+            @_mem
+            def stb() -> bool:
+                write_byte(translate((v[rs1] + disp) & MASK32, WRITE), v[rs2] & 0xFF)
+                return True
+            return stb
+        if op is Op.PUSH:
+            @_mem
+            def push() -> bool:
+                sp = (v[_SP] - 4) & MASK32
+                if (sp & _PAGE_MASK) <= _WORD_FAST_LIMIT:
+                    write_word(translate(sp, WRITE), v[rs1])
+                else:
+                    store_slow(sp, 4, v[rs1])
+                v[_SP] = sp
+                return True
+            return push
+        # POP
+        @_mem
+        def pop() -> None:
+            sp = v[_SP]
+            if (sp & _PAGE_MASK) <= _WORD_FAST_LIMIT:
+                v[rd] = read_word(translate(sp, READ))
+            else:
+                v[rd] = load_slow(sp, 4)[0]
+            v[_SP] = (sp + 4) & MASK32
+        return pop
+
+    # Register-file values are invariantly masked to 32 bits (every write
+    # below re-masks where the operation can overflow), so AND/OR/XOR/SHR
+    # results need no extra masking.
+    if op is Op.ADD:
+        def add() -> None:
+            v[rd] = (v[rs1] + v[rs2]) & MASK32
+        return add
+    if op is Op.SUB:
+        def sub() -> None:
+            v[rd] = (v[rs1] - v[rs2]) & MASK32
+        return sub
+    if op is Op.MUL:
+        def mul() -> None:
+            v[rd] = (v[rs1] * v[rs2]) & MASK32
+        return mul
+    if op is Op.AND:
+        def and_() -> None:
+            v[rd] = v[rs1] & v[rs2]
+        return and_
+    if op is Op.OR:
+        def or_() -> None:
+            v[rd] = v[rs1] | v[rs2]
+        return or_
+    if op is Op.XOR:
+        def xor() -> None:
+            v[rd] = v[rs1] ^ v[rs2]
+        return xor
+    if op is Op.SHL:
+        def shl() -> None:
+            v[rd] = (v[rs1] << (v[rs2] & 31)) & MASK32
+        return shl
+    if op is Op.SHR:
+        def shr() -> None:
+            v[rd] = v[rs1] >> (v[rs2] & 31)
+        return shr
+
+    if op is Op.ADDI:
+        def addi() -> None:
+            v[rd] = (v[rs1] + imm) & MASK32
+        return addi
+    if op is Op.SUBI:
+        def subi() -> None:
+            v[rd] = (v[rs1] - imm) & MASK32
+        return subi
+    if op is Op.MULI:
+        def muli() -> None:
+            v[rd] = (v[rs1] * imm) & MASK32
+        return muli
+    if op is Op.ANDI:
+        def andi() -> None:
+            v[rd] = v[rs1] & imm
+        return andi
+    if op is Op.ORI:
+        def ori() -> None:
+            v[rd] = v[rs1] | imm
+        return ori
+    if op is Op.XORI:
+        def xori() -> None:
+            v[rd] = v[rs1] ^ imm
+        return xori
+    if op is Op.SHLI:
+        shift = imm & 31
+
+        def shli() -> None:
+            v[rd] = (v[rs1] << shift) & MASK32
+        return shli
+    if op is Op.SHRI:
+        shift = imm & 31
+
+        def shri() -> None:
+            v[rd] = v[rs1] >> shift
+        return shri
+    if op is Op.NOT:
+        def not_() -> None:
+            v[rd] = (~v[rs1]) & MASK32
+        return not_
+
+    if op is Op.CMP:
+        def cmp_() -> None:
+            a = v[rs1]
+            b = v[rs2]
+            cpu.flag_z = a == b
+            cpu.flag_n = (a - _WRAP if a & _SIGN_BIT else a) < (
+                b - _WRAP if b & _SIGN_BIT else b
+            )
+        return cmp_
+    if op is Op.CMPI:
+        sb = signed32(insn.imm)
+
+        def cmpi() -> None:
+            a = v[rs1]
+            cpu.flag_z = a == imm
+            cpu.flag_n = (a - _WRAP if a & _SIGN_BIT else a) < sb
+        return cmpi
+
+    raise AssertionError(f"not a straight-line op: {op!r}")  # pragma: no cover
+
+
+def _compile_term(insn: Instruction, cpu: CPU, fall_pc: int) -> Callable[[], int]:
+    """Compile a control-transfer terminator into a next-pc closure."""
+    op = insn.op
+    v = cpu.regs._values
+    rs1 = int(insn.rs1)
+    target = insn.imm & MASK32
+
+    if op is Op.JMP:
+        return lambda: target
+    if op is Op.JZ:
+        return lambda: target if cpu.flag_z else fall_pc
+    if op is Op.JNZ:
+        return lambda: fall_pc if cpu.flag_z else target
+    if op is Op.JLT:
+        return lambda: target if cpu.flag_n else fall_pc
+    if op is Op.JGE:
+        return lambda: fall_pc if cpu.flag_n else target
+    if op is Op.JLE:
+        return lambda: target if (cpu.flag_z or cpu.flag_n) else fall_pc
+    if op is Op.JGT:
+        return lambda: fall_pc if (cpu.flag_z or cpu.flag_n) else target
+    if op is Op.CALL:
+        def call() -> int:
+            v[_LR] = fall_pc
+            return target
+        return call
+    if op is Op.CALLR:
+        def callr() -> int:
+            v[_LR] = fall_pc
+            return v[rs1]
+        return callr
+    if op is Op.JMPR:
+        return lambda: v[rs1]
+    if op is Op.RET:
+        return lambda: v[_LR]
+    raise AssertionError(f"not a terminator op: {op!r}")  # pragma: no cover
+
+
+class BlockTranslator:
+    """Translates, caches, and dispatches basic blocks for one machine.
+
+    The cache is a two-level map: address space (weakly referenced, so
+    exited processes drop their blocks) -> physical page ->
+    ``(code_version, {start_pc: block})``.  A version mismatch at lookup
+    discards the whole page entry -- any write into the page may have
+    rewritten any instruction in it.
+    """
+
+    def __init__(self, memory: PhysicalMemory) -> None:
+        self._memory = memory
+        self._caches: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        self.translations = 0
+        self.executions = 0
+        self.invalidations = 0
+        self.chain_hits = 0
+        self.lookups = 0
+        self.single_steps = 0
+
+    # -- cache management --------------------------------------------------------
+
+    def lookup(self, cpu: CPU) -> Optional[TranslatedBlock]:
+        """Return a valid block starting at ``cpu.pc``, translating on miss.
+
+        Returns ``None`` when the pc sits so close to the page end that
+        the instruction itself spans pages -- the caller single-steps.
+        Propagates :class:`PageFault`/:class:`InvalidInstruction` for a
+        non-executable pc or undecodable first instruction, with zero
+        instructions retired (the precise-fault contract).
+        """
+        pc = cpu.pc
+        paddr = cpu.mmu.translate(pc, AccessKind.FETCH)
+        if (pc & _PAGE_MASK) > _FETCH_FAST_LIMIT:
+            return None
+        page = paddr >> PAGE_SHIFT
+        memory = self._memory
+        memory.watch_code_page(page)
+        version = memory.code_version(page)
+        per_as = self._caches.get(cpu.mmu)
+        if per_as is None:
+            per_as = {}
+            self._caches[cpu.mmu] = per_as
+        entry = per_as.get(page)
+        if entry is not None and entry[0] != version:
+            self.invalidations += 1
+            entry = None
+        if entry is None:
+            entry = (version, {})
+            per_as[page] = entry
+        block = entry[1].get(pc)
+        if block is None:
+            block = self._translate(cpu, pc, paddr, page, version)
+            entry[1][pc] = block
+            self.translations += 1
+        return block
+
+    def _translate(
+        self, cpu: CPU, start_pc: int, start_paddr: int, page: int, version: int
+    ) -> TranslatedBlock:
+        memory = self._memory
+        page_base = page << PAGE_SHIFT
+        raw = memory.read_bytes(page_base, PAGE_SIZE)
+        off = start_paddr - page_base
+        pc = start_pc
+        body: List[Callable[[], Optional[bool]]] = []
+        kind = "fall"
+        term: Optional[Callable[[], int]] = None
+        while off <= _FETCH_FAST_LIMIT:
+            try:
+                insn = cached_decode(raw[off : off + INSTRUCTION_SIZE])
+            except DecodeError as exc:
+                if not body:
+                    raise InvalidInstruction(pc, str(exc)) from None
+                # A later instruction is undecodable: stop the block here;
+                # if execution actually falls onto it, the next lookup
+                # raises the fault at the precise pc.
+                break
+            op = insn.op
+            if op is Op.SYSCALL:
+                kind = "syscall"
+                break
+            if op is Op.HLT:
+                kind = "halt"
+                break
+            if op in _JUMP_OPS:
+                kind = "jump"
+                term = _compile_term(insn, cpu, (pc + INSTRUCTION_SIZE) & MASK32)
+                break
+            body.append(_compile_straight(insn, cpu))
+            off += INSTRUCTION_SIZE
+            pc = (pc + INSTRUCTION_SIZE) & MASK32
+        return TranslatedBlock(cpu, start_pc, start_paddr, version, body, kind, term)
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, cpu: CPU, budget: int) -> str:
+        """Execute up to *budget* instructions starting at ``cpu.pc``.
+
+        Chains through directly-reachable blocks until the budget runs
+        out or execution hits a syscall, halt, self-modifying store, or
+        an instruction that must be single-stepped.  Returns the final
+        stop reason (``"syscall"``, ``"halt"``, ``"smc"``, ``"jump"``,
+        or ``"fall"``); the retirement count is observable as the change
+        in ``cpu.instret``.  Guest faults propagate with precise state.
+        """
+        self.lookups += 1
+        block = self.lookup(cpu)
+        if block is None:
+            # Cross-page instruction: step_fast handles the split fetch.
+            self.single_steps += 1
+            fx = cpu.step_fast()
+            if fx.syscall:
+                return "syscall"
+            if fx.halted:
+                return "halt"
+            return "fall"
+        memory = self._memory
+        mmu_translate = cpu.mmu.translate
+        code_version = memory.code_version
+        spent = 0
+        while True:
+            before = cpu.instret
+            reason = block.execute(budget - spent)
+            self.executions += 1
+            spent += cpu.instret - before
+            if spent >= budget or reason == "syscall" or reason == "halt" or reason == "smc":
+                return reason
+            pc = cpu.pc
+            if reason == "jump":
+                nxt = block.chain.get(pc)
+                if (
+                    nxt is not None
+                    and nxt.version == code_version(nxt.phys_page)
+                    and mmu_translate(pc, AccessKind.FETCH) == nxt.start_paddr
+                ):
+                    self.chain_hits += 1
+                    block = nxt
+                    continue
+                self.lookups += 1
+                nxt = self.lookup(cpu)
+                if nxt is None:
+                    return "fall"
+                if len(block.chain) < _CHAIN_LIMIT:
+                    block.chain[pc] = nxt
+                block = nxt
+                continue
+            # reason == "fall" with budget remaining: page-boundary
+            # fall-through -- continue at the next page.
+            self.lookups += 1
+            nxt = self.lookup(cpu)
+            if nxt is None:
+                return "fall"
+            block = nxt
+
+    # -- introspection -----------------------------------------------------------
+
+    def cached_blocks(self) -> int:
+        """Number of currently valid blocks across all live address spaces."""
+        return sum(
+            len(entry[1]) for per_as in self._caches.values() for entry in per_as.values()
+        )
+
+    def blocks(self) -> List[TranslatedBlock]:
+        """All currently cached blocks (invalidated blocks drop their history)."""
+        return [
+            block
+            for per_as in self._caches.values()
+            for entry in per_as.values()
+            for block in entry[1].values()
+        ]
+
+    def top_blocks(self, n: int = 10) -> List[Tuple[int, int, int]]:
+        """The *n* hottest cached blocks as ``(start_pc, retired, executions)``.
+
+        Deterministically ordered (retired desc, then start_pc).  Only
+        *currently cached* blocks are reported: a block invalidated by a
+        code write takes its counts with it, which is the right bias for
+        a profiler aimed at steady-state hot code.
+        """
+        ranked = sorted(
+            (b for b in self.blocks() if b.exec_count),
+            key=lambda b: (-b.retired, b.start_pc),
+        )
+        return [(b.start_pc, b.retired, b.exec_count) for b in ranked[:n]]
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot (also exported as ``translate.*`` gauges)."""
+        return {
+            "translations": self.translations,
+            "executions": self.executions,
+            "invalidations": self.invalidations,
+            "chain_hits": self.chain_hits,
+            "lookups": self.lookups,
+            "single_steps": self.single_steps,
+            "cached_blocks": self.cached_blocks(),
+        }

@@ -33,6 +33,17 @@ The profiler overrides ``on_insn_exec``, so attaching it forces the
 machine onto the instrumented path even while the system holds no taint
 -- profiling is not free, which is exactly why it lives behind
 ``--metrics`` rather than in the default plugin set.
+
+**Passive mode** (``passive=True``) removes that cost: the profiler
+declines per-instruction effects and instead reads retirement counts
+straight off the machine's basic-block translation cache
+(:mod:`repro.isa.translate`), whose :class:`TranslatedBlock` objects
+already count executions and retirements per block.  Passive
+attribution is exact (not sampled) but only covers code still resident
+in the cache -- a block invalidated by a code write takes its counts
+with it -- and knows nothing about taint work or process names.  Any
+slice another plugin forces onto the instrumented path is still
+observed the normal way; rankings merge both sources.
 """
 
 from __future__ import annotations
@@ -78,11 +89,15 @@ class HotBlockProfiler(Plugin):
 
     name = "hotblocks"
 
-    def __init__(self, sample_every: int = 1, tracker=None) -> None:
+    def __init__(self, sample_every: int = 1, tracker=None, passive: bool = False) -> None:
         super().__init__()
         if sample_every < 1:
             raise ValueError("sample_every must be >= 1")
         self.sample_every = sample_every
+        #: Passive profiling: attribute retirements from the machine's
+        #: translation cache instead of forcing instrumented stepping.
+        self.passive = passive
+        self._translator = None
         #: The taint tracker whose slow-path work is attributed per
         #: block; may be (re)bound any time before the run starts.
         self.tracker = tracker
@@ -102,9 +117,16 @@ class HotBlockProfiler(Plugin):
     # plugin callbacks
     # ------------------------------------------------------------------
 
+    def wants_insn_effects(self) -> bool:
+        if self.passive:
+            return False
+        return super().wants_insn_effects()
+
     def on_machine_start(self, machine) -> None:
         if self.tracker is not None:
             self._last_slow = self.tracker.stats.slow_retirements
+        if self.passive:
+            self._translator = getattr(machine, "translator", None)
 
     def on_insn_exec(self, machine, thread, fx) -> None:
         tid = thread.tid
@@ -154,6 +176,22 @@ class HotBlockProfiler(Plugin):
     # results
     # ------------------------------------------------------------------
 
+    def _merged_blocks(self) -> Dict[int, List[int]]:
+        """Instrumented observations, plus translated-block counts when
+        passive.  Identical to ``self._blocks`` in the default mode."""
+        if not self.passive or self._translator is None:
+            return self._blocks
+        merged = {pc: list(cell) for pc, cell in self._blocks.items()}
+        for block in self._translator.blocks():
+            if not block.exec_count:
+                continue
+            cell = merged.get(block.start_pc)
+            if cell is None:
+                merged[block.start_pc] = [block.retired, 0]
+            else:
+                cell[0] += block.retired
+        return merged
+
     def top(self, n: int = 10) -> List[BlockProfile]:
         """The *n* hottest blocks, by retired weight then taint work.
 
@@ -161,7 +199,7 @@ class HotBlockProfiler(Plugin):
         orders and deterministic across replays.
         """
         ranked = sorted(
-            self._blocks.items(),
+            self._merged_blocks().items(),
             key=lambda item: (-item[1][0], -item[1][1], item[0]),
         )
         return [
@@ -175,10 +213,18 @@ class HotBlockProfiler(Plugin):
         ]
 
     def snapshot(self, n: int = 10) -> dict:
-        return {
+        blocks = self._merged_blocks()
+        snap = {
             "sample_every": self.sample_every,
-            "blocks_seen": len(self._blocks),
+            "blocks_seen": len(blocks),
             "observed": self.observed,
             "unattributed": self.unattributed,
             "top": [b.to_dict() for b in self.top(n)],
         }
+        if self.passive:
+            translator = self._translator
+            snap["passive"] = True
+            snap["translated_retired"] = (
+                sum(b.retired for b in translator.blocks()) if translator is not None else 0
+            )
+        return snap

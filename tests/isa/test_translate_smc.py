@@ -1,0 +1,176 @@
+"""Self-modifying / injected code vs the translation cache.
+
+Injected code is freshly *written* memory, so stale-block invalidation
+is the threat model, not an edge case.  Three layers of proof:
+
+* unit: every write channel into a watched page (byte/word/bulk store,
+  guest store instruction, frame recycling) bumps the code version and
+  invalidates cached blocks;
+* machine: a guest that patches its own instructions executes the *new*
+  bytes, identically to the interpreted path;
+* attacks: every scenario runs through the cache, and the attacks that
+  overwrite previously-executed code (process hollowing and the
+  code-injection family) are seen invalidating.  The attacks that write
+  payloads into *freshly allocated* pages (reflective DLL, reverse-tcp,
+  BypassUAC) never had those pages translated before the write -- the
+  version captured at first translation already covers the injected
+  bytes, so zero invalidations is the correct count for them (and the
+  full-run differential in ``test_translate_diff.py`` proves no stale
+  execution regardless).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.triage import ATTACK_BUILDER_REGISTRY
+from repro.emulator.machine import Machine, MachineConfig
+from repro.isa.assembler import assemble
+from repro.isa.memory import PAGE_SHIFT, PAGE_SIZE, FrameAllocator, PhysicalMemory
+from repro.isa.registers import Reg
+
+from tests.conftest import spawn_asm
+from tests.isa.test_cpu import MEM_SIZE, make_cpu
+from tests.isa.test_translate import make_translated, run_translated
+
+#: Attacks that overwrite code the victim had already executed (and the
+#: cache had therefore already translated).
+OVERWRITING_ATTACKS = [
+    "process_hollowing",
+    "code_injection",
+    "darkcomet_injection",
+    "njrat_injection",
+]
+FRESH_PAGE_ATTACKS = sorted(set(ATTACK_BUILDER_REGISTRY) - set(OVERWRITING_ATTACKS))
+
+
+def run_attack(attack: str) -> Machine:
+    """One recording-style (uninstrumented) run of *attack*, translated."""
+    scenario = ATTACK_BUILDER_REGISTRY[attack]().scenario
+    config = scenario.config if scenario.config is not None else MachineConfig()
+    scenario = dataclasses.replace(
+        scenario, config=dataclasses.replace(config, translate=True)
+    )
+    machine = scenario.build()
+    machine.run(scenario.max_instructions)
+    return machine
+
+
+class TestUnitInvalidation:
+    def test_external_write_invalidates_cached_block(self):
+        cpu, tr = make_translated("movi r1, 1\nhlt")
+        tr.lookup(cpu)
+        assert tr.invalidations == 0
+        # Patch the first instruction to movi r1, 2 (a bulk write, the
+        # channel image loads and NtWriteVirtualMemory use).
+        cpu.memory.write_bytes(0, assemble("movi r1, 2").code)
+        run_translated(cpu, tr)
+        assert tr.invalidations == 1
+        assert cpu.regs.read(Reg.R1) == 2  # the NEW bytes executed
+
+    def test_single_byte_write_invalidates(self):
+        cpu, tr = make_translated("movi r1, 1\nhlt")
+        block = tr.lookup(cpu)
+        cpu.memory.write_byte(4, 0x07)  # rewrite the immediate's low byte
+        assert cpu.memory.code_version(block.phys_page) == 1
+        run_translated(cpu, tr)
+        assert tr.invalidations == 1
+        assert cpu.regs.read(Reg.R1) == 7
+
+    def test_unrelated_page_write_does_not_invalidate(self):
+        cpu, tr = make_translated("movi r1, 1\nhlt")
+        tr.lookup(cpu)
+        cpu.memory.write_bytes(8 * PAGE_SIZE, b"\xff" * 16)
+        run_translated(cpu, tr)
+        assert tr.invalidations == 0
+
+    def test_guest_store_into_own_block_stops_precisely(self):
+        # The program overwrites its OWN next instruction (movi r2, 1
+        # becomes movi r2, 9 -- same opcode, patched immediate) with a
+        # store *inside* the already-executing block.  The stale closure
+        # for the next instruction must not run.
+        source = (
+            "movi r1, 9\n"
+            "st [r3+20], r1\n"   # r3=0: patch the imm field of "movi r2, 1"
+            "movi r2, 1\n"
+            "hlt"
+        )
+        ref = make_cpu(source)
+        while not ref.halted:
+            ref.step_fast()
+        cpu, tr = make_translated(source)
+        run_translated(cpu, tr)
+        assert cpu.regs.read(Reg.R2) == 9 == ref.regs.read(Reg.R2)
+        assert cpu.instret == ref.instret
+        assert tr.invalidations >= 1
+
+    def test_frame_recycling_bumps_versions_monotonically(self):
+        memory = PhysicalMemory(MEM_SIZE)
+        allocator = FrameAllocator(memory)
+        frame = allocator.alloc()
+        memory.watch_code_page(frame)
+        v0 = memory.code_version(frame)
+        memory.write_bytes(frame << PAGE_SHIFT, assemble("hlt").code)
+        v1 = memory.code_version(frame)
+        assert v1 > v0
+        allocator.free(frame)
+        assert allocator.alloc() == frame  # recycled...
+        # ...and the zeroing wrote through the watched page, so any
+        # block keyed on v1 can never validate again.
+        assert memory.code_version(frame) > v1
+
+
+class TestSelfPatchingGuest:
+    SELF_PATCH = """
+    start:
+        movi r4, patchme
+        movi r1, 7
+        stb [r4+4], r1
+        jmp patchme
+    patchme:
+        movi r5, 1
+        movi r0, SYS_EXIT
+        movi r1, 0
+        syscall
+    """
+
+    def test_machine_executes_patched_bytes(self):
+        finals = {}
+        for translate in (True, False):
+            machine = Machine(MachineConfig(translate=translate))
+            proc = spawn_asm(machine, "patch.exe", self.SELF_PATCH)
+            machine.run(10_000)
+            finals[translate] = (machine.now, proc.exit_code)
+            if translate:
+                # The patch landed in an already-translated (watched)
+                # page, so the stale block must have been invalidated.
+                assert machine.translator.invalidations >= 1
+        assert finals[True] == finals[False]
+
+
+class TestAttackInvalidation:
+    @pytest.mark.parametrize("attack", sorted(ATTACK_BUILDER_REGISTRY))
+    def test_attack_recording_runs_through_the_cache(self, attack):
+        machine = run_attack(attack)
+        tr = machine.translator
+        assert tr.executions > 0
+        assert tr.translations > 0
+        # Whatever remains cached is valid against current memory: no
+        # block survives the writes its page received.
+        for block in tr.blocks():
+            if block.exec_count:
+                assert block.version <= machine.memory.code_version(block.phys_page)
+
+    @pytest.mark.parametrize("attack", OVERWRITING_ATTACKS)
+    def test_overwriting_attacks_invalidate(self, attack):
+        machine = run_attack(attack)
+        assert machine.translator.invalidations > 0
+
+    @pytest.mark.parametrize("attack", FRESH_PAGE_ATTACKS)
+    def test_fresh_page_attacks_translate_after_the_write(self, attack):
+        # Payloads land in pages never executed before the injection, so
+        # there is nothing to invalidate -- but the injected code still
+        # executes through the cache (translations cover its pages).
+        machine = run_attack(attack)
+        assert machine.translator.invalidations == 0
+        assert machine.translator.executions > 0

@@ -88,3 +88,38 @@ class TestSessionWiring:
         # tracker booked was attributed to some block.
         attributed = sum(b["taint_slow"] for b in top)
         assert attributed <= snap["gauges"]["taint.slow_retirements"]
+
+
+class TestPassiveMode:
+    def test_passive_declines_insn_effects(self):
+        assert HotBlockProfiler().wants_insn_effects() is True
+        assert HotBlockProfiler(passive=True).wants_insn_effects() is False
+
+    def test_passive_attributes_from_translation_cache(self):
+        # Recording-style run (no taint plugin): with the passive
+        # profiler attached the machine stays on the translated path,
+        # and the rankings come off the cache's own retirement counters.
+        scenario = ATTACK_BUILDER_REGISTRY["code_injection"]().scenario
+        profiler = HotBlockProfiler(passive=True)
+        machine = scenario.run(plugins=[profiler])
+        assert machine.translator.executions > 0
+        assert profiler.observed == 0  # never forced instrumentation
+        assert profiler.unattributed > 0  # bulk retirements were flushed
+
+        snap = profiler.snapshot()
+        assert snap["passive"] is True
+        assert snap["translated_retired"] > 0
+        cached = {
+            b.start_pc: b.retired
+            for b in machine.translator.blocks()
+            if b.exec_count
+        }
+        top = profiler.top(10)
+        assert top
+        for entry in top:
+            assert entry.retired == cached[entry.start_pc]
+
+    def test_default_snapshot_has_no_passive_fields(self, recording):
+        snap = _profile_replay(recording).profiler.snapshot()
+        assert "passive" not in snap
+        assert "translated_retired" not in snap
