@@ -153,6 +153,15 @@ class Machine:
             m.gauge("translate.chain_hits", lambda: translator.chain_hits)
             m.gauge("translate.single_steps", lambda: translator.single_steps)
             m.gauge("translate.cached_blocks", translator.cached_blocks)
+            # The translated-tainted tier's retirement counters.
+            m.gauge("translate.taint_lookups", lambda: translator.taint_lookups)
+            m.gauge("translate.taint_executions", lambda: translator.taint_executions)
+            m.gauge(
+                "translate.taint_single_steps", lambda: translator.taint_single_steps
+            )
+            m.gauge(
+                "translate.taint_dirty_exits", lambda: translator.taint_dirty_exits
+            )
 
     # ------------------------------------------------------------------
     # time & events
@@ -359,24 +368,35 @@ class Machine:
         cpu.restore_context(thread.context)
         cpu.halted = False
         thread.state = ThreadState.RUNNING
-        # Pick the execution path per slice: instrumented stepping only
-        # when some plugin currently consumes per-instruction effects
-        # (PANDA-style), the uninstrumented fast path otherwise.  The
-        # choice is revisited after every syscall -- syscalls are the
-        # only point inside a slice where new analysis-relevant state
-        # (a tainted packet landing in a recv buffer, a tainted file
-        # read) can appear and re-arm a gated plugin.
+        # Pick the execution tier per slice (revisited after every
+        # syscall -- the only point inside a slice where new
+        # analysis-relevant state, like a tainted packet landing in a
+        # recv buffer, can appear and re-arm a gated plugin):
+        #
+        # * "none"  -- nothing instruments instructions: translated
+        #   blocks (or step_fast when translation is off);
+        # * "taint" -- every per-instruction consumer reduces to one
+        #   taint tracker: translated blocks with fused Table I
+        #   propagation closures (the translated-tainted tier);
+        # * "full"  -- some plugin needs the real effect stream:
+        #   interpreter stepping with the on_insn_exec fan-out.
+        #
+        # Whichever tier runs, the budget passed down is the remaining
+        # quantum, so slice boundaries -- and with them event delivery,
+        # watchdog checks, and FaultPlan instret triggers -- land on the
+        # exact same retirement counts as instruction-at-a-time
+        # execution.
         plugins = self.plugins
         on_insn_exec = plugins.on_insn_exec
         on_insns_skipped = plugins.on_insns_skipped
-        instrumented = plugins.needs_insn_effects()
-        # The uninstrumented path executes whole translated blocks per
-        # dispatch (the QEMU TB-cache analog); the budget passed to the
-        # translator is the remaining quantum, so slice boundaries --
-        # and with them event delivery, watchdog checks, and FaultPlan
-        # instret triggers -- land on the exact same retirement counts
-        # as instruction-at-a-time execution.
-        translator = None if instrumented else self.translator
+        mode, taint_unit = plugins.insn_effects_plan()
+        if mode == "taint" and self.translator is None:
+            mode = "full"  # no translation cache: interpreter-step
+        instrumented = mode == "full"
+        translator = self.translator if mode == "none" else None
+        taint_ctx = (
+            taint_unit.block_context(self, thread) if mode == "taint" else None
+        )
         step = cpu.step if instrumented else cpu.step_fast
         executed = 0
         skipped = 0  # uninstrumented retirements not yet reported
@@ -402,6 +422,29 @@ class Machine:
                 if reason == "halt":
                     if skipped:
                         on_insns_skipped(self, thread, skipped)
+                    thread.context = cpu.context()
+                    self.kernel.terminate_process(thread.process, cpu.regs.read(Reg.R0))
+                    return
+                if reason != "syscall":
+                    continue
+            elif taint_ctx is not None:
+                # The translated-tainted tier: the tracker's counters
+                # are maintained inside block execution (no bulk
+                # on_insns_skipped here -- every retirement is already
+                # accounted with its exact fast/slow split).
+                before = cpu.instret
+                try:
+                    reason = self.translator.run_taint(
+                        cpu, quantum - executed, taint_ctx
+                    )
+                except GuestFault as fault:
+                    executed += cpu.instret - before
+                    self._ctr_faults.inc()
+                    plugins.on_guest_fault(self, thread, fault)
+                    self.kernel.crash_process(thread.process, fault)
+                    return
+                executed += cpu.instret - before
+                if reason == "halt":
                     thread.context = cpu.context()
                     self.kernel.terminate_process(thread.process, cpu.regs.read(Reg.R0))
                     return
@@ -456,8 +499,14 @@ class Machine:
             if thread.state is not ThreadState.RUNNING:
                 return  # suspended/killed by its own syscall
             cpu.restore_context(thread.context)
-            instrumented = plugins.needs_insn_effects()
-            translator = None if instrumented else self.translator
+            mode, taint_unit = plugins.insn_effects_plan()
+            if mode == "taint" and self.translator is None:
+                mode = "full"
+            instrumented = mode == "full"
+            translator = self.translator if mode == "none" else None
+            taint_ctx = (
+                taint_unit.block_context(self, thread) if mode == "taint" else None
+            )
             step = cpu.step if instrumented else cpu.step_fast
         if skipped:
             on_insns_skipped(self, thread, skipped)

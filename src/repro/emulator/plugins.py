@@ -69,6 +69,24 @@ class Plugin:
         """
         return type(self).on_insn_exec is not Plugin.on_insn_exec
 
+    def block_taint_unit(self):
+        """The taint engine this plugin's instrumentation reduces to, if any.
+
+        The machine asks whenever :meth:`wants_insn_effects` answered
+        True.  A plugin whose *entire* per-instruction need is Table I
+        taint propagation (the taint tracker itself, or FAROS wrapping
+        one) returns its :class:`~repro.taint.tracker.TaintTracker`;
+        the block translator can then run the slice block-at-a-time
+        through fused taint closures (the translated-tainted dispatch
+        tier) instead of dropping to the per-instruction interpreter.
+        The default ``None`` means "I need the real effect stream" and
+        forces interpreter stepping -- the correct answer for any plugin
+        that inspects :class:`~repro.isa.cpu.InstructionEffects` in ways
+        the taint tier does not reproduce (e.g. the reference tracker,
+        trace recorders, custom analyses).
+        """
+        return None
+
     def on_insns_skipped(self, machine: "Machine", thread: "Thread", count: int) -> None:
         """*count* instructions retired on the uninstrumented fast path.
 
@@ -296,3 +314,41 @@ class PluginManager:
         holds no taint).
         """
         return any(plugin.wants_insn_effects() for plugin in self._plugins)
+
+    def insn_effects_plan(self) -> Tuple[str, object]:
+        """How the machine should execute the next slice.
+
+        Returns one of three ``(mode, unit)`` pairs:
+
+        * ``("none", None)`` -- no plugin wants per-instruction effects:
+          run the uninstrumented path (translated blocks / step_fast);
+        * ``("taint", tracker)`` -- every effects-wanting plugin reduces
+          to the *same* taint engine (:meth:`Plugin.block_taint_unit`):
+          run the translated-tainted tier, with fused propagation
+          closures standing in for the effect stream;
+        * ``("full", None)`` -- at least one plugin needs the real
+          :class:`~repro.isa.cpu.InstructionEffects` stream (or two
+          plugins want different taint engines): step the interpreter
+          and fan out ``on_insn_exec``.
+
+        The taint tier must be exactly equivalent to interpreter
+        dispatch, and the interpreter fans ``on_insn_exec`` to every
+        plugin that *implements* the hook -- wanting or not (a dormant
+        second tracker still counts retirements when a co-attached
+        armed one forces instrumentation).  So the reduction test runs
+        over implementers, not just wanters.
+        """
+        if not self.needs_insn_effects():
+            return ("none", None)
+        unit = None
+        for plugin in self._plugins:
+            hook = plugin.on_insn_exec
+            if getattr(hook, "__func__", hook) is Plugin.on_insn_exec:
+                continue
+            plugin_unit = plugin.block_taint_unit()
+            if plugin_unit is None or (unit is not None and plugin_unit is not unit):
+                return ("full", None)
+            unit = plugin_unit
+        if unit is None:
+            return ("full", None)
+        return ("taint", unit)

@@ -128,6 +128,14 @@ class Faros(Plugin):
     def wants_insn_effects(self) -> bool:
         return self.tracker.wants_insn_effects()
 
+    def block_taint_unit(self):
+        """FAROS' per-instruction need is exactly its tracker's Table I
+        propagation (detection rides on the tracker's load listeners),
+        so the translated-tainted tier may stand in for the interpreter
+        whenever the tracker supports it.  Reference trackers inherit
+        the base ``None`` and keep forcing the full effect stream."""
+        return getattr(self.tracker, "block_taint_unit", lambda: None)()
+
     def on_insns_skipped(self, machine, thread, count) -> None:
         self.tracker.on_insns_skipped(machine, thread, count)
 

@@ -41,6 +41,23 @@ instruction-at-a-time execution.  Guest faults restore ``pc`` and
 ``instret`` to the faulting instruction before propagating.  See
 ``docs/block_translation.md``.
 
+**The translated-tainted tier.**  Once taint exists, the machine used to
+drop to the per-instruction interpreter.  :meth:`BlockTranslator.run_taint`
+instead executes the same cached blocks through *fused taint closures*
+(:func:`_compile_taint`): each closure does the instruction's
+architectural work, then the tracker's all-clean gate (bank clean, no
+pending control window, data footprint on clean shadow pages -- one
+membership probe against the live dirty-page index), and only on a gate
+miss the full Table I slow path, mirroring
+:meth:`~repro.taint.tracker.TaintTracker.on_insn_exec` bit-for-bit.
+Blocks whose *fetch* shadow page is dirty never run fused: that is
+possibly-injected code, and those instructions single-step through the
+instrumented interpreter so the per-byte fetch provenance scan and the
+detection listeners see them exactly.  A store that taints its own
+block's fetch page exits the block at that precise instruction (reason
+``"dirty"``).  See ``docs/taint_model.md`` for the three-tier dispatch
+picture.
+
 Blocks bind a specific CPU's register file and a specific MMU at
 translation time; a :class:`BlockTranslator` therefore belongs to one
 machine, and its cache is keyed by the MMU object so a block can only
@@ -52,13 +69,21 @@ from __future__ import annotations
 import weakref
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.isa.cpu import CPU, AccessKind, cached_decode
+from repro.isa.cpu import (
+    CPU,
+    AccessKind,
+    InstructionEffects,
+    MemoryAccess,
+    cached_decode,
+)
 from repro.isa.errors import DecodeError, GuestFault, InvalidInstruction
 from repro.isa.instructions import (
     COND_BRANCH_OPS,
+    IMM_ALU_OPS,
     INSTRUCTION_SIZE,
     Instruction,
     Op,
+    REG_ALU_OPS,
     signed32,
 )
 from repro.isa.memory import PAGE_SHIFT, PAGE_SIZE, PhysicalMemory
@@ -80,6 +105,32 @@ _JUMP_OPS = frozenset(COND_BRANCH_OPS) | {Op.JMP, Op.JMPR, Op.CALL, Op.CALLR, Op
 
 #: Max direct-jump successors remembered per block.
 _CHAIN_LIMIT = 8
+
+# --- lazily-imported taint runtime -------------------------------------------
+#
+# The translated-tainted tier fuses Table I propagation into block
+# closures, which needs a few names from ``repro.taint``.  They cannot be
+# imported at module level: ``repro.taint.tracker`` imports
+# ``repro.emulator.plugins``, whose package ``__init__`` imports the
+# machine, which imports *this* module -- a cycle whichever end loads
+# first.  Taint compilation only ever happens once taint exists, so the
+# names load on first use instead.
+
+SHADOW_PAGE_SHIFT: Optional[int] = None
+_EMPTY_PROV: Tuple = ()
+_LoadObservation = None
+
+
+def _load_taint_runtime() -> None:
+    global SHADOW_PAGE_SHIFT, _EMPTY_PROV, _LoadObservation
+    if SHADOW_PAGE_SHIFT is None:
+        from repro.taint.provenance import EMPTY
+        from repro.taint.shadow import SHADOW_PAGE_SHIFT as _SHIFT
+        from repro.taint.tracker import LoadObservation
+
+        SHADOW_PAGE_SHIFT = _SHIFT
+        _EMPTY_PROV = EMPTY
+        _LoadObservation = LoadObservation
 
 
 class TranslatedBlock:
@@ -108,6 +159,11 @@ class TranslatedBlock:
         "exec_count",
         "retired",
         "_code_version",
+        "insns",
+        "term_insn",
+        "taint_body",
+        "taint_term",
+        "fetch_shadow_page",
     )
 
     def __init__(
@@ -119,6 +175,8 @@ class TranslatedBlock:
         body: List[Callable[[], Optional[bool]]],
         kind: str,
         term: Optional[Callable[[], int]],
+        insns: Optional[List[Instruction]] = None,
+        term_insn: Optional[Instruction] = None,
     ) -> None:
         self.cpu = cpu
         self.start_pc = start_pc
@@ -136,6 +194,16 @@ class TranslatedBlock:
         self.exec_count = 0
         self.retired = 0
         self._code_version = cpu.memory.code_version
+        #: The decoded instructions behind ``body``/``term`` -- kept so
+        #: the taint tier can compile its fused closures lazily.
+        self.insns = insns
+        self.term_insn = term_insn
+        self.taint_body: Optional[List[Callable]] = None
+        self.taint_term: Optional[Callable] = None
+        #: The one shadow page holding this block's fetch footprint
+        #: (a block never leaves its 256-byte MMU page, which can never
+        #: straddle a 4 KiB shadow page).  Set by :meth:`ensure_taint`.
+        self.fetch_shadow_page = -1
 
     @property
     def n_insns(self) -> int:
@@ -202,6 +270,145 @@ class TranslatedBlock:
         self.exec_count += 1
         self.retired += i
         return "fall"
+
+    # -- the translated-tainted tier ---------------------------------------------
+
+    def ensure_taint(self) -> None:
+        """Compile the fused taint closures (once, on first tainted use).
+
+        Taint compilation is deferred past plain translation: most blocks
+        only ever run uninstrumented, and the taint runtime itself is a
+        lazy import (see :func:`_load_taint_runtime`).
+        """
+        if self.taint_body is not None:
+            return
+        _load_taint_runtime()
+        self.fetch_shadow_page = self.start_paddr >> SHADOW_PAGE_SHIFT
+        cpu = self.cpu
+        taint_body: List[Callable] = []
+        pc = self.start_pc
+        paddr = self.start_paddr
+        for insn in self.insns:
+            taint_body.append(_compile_taint(insn, cpu, pc, paddr))
+            pc = (pc + INSTRUCTION_SIZE) & MASK32
+            paddr += INSTRUCTION_SIZE
+        self.taint_term = _compile_taint_term(self.term_insn)
+        self.taint_body = taint_body
+
+    def execute_taint(self, budget: int, ctx) -> str:
+        """Run up to *budget* instructions with fused Table I propagation.
+
+        The taint-tier twin of :meth:`execute`, with the same exactness
+        contract (budget cuts, precise guest faults, ``"smc"`` stops)
+        plus two taint-specific behaviours:
+
+        * ``"dirty"`` -- a store in this block tainted the block's own
+          fetch shadow page.  The store retired; the caller must leave
+          the translated path so the next instruction's fetch provenance
+          is scanned by the interpreter (the detection window).
+        * A :class:`~repro.faults.errors.TaintBudgetExceeded` out of a
+          slow arm propagates with *post*-instruction state -- the
+          interpreter raises after the instruction retired, and the
+          differential suite holds the two paths to the same tick.
+
+        Caller contract: the block's fetch shadow page is clean on entry
+        (probed by :meth:`BlockTranslator.run_taint`), which is what lets
+        every fused closure treat the fetched bytes as provenance-free.
+
+        Stats contract: every retirement here is accounted on the
+        tracker's counters with the same fast/slow split the interpreter
+        would produce, flushed in bulk on every exit path.
+        """
+        if self.taint_body is None:
+            self.ensure_taint()
+        cpu = self.cpu
+        n = self.n_body
+        stats = ctx.stats
+        slow0 = stats.slow_retirements
+        bank = ctx.bank
+        start_pc = self.start_pc
+        retired = 0
+        try:
+            i = 0
+            if (
+                self.pure
+                and budget >= n
+                and bank.tainted == 0
+                and not bank.flags
+                and ctx.tid not in ctx.pending
+            ):
+                # Armed-but-clean shortcut: a pure block touches no data
+                # memory and its fetch page is clean, so with a clean
+                # bank and no pending control window every per-insn gate
+                # below would pass and no propagation could change that
+                # mid-block.  Run the *plain* closures instead.
+                for fn in self.body:
+                    fn()
+                i = n
+            else:
+                taint_body = self.taint_body
+                limit = n if budget >= n else budget
+                code_version = self._code_version
+                page = self.phys_page
+                version = self.version
+                try:
+                    while i < limit:
+                        r = taint_body[i](ctx)
+                        i += 1
+                        if r:
+                            if code_version(page) != version:
+                                retired = i
+                                cpu.pc = (start_pc + i * INSTRUCTION_SIZE) & MASK32
+                                cpu.instret += i
+                                return "smc"
+                            if r == 2:
+                                retired = i
+                                cpu.pc = (start_pc + i * INSTRUCTION_SIZE) & MASK32
+                                cpu.instret += i
+                                return "dirty"
+                except GuestFault:
+                    # Precise fault: the faulting instruction did not
+                    # retire and made no taint mutations (every fused
+                    # closure does its architectural work first).
+                    retired = i
+                    cpu.pc = (start_pc + i * INSTRUCTION_SIZE) & MASK32
+                    cpu.instret += i
+                    raise
+                except Exception:
+                    # Anything else out of a slow arm -- a taint-budget
+                    # trip, tag-space exhaustion, a listener error --
+                    # happens *after* the architectural work, and the
+                    # interpreter counts such instructions as retired
+                    # (``on_insn_exec`` accounts first, then works).
+                    i += 1
+                    retired = i
+                    cpu.pc = (start_pc + i * INSTRUCTION_SIZE) & MASK32
+                    cpu.instret += i
+                    raise
+            kind = self.kind
+            if i == n and budget > n and kind != "fall":
+                if kind == "jump":
+                    cpu.pc = self.term()
+                else:
+                    cpu.pc = (start_pc + (n + 1) * INSTRUCTION_SIZE) & MASK32
+                    if kind == "halt":
+                        cpu.halted = True
+                cpu.instret += n + 1
+                retired = n + 1
+                # May raise a taint-budget trip: post-instruction state
+                # is already in place, exactly as the interpreter leaves
+                # it after the terminator retires.
+                self.taint_term(ctx)
+                return kind
+            cpu.pc = (start_pc + i * INSTRUCTION_SIZE) & MASK32
+            cpu.instret += i
+            retired = i
+            return "fall"
+        finally:
+            self.exec_count += 1
+            self.retired += retired
+            stats.instructions += retired
+            stats.fast_retirements += retired - (stats.slow_retirements - slow0)
 
 
 def _mem(fn: Callable) -> Callable:
@@ -439,6 +646,313 @@ def _compile_term(insn: Instruction, cpu: CPU, fall_pc: int) -> Callable[[], int
     raise AssertionError(f"not a terminator op: {op!r}")  # pragma: no cover
 
 
+# ---------------------------------------------------------------------------
+# the translated-tainted tier: fused Table I closures
+# ---------------------------------------------------------------------------
+#
+# Every fused closure must reproduce TaintTracker.on_insn_exec *exactly*
+# for its instruction shape -- same shadow/bank mutations, same interner
+# call sequence, same stats splits, same listener observations
+# (tests/taint/test_differential.py compares all four bit-for-bit).  The
+# closures exploit one invariant the interpreter cannot: the dispatcher
+# only runs a block whose fetch shadow page is clean, so the per-insn
+# fetch scan (interpreter step 1) is provably a no-op -- zero provenance
+# collected, zero interner calls -- and ``insn_prov`` is always EMPTY.
+# Closures do their architectural work *first*, so a guest fault leaves
+# both machine and taint state exactly pre-instruction.
+
+
+def _taint_epilogue(ctx) -> None:
+    """Interpreter steps 5-6: control-window decrement, budget check.
+
+    (Window *arming* only happens on flags-reading terminators and is
+    compiled into :func:`_compile_taint_term`.)
+    """
+    pending = ctx.pending.get(ctx.tid)
+    if pending is not None:
+        pending[1] -= 1
+        if pending[1] <= 0:
+            del ctx.pending[ctx.tid]
+    if ctx.budget_check is not None:
+        ctx.budget_check()
+
+
+def _set_with_control(ctx, bank, rd: int, prov) -> None:
+    """``TaintTracker._write_reg``: union in the pending control window."""
+    if ctx.track_control_deps:
+        pending = ctx.pending.get(ctx.tid)
+        if pending is not None:
+            prov = ctx.union(prov, pending[0])
+    bank.set(rd, prov)
+
+
+def _compile_reg_propagation(insn: Instruction) -> Optional[Callable]:
+    """The Table I rule for a register-only instruction, or None.
+
+    Mirrors ``TaintTracker._propagate`` over the same opcode families;
+    opcodes Table I ignores (NOP, and anything outside the families)
+    compile to None -- the slow path still runs its bookkeeping, it just
+    moves no provenance.
+    """
+    op = insn.op
+    rd = int(insn.rd)
+    rs1 = int(insn.rs1)
+    rs2 = int(insn.rs2)
+    if op is Op.MOV:
+        def p_mov(ctx, bank) -> None:
+            _set_with_control(ctx, bank, rd, bank.regs[rs1])
+        return p_mov
+    if op is Op.MOVI:
+        def p_movi(ctx, bank) -> None:
+            _set_with_control(ctx, bank, rd, _EMPTY_PROV)
+        return p_movi
+    if op in REG_ALU_OPS:
+        if rs1 == rs2 and op in (Op.XOR, Op.SUB):
+            # Architectural zeroing idiom (Table I delete).
+            def p_zero(ctx, bank) -> None:
+                _set_with_control(ctx, bank, rd, _EMPTY_PROV)
+            return p_zero
+
+        def p_alu(ctx, bank) -> None:
+            _set_with_control(
+                ctx, bank, rd, ctx.union(bank.regs[rs1], bank.regs[rs2])
+            )
+        return p_alu
+    if op in IMM_ALU_OPS:
+        def p_imm(ctx, bank) -> None:
+            _set_with_control(ctx, bank, rd, bank.regs[rs1])
+        return p_imm
+    if op is Op.CMP:
+        def p_cmp(ctx, bank) -> None:
+            bank.flags = ctx.union(bank.regs[rs1], bank.regs[rs2])
+        return p_cmp
+    if op is Op.CMPI:
+        def p_cmpi(ctx, bank) -> None:
+            bank.flags = bank.regs[rs1]
+        return p_cmpi
+    return None
+
+
+def _compile_taint(
+    insn: Instruction, cpu: CPU, insn_pc: int, insn_paddr: int
+) -> Callable:
+    """Compile one non-terminating instruction into a fused taint closure.
+
+    The closure takes the slice's
+    :class:`~repro.taint.tracker.BlockTaintContext` and returns the
+    store protocol code: falsy to continue, ``1`` for a retired store
+    (executor re-checks the code version), ``2`` for a retired store
+    that dirtied the block's own fetch shadow page (executor exits with
+    reason ``"dirty"``).
+    """
+    op = insn.op
+    v = cpu.regs._values
+    rd = int(insn.rd)
+    rs1 = int(insn.rs1)
+    shift = SHADOW_PAGE_SHIFT
+    EMPTY = _EMPTY_PROV
+
+    if op in (Op.LD, Op.LDB, Op.POP):
+        disp = signed32(insn.imm)
+        translate = cpu.mmu.translate
+        memory = cpu.memory
+        read_word = memory.read_word
+        read_byte = memory.read_byte
+        load_slow = cpu._load
+        READ = AccessKind.READ
+        pop = op is Op.POP
+        byte = op is Op.LDB
+        rd_reg = insn.rd
+        regs_read = (Reg.SP,) if pop else (insn.rs1,)
+        fetch_paddrs = tuple(range(insn_paddr, insn_paddr + INSTRUCTION_SIZE))
+        next_pc = (insn_pc + INSTRUCTION_SIZE) & MASK32
+        LoadObservation = _LoadObservation
+
+        @_mem
+        def load(ctx) -> None:
+            # Architectural work first: a faulting translation must
+            # leave taint state untouched, like the interpreter.
+            vaddr = v[_SP] if pop else (v[rs1] + disp) & MASK32
+            if byte:
+                base = translate(vaddr, READ)
+                value = read_byte(base)
+                paddrs = (base,)
+            elif (vaddr & _PAGE_MASK) <= _WORD_FAST_LIMIT:
+                base = translate(vaddr, READ)
+                value = read_word(base)
+                paddrs = (base, base + 1, base + 2, base + 3)
+            else:
+                value, paddrs = load_slow(vaddr, 4)
+            v[rd] = value
+            if pop:
+                v[_SP] = (vaddr + 4) & MASK32
+            # The all-clean gate (fetch page is clean by block invariant).
+            bank = ctx.bank
+            if bank.tainted == 0 and not bank.flags and ctx.tid not in ctx.pending:
+                dirty = ctx.dirty_pages
+                if not dirty:
+                    return
+                p0 = paddrs[0] >> shift
+                if p0 not in dirty:
+                    p1 = paddrs[-1] >> shift
+                    if p1 == p0 or p1 not in dirty:
+                        return
+            # Slow path: interpreter steps 0-4 for a load shape.
+            stats = ctx.stats
+            stats.slow_retirements += 1
+            proc_tag = ctx.get_proc_tag()
+            shadow = ctx.shadow
+            prov = shadow.get_bytes(paddrs)
+            if prov and proc_tag is not None:
+                append = ctx.append
+                set_byte = shadow.set
+                get_byte = shadow.get
+                for paddr in paddrs:
+                    byte_prov = get_byte(paddr)
+                    if byte_prov:
+                        new = append(byte_prov, proc_tag)
+                        if new is not byte_prov:
+                            set_byte(paddr, new)
+                            stats.process_tag_appends += 1
+                prov = append(prov, proc_tag)
+            if ctx.listeners:
+                access = MemoryAccess(vaddr, tuple(paddrs), value)
+                observation = LoadObservation(
+                    thread=ctx.thread,
+                    fx=InstructionEffects(
+                        pc=insn_pc,
+                        insn=insn,
+                        next_pc=next_pc,
+                        fetch_paddrs=fetch_paddrs,
+                        reads=[access],
+                        reg_written=rd_reg,
+                        regs_read=regs_read,
+                    ),
+                    insn_prov=EMPTY,
+                    reads=[(access, prov)],
+                )
+                for listener in ctx.listeners:
+                    listener(ctx.machine, observation)
+            if ctx.track_address_deps and not pop:
+                prov = ctx.union(prov, bank.regs[rs1])
+            _set_with_control(ctx, bank, rd, prov)
+            _taint_epilogue(ctx)
+        return load
+
+    if op in (Op.ST, Op.STB, Op.PUSH):
+        disp = signed32(insn.imm)
+        translate = cpu.mmu.translate
+        memory = cpu.memory
+        write_word = memory.write_word
+        write_byte = memory.write_byte
+        store_slow = cpu._store
+        WRITE = AccessKind.WRITE
+        push = op is Op.PUSH
+        byte = op is Op.STB
+        src = rs1 if push else int(insn.rs2)
+        fetch_page = insn_paddr >> shift
+
+        @_mem
+        def store(ctx) -> int:
+            if push:
+                vaddr = (v[_SP] - 4) & MASK32
+            else:
+                vaddr = (v[rs1] + disp) & MASK32
+            if byte:
+                base = translate(vaddr, WRITE)
+                write_byte(base, v[src] & 0xFF)
+                paddrs = (base,)
+            elif (vaddr & _PAGE_MASK) <= _WORD_FAST_LIMIT:
+                base = translate(vaddr, WRITE)
+                write_word(base, v[src])
+                paddrs = (base, base + 1, base + 2, base + 3)
+            else:
+                paddrs = store_slow(vaddr, 4, v[src])
+            if push:
+                v[_SP] = vaddr
+            bank = ctx.bank
+            if bank.tainted == 0 and not bank.flags and ctx.tid not in ctx.pending:
+                dirty = ctx.dirty_pages
+                if not dirty:
+                    return 1
+                p0 = paddrs[0] >> shift
+                if p0 not in dirty:
+                    p1 = paddrs[-1] >> shift
+                    if p1 == p0 or p1 not in dirty:
+                        return 1
+            stats = ctx.stats
+            stats.slow_retirements += 1
+            proc_tag = ctx.get_proc_tag()
+            prov = bank.regs[src]
+            if ctx.track_address_deps and not push:
+                prov = ctx.union(prov, bank.regs[rs1])
+            if ctx.track_control_deps:
+                pending = ctx.pending.get(ctx.tid)
+                if pending is not None:
+                    prov = ctx.union(prov, pending[0])
+            if prov and proc_tag is not None:
+                prov = ctx.append(prov, proc_tag)
+            ctx.shadow.set_bytes(paddrs, prov)
+            _taint_epilogue(ctx)
+            if fetch_page in ctx.dirty_pages:
+                return 2
+            return 1
+        return store
+
+    # Register-only shapes: reuse the plain closure for the architectural
+    # work and fuse just the propagation rule around the all-clean gate.
+    arch = _compile_straight(insn, cpu)
+    propagate = _compile_reg_propagation(insn)
+
+    def fused(ctx) -> None:
+        arch()
+        bank = ctx.bank
+        if bank.tainted == 0 and not bank.flags and ctx.tid not in ctx.pending:
+            return
+        ctx.stats.slow_retirements += 1
+        ctx.get_proc_tag()
+        if propagate is not None:
+            propagate(ctx, bank)
+        _taint_epilogue(ctx)
+    return fused
+
+
+def _compile_taint_term(insn: Optional[Instruction]) -> Callable:
+    """The fused taint closure for a block terminator.
+
+    Terminators never touch data memory, so their slow path is bank
+    bookkeeping only: the CALL link-register rule, the control-window
+    decrement, and -- for flags-reading branches under the
+    control-dependency policy -- arming a fresh window.  *insn* is None
+    for ``"fall"`` blocks (never invoked) and for blocks whose
+    terminator the plain tier synthesised (syscall/halt are real
+    instructions and always present).
+    """
+    op = insn.op if insn is not None else None
+    flags_read = op in COND_BRANCH_OPS if op is not None else False
+    link = op in (Op.CALL, Op.CALLR)
+    EMPTY = _EMPTY_PROV
+
+    def term_taint(ctx) -> None:
+        bank = ctx.bank
+        if bank.tainted == 0 and not bank.flags and ctx.tid not in ctx.pending:
+            return
+        ctx.stats.slow_retirements += 1
+        ctx.get_proc_tag()
+        if link:
+            bank.set(_LR, EMPTY)
+        pending = ctx.pending.get(ctx.tid)
+        if pending is not None:
+            pending[1] -= 1
+            if pending[1] <= 0:
+                del ctx.pending[ctx.tid]
+        if flags_read and ctx.track_control_deps and bank.flags:
+            ctx.pending[ctx.tid] = [bank.flags, ctx.control_dep_window]
+        if ctx.budget_check is not None:
+            ctx.budget_check()
+    return term_taint
+
+
 class BlockTranslator:
     """Translates, caches, and dispatches basic blocks for one machine.
 
@@ -458,6 +972,12 @@ class BlockTranslator:
         self.chain_hits = 0
         self.lookups = 0
         self.single_steps = 0
+        # Translated-tainted tier counters (the "obs" gauges for the new
+        # dispatch tier; see Machine._bind_metrics).
+        self.taint_lookups = 0
+        self.taint_executions = 0
+        self.taint_single_steps = 0
+        self.taint_dirty_exits = 0
 
     # -- cache management --------------------------------------------------------
 
@@ -505,6 +1025,8 @@ class BlockTranslator:
         off = start_paddr - page_base
         pc = start_pc
         body: List[Callable[[], Optional[bool]]] = []
+        insns: List[Instruction] = []
+        term_insn: Optional[Instruction] = None
         kind = "fall"
         term: Optional[Callable[[], int]] = None
         while off <= _FETCH_FAST_LIMIT:
@@ -520,18 +1042,24 @@ class BlockTranslator:
             op = insn.op
             if op is Op.SYSCALL:
                 kind = "syscall"
+                term_insn = insn
                 break
             if op is Op.HLT:
                 kind = "halt"
+                term_insn = insn
                 break
             if op in _JUMP_OPS:
                 kind = "jump"
+                term_insn = insn
                 term = _compile_term(insn, cpu, (pc + INSTRUCTION_SIZE) & MASK32)
                 break
             body.append(_compile_straight(insn, cpu))
+            insns.append(insn)
             off += INSTRUCTION_SIZE
             pc = (pc + INSTRUCTION_SIZE) & MASK32
-        return TranslatedBlock(cpu, start_pc, start_paddr, version, body, kind, term)
+        return TranslatedBlock(
+            cpu, start_pc, start_paddr, version, body, kind, term, insns, term_insn
+        )
 
     # -- execution ---------------------------------------------------------------
 
@@ -594,6 +1122,116 @@ class BlockTranslator:
                 return "fall"
             block = nxt
 
+    def run_taint(self, cpu: CPU, budget: int, ctx) -> str:
+        """Taint-tier twin of :meth:`run`: block execution with fused
+        Table I propagation against *ctx* (a
+        :class:`~repro.taint.tracker.BlockTaintContext`).
+
+        The dispatch rule is the **block fetch-clean invariant**: a
+        cached block only executes while its fetch footprint's one
+        shadow page is clean, probed here before every block (entry and
+        chain alike).  A block whose fetch page carries taint is exactly
+        the possibly-injected code FAROS exists to observe, so those
+        instructions single-step through the instrumented interpreter
+        (``cpu.step`` + ``on_insn_exec``), whose per-byte fetch scan
+        collects the injected bytes' provenance.  Everything else runs
+        fused closures that treat fetched bytes as provenance-free.
+        """
+        _load_taint_runtime()
+        self.taint_lookups += 1
+        block = self.lookup(cpu)
+        if block is None:
+            # Cross-page instruction: the interpreter handles the split
+            # fetch (and the tracker its effects).
+            return self._taint_steps(cpu, ctx, budget)
+        if block.taint_body is None:
+            block.ensure_taint()
+        memory = self._memory
+        mmu_translate = cpu.mmu.translate
+        code_version = memory.code_version
+        dirty = ctx.dirty_pages
+        spent = 0
+        while True:
+            if block.fetch_shadow_page in dirty:
+                return self._taint_steps(cpu, ctx, budget - spent)
+            before = cpu.instret
+            reason = block.execute_taint(budget - spent, ctx)
+            self.taint_executions += 1
+            spent += cpu.instret - before
+            if reason == "dirty":
+                self.taint_dirty_exits += 1
+                return "fall"
+            if spent >= budget or reason == "syscall" or reason == "halt" or reason == "smc":
+                return reason
+            pc = cpu.pc
+            if reason == "jump":
+                nxt = block.chain.get(pc)
+                if (
+                    nxt is not None
+                    and nxt.version == code_version(nxt.phys_page)
+                    and mmu_translate(pc, AccessKind.FETCH) == nxt.start_paddr
+                ):
+                    self.chain_hits += 1
+                else:
+                    self.taint_lookups += 1
+                    nxt = self.lookup(cpu)
+                    if nxt is None:
+                        return "fall"
+                    if len(block.chain) < _CHAIN_LIMIT:
+                        block.chain[pc] = nxt
+            else:
+                # Page-boundary fall-through.
+                self.taint_lookups += 1
+                nxt = self.lookup(cpu)
+                if nxt is None:
+                    return "fall"
+            if nxt.taint_body is None:
+                nxt.ensure_taint()
+            block = nxt
+
+    def _taint_steps(self, cpu: CPU, ctx, budget: int) -> str:
+        """Interpreter window: full-effect steps fed to the tracker.
+
+        The escape hatch for what the taint tier must not fuse: a pc
+        whose instruction straddles pages, or code whose fetch shadow
+        page is dirty (the detection window -- ``on_insn_exec`` runs the
+        exact per-byte fetch provenance scan and the load listeners).
+        Steps until the budget is spent or the thread traps/halts;
+        whenever control transfers or crosses into a new guest page, the
+        new pc's fetch shadow page is re-probed, and a clean one hands
+        control back so the dispatcher can resume fused blocks.
+        """
+        tracker_exec = ctx.tracker.on_insn_exec
+        machine = ctx.machine
+        thread = ctx.thread
+        dirty = ctx.dirty_pages
+        translate = cpu.mmu.translate
+        step = cpu.step
+        shift = SHADOW_PAGE_SHIFT
+        FETCH = AccessKind.FETCH
+        n = 0
+        while True:
+            fx = step()
+            n += 1
+            self.taint_single_steps += 1
+            tracker_exec(machine, thread, fx)
+            if fx.syscall:
+                return "syscall"
+            if fx.halted:
+                return "halt"
+            if n >= budget:
+                return "fall"
+            next_pc = fx.next_pc
+            if next_pc != ((fx.pc + INSTRUCTION_SIZE) & MASK32) or (
+                (next_pc ^ fx.pc) & ~_PAGE_MASK
+            ):
+                try:
+                    paddr = translate(next_pc, FETCH)
+                except GuestFault:
+                    continue  # the next step() raises it precisely
+                if (paddr >> shift) not in dirty:
+                    return "fall"
+
     # -- introspection -----------------------------------------------------------
 
     def cached_blocks(self) -> int:
@@ -634,5 +1272,9 @@ class BlockTranslator:
             "chain_hits": self.chain_hits,
             "lookups": self.lookups,
             "single_steps": self.single_steps,
+            "taint_lookups": self.taint_lookups,
+            "taint_executions": self.taint_executions,
+            "taint_single_steps": self.taint_single_steps,
+            "taint_dirty_exits": self.taint_dirty_exits,
             "cached_blocks": self.cached_blocks(),
         }

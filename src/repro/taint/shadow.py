@@ -198,6 +198,17 @@ class ShadowMemory:
                 previous = number
         return True
 
+    def page_dirty(self, number: int) -> bool:
+        """True if shadow page *number* holds at least one tainted byte.
+
+        The single-page form of :meth:`pages_clean`, for callers that
+        already know their footprint lies in one shadow page -- the
+        block translator's per-block fetch-footprint probe (a whole
+        translated block sits inside one 256-byte MMU page, which can
+        never straddle a 4 KiB shadow page).
+        """
+        return number in self._pages
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------

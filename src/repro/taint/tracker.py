@@ -173,6 +173,8 @@ class TaintTracker(Plugin):
         self._load_listeners: List[LoadListener] = []
         #: Per-thread pending control-dependency taint: tid -> [prov, remaining].
         self._pending_control: Dict[int, List] = {}
+        #: Reusable per-slice context for the translated-tainted tier.
+        self._block_ctx: Optional[BlockTaintContext] = None
 
     # ------------------------------------------------------------------
     # wiring for detection plugins
@@ -286,6 +288,29 @@ class TaintTracker(Plugin):
         """*count* instructions retired while gating had us dormant."""
         self.stats.instructions += count
         self.stats.fast_retirements += count
+
+    # ------------------------------------------------------------------
+    # the translated-tainted tier (fused block closures)
+    # ------------------------------------------------------------------
+
+    def block_taint_unit(self):
+        """This tracker *is* a taint unit: its whole per-instruction need
+        is Table I propagation, which the block translator can fuse into
+        translated blocks (see :meth:`Plugin.block_taint_unit`)."""
+        return self
+
+    def block_context(self, machine, thread) -> "BlockTaintContext":
+        """The per-slice context the fused taint closures execute against.
+
+        One reusable object per tracker, rebound to the scheduled thread
+        at every slice (and after every syscall); see
+        :class:`BlockTaintContext` for the exactness contract.
+        """
+        ctx = self._block_ctx
+        if ctx is None:
+            ctx = self._block_ctx = BlockTaintContext(self)
+        ctx.rebind(machine, thread)
+        return ctx
 
     # ------------------------------------------------------------------
     # plugin callbacks: the per-instruction hot path
@@ -454,3 +479,92 @@ class TaintTracker(Plugin):
         if pending is None:
             return prov
         return self.interner.union(prov, pending[0])
+
+
+class BlockTaintContext:
+    """Everything a fused taint closure needs, pre-bound per slice.
+
+    The translated-tainted tier executes blocks of closures compiled by
+    :mod:`repro.isa.translate`; each closure receives this context and
+    must reproduce :meth:`TaintTracker.on_insn_exec` *exactly* -- same
+    shadow mutations, same interner call sequence, same stats splits,
+    same listener observations (``tests/taint/test_differential.py``
+    enforces all four).  The context therefore exposes the tracker's own
+    bound state (the live pending-control dict, the interner's union and
+    append, the shadow page table for gate probes) rather than copies.
+
+    ``get_proc_tag`` is **lazy** on purpose: the interpreter mints the
+    executing process' tag at the first slow-path instruction, and tag
+    indices are assigned in mint order, so minting eagerly at slice
+    start would reorder the tag store whenever a slice turns out to be
+    wholly fast-path -- breaking provenance-serialisation identity.
+    """
+
+    __slots__ = (
+        "tracker",
+        "machine",
+        "thread",
+        "tid",
+        "bank",
+        "shadow",
+        "dirty_pages",
+        "pending",
+        "stats",
+        "interner",
+        "union",
+        "append",
+        "listeners",
+        "track_address_deps",
+        "track_control_deps",
+        "control_dep_window",
+        "budget_check",
+        "_tags_on_access",
+        "_proc_tag",
+        "_proc_tag_ready",
+    )
+
+    def __init__(self, tracker: TaintTracker) -> None:
+        self.tracker = tracker
+        self.shadow = tracker.shadow
+        #: The live shadow page table; ``number in dirty_pages`` is the
+        #: per-access/per-block cleanliness probe (decision-identical to
+        #: :meth:`~repro.taint.shadow.ShadowMemory.pages_clean`).
+        self.dirty_pages = tracker.shadow._pages
+        self.pending = tracker._pending_control
+        self.stats = tracker.stats
+        self.interner = tracker.interner
+        self.union = tracker.interner.union
+        self.append = tracker.interner.append
+        self.listeners = tracker._load_listeners
+        policy = tracker.policy
+        self.track_address_deps = policy.track_address_deps
+        self.track_control_deps = policy.track_control_deps
+        self.control_dep_window = policy.control_dep_window
+        self._tags_on_access = policy.process_tags_on_access
+        self.budget_check = (
+            tracker._check_budget if policy.has_taint_budget else None
+        )
+        self.machine = None
+        self.thread = None
+        self.tid = -1
+        self.bank = None
+        self._proc_tag: Optional[Tag] = None
+        self._proc_tag_ready = False
+
+    def rebind(self, machine, thread) -> None:
+        """Point the context at the thread about to run."""
+        self.machine = machine
+        self.thread = thread
+        self.tid = thread.tid
+        self.bank = self.tracker.banks.for_thread(thread.tid)
+        self._proc_tag = None
+        self._proc_tag_ready = not self._tags_on_access
+
+    def get_proc_tag(self) -> Optional[Tag]:
+        """The executing process' tag, minted at first slow-path use."""
+        if self._proc_tag_ready:
+            return self._proc_tag
+        tag = self.tracker.tags.process_tag(self.thread.process.cr3)
+        self._proc_tag = tag
+        self._proc_tag_ready = True
+        return tag

@@ -114,6 +114,18 @@ class TestCacheBehaviour:
         assert top == sorted(top, key=lambda t: (-t[1], t[0]))
         assert sum(retired for _pc, retired, _x in top) == cpu.instret
 
+    def test_taint_tier_counters_idle_on_uninstrumented_runs(self):
+        # The translated-tainted tier (test_translate_taint.py) shares
+        # the cache; plain uninstrumented execution must never touch
+        # its counters.
+        cpu, tr = make_translated("movi r1, 1\nhlt")
+        run_translated(cpu, tr)
+        stats = tr.stats()
+        assert stats["taint_lookups"] == 0
+        assert stats["taint_executions"] == 0
+        assert stats["taint_single_steps"] == 0
+        assert stats["taint_dirty_exits"] == 0
+
 
 class TestEquivalence:
     @pytest.mark.parametrize("source", PROGRAMS)

@@ -29,6 +29,9 @@ from repro.isa.instructions import Instruction, Op, encode
 from repro.isa.memory import PAGE_SIZE, PhysicalMemory
 from repro.isa.registers import NUM_REGS, Reg
 from repro.isa.translate import BlockTranslator
+from repro.obs.metrics import MetricsRegistry
+from repro.taint.intern import ProvInterner
+from repro.taint.tracker import TaintTracker
 
 ATTACKS = sorted(ATTACK_BUILDER_REGISTRY)
 
@@ -52,6 +55,24 @@ def record_one(scenario, translate: bool):
     return record(with_translate(scenario, translate))
 
 
+def comparable_metrics(snapshot):
+    """A metrics snapshot minus the ``translate.*`` gauges.
+
+    Everything an analysis consumer reads -- taint stats, interner
+    counters, detector counters, machine event/fault counters -- must be
+    identical across the translate dimension; only the block cache's own
+    instrumentation legitimately differs (it does not exist at all with
+    translation off)."""
+    return {
+        kind: {
+            name: value
+            for name, value in entries.items()
+            if not name.startswith("translate.")
+        }
+        for kind, entries in snapshot.items()
+    }
+
+
 class TestAttackDifferential:
     @pytest.mark.parametrize("attack", ATTACKS)
     def test_full_run_bit_identical(self, attack):
@@ -61,11 +82,20 @@ class TestAttackDifferential:
                 ATTACK_BUILDER_REGISTRY[attack]().scenario, translate
             )
             recording = record(scenario)
-            faros = Faros()
-            machine = replay(recording, plugins=[faros])
-            outcomes[translate] = (recording, faros, machine)
-        rec_on, faros_on, machine_on = outcomes[True]
-        rec_off, faros_off, machine_off = outcomes[False]
+            metrics = MetricsRegistry()
+            # A per-run interner: with the process-wide default, the
+            # first leg would warm the memoisation caches and skew the
+            # second leg's hit/miss gauges.
+            faros = Faros(
+                metrics=metrics,
+                tracker_cls=lambda policy, tags: TaintTracker(
+                    policy=policy, tags=tags, interner=ProvInterner()
+                ),
+            )
+            machine = replay(recording, plugins=[faros], metrics=metrics)
+            outcomes[translate] = (recording, faros, machine, metrics)
+        rec_on, faros_on, machine_on, metrics_on = outcomes[True]
+        rec_off, faros_off, machine_off, metrics_off = outcomes[False]
 
         assert rec_on.final_instret == rec_off.final_instret
         assert journal_repr(rec_on.journal) == journal_repr(rec_off.journal)
@@ -76,13 +106,27 @@ class TestAttackDifferential:
         assert (
             faros_on.report().to_json_dict() == faros_off.report().to_json_dict()
         )
+        # The rendered report (provenance chains included) and the full
+        # metrics snapshot must also match -- the taint-on dimension of
+        # the differential: the translate-on analysis replay dispatches
+        # through the translated-tainted tier, the off side through the
+        # instrumented interpreter.
+        assert faros_on.report().render() == faros_off.report().render()
+        assert comparable_metrics(metrics_on.snapshot()) == comparable_metrics(
+            metrics_off.snapshot()
+        )
         # The comparison is only meaningful if the block cache actually
         # exists on the translate-on side and is absent on the other.
         # (The analysis replay itself is instrumented from boot -- FAROS
-        # plants export-table tags at module load -- so cache *usage* is
-        # asserted on recording-style runs in test_translate_smc.py.)
+        # plants export-table tags at module load, which share 4 KiB
+        # shadow pages with module code here, so the tier's interpreter
+        # window does the bulk of the work; fused-block usage is pinned
+        # in test_translate_taint.py and the differential matrix.)
         assert machine_on.translator is not None
         assert machine_off.translator is None
+        tstats = machine_on.translator.stats()
+        assert tstats["taint_lookups"] > 0
+        assert tstats["taint_single_steps"] > 0
 
 
 class TestWatchdogExactness:

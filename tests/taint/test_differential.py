@@ -17,11 +17,20 @@ channel taint can move through:
   process;
 * **detection verdicts** -- every FAROS attack scenario (and a benign
   corpus sample) analysed by a fast-path ``Faros`` and a reference
-  ``Faros`` side by side, asserting the flagged sets never drift.
+  ``Faros`` side by side, asserting the flagged sets never drift;
+* **the translate matrix** -- the same randomised guest programs run
+  three ways (fast tracker through the translated-tainted tier, fast
+  tracker through the instrumented interpreter, reference tracker),
+  asserting bit-identical shadow/bank state, retirement-split stats,
+  interner hit/miss counters, and tainted-load observations.  Unlike
+  the co-attached pair (where the reference forces interpretation for
+  both), each matrix leg runs on its own machine so the translated leg
+  genuinely executes fused per-block taint closures.
 
-The quick versions of the randomised suites run in tier-1; the
-``@pytest.mark.slow`` versions push the example counts past 1000
-(``pytest -m slow tests/taint/test_differential.py``).
+The quick versions of the randomised suites run in tier-1 (a ~100-case
+smoke slice of the translate matrix included); the
+``@pytest.mark.slow`` versions push the combined example counts past
+1200 (``pytest -m slow tests/taint/test_differential.py``).
 
 Both trackers in a co-attached pair share one ``TagStore``: tag indices
 are minted on demand, and a shared store guarantees the same (cr3, path,
@@ -255,6 +264,13 @@ def guest_programs(draw):
     for i in range(5):
         lines.append(f"    st [r6+{4 * i}], r{i + 1}")
     lines.append("    jmp park")
+    if draw(st.booleans()):
+        # Data on its own 4 KiB shadow page: seeded taint leaves the
+        # code's fetch pages clean, so the translated leg of the matrix
+        # runs the fused per-block taint closures.  Unpadded programs
+        # keep the data on the code's shadow page and cover the
+        # dirty-fetch interpreter window instead.
+        lines.append("pad_data: .space 8192")
     lines.append("in_a: .word 0x1234")
     lines.append("in_b: .word 0xbeef")
     lines.append("buf: .space 32")
@@ -422,7 +438,88 @@ class TestKernelPathDifferential:
 
 
 # ======================================================================
-# 4. detection-verdict differential over the FAROS attack corpus
+# 4. translate matrix: translated-taint vs interpreter vs reference
+# ======================================================================
+
+
+def run_single(body, policy, seeds, tracker, translate):
+    """Run *body* under one tracker alone on a fresh machine.
+
+    Alone matters: with no co-attached reference demanding the full
+    effect stream, a ``TaintTracker`` on a translating machine really
+    dispatches through the translated-tainted tier.
+    """
+    machine = Machine(MachineConfig(translate=translate))
+    machine.plugins.register(tracker)
+    obs_log = []
+    tracker.add_load_listener(lambda m, obs: obs_log.append(obs))
+    prog = register_asm(machine, "m.exe", body, PARK)
+    proc = machine.kernel.spawn("m.exe")
+
+    def seed(label, n, tag):
+        paddrs = proc.aspace.translate_range(prog.label(label), n, AccessKind.READ)
+        tracker.taint_range(paddrs, tag)
+
+    if "a" in seeds:
+        seed("in_a", 4, SEED_A)
+    if "b" in seeds:
+        seed("in_b", 4, SEED_B)
+    if seeds == "buf":
+        seed("buf", 8, SEED_A)
+    machine.run(300_000)
+    return machine, obs_log
+
+
+def run_translate_matrix(body, policy, seeds):
+    translated = TaintTracker(policy=policy, interner=ProvInterner())
+    interpreted = TaintTracker(policy=policy, interner=ProvInterner())
+    reference = ReferenceTaintTracker(policy=policy)
+    machine_t, obs_t = run_single(body, policy, seeds, translated, translate=True)
+    machine_i, obs_i = run_single(body, policy, seeds, interpreted, translate=False)
+    machine_r, obs_r = run_single(body, policy, seeds, reference, translate=False)
+
+    assert machine_t.now == machine_i.now == machine_r.now
+
+    # Translated vs interpreted fast path: bit-identical everything,
+    # down to the interner call sequence (hit/miss deltas) and the
+    # fast/slow retirement split.
+    assert translated.shadow.snapshot() == interpreted.shadow.snapshot()
+    assert translated.shadow.tainted_bytes == interpreted.shadow.tainted_bytes
+    assert translated.banks.snapshot() == interpreted.banks.snapshot()
+    assert translated.stats.instructions == interpreted.stats.instructions
+    assert translated.stats.fast_retirements == interpreted.stats.fast_retirements
+    assert translated.stats.slow_retirements == interpreted.stats.slow_retirements
+    assert (
+        translated.stats.process_tag_appends == interpreted.stats.process_tag_appends
+    )
+    assert (translated.interner.hits, translated.interner.misses) == (
+        interpreted.interner.hits,
+        interpreted.interner.misses,
+    ), "interner call sequences diverged between translated and interpreted"
+    assert tainted_observations(obs_t) == tainted_observations(obs_i)
+
+    # Both fast legs vs the reference semantics.
+    assert translated.shadow.snapshot() == reference.shadow.snapshot()
+    assert translated.banks.snapshot() == reference.banks.snapshot()
+    assert translated.stats.instructions == reference.stats.instructions
+    assert tainted_observations(obs_t) == tainted_observations(obs_r)
+
+
+class TestTranslateMatrixDifferential:
+    @given(body=guest_programs(), policy=policies, seeds=seed_choices)
+    @settings(max_examples=35, deadline=None)
+    def test_quick(self, body, policy, seeds):
+        run_translate_matrix(body, policy, seeds)
+
+    @pytest.mark.slow
+    @given(body=guest_programs(), policy=policies, seeds=seed_choices)
+    @settings(max_examples=400, deadline=None)
+    def test_exhaustive(self, body, policy, seeds):
+        run_translate_matrix(body, policy, seeds)
+
+
+# ======================================================================
+# 5. detection-verdict differential over the FAROS attack corpus
 # ======================================================================
 
 ATTACKS = {
