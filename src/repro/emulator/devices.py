@@ -46,6 +46,12 @@ class NetworkInterface:
     drained by the kernel's network stack; transmitted packets accumulate
     in :attr:`tx_log` where sandbox baselines (and tests) can observe
     guest traffic, mirroring Cuckoo's packet capture.
+
+    Payload delivery into guest memory goes through
+    ``Machine.phys_write`` on the DMA ring: both the data landing and
+    the netflow tag insertion it triggers are *bulk* slice operations
+    (one per touched guest page), so a packet costs O(pages), not
+    O(payload bytes), on the taint side.
     """
 
     def __init__(self, ip: str = "169.254.57.168") -> None:

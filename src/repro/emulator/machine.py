@@ -33,7 +33,7 @@ from repro.guestos import layout
 from repro.guestos.process import ThreadState
 from repro.isa.cpu import CPU
 from repro.isa.errors import GuestFault
-from repro.isa.memory import FrameAllocator, PhysicalMemory
+from repro.isa.memory import FrameAllocator, PhysicalMemory, contiguous_runs
 from repro.isa.registers import Reg
 from repro.isa.translate import BlockTranslator
 
@@ -162,6 +162,18 @@ class Machine:
             m.gauge(
                 "translate.taint_dirty_exits", lambda: translator.taint_dirty_exits
             )
+            # Byte-precise fetch-range probes on dirty shadow pages.
+            m.gauge(
+                "translate.taint_range_checks", lambda: translator.taint_range_checks
+            )
+            m.gauge(
+                "translate.taint_range_cache_hits",
+                lambda: translator.taint_range_cache_hits,
+            )
+            m.gauge(
+                "translate.taint_dirty_page_runs",
+                lambda: translator.taint_dirty_page_runs,
+            )
 
     # ------------------------------------------------------------------
     # time & events
@@ -195,9 +207,17 @@ class Machine:
     # ------------------------------------------------------------------
 
     def phys_write(self, paddrs, data: bytes, source: str) -> None:
-        """Write external *data* (device input, file content) into memory."""
-        for paddr, byte in zip(paddrs, data):
-            self.memory.write_byte(paddr, byte)
+        """Write external *data* (device input, file content) into memory.
+
+        Bulk path: the per-byte *paddrs* tuple decomposes into at most
+        one run per touched guest page, each stored with a single slice
+        write (which also handles the watched-code-page version bumps).
+        Plugins still receive the full per-byte tuple.
+        """
+        pos = 0
+        for start, length in contiguous_runs(paddrs):
+            self.memory.write_bytes(start, data[pos : pos + length])
+            pos += length
         self._ctr_phys_writes.inc()
         self.plugins.on_phys_write(self, tuple(paddrs), source)
 
@@ -206,14 +226,36 @@ class Machine:
 
         *actor* is the guest process the kernel acts for (syscall
         requester); provenance plugins tag moved bytes with it.
+
+        Pairwise-contiguous stretches move as one read/write-bytes pair
+        (``read_bytes`` snapshots, so backward overlap is safe); only a
+        *forward*-overlapping run keeps the legacy byte loop, whose
+        index order deliberately ripples bytes the same copy wrote --
+        the shadow memory's ``copy_range`` mirrors exactly this split.
         """
         if len(dst_paddrs) != len(src_paddrs):
             raise DeviceFault(
                 "phys-copy",
                 f"length mismatch: {len(dst_paddrs)} dst vs {len(src_paddrs)} src bytes",
             )
-        for dst, src in zip(dst_paddrs, src_paddrs):
-            self.memory.write_byte(dst, self.memory.read_byte(src))
+        memory = self.memory
+        i, n = 0, len(dst_paddrs)
+        while i < n:
+            dst, src = dst_paddrs[i], src_paddrs[i]
+            j = i + 1
+            while (
+                j < n
+                and dst_paddrs[j] == dst + (j - i)
+                and src_paddrs[j] == src + (j - i)
+            ):
+                j += 1
+            length = j - i
+            if src < dst < src + length:
+                for k in range(length):
+                    memory.write_byte(dst + k, memory.read_byte(src + k))
+            else:
+                memory.write_bytes(dst, memory.read_bytes(src, length))
+            i = j
         self._ctr_phys_copies.inc()
         self.plugins.on_phys_copy(self, tuple(dst_paddrs), tuple(src_paddrs), actor)
 

@@ -30,6 +30,13 @@ from typing import List, Optional, Set, Tuple
 
 from repro.isa.instructions import format_instruction
 from repro.obs.metrics import NULL_REGISTRY
+from repro.taint.shadow import (
+    SHADOW_PAGE_SHIFT,
+    SUMMARY_EXPORT,
+    SUMMARY_NETFLOW,
+    SUMMARY_PROCESS,
+    prov_class_mask,
+)
 from repro.taint.tags import Tag, TagStore, TagType
 from repro.taint.tracker import LoadObservation
 
@@ -73,8 +80,15 @@ class Detector:
         tags: TagStore,
         config: Optional[DetectionConfig] = None,
         metrics=None,
+        shadow=None,
     ) -> None:
+        """*shadow*, when it is a flag-cache-capable
+        :class:`~repro.taint.shadow.ShadowMemory`, enables the per-page
+        summary-word confluence pre-check in :meth:`observe_load`; any
+        other value (e.g. the reference tracker's oracle shadow) is
+        ignored and the detector scans read provenance directly."""
         self.tags = tags
+        self.shadow = shadow if hasattr(shadow, "page_summary") else None
         self.config = config or DetectionConfig()
         self.flagged: List[FlaggedInstruction] = []
         #: Callbacks invoked with each fresh FlaggedInstruction (e.g. the
@@ -94,26 +108,54 @@ class Detector:
         }
 
     def observe_load(self, machine, obs: LoadObservation) -> None:
-        """Load-listener callback wired into the taint tracker."""
+        """Load-listener callback wired into the taint tracker.
+
+        The rule gates run on interned-provenance *class masks*
+        (:func:`~repro.taint.shadow.prov_class_mask` memoises per
+        provenance value), so the common armed-but-innocent load costs
+        two bit tests.  Only R2 -- which needs *distinct* process tags,
+        not just the class bit -- still walks the provenance list, and
+        only after the process-class gate passed.
+        """
         insn_prov = obs.insn_prov
         if not insn_prov:
             return
-        process_tags = [t for t in insn_prov if t.type is TagType.PROCESS]
-        if not process_tags:
+        mask = prov_class_mask(insn_prov)
+        if not mask & SUMMARY_PROCESS:
             return
-        has_netflow = any(t.type is TagType.NETFLOW for t in insn_prov)
-        distinct_processes = len(set(process_tags))
 
         rule = None
-        if self.config.netflow_rule and has_netflow:
+        if self.config.netflow_rule and mask & SUMMARY_NETFLOW:
             rule = "netflow+export-table"
-        elif self.config.cross_process_rule and distinct_processes >= 2:
+        elif self.config.cross_process_rule and (
+            len({t for t in insn_prov if t.type is TagType.PROCESS}) >= 2
+        ):
             rule = "cross-process+export-table"
         if rule is None:
             return
 
+        shadow = self.shadow
+        if shadow is not None:
+            # Confluence pre-check as a flag-cache probe: one summary
+            # word per touched shadow page (an access spans at most two
+            # -- bytes within each 256-byte guest page are physically
+            # consecutive).  Summaries never under-report a class still
+            # present on the page, so a missing EXPORT bit proves no
+            # read below can carry an export tag.
+            shift = SHADOW_PAGE_SHIFT
+            summary = 0
+            for access, _ in obs.reads:
+                paddrs = access.paddrs
+                first = paddrs[0] >> shift
+                summary |= shadow.page_summary(first)
+                last = paddrs[-1] >> shift
+                if last != first:
+                    summary |= shadow.page_summary(last)
+            if not summary & SUMMARY_EXPORT:
+                return
+
         for access, read_prov in obs.reads:
-            if not any(t.type is TagType.EXPORT_TABLE for t in read_prov):
+            if not read_prov or not prov_class_mask(read_prov) & SUMMARY_EXPORT:
                 continue
             thread = obs.thread
             key = (obs.fx.pc, thread.process.cr3, access.vaddr >> 8)

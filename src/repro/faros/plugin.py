@@ -85,7 +85,15 @@ class Faros(Plugin):
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.tags = TagStore()
         self.tracker = tracker_cls(policy=policy or TaintPolicy(), tags=self.tags)
-        self.detector = Detector(self.tags, detection, metrics=self.metrics)
+        # Fast trackers expose a flag-cache-capable shadow; the detector
+        # then pre-checks confluence with per-page summary words.  The
+        # byte-at-a-time reference tracker's shadow is quietly ignored.
+        self.detector = Detector(
+            self.tags,
+            detection,
+            metrics=self.metrics,
+            shadow=getattr(self.tracker, "shadow", None),
+        )
         if self.metrics.enabled:
             register_tracker_metrics(self.metrics, self.tracker)
         self.osi = OSIPlugin()

@@ -50,7 +50,7 @@ from repro.guestos.syscalls import ERR, Sys
 from repro.isa.assembler import Program
 from repro.isa.cpu import AccessKind
 from repro.isa.errors import GuestFault
-from repro.isa.memory import PAGE_SHIFT, PAGE_SIZE
+from repro.isa.memory import PAGE_SHIFT, PAGE_SIZE, contiguous_runs
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.emulator.machine import Machine
@@ -331,7 +331,10 @@ class Kernel:
 
     def _read_user(self, proc: Process, vaddr: int, n: int) -> Tuple[bytes, Tuple[int, ...]]:
         paddrs = proc.aspace.translate_range(vaddr, n, AccessKind.READ)
-        data = bytes(self.machine.memory.read_byte(p) for p in paddrs)
+        read_bytes = self.machine.memory.read_bytes
+        data = b"".join(
+            read_bytes(start, length) for start, length in contiguous_runs(paddrs)
+        )
         return data, paddrs
 
     def _read_user_string(self, proc: Process, vaddr: int, limit: int = 256) -> str:

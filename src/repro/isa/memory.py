@@ -14,7 +14,7 @@ machinery honest without inflating emulation cost.
 from __future__ import annotations
 
 import struct
-from typing import Dict, List
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.faults.errors import GuestResourceExhausted
 from repro.isa.errors import PhysicalMemoryError
@@ -24,6 +24,29 @@ PAGE_SHIFT = 8
 assert PAGE_SIZE == 1 << PAGE_SHIFT
 
 _U32 = struct.Struct("<I")
+
+
+def contiguous_runs(paddrs: Sequence[int]) -> Iterator[Tuple[int, int]]:
+    """Decompose a per-byte physical address tuple into ``(start, length)``
+    runs of consecutive addresses.
+
+    The MMU emits per-byte ``paddrs`` tuples because virtually-contiguous
+    ranges may map to scattered frames -- but within each 256-byte guest
+    page the bytes *are* physically consecutive, so a multi-page transfer
+    decomposes into at most one run per touched guest page.  Bulk
+    consumers (kernel copies, NIC DMA, shadow-tag range ops) iterate
+    these runs instead of the bytes.
+    """
+    i, n = 0, len(paddrs)
+    while i < n:
+        start = paddrs[i]
+        j = i + 1
+        expect = start + 1
+        while j < n and paddrs[j] == expect:
+            j += 1
+            expect += 1
+        yield start, j - i
+        i = j
 
 
 class PhysicalMemory:

@@ -50,13 +50,20 @@ pending control window, data footprint on clean shadow pages -- one
 membership probe against the live dirty-page index), and only on a gate
 miss the full Table I slow path, mirroring
 :meth:`~repro.taint.tracker.TaintTracker.on_insn_exec` bit-for-bit.
-Blocks whose *fetch* shadow page is dirty never run fused: that is
+Blocks whose own fetch *bytes* carry taint never run fused: that is
 possibly-injected code, and those instructions single-step through the
 instrumented interpreter so the per-byte fetch provenance scan and the
-detection listeners see them exactly.  A store that taints its own
-block's fetch page exits the block at that precise instruction (reason
-``"dirty"``).  See ``docs/taint_model.md`` for the three-tier dispatch
-picture.
+detection listeners see them exactly.  The cleanliness rule is
+**byte-precise**: a block on a dirty 4 KiB shadow page still runs fused
+when its own fetch range is clean (verdict cached per block against the
+page's mutation epoch) -- attack-shaped layouts where code shares a
+shadow page with planted tainted data stay on the fast tier.  A store
+that writes taint into its own block's fetch range exits the block at
+that precise instruction (reason ``"dirty"``; in practice the SMC check
+claims it first).  When the whole shadow is clean and the thread holds
+no taint, :meth:`TranslatedBlock.execute_taint` batches the data-side
+probes per block by delegating to the plain closures outright.  See
+``docs/taint_model.md`` for the three-tier dispatch picture.
 
 Blocks bind a specific CPU's register file and a specific MMU at
 translation time; a :class:`BlockTranslator` therefore belongs to one
@@ -164,6 +171,9 @@ class TranslatedBlock:
         "taint_body",
         "taint_term",
         "fetch_shadow_page",
+        "fetch_len",
+        "fetch_epoch",
+        "fetch_clean",
     )
 
     def __init__(
@@ -204,6 +214,16 @@ class TranslatedBlock:
         #: (a block never leaves its 256-byte MMU page, which can never
         #: straddle a 4 KiB shadow page).  Set by :meth:`ensure_taint`.
         self.fetch_shadow_page = -1
+        #: Fetch-footprint length in bytes (``n_insns * INSTRUCTION_SIZE``,
+        #: set by :meth:`ensure_taint`) -- the range whose *byte-precise*
+        #: cleanliness gates fused taint execution.
+        self.fetch_len = 0
+        #: Cached byte-precise fetch-range verdict, valid while the fetch
+        #: shadow page's epoch equals ``fetch_epoch`` (the flag-cache bit:
+        #: re-probing a dirty page the block's bytes don't intersect costs
+        #: one epoch compare instead of a range scan).
+        self.fetch_epoch = -1
+        self.fetch_clean = True
 
     @property
     def n_insns(self) -> int:
@@ -284,12 +304,16 @@ class TranslatedBlock:
             return
         _load_taint_runtime()
         self.fetch_shadow_page = self.start_paddr >> SHADOW_PAGE_SHIFT
+        self.fetch_len = self.n_insns * INSTRUCTION_SIZE
+        fetch_end = self.start_paddr + self.fetch_len
         cpu = self.cpu
         taint_body: List[Callable] = []
         pc = self.start_pc
         paddr = self.start_paddr
         for insn in self.insns:
-            taint_body.append(_compile_taint(insn, cpu, pc, paddr))
+            taint_body.append(
+                _compile_taint(insn, cpu, pc, paddr, self.start_paddr, fetch_end)
+            )
             pc = (pc + INSTRUCTION_SIZE) & MASK32
             paddr += INSTRUCTION_SIZE
         self.taint_term = _compile_taint_term(self.term_insn)
@@ -302,18 +326,23 @@ class TranslatedBlock:
         contract (budget cuts, precise guest faults, ``"smc"`` stops)
         plus two taint-specific behaviours:
 
-        * ``"dirty"`` -- a store in this block tainted the block's own
-          fetch shadow page.  The store retired; the caller must leave
-          the translated path so the next instruction's fetch provenance
-          is scanned by the interpreter (the detection window).
+        * ``"dirty"`` -- a store in this block wrote taint into the
+          block's own fetch *range*.  The store retired; the caller must
+          leave the translated path so the next instruction's fetch
+          provenance is scanned by the interpreter (the detection
+          window).  (In practice the ``"smc"`` check preempts this --
+          such a store also rewrote bytes of the block's watched code
+          page -- so the ``"dirty"`` exit is defence in depth.)
         * A :class:`~repro.faults.errors.TaintBudgetExceeded` out of a
           slow arm propagates with *post*-instruction state -- the
           interpreter raises after the instruction retired, and the
           differential suite holds the two paths to the same tick.
 
-        Caller contract: the block's fetch shadow page is clean on entry
-        (probed by :meth:`BlockTranslator.run_taint`), which is what lets
-        every fused closure treat the fetched bytes as provenance-free.
+        Caller contract: the block's fetch **range** is byte-precisely
+        clean on entry (probed by :meth:`BlockTranslator.run_taint`
+        through the per-page epoch cache), which is what lets every
+        fused closure treat the fetched bytes as provenance-free --
+        even when the surrounding 4 KiB shadow page carries taint.
 
         Stats contract: every retirement here is accounted on the
         tracker's counters with the same fast/slow split the interpreter
@@ -324,8 +353,29 @@ class TranslatedBlock:
         cpu = self.cpu
         n = self.n_body
         stats = ctx.stats
-        slow0 = stats.slow_retirements
         bank = ctx.bank
+        if (
+            bank.tainted == 0
+            and not bank.flags
+            and ctx.tid not in ctx.pending
+            and not ctx.dirty_pages
+        ):
+            # Whole-block batching: with a clean bank, no pending control
+            # window and a *wholly clean shadow* there is nothing any
+            # per-closure data probe could find -- every per-insn gate
+            # passes, no propagation can change that mid-block (plain
+            # stores cannot create taint), and the interpreter would
+            # retire every instruction on the fast path.  Run the plain
+            # closures (same SMC/fault/budget exactness) and account the
+            # whole block as fast retirements in one step.
+            before = cpu.instret
+            try:
+                return self.execute(budget)
+            finally:
+                retired = cpu.instret - before
+                stats.instructions += retired
+                stats.fast_retirements += retired
+        slow0 = stats.slow_retirements
         start_pc = self.start_pc
         retired = 0
         try:
@@ -338,7 +388,7 @@ class TranslatedBlock:
                 and ctx.tid not in ctx.pending
             ):
                 # Armed-but-clean shortcut: a pure block touches no data
-                # memory and its fetch page is clean, so with a clean
+                # memory and its fetch bytes are clean, so with a clean
                 # bank and no pending control window every per-insn gate
                 # below would pass and no propagation could change that
                 # mid-block.  Run the *plain* closures instead.
@@ -655,9 +705,12 @@ def _compile_term(insn: Instruction, cpu: CPU, fall_pc: int) -> Callable[[], int
 # call sequence, same stats splits, same listener observations
 # (tests/taint/test_differential.py compares all four bit-for-bit).  The
 # closures exploit one invariant the interpreter cannot: the dispatcher
-# only runs a block whose fetch shadow page is clean, so the per-insn
-# fetch scan (interpreter step 1) is provably a no-op -- zero provenance
-# collected, zero interner calls -- and ``insn_prov`` is always EMPTY.
+# only runs a block whose fetch *range* is byte-precisely clean, so the
+# per-insn fetch scan (interpreter step 1) is provably a no-op -- zero
+# provenance collected, zero interner calls -- and ``insn_prov`` is
+# always EMPTY.  (The surrounding 4 KiB shadow page may be dirty; only
+# the block's own bytes matter, and a store breaking the invariant exits
+# via the smc/dirty protocol before the next closure runs.)
 # Closures do their architectural work *first*, so a guest fault leaves
 # both machine and taint state exactly pre-instruction.
 
@@ -734,7 +787,12 @@ def _compile_reg_propagation(insn: Instruction) -> Optional[Callable]:
 
 
 def _compile_taint(
-    insn: Instruction, cpu: CPU, insn_pc: int, insn_paddr: int
+    insn: Instruction,
+    cpu: CPU,
+    insn_pc: int,
+    insn_paddr: int,
+    fetch_start: int = -1,
+    fetch_end: int = -1,
 ) -> Callable:
     """Compile one non-terminating instruction into a fused taint closure.
 
@@ -742,8 +800,11 @@ def _compile_taint(
     :class:`~repro.taint.tracker.BlockTaintContext` and returns the
     store protocol code: falsy to continue, ``1`` for a retired store
     (executor re-checks the code version), ``2`` for a retired store
-    that dirtied the block's own fetch shadow page (executor exits with
-    reason ``"dirty"``).
+    that wrote taint into the block's own fetch range
+    ``[fetch_start, fetch_end)`` (executor exits with reason
+    ``"dirty"``).  Taint landing elsewhere on the fetch *shadow page* no
+    longer exits: the block's own bytes are still clean, so fused
+    execution may continue.
     """
     op = insn.op
     v = cpu.regs._values
@@ -786,7 +847,7 @@ def _compile_taint(
             v[rd] = value
             if pop:
                 v[_SP] = (vaddr + 4) & MASK32
-            # The all-clean gate (fetch page is clean by block invariant).
+            # The all-clean gate (fetch bytes are clean by block invariant).
             bank = ctx.bank
             if bank.tainted == 0 and not bank.flags and ctx.tid not in ctx.pending:
                 dirty = ctx.dirty_pages
@@ -850,7 +911,6 @@ def _compile_taint(
         push = op is Op.PUSH
         byte = op is Op.STB
         src = rs1 if push else int(insn.rs2)
-        fetch_page = insn_paddr >> shift
 
         @_mem
         def store(ctx) -> int:
@@ -894,8 +954,14 @@ def _compile_taint(
                 prov = ctx.append(prov, proc_tag)
             ctx.shadow.set_bytes(paddrs, prov)
             _taint_epilogue(ctx)
-            if fetch_page in ctx.dirty_pages:
-                return 2
+            if prov:
+                # Byte-precise invariant check: only a *tainting* write
+                # into the block's own fetch range breaks it (and such a
+                # write also bumps the code page's version, so the SMC
+                # check usually claims the exit first).
+                for paddr in paddrs:
+                    if fetch_start <= paddr < fetch_end:
+                        return 2
             return 1
         return store
 
@@ -978,6 +1044,12 @@ class BlockTranslator:
         self.taint_executions = 0
         self.taint_single_steps = 0
         self.taint_dirty_exits = 0
+        # Byte-precise fetch-range probes (dirty fetch shadow pages only):
+        # how often the epoch cache answered, and how often a dirty page
+        # still let the block run fused because its own bytes were clean.
+        self.taint_range_checks = 0
+        self.taint_range_cache_hits = 0
+        self.taint_dirty_page_runs = 0
 
     # -- cache management --------------------------------------------------------
 
@@ -1127,15 +1199,20 @@ class BlockTranslator:
         Table I propagation against *ctx* (a
         :class:`~repro.taint.tracker.BlockTaintContext`).
 
-        The dispatch rule is the **block fetch-clean invariant**: a
-        cached block only executes while its fetch footprint's one
-        shadow page is clean, probed here before every block (entry and
-        chain alike).  A block whose fetch page carries taint is exactly
-        the possibly-injected code FAROS exists to observe, so those
-        instructions single-step through the instrumented interpreter
-        (``cpu.step`` + ``on_insn_exec``), whose per-byte fetch scan
-        collects the injected bytes' provenance.  Everything else runs
-        fused closures that treat fetched bytes as provenance-free.
+        The dispatch rule is the **byte-precise fetch-clean invariant**:
+        a cached block only executes while its own fetch range carries
+        no taint, probed here before every block (entry and chain
+        alike).  The probe is two-level: a clean fetch *shadow page*
+        (one dict miss) passes outright; a dirty page falls to
+        :meth:`_fetch_clean`, which consults the per-block epoch-cached
+        byte-precise verdict -- so attack-shaped layouts where code
+        shares a 4 KiB shadow page with planted tainted data (export
+        tables, staged payloads) keep running fused.  A block whose own
+        *bytes* carry taint is exactly the possibly-injected code FAROS
+        exists to observe, so those instructions single-step through the
+        instrumented interpreter (``cpu.step`` + ``on_insn_exec``),
+        whose per-byte fetch scan collects the injected bytes'
+        provenance.
         """
         _load_taint_runtime()
         self.taint_lookups += 1
@@ -1150,9 +1227,10 @@ class BlockTranslator:
         mmu_translate = cpu.mmu.translate
         code_version = memory.code_version
         dirty = ctx.dirty_pages
+        shadow = ctx.shadow
         spent = 0
         while True:
-            if block.fetch_shadow_page in dirty:
+            if block.fetch_shadow_page in dirty and not self._fetch_clean(block, shadow):
                 return self._taint_steps(cpu, ctx, budget - spent)
             before = cpu.instret
             reason = block.execute_taint(budget - spent, ctx)
@@ -1189,22 +1267,46 @@ class BlockTranslator:
                 nxt.ensure_taint()
             block = nxt
 
+    def _fetch_clean(self, block: TranslatedBlock, shadow) -> bool:
+        """Byte-precise fetch-range verdict for a block on a dirty page.
+
+        Cached per block against the shadow page's mutation epoch: while
+        the page's content hasn't changed, re-probing costs one integer
+        compare.  Any content change (set/clear/bulk op/page deletion)
+        bumps the epoch and forces one
+        :meth:`~repro.taint.shadow.ShadowMemory.range_clean` rescan.
+        """
+        self.taint_range_checks += 1
+        epoch = shadow.page_epoch(block.fetch_shadow_page)
+        if epoch == block.fetch_epoch:
+            self.taint_range_cache_hits += 1
+            clean = block.fetch_clean
+        else:
+            clean = shadow.range_clean(block.start_paddr, block.fetch_len)
+            block.fetch_epoch = epoch
+            block.fetch_clean = clean
+        if clean:
+            self.taint_dirty_page_runs += 1
+        return clean
+
     def _taint_steps(self, cpu: CPU, ctx, budget: int) -> str:
         """Interpreter window: full-effect steps fed to the tracker.
 
         The escape hatch for what the taint tier must not fuse: a pc
-        whose instruction straddles pages, or code whose fetch shadow
-        page is dirty (the detection window -- ``on_insn_exec`` runs the
+        whose instruction straddles pages, or code whose own fetch bytes
+        carry taint (the detection window -- ``on_insn_exec`` runs the
         exact per-byte fetch provenance scan and the load listeners).
         Steps until the budget is spent or the thread traps/halts;
         whenever control transfers or crosses into a new guest page, the
-        new pc's fetch shadow page is re-probed, and a clean one hands
+        new pc's fetch bytes are re-probed (page membership first, then
+        a byte-precise range check on dirty pages), and clean ones hand
         control back so the dispatcher can resume fused blocks.
         """
         tracker_exec = ctx.tracker.on_insn_exec
         machine = ctx.machine
         thread = ctx.thread
         dirty = ctx.dirty_pages
+        range_clean = ctx.shadow.range_clean
         translate = cpu.mmu.translate
         step = cpu.step
         shift = SHADOW_PAGE_SHIFT
@@ -1229,7 +1331,7 @@ class BlockTranslator:
                     paddr = translate(next_pc, FETCH)
                 except GuestFault:
                     continue  # the next step() raises it precisely
-                if (paddr >> shift) not in dirty:
+                if (paddr >> shift) not in dirty or range_clean(paddr, INSTRUCTION_SIZE):
                     return "fall"
 
     # -- introspection -----------------------------------------------------------
@@ -1276,5 +1378,8 @@ class BlockTranslator:
             "taint_executions": self.taint_executions,
             "taint_single_steps": self.taint_single_steps,
             "taint_dirty_exits": self.taint_dirty_exits,
+            "taint_range_checks": self.taint_range_checks,
+            "taint_range_cache_hits": self.taint_range_cache_hits,
+            "taint_dirty_page_runs": self.taint_dirty_page_runs,
             "cached_blocks": self.cached_blocks(),
         }

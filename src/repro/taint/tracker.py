@@ -46,6 +46,7 @@ from repro.emulator.plugins import Plugin
 from repro.faults.errors import TaintBudgetExceeded
 from repro.isa.cpu import InstructionEffects, MemoryAccess
 from repro.isa.instructions import IMM_ALU_OPS, Op, REG_ALU_OPS
+from repro.isa.memory import contiguous_runs
 from repro.isa.registers import Reg
 from repro.taint.intern import GLOBAL_INTERNER, ProvInterner
 from repro.taint.policy import TaintPolicy
@@ -144,6 +145,22 @@ def register_tracker_metrics(registry, tracker) -> None:
                 else 0.0
             ),
         )
+    if hasattr(shadow, "promotions"):
+        # Two-representation shadow: array-vs-dict occupancy, the
+        # promotion/demotion churn, and the flag-cache (summary word)
+        # service rate.
+        registry.gauge("taint.shadow.array_pages", lambda: shadow.array_page_count)
+        registry.gauge("taint.shadow.dict_pages", lambda: shadow.dict_page_count)
+        registry.gauge("taint.shadow.promotions", lambda: shadow.promotions)
+        registry.gauge("taint.shadow.demotions", lambda: shadow.demotions)
+        registry.gauge("taint.shadow.flag_cache.hits", lambda: shadow.summary_hits)
+        registry.gauge("taint.shadow.flag_cache.misses", lambda: shadow.summary_misses)
+
+        def _flag_cache_hit_rate() -> float:
+            total = shadow.summary_hits + shadow.summary_misses
+            return shadow.summary_hits / total if total else 0.0
+
+        registry.gauge("taint.shadow.flag_cache.hit_rate", _flag_cache_hit_rate)
 
 
 class TaintTracker(Plugin):
@@ -154,6 +171,7 @@ class TaintTracker(Plugin):
         policy: Optional[TaintPolicy] = None,
         tags: Optional[TagStore] = None,
         interner: Optional[ProvInterner] = None,
+        shadow_mode: str = "auto",
     ) -> None:
         super().__init__()
         self.policy = policy or TaintPolicy()
@@ -165,7 +183,11 @@ class TaintTracker(Plugin):
             # breaking the determinism contract faulted replays rely on.
             interner = ProvInterner()
         self.interner = interner if interner is not None else GLOBAL_INTERNER
-        self.shadow = ShadowMemory(self.interner)
+        # ``shadow_mode`` selects the page-representation policy
+        # ("auto" / "dict" / "array" / "mixed"); every mode is
+        # semantically identical -- the representation-differential
+        # matrix holds them bit-identical down to interner counters.
+        self.shadow = ShadowMemory(self.interner, mode=shadow_mode)
         self._max_tainted_bytes = self.policy.max_tainted_bytes
         self._max_prov_nodes = self.policy.max_prov_nodes
         self.banks = ShadowBank()
@@ -189,11 +211,15 @@ class TaintTracker(Plugin):
     # ------------------------------------------------------------------
 
     def taint_range(self, paddrs: Sequence[int], tag: Tag) -> None:
-        """Append *tag* to the provenance of each byte in *paddrs*."""
+        """Append *tag* to the provenance of each byte in *paddrs*.
+
+        Decomposed into contiguous physical runs so array-backed shadow
+        pages take one bulk (interner-exact) tag op per run instead of a
+        per-byte get/append/set loop.
+        """
         shadow = self.shadow
-        append = self.interner.append
-        for paddr in paddrs:
-            shadow.set(paddr, append(shadow.get(paddr), tag))
+        for start, length in contiguous_runs(paddrs):
+            shadow.append_range(start, length, tag)
         if self._max_tainted_bytes is not None or self._max_prov_nodes is not None:
             self._check_budget()
 
@@ -222,7 +248,9 @@ class TaintTracker(Plugin):
         return self.shadow.get_bytes(paddrs)
 
     def clear_range(self, paddrs: Sequence[int]) -> None:
-        self.shadow.clear_bytes(paddrs)
+        shadow = self.shadow
+        for start, length in contiguous_runs(paddrs):
+            shadow.clear_range(start, length)
 
     # ------------------------------------------------------------------
     # plugin callbacks: non-instruction data movement
@@ -232,22 +260,34 @@ class TaintTracker(Plugin):
         # External data overwrites these bytes: whatever provenance they
         # had is gone.  Source-specific tags (netflow, file) are seeded
         # by FAROS' own hooks which run after this one.
-        self.shadow.clear_bytes(paddrs)
+        shadow = self.shadow
+        for start, length in contiguous_runs(paddrs):
+            shadow.clear_range(start, length)
         self.stats.external_writes += 1
 
     def on_phys_copy(self, machine, dst_paddrs, src_paddrs, actor=None) -> None:
-        """Table I copy per byte, plus the acting process' tag."""
+        """Table I copy, plus the acting process' tag.
+
+        Decomposed into runs where *both* sides are physically
+        consecutive, so array-page to array-page moves are slice copies
+        (:meth:`~repro.taint.shadow.ShadowMemory.copy_range` preserves
+        the per-byte zip-order semantics and the interner accounting of
+        the original loop, including overlapping-range ripple).
+        """
         shadow = self.shadow
-        append = self.interner.append
         actor_tag: Optional[Tag] = None
         if actor is not None and self.policy.process_tags_on_access:
             actor_tag = self.tags.process_tag(actor.cr3)
-        for dst, src in zip(dst_paddrs, src_paddrs):
-            prov = shadow.get(src)
-            if prov and actor_tag is not None:
-                prov = append(prov, actor_tag)
-                self.stats.process_tag_appends += 1
-            shadow.set(dst, prov)
+        i, n = 0, len(dst_paddrs)
+        appends = 0
+        while i < n:
+            dst, src = dst_paddrs[i], src_paddrs[i]
+            j = i + 1
+            while j < n and dst_paddrs[j] == dst + (j - i) and src_paddrs[j] == src + (j - i):
+                j += 1
+            appends += shadow.copy_range(dst, src, j - i, actor_tag)
+            i = j
+        self.stats.process_tag_appends += appends
         self.stats.kernel_copies += 1
         if self._max_tainted_bytes is not None or self._max_prov_nodes is not None:
             self._check_budget()
@@ -323,15 +363,20 @@ class TaintTracker(Plugin):
         bank = self.banks.for_thread(tid)
 
         # All-clean fast exit: thread bank clean, no pending control
-        # window, and every byte this instruction touches sits on a
-        # clean shadow page.  Then every propagation rule is the
-        # identity (sources untainted => destinations untainted, and
-        # destinations were untainted already), no process tags can
-        # attach, and no listener verdict can change.
+        # window, every *fetched byte* is clean (byte-precise -- code
+        # sharing a dirty 4 KiB shadow page with tainted data still
+        # qualifies), and no data byte lands on a dirty shadow page.
+        # Then every propagation rule is the identity (sources untainted
+        # => destinations untainted, and destinations were untainted
+        # already), no process tags can attach, and no listener verdict
+        # can change (listeners skipped here would only see all-empty
+        # provenance).  Data accesses keep the cheaper page-granular
+        # probe: their slow path is exact anyway, the fetch probe is the
+        # one that decides whether *code* stays on the fast path.
         if bank.tainted == 0 and not bank.flags and tid not in self._pending_control:
             shadow = self.shadow
             if (
-                shadow.pages_clean(fx.fetch_paddrs)
+                shadow.bytes_clean(fx.fetch_paddrs)
                 and (not fx.reads or all(shadow.pages_clean(a.paddrs) for a in fx.reads))
                 and (not fx.writes or all(shadow.pages_clean(a.paddrs) for a in fx.writes))
             ):

@@ -8,9 +8,12 @@ taint tier's local contracts on whole machines carrying a lone
 * armed-but-clean code keeps executing translated blocks (the per-block
   fetch-shadow-page probe), with the pure-clean shortcut retiring
   everything fast;
-* a store that dirties the block's *own* fetch shadow page exits the
-  block precisely after that store and falls back to the interpreter
-  window;
+* cleanliness is byte-precise: blocks on shadow pages that are dirty
+  but whose *instruction bytes* are clean stay fused (taint planted
+  next to code -- the attack-shaped layout -- no longer evicts it),
+  and only a store that taints the fetch range itself exits the block
+  precisely (via the code-version bump, since tainting fetched bytes
+  means writing them);
 * every fused operand shape (moves, ALU, compares, loads/stores, stack
   traffic, calls) leaves bit-identical tracker state vs the
   instrumented interpreter;
@@ -70,7 +73,11 @@ parkpad: .space 8192
 
 
 def run_one(body, seeds=(), policy=None, translate=True, budget=300_000, **config_kw):
-    """One machine, one fast tracker, optional taint seeding by label."""
+    """One machine, one fast tracker, optional taint seeding by label.
+
+    Each seed is ``(label, n)`` (seeded with the NETFLOW :data:`SEED`)
+    or ``(label, n, tag)`` for attack-shaped plants (export tags etc.).
+    """
     machine = Machine(MachineConfig(translate=translate, **config_kw))
     tracker = TaintTracker(
         policy=policy or TaintPolicy(), interner=ProvInterner()
@@ -78,9 +85,9 @@ def run_one(body, seeds=(), policy=None, translate=True, budget=300_000, **confi
     machine.plugins.register(tracker)
     prog = register_asm(machine, "t.exe", body, PARK)
     proc = machine.kernel.spawn("t.exe")
-    for label, n in seeds:
+    for label, n, *rest in seeds:
         paddrs = proc.aspace.translate_range(prog.label(label), n, AccessKind.READ)
-        tracker.taint_range(paddrs, SEED)
+        tracker.taint_range(paddrs, rest[0] if rest else SEED)
     stats = machine.run(budget)
     return machine, tracker, stats
 
@@ -165,17 +172,22 @@ class TestArmedButCleanStaysTranslated:
 
 
 #: The store lands one guest page past the code (no code-page version
-#: bump, so not SMC) but inside the code's 4 KiB shadow page: retiring
-#: it makes the block's own footprint dirty, forcing the precise
-#: mid-block exit.
+#: bump, so not SMC) but inside the code's 4 KiB shadow page.  Under the
+#: byte-precise cleanliness rule this is the PR 6 headroom case: the
+#: shadow page goes dirty, yet the block's *fetch bytes* stay clean, so
+#: every later loop iteration re-probes the range and keeps running
+#: fused instead of falling to the interpreter window.
 DIRTY_OWN_PAGE = """
 start:
+    movi r5, 8
+loop:
     movi r6, src
     ld r1, [r6]
     movi r6, near
     st [r6], r1
-    addi r2, r1, 1
-    addi r3, r2, 1
+    subi r5, r5, 1
+    cmpi r5, 0
+    jnz loop
     jmp park
 near_pad: .space 256
 near: .word 0
@@ -183,15 +195,93 @@ pad: .space 8192
 src: .word 0x1111
 """
 
+#: Attack-shaped layout: export-table tags planted on the code's own
+#: 4 KiB shadow page (what a scraped PE header next to injected code
+#: looks like).  The program never touches the plant; its fetch bytes
+#: are clean, so it must stay in fused execution.
+EXPORT_NEIGHBOR = """
+start:
+    movi r5, 8
+loop:
+    movi r6, src
+    ld r1, [r6]
+    movi r6, dst
+    st [r6], r1
+    subi r5, r5, 1
+    cmpi r5, 0
+    jnz loop
+    jmp park
+planted: .space 16
+pad: .space 8192
+src: .word 0xfeedface
+dst: .word 0
+"""
 
-class TestMidBlockDirtyExit:
-    def test_own_store_exits_block_precisely(self):
+EXPORT_TAG = Tag(TagType.EXPORT_TABLE, 3)
+
+#: A store that taints the block's *own fetch range*: patch the low imm
+#: byte of ``movi r5, 1`` with a tainted value.  Writing fetched bytes
+#: necessarily bumps the watched code-page version, so the SMC exit
+#: claims the block precisely at the store, and the retranslated tail
+#: -- now injected, tainted code -- runs in the detection window.
+PATCH_FETCH = """
+start:
+    movi r6, src
+    ld r1, [r6]
+    movi r4, patchme
+    stb [r4+4], r1
+patchme:
+    movi r5, 1
+    jmp park
+pad: .space 8192
+src: .word 9
+"""
+
+
+class TestByteGranularCleanliness:
+    def test_store_beside_fetch_range_stays_fused(self):
         (machine, tracker, _), _ = run_pair(DIRTY_OWN_PAGE, seeds=[("src", 4)])
         ts = taint_stats(machine)
-        assert ts["taint_dirty_exits"] == 1
-        # The instructions after the store (and everything fetched from
-        # the now-dirty shadow page) run in the interpreter window.
+        assert ts["taint_dirty_exits"] == 0
+        assert ts["taint_single_steps"] == 0
+        # Later iterations re-enter the block with its shadow page in
+        # the dirty set; the byte-precise probe keeps them fused.
+        assert ts["taint_dirty_page_runs"] > 0
+        assert tracker.shadow.tainted_bytes > 4  # src + near carry taint
+
+    def test_planted_export_tags_beside_code_stay_fused(self):
+        (machine, tracker, _), _ = run_pair(
+            EXPORT_NEIGHBOR, seeds=[("src", 4), ("planted", 16, EXPORT_TAG)]
+        )
+        ts = taint_stats(machine)
+        assert ts["taint_single_steps"] == 0
+        assert ts["taint_dirty_exits"] == 0
+        assert ts["taint_dirty_page_runs"] > 0
+        # The plant itself is untouched provenance, not collateral.
+        assert tracker.shadow.tainted_bytes >= 16 + 4
+
+    def test_tainted_fetch_bytes_run_in_the_window(self):
+        # Precision cuts the other way too: taint the first instruction
+        # itself and that instruction (alone) goes through the window.
+        (machine, _, _), _ = run_pair(TAINTED_LOOP, seeds=[("start", 4)])
+        assert taint_stats(machine)["taint_single_steps"] > 0
+
+    def test_store_into_fetch_range_exits_precisely(self):
+        from repro.isa.registers import Reg
+
+        (machine, tracker, _), (machine_off, _, _) = run_pair(
+            PATCH_FETCH, seeds=[("src", 4)]
+        )
+        ts = taint_stats(machine)
+        # Tainting fetched bytes means writing them, so the code-version
+        # bump (SMC) claims the exit; the dirty-exit counter stays idle.
+        assert ts["taint_dirty_exits"] == 0
+        assert machine.translator.invalidations >= 1
+        # The patched, now-tainted instruction ran in the window...
         assert ts["taint_single_steps"] > 0
+        # ...and executed the NEW bytes on both tiers.
+        assert machine.cpu.regs.read(Reg.R5) == 9
+        assert machine_off.cpu.regs.read(Reg.R5) == 9
 
     def test_clean_store_does_not_exit(self):
         (machine, _, _), _ = run_pair(TAINTED_LOOP, seeds=[("src", 4)])

@@ -26,6 +26,13 @@ channel taint can move through:
   the co-attached pair (where the reference forces interpretation for
   both), each matrix leg runs on its own machine so the translated leg
   genuinely executes fused per-block taint closures.
+* **the representation matrix** -- the same random op sequences and
+  guest programs through the three shadow configurations (``array``:
+  promote-at-one-byte, ``dict``: never promote, ``mixed``: forced
+  promote/demote thresholds so pages cross the representation boundary
+  mid-run), compared down to interner counters, retirement splits and
+  tainted-load observations, with ``taint/reference.py`` as the
+  byte-at-a-time oracle.
 
 The quick versions of the randomised suites run in tier-1 (a ~100-case
 smoke slice of the translate matrix included); the
@@ -60,6 +67,7 @@ from repro.faros import Faros
 from repro.isa.cpu import AccessKind
 from repro.taint.intern import ProvInterner
 from repro.taint.policy import TaintPolicy
+from repro.taint.provenance import append_tag
 from repro.taint.reference import ReferenceShadowMemory, ReferenceTaintTracker
 from repro.taint.shadow import SHADOW_PAGE_SIZE, ShadowMemory
 from repro.taint.tags import Tag, TagStore, TagType
@@ -442,7 +450,7 @@ class TestKernelPathDifferential:
 # ======================================================================
 
 
-def run_single(body, policy, seeds, tracker, translate):
+def run_single(body, policy, seeds, tracker, translate, extra_seeds=()):
     """Run *body* under one tracker alone on a fresh machine.
 
     Alone matters: with no co-attached reference demanding the full
@@ -466,6 +474,8 @@ def run_single(body, policy, seeds, tracker, translate):
         seed("in_b", 4, SEED_B)
     if seeds == "buf":
         seed("buf", 8, SEED_A)
+    for label, n, tag in extra_seeds:
+        seed(label, n, tag)
     machine.run(300_000)
     return machine, obs_log
 
@@ -562,3 +572,165 @@ class TestDetectionVerdictDifferential:
         assert not ref.attack_detected
         assert not fast.attack_detected
         assert flag_keys(fast) == flag_keys(ref) == set()
+
+
+# ======================================================================
+# 6. shadow-representation matrix: array vs dict vs forced-mixed
+# ======================================================================
+
+SHADOW_MODES = ("array", "dict", "mixed")
+
+#: Op mix biased toward long uniform runs (promotion fodder in the
+#: array/mixed configurations) interleaved with scattered writes of
+#: distinct provenance (code-set growth past the forced-mixed cap, so
+#: pages demote again), walking pages across the representation
+#: boundary mid-sequence.
+rep_lengths = st.integers(1, 200)
+rep_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("set_range"), addresses, rep_lengths, small_provs),
+        st.tuples(st.just("append_range"), addresses, rep_lengths, st.sampled_from(TAGS)),
+        st.tuples(st.just("set"), addresses, small_provs),
+        st.tuples(st.just("clear_range"), addresses, rep_lengths),
+        st.tuples(st.just("set_bytes"), scatter, small_provs),
+        st.tuples(
+            st.just("copy_range"),
+            addresses,
+            addresses,
+            st.integers(1, 96),
+            st.sampled_from(TAGS + (None,)),
+        ),
+    ),
+    min_size=2,
+    max_size=24,
+)
+
+
+def apply_rep_op_reference(ref, op):
+    """Byte-at-a-time oracle semantics for the bulk-only shadow ops."""
+    name, args = op[0], op[1:]
+    if name == "append_range":
+        start, length, tag = args
+        for paddr in range(start, start + length):
+            ref.set(paddr, append_tag(ref.get(paddr), tag))
+    elif name == "copy_range":
+        dst, src, length, tag = args
+        for i in range(length):
+            prov = ref.get(src + i)
+            if prov and tag is not None:
+                prov = append_tag(prov, tag)
+            ref.set(dst + i, prov)
+    else:
+        getattr(ref, name)(*args)
+
+
+def check_representation_sequence(ops):
+    interners = {mode: ProvInterner() for mode in SHADOW_MODES}
+    shadows = {mode: ShadowMemory(interners[mode], mode=mode) for mode in SHADOW_MODES}
+    ref = ReferenceShadowMemory()
+    for op in ops:
+        for shadow in shadows.values():
+            getattr(shadow, op[0])(*op[1:])
+        apply_rep_op_reference(ref, op)
+    expected = ref.snapshot()
+    for mode, shadow in shadows.items():
+        assert shadow.snapshot() == expected, mode
+        assert shadow.tainted_bytes == ref.tainted_bytes, mode
+    # The bulk paths must score the exact hits/misses of the per-byte
+    # loops they replace, no matter which representation ran them.
+    base_counts = (interners["array"].hits, interners["array"].misses)
+    for mode in ("dict", "mixed"):
+        assert (interners[mode].hits, interners[mode].misses) == base_counts, mode
+    for paddr in sorted(expected)[:8]:
+        for shadow in shadows.values():
+            assert shadow.get(paddr) == ref.get(paddr)
+            assert not shadow.pages_clean((paddr,))
+            assert not shadow.range_clean(paddr, 1)
+
+
+class TestShadowRepresentationMatrix:
+    @given(ops=rep_ops)
+    @settings(max_examples=40, deadline=None)
+    def test_quick(self, ops):
+        check_representation_sequence(ops)
+
+    @pytest.mark.slow
+    @given(ops=rep_ops)
+    @settings(max_examples=400, deadline=None)
+    def test_exhaustive(self, ops):
+        check_representation_sequence(ops)
+
+    def test_forced_mixed_promotes_then_demotes_preserving_provenance(self):
+        shadow = ShadowMemory(ProvInterner(), mode="mixed")
+        prov = (TAGS[0],)
+        for i in range(8):
+            shadow.set(i, prov)  # dict page grows to the forced cap...
+        assert shadow.promotions >= 1  # ...and promotes to the array form
+        assert shadow.array_page_count == 1
+        expected = shadow.snapshot()
+        for i, tag in enumerate(TAGS[:3]):  # 3 distinct codes > cap of 2
+            shadow.set(100 + i, (tag,))
+            expected[100 + i] = (tag,)
+        assert shadow.demotions >= 1
+        assert shadow.dict_page_count == 1
+        assert shadow.array_page_count == 0
+        assert shadow.snapshot() == expected
+
+
+def run_representation_matrix(body, policy, seeds):
+    """The translate matrix again, across shadow representations.
+
+    Every leg runs the translated-tainted tier; only the shadow
+    configuration differs.  Seeding ``buf`` with one long uniform run
+    makes the array/mixed legs promote that page up front, and programs
+    that store mixed unions into it push forced-mixed past its code cap
+    and demote it again mid-run.
+    """
+    extra = (("buf", 32, SEED_A),)
+    legs = {}
+    for mode in SHADOW_MODES:
+        tracker = TaintTracker(
+            policy=policy, interner=ProvInterner(), shadow_mode=mode
+        )
+        machine, obs = run_single(body, policy, seeds, tracker, True, extra)
+        legs[mode] = (machine, tracker, obs)
+    reference = ReferenceTaintTracker(policy=policy)
+    machine_r, obs_r = run_single(body, policy, seeds, reference, False, extra)
+
+    machine_b, base, obs_b = legs[SHADOW_MODES[0]]
+    for mode in SHADOW_MODES[1:]:
+        machine_m, tracker, obs_m = legs[mode]
+        assert machine_m.now == machine_b.now
+        assert tracker.shadow.snapshot() == base.shadow.snapshot(), mode
+        assert tracker.shadow.tainted_bytes == base.shadow.tainted_bytes, mode
+        assert tracker.banks.snapshot() == base.banks.snapshot(), mode
+        assert tracker.stats.instructions == base.stats.instructions, mode
+        assert tracker.stats.fast_retirements == base.stats.fast_retirements, mode
+        assert tracker.stats.slow_retirements == base.stats.slow_retirements, mode
+        assert (
+            tracker.stats.process_tag_appends == base.stats.process_tag_appends
+        ), mode
+        assert (tracker.interner.hits, tracker.interner.misses) == (
+            base.interner.hits,
+            base.interner.misses,
+        ), f"interner call sequences diverged in shadow mode {mode}"
+        assert tainted_observations(obs_m) == tainted_observations(obs_b), mode
+
+    assert machine_b.now == machine_r.now
+    assert base.shadow.snapshot() == reference.shadow.snapshot()
+    assert base.banks.snapshot() == reference.banks.snapshot()
+    assert base.stats.instructions == reference.stats.instructions
+    assert tainted_observations(obs_b) == tainted_observations(obs_r)
+
+
+class TestProgramRepresentationMatrix:
+    @given(body=guest_programs(), policy=policies, seeds=seed_choices)
+    @settings(max_examples=15, deadline=None)
+    def test_quick(self, body, policy, seeds):
+        run_representation_matrix(body, policy, seeds)
+
+    @pytest.mark.slow
+    @given(body=guest_programs(), policy=policies, seeds=seed_choices)
+    @settings(max_examples=150, deadline=None)
+    def test_exhaustive(self, body, policy, seeds):
+        run_representation_matrix(body, policy, seeds)

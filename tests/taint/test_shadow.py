@@ -1,17 +1,37 @@
-"""Unit tests for page-organised shadow memory and register banks."""
+"""Unit tests for page-organised shadow memory and register banks.
+
+Besides the dict-form unit contracts, this file holds the Hypothesis
+property suites for the two-representation design:
+
+* **flag-cache invariant** -- after any interleaving of
+  set/clear/range/bulk/promote/demote ops, every page's summary word
+  equals the OR of its bytes' tag classes (and stays equal on the
+  cached re-probe);
+* **promote/demote round-trips** -- forcing pages across the
+  array/dict boundary never changes per-byte provenance, byte counts,
+  or summaries.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.isa.registers import Reg
 from repro.taint.intern import ProvInterner
 from repro.taint.shadow import (
+    SHADOW_PAGE_SHIFT,
     SHADOW_PAGE_SIZE,
     ShadowBank,
     ShadowMemory,
     ShadowRegisters,
+    prov_class_mask,
 )
 from repro.taint.tags import Tag, TagType
 
 N = Tag(TagType.NETFLOW, 0)
 P = Tag(TagType.PROCESS, 1)
+E = Tag(TagType.EXPORT_TABLE, 2)
+F = Tag(TagType.FILE, 3)
 
 
 class TestShadowMemory:
@@ -123,6 +143,109 @@ class TestPageOrganisation:
         second = shadow.get_range(0, 2)
         assert first == (N, P)
         assert first is second  # memoised union, no fresh allocation
+
+
+ALL_TAGS = (N, P, E, F)
+MODES = ("auto", "array", "dict", "mixed")
+
+fc_addresses = st.integers(0, 2 * SHADOW_PAGE_SIZE - 1)
+fc_provs = st.lists(st.sampled_from(ALL_TAGS), max_size=3, unique=True).map(tuple)
+fc_scatter = st.lists(fc_addresses, min_size=1, max_size=6).map(tuple)
+fc_pages = st.integers(0, 2)
+
+#: Any interleaving of the shadow API, *including* forced representation
+#: transitions, over a three-page physical window.
+flag_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("set"), fc_addresses, fc_provs),
+        st.tuples(st.just("set_range"), fc_addresses, st.integers(0, 64), fc_provs),
+        st.tuples(st.just("clear_range"), fc_addresses, st.integers(0, 64)),
+        st.tuples(
+            st.just("append_range"),
+            fc_addresses,
+            st.integers(1, 64),
+            st.sampled_from(ALL_TAGS),
+        ),
+        st.tuples(
+            st.just("copy_range"),
+            fc_addresses,
+            fc_addresses,
+            st.integers(1, 48),
+            st.sampled_from(ALL_TAGS + (None,)),
+        ),
+        st.tuples(st.just("set_bytes"), fc_scatter, fc_provs),
+        st.tuples(st.just("clear_bytes"), fc_scatter),
+        st.tuples(st.just("promote_page"), fc_pages),
+        st.tuples(st.just("demote_page"), fc_pages),
+    ),
+    max_size=15,
+)
+
+
+def summary_oracle(shadow, number):
+    """OR of the page's byte tag classes, straight off the flat snapshot."""
+    mask = 0
+    for paddr, prov in shadow.snapshot().items():
+        if paddr >> SHADOW_PAGE_SHIFT == number:
+            mask |= prov_class_mask(prov)
+    return mask
+
+
+def run_flag_ops(shadow, ops):
+    for op in ops:
+        getattr(shadow, op[0])(*op[1:])
+
+
+class TestFlagCacheInvariant:
+    @given(ops=flag_ops, mode=st.sampled_from(MODES))
+    @settings(max_examples=60, deadline=None)
+    def test_summary_equals_or_of_byte_classes(self, ops, mode):
+        shadow = ShadowMemory(ProvInterner(), mode=mode)
+        for op in ops:
+            getattr(shadow, op[0])(*op[1:])
+            for number in range(3):
+                expected = summary_oracle(shadow, number)
+                assert shadow.page_summary(number) == expected
+                # The cached re-probe must agree with the recompute.
+                assert shadow.page_summary(number) == expected
+
+    @pytest.mark.slow
+    @given(ops=flag_ops, mode=st.sampled_from(MODES))
+    @settings(max_examples=400, deadline=None)
+    def test_summary_invariant_exhaustive(self, ops, mode):
+        self.test_summary_equals_or_of_byte_classes.hypothesis.inner_test(
+            self, ops, mode
+        )
+
+
+class TestPromoteDemoteRoundTrip:
+    @given(ops=flag_ops, mode=st.sampled_from(MODES))
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_preserves_exact_provenance(self, ops, mode):
+        shadow = ShadowMemory(ProvInterner(), mode=mode)
+        run_flag_ops(shadow, ops)
+        before = shadow.snapshot()
+        tainted = shadow.tainted_bytes
+        for number in shadow.dirty_pages():
+            shadow.demote_page(number)
+        assert shadow.snapshot() == before
+        assert shadow.tainted_bytes == tainted
+        for number in shadow.dirty_pages():
+            shadow.promote_page(number)  # may decline (too many codes): fine
+        assert shadow.snapshot() == before
+        assert shadow.tainted_bytes == tainted
+        for number in range(3):
+            assert shadow.page_summary(number) == summary_oracle(shadow, number)
+        for paddr, prov in before.items():
+            assert shadow.get(paddr) == prov
+
+    @pytest.mark.slow
+    @given(ops=flag_ops, mode=st.sampled_from(MODES))
+    @settings(max_examples=400, deadline=None)
+    def test_round_trip_exhaustive(self, ops, mode):
+        self.test_round_trip_preserves_exact_provenance.hypothesis.inner_test(
+            self, ops, mode
+        )
 
 
 class TestShadowRegisters:
