@@ -274,7 +274,8 @@ def _faros_outcome(faros: Faros, exit_code: Optional[int] = None,
 @job_kind("attack")
 def _run_attack_job(attack: str, transient: bool = False,
                     metrics: bool = False, sample_every: int = 1,
-                    top_blocks: int = 10) -> JobOutcome:
+                    top_blocks: int = 10,
+                    taint_pipeline: Optional[str] = None) -> JobOutcome:
     """Record/replay one attack scenario with FAROS attached (§V-C)."""
     session = ObsSession.create(enabled=metrics, sample_every=sample_every,
                                 top_blocks=top_blocks)
@@ -283,7 +284,7 @@ def _run_attack_job(attack: str, transient: bool = False,
         scenario = builder(transient=True) if transient else builder()
     with session.span("attack"):
         recording = record(scenario.scenario)
-    faros = Faros(metrics=session.registry)
+    faros = Faros(metrics=session.registry, taint_pipeline=taint_pipeline)
     with session.span("detection"):
         replay(recording, plugins=session.plugins_for(faros),
                metrics=session.registry)
@@ -292,12 +293,13 @@ def _run_attack_job(attack: str, transient: bool = False,
 
 @job_kind("jit")
 def _run_jit_job(name: str, workload: str,
-                 metrics: bool = False, sample_every: int = 1) -> JobOutcome:
+                 metrics: bool = False, sample_every: int = 1,
+                 taint_pipeline: Optional[str] = None) -> JobOutcome:
     """One Table III JIT workload (Java applet or AJAX site)."""
     session = ObsSession.create(enabled=metrics, sample_every=sample_every)
     with session.span("boot"):
         sample = build_jit_scenario(name, workload)
-    faros = Faros(metrics=session.registry)
+    faros = Faros(metrics=session.registry, taint_pipeline=taint_pipeline)
     with session.span("detection"):
         sample.scenario.run(plugins=session.plugins_for(faros),
                             metrics=session.registry)
@@ -312,12 +314,13 @@ def _run_jit_job(name: str, workload: str,
 
 @job_kind("corpus")
 def _run_corpus_job(metrics: bool = False, sample_every: int = 1,
+                    taint_pipeline: Optional[str] = None,
                     **params) -> JobOutcome:
     """One Table IV corpus sample, rebuilt from its picklable spec."""
     session = ObsSession.create(enabled=metrics, sample_every=sample_every)
     with session.span("boot"):
         spec = SampleSpec.from_params(**params)
-    faros = Faros(metrics=session.registry)
+    faros = Faros(metrics=session.registry, taint_pipeline=taint_pipeline)
     with session.span("detection"):
         machine = spec.scenario().run(plugins=session.plugins_for(faros),
                                       metrics=session.registry)
@@ -333,13 +336,14 @@ def _run_corpus_job(metrics: bool = False, sample_every: int = 1,
 
 @job_kind("comparison")
 def _run_comparison_job(attack: str, transient: bool = False,
-                        metrics: bool = False, sample_every: int = 1) -> JobOutcome:
+                        metrics: bool = False, sample_every: int = 1,
+                        taint_pipeline: Optional[str] = None) -> JobOutcome:
     """One §VI-B row: the same attack under FAROS, Cuckoo, and malfind."""
     session = ObsSession.create(enabled=metrics, sample_every=sample_every)
     with session.span("boot"):
         builder = ATTACK_BUILDER_REGISTRY[attack]
         attack_obj = builder(transient=transient)
-    faros = Faros(metrics=session.registry)
+    faros = Faros(metrics=session.registry, taint_pipeline=taint_pipeline)
     with session.span("detection"):
         attack_obj.scenario.run(plugins=session.plugins_for(faros),
                                 metrics=session.registry)
@@ -364,7 +368,8 @@ def _run_comparison_job(attack: str, transient: bool = False,
 
 @job_kind("chaos")
 def _run_chaos_job(attack: str, plan: dict, fault_name: str = "",
-                   metrics: bool = False, sample_every: int = 1) -> JobOutcome:
+                   metrics: bool = False, sample_every: int = 1,
+                   taint_pipeline: Optional[str] = None) -> JobOutcome:
     """One chaos-matrix cell: record *attack* under an injected
     :class:`~repro.faults.plan.FaultPlan`, then replay with FAROS.
 
@@ -380,7 +385,10 @@ def _run_chaos_job(attack: str, plan: dict, fault_name: str = "",
             scenario = fault_plan.apply(ATTACK_BUILDER_REGISTRY[attack]().scenario)
         with session.span("attack"):
             recording = record(scenario)
-        faros = Faros(policy=fault_plan.taint_policy(), metrics=session.registry)
+        # An explicit CLI pipeline choice wins; otherwise the plan's own
+        # pipeline fields (folded into MachineConfig by ``apply``) rule.
+        faros = Faros(policy=fault_plan.taint_policy(), metrics=session.registry,
+                      taint_pipeline=taint_pipeline)
         with session.span("detection"):
             replay(recording, plugins=session.plugins_for(faros),
                    metrics=session.registry)
@@ -719,46 +727,57 @@ def run_triage(
 # batch builders (the experiment runners' job lists)
 # ----------------------------------------------------------------------
 
-def _with_metrics(params: Dict[str, Any], metrics: bool) -> Dict[str, Any]:
-    """Only set the key when telemetry is on, so descriptors for plain
+def _with_metrics(params: Dict[str, Any], metrics: bool,
+                  taint_pipeline: Optional[str] = None) -> Dict[str, Any]:
+    """Only set the keys when non-default, so descriptors for plain
     runs stay byte-identical to the pre-observability wire format."""
     if metrics:
         params["metrics"] = True
+    if taint_pipeline is not None:
+        params["taint_pipeline"] = taint_pipeline
     return params
 
 
-def attack_jobs(names: Sequence[str], metrics: bool = False) -> List[TriageJob]:
+def attack_jobs(names: Sequence[str], metrics: bool = False,
+                taint_pipeline: Optional[str] = None) -> List[TriageJob]:
     return [
         TriageJob(job_id=i, name=name, kind="attack",
-                  params=_with_metrics({"attack": name}, metrics))
+                  params=_with_metrics({"attack": name}, metrics,
+                                       taint_pipeline))
         for i, name in enumerate(names)
     ]
 
 
 def jit_jobs(workloads: Sequence[Tuple[str, str]],
-             metrics: bool = False) -> List[TriageJob]:
+             metrics: bool = False,
+             taint_pipeline: Optional[str] = None) -> List[TriageJob]:
     return [
         TriageJob(job_id=i, name=name, kind="jit",
                   params=_with_metrics(
-                      {"name": name, "workload": workload}, metrics))
+                      {"name": name, "workload": workload}, metrics,
+                      taint_pipeline))
         for i, (name, workload) in enumerate(workloads)
     ]
 
 
 def corpus_jobs(samples: Sequence[SampleSpec],
-                metrics: bool = False) -> List[TriageJob]:
+                metrics: bool = False,
+                taint_pipeline: Optional[str] = None) -> List[TriageJob]:
     return [
         TriageJob(job_id=i, name=spec.name, kind="corpus",
-                  params=_with_metrics(spec.job_params(), metrics))
+                  params=_with_metrics(spec.job_params(), metrics,
+                                       taint_pipeline))
         for i, spec in enumerate(samples)
     ]
 
 
 def comparison_jobs(cases: Sequence[Tuple[str, bool]],
-                    metrics: bool = False) -> List[TriageJob]:
+                    metrics: bool = False,
+                    taint_pipeline: Optional[str] = None) -> List[TriageJob]:
     return [
         TriageJob(job_id=i, name=attack, kind="comparison",
                   params=_with_metrics(
-                      {"attack": attack, "transient": transient}, metrics))
+                      {"attack": attack, "transient": transient}, metrics,
+                      taint_pipeline))
         for i, (attack, transient) in enumerate(cases)
     ]

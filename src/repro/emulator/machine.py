@@ -60,6 +60,13 @@ class MachineConfig:
     #: uninstrumented slice runs through ``cpu.step_fast`` (the seed
     #: path, kept for differential testing and benchmarks).
     translate: bool = True
+    #: Transport mode for attached taint pipelines that did not pick one
+    #: themselves (:mod:`repro.taint.pipeline`): ``"inline"`` consumes
+    #: each channel event at emission (the pre-pipeline behaviour),
+    #: ``"batched"`` queues packed events and drains them at slice /
+    #: post-syscall barriers, ``"worker"`` additionally streams every
+    #: drained batch to a per-guest consumer process.
+    taint_pipeline: str = "inline"
 
 
 @dataclass
@@ -173,6 +180,19 @@ class Machine:
             m.gauge(
                 "translate.taint_dirty_page_runs",
                 lambda: translator.taint_dirty_page_runs,
+            )
+            # Per-block data-footprint summaries (write-set cache).
+            m.gauge(
+                "translate.taint_footprint_checks",
+                lambda: translator.taint_footprint_checks,
+            )
+            m.gauge(
+                "translate.taint_footprint_cache_hits",
+                lambda: translator.taint_footprint_cache_hits,
+            )
+            m.gauge(
+                "translate.taint_footprint_delegations",
+                lambda: translator.taint_footprint_delegations,
             )
 
     # ------------------------------------------------------------------

@@ -155,6 +155,11 @@ FAULT_CLASSIFICATION = {
     "GuestResourceExhausted": CLASS_DEGRADED,
     "WatchdogExpired": CLASS_DEGRADED,
     "TaintBudgetExceeded": CLASS_DEGRADED,
+    # The taint pipeline's bounded FIFO overflowed and soft-drop
+    # degraded precise events to page-granular overtaint.  The ring
+    # depth is configuration, so a retry reproduces the drops: the
+    # report is deterministically partial-precision, not retryable.
+    "TaintPipelineOverflow": CLASS_DEGRADED,
     "InjectedFault": CLASS_DEGRADED,
     "EmulatorFault": CLASS_DEGRADED,
     # host-transient: worth another attempt (with backoff)

@@ -94,7 +94,7 @@ from repro.isa.instructions import (
     signed32,
 )
 from repro.isa.memory import PAGE_SHIFT, PAGE_SIZE, PhysicalMemory
-from repro.isa.registers import MASK32, Reg
+from repro.isa.registers import MASK32, NUM_REGS, Reg
 
 _PAGE_MASK = PAGE_SIZE - 1
 #: Highest page offset at which a 4-byte access cannot span pages.
@@ -174,6 +174,12 @@ class TranslatedBlock:
         "fetch_len",
         "fetch_epoch",
         "fetch_clean",
+        "data_analyzed",
+        "data_cacheable",
+        "data_influence",
+        "data_sig",
+        "data_epoch",
+        "data_pages",
     )
 
     def __init__(
@@ -224,6 +230,17 @@ class TranslatedBlock:
         #: one epoch compare instead of a range scan).
         self.fetch_epoch = -1
         self.fetch_clean = True
+        #: Data-side write-set summary (see :meth:`_analyze_data`): the
+        #: static address-influence verdict, and the cached shadow-page
+        #: footprint keyed by (influence-register signature, MMU mapping
+        #: epoch).  ``data_sig is None`` means "never evaluated" -- it
+        #: can never equal a real signature tuple.
+        self.data_analyzed = False
+        self.data_cacheable = False
+        self.data_influence: Tuple[int, ...] = ()
+        self.data_sig: Optional[Tuple[int, ...]] = None
+        self.data_epoch = -1
+        self.data_pages: Optional[frozenset] = None
 
     @property
     def n_insns(self) -> int:
@@ -459,6 +476,161 @@ class TranslatedBlock:
             self.retired += retired
             stats.instructions += retired
             stats.fast_retirements += retired - (stats.slow_retirements - slow0)
+
+    # -- data-side write-set summary ---------------------------------------------
+
+    def _analyze_data(self) -> None:
+        """Static address-influence analysis (once per block).
+
+        Forward dataflow over the straight-line body tracking, for each
+        register, the set of *entry* registers its current value derives
+        from -- or ``None`` once a loaded value flows in.  Every memory
+        access's base register contributes its dependency set to
+        ``data_influence``; an access whose base depends on a loaded
+        value makes the block ``data_cacheable = False`` (its footprint
+        cannot be predicted from entry state), and the per-closure
+        probes keep handling it.  Terminators never touch data memory,
+        so only ``insns`` is walked.
+        """
+        self.data_analyzed = True
+        if self.insns is None:
+            return
+        deps: List[Optional[frozenset]] = [
+            frozenset((r,)) for r in range(NUM_REGS)
+        ]
+        influence: set = set()
+        for insn in self.insns:
+            op = insn.op
+            rd = int(insn.rd)
+            rs1 = int(insn.rs1)
+            if op in (Op.LD, Op.LDB, Op.POP):
+                base = deps[_SP] if op is Op.POP else deps[rs1]
+                if base is None:
+                    return
+                influence |= base
+                # The loaded value is dynamic; the POP side effect
+                # (SP += 4) still derives from the old SP.  Assignment
+                # order mirrors the closure: ``rd`` first, then SP, so
+                # a POP into SP ends up with the incremented value.
+                deps[rd] = None
+                if op is Op.POP:
+                    deps[_SP] = base
+            elif op in (Op.ST, Op.STB, Op.PUSH):
+                base = deps[_SP] if op is Op.PUSH else deps[rs1]
+                if base is None:
+                    return
+                influence |= base
+            elif op is Op.MOV:
+                deps[rd] = deps[rs1]
+            elif op is Op.MOVI:
+                deps[rd] = frozenset()
+            elif op in REG_ALU_OPS:
+                a, b = deps[rs1], deps[int(insn.rs2)]
+                deps[rd] = None if a is None or b is None else a | b
+            elif op in IMM_ALU_OPS:
+                deps[rd] = deps[rs1]
+            # NOP / CMP / CMPI write no register.
+        self.data_cacheable = True
+        self.data_influence = tuple(sorted(influence))
+
+    def _eval_data_footprint(self) -> Optional[frozenset]:
+        """Concretely predict the shadow pages this block's data accesses
+        touch, from the *current* register file.
+
+        A miniature forward evaluator mirroring the arithmetic of
+        :func:`_compile_straight` exactly; loaded values are irrelevant
+        by the :meth:`_analyze_data` contract (no access address depends
+        on one), so loads write 0.  Every access is translated with the
+        same access kind and page-split rule as its closure, and the
+        shadow pages of its physical bytes are collected.  Returns
+        ``None`` when a translation faults -- the block would fault
+        mid-execution, so the caller must fall back to the per-closure
+        path, which raises at the precise instruction.
+        """
+        cpu = self.cpu
+        translate = cpu.mmu.translate
+        v = list(cpu.regs._values)
+        READ = AccessKind.READ
+        WRITE = AccessKind.WRITE
+        shift = SHADOW_PAGE_SHIFT
+        pages = set()
+
+        def touch(vaddr: int, size: int, kind) -> None:
+            if (vaddr & _PAGE_MASK) <= PAGE_SIZE - size:
+                base = translate(vaddr, kind)
+                pages.add(base >> shift)
+                pages.add((base + size - 1) >> shift)
+            else:
+                # Page-crossing access: byte-wise, like the slow path.
+                for k in range(size):
+                    pages.add(translate((vaddr + k) & MASK32, kind) >> shift)
+
+        try:
+            for insn in self.insns:
+                op = insn.op
+                rd = int(insn.rd)
+                rs1 = int(insn.rs1)
+                if op is Op.LD:
+                    touch((v[rs1] + signed32(insn.imm)) & MASK32, 4, READ)
+                    v[rd] = 0
+                elif op is Op.LDB:
+                    touch((v[rs1] + signed32(insn.imm)) & MASK32, 1, READ)
+                    v[rd] = 0
+                elif op is Op.ST:
+                    touch((v[rs1] + signed32(insn.imm)) & MASK32, 4, WRITE)
+                elif op is Op.STB:
+                    touch((v[rs1] + signed32(insn.imm)) & MASK32, 1, WRITE)
+                elif op is Op.PUSH:
+                    sp = (v[_SP] - 4) & MASK32
+                    touch(sp, 4, WRITE)
+                    v[_SP] = sp
+                elif op is Op.POP:
+                    sp = v[_SP]
+                    touch(sp, 4, READ)
+                    v[rd] = 0
+                    v[_SP] = (sp + 4) & MASK32
+                elif op is Op.MOV:
+                    v[rd] = v[rs1]
+                elif op is Op.MOVI:
+                    v[rd] = insn.imm & MASK32
+                elif op is Op.ADD:
+                    v[rd] = (v[rs1] + v[int(insn.rs2)]) & MASK32
+                elif op is Op.SUB:
+                    v[rd] = (v[rs1] - v[int(insn.rs2)]) & MASK32
+                elif op is Op.MUL:
+                    v[rd] = (v[rs1] * v[int(insn.rs2)]) & MASK32
+                elif op is Op.AND:
+                    v[rd] = v[rs1] & v[int(insn.rs2)]
+                elif op is Op.OR:
+                    v[rd] = v[rs1] | v[int(insn.rs2)]
+                elif op is Op.XOR:
+                    v[rd] = v[rs1] ^ v[int(insn.rs2)]
+                elif op is Op.SHL:
+                    v[rd] = (v[rs1] << (v[int(insn.rs2)] & 31)) & MASK32
+                elif op is Op.SHR:
+                    v[rd] = v[rs1] >> (v[int(insn.rs2)] & 31)
+                elif op is Op.ADDI:
+                    v[rd] = (v[rs1] + (insn.imm & MASK32)) & MASK32
+                elif op is Op.SUBI:
+                    v[rd] = (v[rs1] - (insn.imm & MASK32)) & MASK32
+                elif op is Op.MULI:
+                    v[rd] = (v[rs1] * (insn.imm & MASK32)) & MASK32
+                elif op is Op.ANDI:
+                    v[rd] = v[rs1] & (insn.imm & MASK32)
+                elif op is Op.ORI:
+                    v[rd] = v[rs1] | (insn.imm & MASK32)
+                elif op is Op.XORI:
+                    v[rd] = v[rs1] ^ (insn.imm & MASK32)
+                elif op is Op.SHLI:
+                    v[rd] = (v[rs1] << (insn.imm & 31)) & MASK32
+                elif op is Op.SHRI:
+                    v[rd] = v[rs1] >> (insn.imm & 31)
+                elif op is Op.NOT:
+                    v[rd] = (~v[rs1]) & MASK32
+                # NOP / CMP / CMPI move no register values.
+        except GuestFault:
+            return None
+        return frozenset(pages)
 
 
 def _mem(fn: Callable) -> Callable:
@@ -1050,6 +1222,12 @@ class BlockTranslator:
         self.taint_range_checks = 0
         self.taint_range_cache_hits = 0
         self.taint_dirty_page_runs = 0
+        # Data-side write-set summaries (the per-block footprint cache):
+        # gate attempts on a dirty shadow, signature/epoch cache hits,
+        # and whole-block delegations to the plain closures.
+        self.taint_footprint_checks = 0
+        self.taint_footprint_cache_hits = 0
+        self.taint_footprint_delegations = 0
 
     # -- cache management --------------------------------------------------------
 
@@ -1233,7 +1411,33 @@ class BlockTranslator:
             if block.fetch_shadow_page in dirty and not self._fetch_clean(block, shadow):
                 return self._taint_steps(cpu, ctx, budget - spent)
             before = cpu.instret
-            reason = block.execute_taint(budget - spent, ctx)
+            bank = ctx.bank
+            if (
+                dirty
+                and bank.tainted == 0
+                and not bank.flags
+                and ctx.tid not in ctx.pending
+                and self._data_clean(block, ctx)
+            ):
+                # Whole-block delegation on a *dirty* shadow: the bank is
+                # clean, no control window is pending, and the block's
+                # predicted data footprint misses every dirty shadow
+                # page, so every per-closure gate would pass and no
+                # propagation could arise mid-block (plain stores cannot
+                # create taint).  Run the plain closures -- same
+                # SMC/fault/budget exactness -- and account the whole
+                # block as fast retirements, exactly like the
+                # wholly-clean batch in :meth:`TranslatedBlock.execute_taint`.
+                self.taint_footprint_delegations += 1
+                stats = ctx.stats
+                try:
+                    reason = block.execute(budget - spent)
+                finally:
+                    retired = cpu.instret - before
+                    stats.instructions += retired
+                    stats.fast_retirements += retired
+            else:
+                reason = block.execute_taint(budget - spent, ctx)
             self.taint_executions += 1
             spent += cpu.instret - before
             if reason == "dirty":
@@ -1288,6 +1492,49 @@ class BlockTranslator:
         if clean:
             self.taint_dirty_page_runs += 1
         return clean
+
+    def _data_clean(self, block: TranslatedBlock, ctx) -> bool:
+        """Data-footprint verdict: does this block's data write-set miss
+        every dirty shadow page?
+
+        The footprint is computed **once per block per (influence-register
+        signature, MMU mapping epoch)** -- the satellite of the per-access
+        probes fused into each closure.  A block whose access addresses
+        derive only from entry register values (the common case: frame
+        slots off SP, fields off a base pointer) re-uses its cached page
+        set for as long as those registers and the address-space mapping
+        (:attr:`~repro.guestos.addrspace.AddressSpace.epoch`; MMUs
+        without the attribute are treated as immutable) are unchanged --
+        one tuple compare instead of per-access translate-and-probe
+        work.  ``False`` is always safe: the per-closure gates simply
+        keep doing the byte-precise work.
+        """
+        self.taint_footprint_checks += 1
+        if not block.data_analyzed:
+            block._analyze_data()
+        if not block.data_cacheable:
+            return False
+        cpu = block.cpu
+        v = cpu.regs._values
+        sig = tuple(v[r] for r in block.data_influence)
+        epoch = getattr(cpu.mmu, "epoch", 0)
+        if sig == block.data_sig and epoch == block.data_epoch:
+            self.taint_footprint_cache_hits += 1
+            pages = block.data_pages
+        else:
+            pages = block._eval_data_footprint()
+            block.data_sig = sig
+            block.data_epoch = epoch
+            block.data_pages = pages
+        if pages is None:
+            # A translation faulted: the block will fault mid-execution;
+            # the per-closure path raises it at the precise instruction.
+            return False
+        dirty = ctx.dirty_pages
+        for page in pages:
+            if page in dirty:
+                return False
+        return True
 
     def _taint_steps(self, cpu: CPU, ctx, budget: int) -> str:
         """Interpreter window: full-effect steps fed to the tracker.
@@ -1381,5 +1628,8 @@ class BlockTranslator:
             "taint_range_checks": self.taint_range_checks,
             "taint_range_cache_hits": self.taint_range_cache_hits,
             "taint_dirty_page_runs": self.taint_dirty_page_runs,
+            "taint_footprint_checks": self.taint_footprint_checks,
+            "taint_footprint_cache_hits": self.taint_footprint_cache_hits,
+            "taint_footprint_delegations": self.taint_footprint_delegations,
             "cached_blocks": self.cached_blocks(),
         }

@@ -88,8 +88,8 @@ class TestAttackDifferential:
             # second leg's hit/miss gauges.
             faros = Faros(
                 metrics=metrics,
-                tracker_cls=lambda policy, tags: TaintTracker(
-                    policy=policy, tags=tags, interner=ProvInterner()
+                tracker_cls=lambda policy, tags, **kw: TaintTracker(
+                    policy=policy, tags=tags, interner=ProvInterner(), **kw
                 ),
             )
             machine = replay(recording, plugins=[faros], metrics=metrics)

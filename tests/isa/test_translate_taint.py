@@ -87,7 +87,7 @@ def run_one(body, seeds=(), policy=None, translate=True, budget=300_000, **confi
     proc = machine.kernel.spawn("t.exe")
     for label, n, *rest in seeds:
         paddrs = proc.aspace.translate_range(prog.label(label), n, AccessKind.READ)
-        tracker.taint_range(paddrs, rest[0] if rest else SEED)
+        tracker.pipeline.taint(paddrs, rest[0] if rest else SEED)
     stats = machine.run(budget)
     return machine, tracker, stats
 
@@ -418,7 +418,7 @@ class TestTickExactnessInsideTaintedBlocks:
             paddrs = proc.aspace.translate_range(
                 prog.label("src"), 4, AccessKind.READ
             )
-            tracker.taint_range(paddrs, SEED)
+            tracker.pipeline.taint(paddrs, SEED)
             machine.schedule(
                 97, InjectedMachineFault("DeviceFault", "mid-block probe")
             )
@@ -443,3 +443,82 @@ class TestTickExactnessInsideTaintedBlocks:
         assert on[2].fault.to_json_dict() == off[2].fault.to_json_dict()
         assert on[0].now == off[0].now
         assert on[1].stats.instructions == off[1].stats.instructions
+
+
+#: Pointer-chase loop: the second load's address comes out of the first
+#: load, so the block's data footprint cannot be predicted from entry
+#: registers -- the write-set summary must refuse to cache it and leave
+#: the per-closure probes in charge.
+POINTER_CHASE = """
+start:
+    movi r5, 8
+    movi r6, ptr
+    movi r7, cell
+    st [r6], r7
+loop:
+    ld r7, [r6]
+    ld r1, [r7]
+    subi r5, r5, 1
+    cmpi r5, 0
+    jnz loop
+    jmp park
+farpad: .space 8192
+ptr: .word 0
+cell: .word 7
+farpad2: .space 8192
+far: .word 0
+farpad3: .space 8192
+"""
+
+
+class TestDataFootprintCache:
+    """The PR 7 headroom satellite: per-block write-set summaries.
+
+    When the bank is clean and the shadow is dirty *somewhere else*,
+    the dispatcher predicts each block's data footprint once (cached by
+    influence-register signature and MMU mapping epoch) and, on a miss
+    against the dirty-page index, delegates the whole block to the
+    plain closures instead of paying a per-access probe in every fused
+    closure.
+    """
+
+    def test_armed_but_clean_loop_delegates_whole_blocks(self):
+        machine, tracker, _ = run_one(ARMED_CLEAN, seeds=[("far", 4)])
+        ts = taint_stats(machine)
+        assert ts["taint_footprint_checks"] > 0
+        assert ts["taint_footprint_delegations"] > 0
+        # The loop's addresses all come from MOVI-fed registers: the
+        # influence signature is empty, so after the first evaluation
+        # every later iteration is a pure cache hit.
+        assert ts["taint_footprint_cache_hits"] > 0
+        assert tracker.stats.slow_retirements == 0
+        assert tracker.stats.instructions == tracker.stats.fast_retirements > 0
+
+    def test_delegated_run_matches_interpreter(self):
+        (machine, tracker, _), _ = run_pair(ARMED_CLEAN, seeds=[("far", 4)])
+        assert taint_stats(machine)["taint_footprint_delegations"] > 0
+        assert tracker.shadow.tainted_bytes == 4
+
+    def test_loaded_address_makes_block_uncacheable(self):
+        machine, tracker, _ = run_one(POINTER_CHASE, seeds=[("far", 4)])
+        ts = taint_stats(machine)
+        assert ts["taint_footprint_checks"] > 0
+        # The chase loop's block is refused; only the straight-line
+        # prologue/terminator blocks (if any) may delegate, and the
+        # uncacheable block keeps retiring through per-closure gates.
+        blocks = machine.translator.blocks()
+        analyzed = [b for b in blocks if b.data_analyzed]
+        assert analyzed, "the gate must have analyzed at least one block"
+        assert any(not b.data_cacheable for b in analyzed)
+        assert tracker.stats.slow_retirements == 0  # everything still clean
+
+    def test_uncacheable_run_matches_interpreter(self):
+        run_pair(POINTER_CHASE, seeds=[("far", 4)])
+
+    def test_tainted_bank_never_consults_the_footprint(self):
+        """Once provenance reaches a register the summary is irrelevant:
+        propagation needs the per-closure slow arms."""
+        machine, tracker, _ = run_one(TAINTED_LOOP, seeds=[("src", 4)])
+        ts = taint_stats(machine)
+        assert ts["taint_footprint_delegations"] == 0
+        assert tracker.stats.slow_retirements > 0

@@ -47,7 +47,7 @@ def paddrs_of(proc, prog, label, n):
 
 
 def seed(tracker, proc, prog, label, n, tag=SEED):
-    tracker.taint_range(paddrs_of(proc, prog, label, n), tag)
+    tracker.pipeline.taint(paddrs_of(proc, prog, label, n), tag)
 
 
 class TestDirectFlows:
@@ -209,8 +209,8 @@ class TestDirectFlows:
         )
         # Byte 0 gets SEED, byte 1 gets `other`: LDB [src+1] must carry only `other`.
         (p0, p1, p2, p3) = paddrs_of(proc, prog, "src", 4)
-        tracker.taint_range([p0], SEED)
-        tracker.taint_range([p1], other)
+        tracker.pipeline.taint([p0], SEED)
+        tracker.pipeline.taint([p1], other)
         machine.run(300_000)
         assert tracker.prov_of_range(paddrs_of(proc, prog, "dst", 1)) == (other,)
 
@@ -346,12 +346,12 @@ class TestKernelMediatedFlows:
                 self.tracker = tracker
 
             def on_packet_receive(self, machine, packet, paddrs):
-                self.tracker.taint_range(paddrs, SEED)
+                self.tracker.pipeline.taint(paddrs, SEED)
 
         from repro.emulator.plugins import Plugin
 
         seeder = Plugin()
-        seeder.on_packet_receive = lambda m, p, a: tracker.taint_range(a, SEED)
+        seeder.on_packet_receive = lambda m, p, a: tracker.pipeline.taint(a, SEED)
         machine.plugins.register(seeder)
 
         prog = register_asm(
@@ -393,14 +393,14 @@ class TestKernelMediatedFlows:
     def test_phys_write_clears_stale_taint(self):
         machine, tracker, proc, prog = launch("start: jmp park\nbuf: .space 4")
         paddrs = paddrs_of(proc, prog, "buf", 4)
-        tracker.taint_range(paddrs, SEED)
+        tracker.pipeline.taint(paddrs, SEED)
         machine.phys_write(paddrs, b"\x00" * 4, source="keyboard")
         assert tracker.prov_of_range(paddrs) == ()
 
     def test_freed_frames_drop_shadow(self):
         machine, tracker, proc, prog = launch("start: jmp park\nbuf: .space 4")
         paddrs = paddrs_of(proc, prog, "buf", 4)
-        tracker.taint_range(paddrs, SEED)
+        tracker.pipeline.taint(paddrs, SEED)
         machine.kernel.terminate_process(proc, 0)
         assert tracker.prov_of_range(paddrs) == ()
 
@@ -493,7 +493,7 @@ class TestLoadListeners:
         insn_paddrs = proc.aspace.translate_range(
             prog.base + 8, 8, AccessKind.READ
         )
-        tracker.taint_range(insn_paddrs, SEED)
+        tracker.pipeline.taint(insn_paddrs, SEED)
         seen = []
         tracker.add_load_listener(lambda m, obs: seen.append(obs.insn_prov))
         machine.run(300_000)
@@ -533,7 +533,7 @@ class TestContextSwitchIsolation:
         )
         proc_a = machine.kernel.spawn("tainty.exe")
         proc_b = machine.kernel.spawn("clean.exe")
-        tracker.taint_range(paddrs_of(proc_a, prog_a, "src", 4), SEED)
+        tracker.pipeline.taint(paddrs_of(proc_a, prog_a, "src", 4), SEED)
         machine.run(300_000)
         assert tracker.prov_of_range(paddrs_of(proc_b, prog_b, "dst", 4)) == ()
         bank_a = tracker.banks.for_thread(proc_a.main_thread.tid)
@@ -574,7 +574,7 @@ class TestContextSwitchIsolation:
             PARK,
         )
         proc = machine.kernel.spawn("self.exe")
-        tracker.taint_range(paddrs_of(proc, prog, "src", 4), SEED)
+        tracker.pipeline.taint(paddrs_of(proc, prog, "src", 4), SEED)
         machine.run(300_000)
         assert len(proc.threads) == 2
         assert tracker.prov_of_range(paddrs_of(proc, prog, "dst", 4)) == ()
@@ -663,7 +663,7 @@ class TestStats:
         from repro.emulator.plugins import Plugin
 
         seeder = Plugin()
-        seeder.on_packet_receive = lambda m, p, a: tracker.taint_range(a, SEED)
+        seeder.on_packet_receive = lambda m, p, a: tracker.pipeline.taint(a, SEED)
         machine.plugins.register(seeder)
         prog = register_asm(
             machine,
