@@ -1,0 +1,119 @@
+"""Microbenchmark: warm snapshot forks vs cold scenario boots.
+
+``repro serve`` keeps a :class:`~repro.serve.pool.SnapshotPool` of
+pre-captured post-boot machine images so a triage job's dispatch cost
+is a fork (page blit + kernel thaw + boot-event replay), not a full
+scenario build + kernel boot.  This bench prices both dispatch paths
+for one attack and enforces two gates:
+
+* **speed**: warm dispatch is at least **5x** faster than a cold boot
+  (best-of timings, interleaved round-robin against host noise);
+* **zero drift**: a recording taken from a fork equals the cold
+  recording event-for-event (same journal, same final instret) -- warmth
+  must never buy speed with fidelity.
+
+Timings mirror the pool's real behaviour: the snapshot's integrity
+digest is verified once per refill batch, and each fork materializes
+with ``verify=False`` (exactly what :meth:`SnapshotPool.refill` does).
+
+Standalone smoke run (no pytest needed, used by CI)::
+
+    PYTHONPATH=src python benchmarks/bench_snapshot_fork.py --smoke
+"""
+
+import sys
+import time
+
+import pytest
+
+from repro.analysis.triage import ATTACK_BUILDER_REGISTRY
+from repro.emulator.machine import Machine
+from repro.emulator.record_replay import record
+from repro.emulator.snapshot import MachineSnapshot, snapshot_record
+
+ATTACK = "code_injection"
+REPS = 25
+GATE = 5.0
+
+
+def _cold_dispatch():
+    """The pre-pool path: build the scenario, boot, run its setup."""
+    scenario = ATTACK_BUILDER_REGISTRY[ATTACK]().scenario
+    machine = Machine(scenario.config)
+    scenario.setup(machine)
+    return machine
+
+
+def compare_dispatch(reps=REPS):
+    """Time both dispatch paths; returns (speedup, report)."""
+    snapshot = MachineSnapshot.capture(ATTACK_BUILDER_REGISTRY[ATTACK]().scenario)
+    cold_best = warm_best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        _cold_dispatch()
+        cold_best = min(cold_best, time.perf_counter() - start)
+
+        start = time.perf_counter()
+        snapshot.verify()  # once per "refill batch" of one
+        machine = snapshot.materialize(verify=False)
+        snapshot.arm(machine, ())
+        warm_best = min(warm_best, time.perf_counter() - start)
+
+    # The drift gate: one full record from each path, compared exactly.
+    cold_rec = record(ATTACK_BUILDER_REGISTRY[ATTACK]().scenario)
+    warm_rec = snapshot_record(snapshot)
+    drift = []
+    if cold_rec.final_instret != warm_rec.final_instret:
+        drift.append(
+            f"final_instret {cold_rec.final_instret} != {warm_rec.final_instret}")
+    cold_journal = [(t, repr(e)) for t, e in cold_rec.journal]
+    warm_journal = [(t, repr(e)) for t, e in warm_rec.journal]
+    if cold_journal != warm_journal:
+        drift.append("record journals diverge")
+
+    speedup = cold_best / warm_best
+    lines = [
+        f"snapshot fork dispatch, attack={ATTACK} (best of {reps})",
+        f"  cold boot : {cold_best * 1e3:7.3f} ms  (scenario build + kernel boot)",
+        f"  warm fork : {warm_best * 1e3:7.3f} ms  (verify + blit + thaw + replay)",
+        f"  speedup   : {speedup:.1f}x  (gate: >= {GATE:.0f}x)",
+        f"  drift     : {'none' if not drift else '; '.join(drift)}",
+        f"  resident  : {snapshot.image.resident_pages} pages, "
+        f"{len(snapshot.state_blob)}-byte kernel state",
+    ]
+    return speedup, drift, "\n".join(lines)
+
+
+def test_fork_dispatch_has_zero_drift():
+    """Cheap correctness probe: the drift gate alone, few reps."""
+    _, drift, _ = compare_dispatch(reps=1)
+    assert not drift, drift
+
+
+@pytest.mark.slow
+def test_warm_dispatch_at_least_five_times_faster(emit):
+    speedup, drift, report = compare_dispatch()
+    emit("snapshot_fork", report)
+    assert not drift, drift
+    assert speedup >= GATE, \
+        f"warm dispatch only {speedup:.1f}x faster (gate: {GATE:.0f}x)"
+
+
+def main(argv):
+    if "--smoke" not in argv:
+        print(__doc__)
+        return 2
+    speedup, drift, report = compare_dispatch()
+    print(report)
+    if drift:
+        print(f"FAIL: fork drifted from cold boot: {drift}", file=sys.stderr)
+        return 1
+    if speedup < GATE:
+        print(f"FAIL: warm dispatch {speedup:.1f}x < {GATE:.0f}x", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

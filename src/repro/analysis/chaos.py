@@ -45,12 +45,21 @@ class FaultSpec:
         violation (the fault fired but nothing recorded it).  Specs
         whose trigger depends on scenario shape (packet rules on a
         keystroke-driven attack) leave this False.
+    :ivar harness: host-layer columns (worker kills, snapshot
+        corruption) are driven by a :mod:`repro.serve.harness` function
+        instead of a guest-level :class:`FaultPlan`; this names it.
+    :ivar requires_verdict: the injected fault must not cost detection
+        -- a DEGRADED row whose verdict is False is a violation
+        (degraded-but-MISSED).  Set on host-layer columns, where the
+        sample itself runs unfaulted.
     """
 
     name: str
     plan: FaultPlan
     always_fires: bool
     description: str
+    harness: Optional[str] = None
+    requires_verdict: bool = False
 
 
 def _specs() -> Dict[str, FaultSpec]:
@@ -136,6 +145,25 @@ def _specs() -> Dict[str, FaultSpec]:
             always_fires=True,
             description="taint explosion guard: at most 512 tainted bytes",
         ),
+        FaultSpec(
+            name="worker-crash",
+            plan=FaultPlan(),
+            always_fires=True,  # the harness kills unconditionally
+            harness="worker-crash",
+            requires_verdict=True,
+            description="SIGKILL a supervised pool worker mid-sample; "
+                        "the restarted worker's rerun must still detect",
+        ),
+        FaultSpec(
+            name="snapshot-corrupt",
+            plan=FaultPlan(),
+            always_fires=True,  # the harness flips a byte unconditionally
+            harness="snapshot-corrupt",
+            requires_verdict=True,
+            description="flip one byte of frozen snapshot state; the "
+                        "digest check must fire and the cold-boot "
+                        "fallback must still detect",
+        ),
     ]
     return {spec.name: spec for spec in specs}
 
@@ -162,6 +190,8 @@ def chaos_jobs(
                 "plan": spec.plan.to_json_dict(),
                 "fault_name": fault_name,
             }
+            if spec.harness is not None:
+                params["harness"] = spec.harness
             if metrics:
                 params["metrics"] = True
             if taint_pipeline is not None:
@@ -204,7 +234,9 @@ def smoke_violations(results: Sequence[TriageResult]) -> List[str]:
     * ``DEGRADED`` without a populated fault record is a violation (the
       row claims degradation it cannot explain);
     * ``OK`` under an ``always_fires`` spec is a violation (the fault
-      fired but the degradation pipeline lost it).
+      fired but the degradation pipeline lost it);
+    * a False verdict under a ``requires_verdict`` spec is a violation
+      (the host-layer fault cost detection: degraded-but-MISSED).
     """
     violations = []
     for r in results:
@@ -214,6 +246,11 @@ def smoke_violations(results: Sequence[TriageResult]) -> List[str]:
         elif r.status == "DEGRADED":
             if not r.fault or not r.fault.get("kind"):
                 violations.append(f"{r.name}: DEGRADED without a fault record")
+            elif spec is not None and spec.requires_verdict and not r.verdict:
+                violations.append(
+                    f"{r.name}: {spec.name} must stay detected, but the "
+                    "verdict is False (degraded-but-missed)"
+                )
         elif r.status == STATUS_OK and spec is not None and spec.always_fires:
             violations.append(
                 f"{r.name}: OK but {spec.name} should fire in every scenario"

@@ -32,6 +32,8 @@ import importlib
 import multiprocessing
 import operator
 import os
+import signal
+import threading
 import time
 from collections import deque
 from contextlib import nullcontext
@@ -275,10 +277,26 @@ def _faros_outcome(faros: Faros, exit_code: Optional[int] = None,
 def _run_attack_job(attack: str, transient: bool = False,
                     metrics: bool = False, sample_every: int = 1,
                     top_blocks: int = 10,
-                    taint_pipeline: Optional[str] = None) -> JobOutcome:
-    """Record/replay one attack scenario with FAROS attached (§V-C)."""
+                    taint_pipeline: Optional[str] = None,
+                    execution: Optional[str] = None) -> JobOutcome:
+    """Record/replay one attack scenario with FAROS attached (§V-C).
+
+    ``execution="warm"`` serves the job through the per-process
+    :class:`~repro.serve.pool.SnapshotPool` -- fork-from-snapshot
+    instead of a cold boot, bit-identical by the snapshot differential
+    harness, degrading back to this cold path (with a ``DegradedPool``
+    fault record) when the pool cannot serve.
+    """
     session = ObsSession.create(enabled=metrics, sample_every=sample_every,
                                 top_blocks=top_blocks)
+    if execution == "warm":
+        # Imported lazily: repro.serve imports triage at module level,
+        # so this edge of the cycle must resolve at call time.
+        from repro.serve.pool import warm_attack_outcome
+
+        return warm_attack_outcome(attack, transient=transient,
+                                   session=session,
+                                   taint_pipeline=taint_pipeline)
     with session.span("boot"):
         builder = ATTACK_BUILDER_REGISTRY[attack]
         scenario = builder(transient=True) if transient else builder()
@@ -369,13 +387,25 @@ def _run_comparison_job(attack: str, transient: bool = False,
 @job_kind("chaos")
 def _run_chaos_job(attack: str, plan: dict, fault_name: str = "",
                    metrics: bool = False, sample_every: int = 1,
-                   taint_pipeline: Optional[str] = None) -> JobOutcome:
+                   taint_pipeline: Optional[str] = None,
+                   harness: Optional[str] = None) -> JobOutcome:
     """One chaos-matrix cell: record *attack* under an injected
     :class:`~repro.faults.plan.FaultPlan`, then replay with FAROS.
 
     The plan travels as its ``to_json_dict`` form so the descriptor
-    stays picklable plain data like every other job kind.
+    stays picklable plain data like every other job kind.  Host-layer
+    columns name a *harness* instead of carrying plan rules: those
+    cells inject the fault around the sample (killing the worker,
+    corrupting the snapshot) rather than inside the guest.
     """
+    if harness is not None:
+        # Imported lazily (serve imports triage at module level).
+        from repro.serve.harness import run_harness
+
+        outcome = run_harness(harness, attack, taint_pipeline=taint_pipeline)
+        outcome.extra.setdefault("attack", attack)
+        outcome.extra.setdefault("fault_name", fault_name)
+        return outcome
     session = ObsSession.create(enabled=metrics, sample_every=sample_every)
     fault_plan = FaultPlan.from_json_dict(plan)
     extra = {"attack": attack, "fault_name": fault_name,
@@ -592,13 +622,82 @@ def _kill_fault(kind: str, detail: str,
 
 def _run_pool(jobs_list: Sequence[TriageJob], jobs: int,
               timeout: Optional[float], max_retries: int,
-              retry_backoff: float) -> Dict[int, TriageResult]:
+              retry_backoff: float,
+              drain_timeout: float = 5.0) -> Dict[int, TriageResult]:
     ctx = _mp_context()
     # Entries are (job, attempt, ready_at): a retried job only becomes
     # dispatchable once its backoff delay has elapsed.
     pending = deque((job, 1, 0.0) for job in jobs_list)
     results: Dict[int, TriageResult] = {}
     workers = [_Worker(ctx) for _ in range(max(1, min(jobs, len(jobs_list))))]
+
+    # Graceful shutdown: SIGINT/SIGTERM stops dispatching and switches
+    # to a bounded drain instead of tearing the pool down mid-flight.
+    # Handlers only install on the main thread (signal rules); elsewhere
+    # the pool simply never sees the flag, which is the old behavior.
+    interrupted = threading.Event()
+    previous_handlers = {}
+    try:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous_handlers[signum] = signal.signal(
+                signum, lambda *_args: interrupted.set()
+            )
+    except ValueError:  # pragma: no cover - not on the main thread
+        previous_handlers = {}
+
+    def drain() -> None:
+        """The SIGINT/SIGTERM path: give in-flight workers a deadline,
+        flush what completes, and turn everything else into ERROR rows
+        that carry each worker's last published guest state -- partial
+        results in submission order instead of a dropped batch."""
+        deadline = time.monotonic() + drain_timeout
+        while (time.monotonic() < deadline
+               and any(w.job is not None for w in workers)):
+            busy_conns = [w.conn for w in workers if w.job is not None]
+            ready = _connection_wait(
+                busy_conns,
+                timeout=max(0.0, min(_POLL_INTERVAL,
+                                     deadline - time.monotonic())),
+            )
+            for conn in ready:
+                w = next(w for w in workers if w.conn is conn)
+                try:
+                    result = conn.recv()
+                except (EOFError, OSError):
+                    # Crashed while draining: no retries during
+                    # shutdown, record what we know.
+                    results[w.job.job_id] = _error_result(
+                        w.job, w.attempt, "worker died during shutdown drain",
+                        fault=_kill_fault("Shutdown", "worker died during drain",
+                                          w.last_progress()).to_json_dict(),
+                    )
+                    w.kill()
+                    w.job = None
+                    continue
+                results[result.job_id] = result
+                w.finish()
+        for w in workers:
+            if w.job is None:
+                continue
+            progress = w.last_progress()
+            results[w.job.job_id] = _error_result(
+                w.job, w.attempt,
+                f"interrupted: shutdown drain deadline ({drain_timeout:g}s) "
+                "expired with the job in flight",
+                fault=_kill_fault(
+                    "Shutdown", "killed at shutdown drain deadline", progress,
+                ).to_json_dict(),
+            )
+            w.kill()
+            w.job = None
+        for job, attempt, _ready_at in pending:
+            results.setdefault(job.job_id, _error_result(
+                job, attempt, "interrupted: job was never dispatched",
+                fault=FaultRecord(
+                    kind="Shutdown", detail="pending at shutdown",
+                ).to_json_dict(),
+            ))
+        pending.clear()
 
     def next_ready():
         now = time.monotonic()
@@ -614,6 +713,9 @@ def _run_pool(jobs_list: Sequence[TriageJob], jobs: int,
 
     try:
         while pending or any(w.job is not None for w in workers):
+            if interrupted.is_set():
+                drain()
+                break
             # Dispatch: keep every idle worker fed with ready jobs.
             for i, w in enumerate(workers):
                 if w.job is not None:
@@ -690,6 +792,8 @@ def _run_pool(jobs_list: Sequence[TriageJob], jobs: int,
                     ).to_json_dict(),
                 )
     finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
         for w in workers:
             if w.job is not None:
                 w.kill()
@@ -704,6 +808,7 @@ def run_triage(
     timeout: Optional[float] = None,
     max_retries: int = DEFAULT_MAX_RETRIES,
     retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+    drain_timeout: float = 5.0,
 ) -> List[TriageResult]:
     """Execute *jobs_list*, returning one result per job in submission
     order.
@@ -716,10 +821,18 @@ def run_triage(
     crash-retried job is re-dispatched (doubling per extra attempt).
     Only host-transient faults (worker crashes) are retried; timeouts
     and deterministic guest faults (DEGRADED rows) are not.
+
+    On SIGINT/SIGTERM the pool stops dispatching, gives in-flight
+    workers *drain_timeout* seconds to finish, and converts whatever
+    remains (killed in-flight jobs, never-dispatched pending jobs)
+    into ERROR rows with ``Shutdown`` fault records carrying each
+    worker's last published guest state -- the batch still comes back
+    complete and in submission order.
     """
     if jobs <= 1:
         return [execute_job(job) for job in jobs_list]
-    results = _run_pool(jobs_list, jobs, timeout, max_retries, retry_backoff)
+    results = _run_pool(jobs_list, jobs, timeout, max_retries, retry_backoff,
+                        drain_timeout=drain_timeout)
     return [results[job.job_id] for job in jobs_list]
 
 

@@ -6,11 +6,14 @@ instant**, and "in-memory injection attacks are typically transient ...
 there is nothing stopping the attacker from cleaning up memory before
 the VM is stopped" (§I).
 
-:class:`MemorySnapshot` makes the instant explicit: it deep-copies guest
-physical memory and freezes the kernel's process/VAD tables, so an
-analyst can snapshot at T1, let the guest run on, snapshot at T2, and
-watch the payload exist in one dump and not the other -- while FAROS,
-which watched the whole execution, still has everything.
+:class:`MemorySnapshot` makes the instant explicit: it captures guest
+physical memory (sparsely, through the CoW page capture shared with
+:mod:`repro.emulator.snapshot` -- only nonzero pages are retained, as
+immutable shared ``bytes``) and freezes the kernel's process/VAD
+tables, so an analyst can snapshot at T1, let the guest run on,
+snapshot at T2, and watch the payload exist in one dump and not the
+other -- while FAROS, which watched the whole execution, still has
+everything.
 
 Snapshots quack like a machine (``.memory``, ``.kernel.processes``), so
 every Volatility-style function accepts either a live machine or a
@@ -23,24 +26,17 @@ import copy
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.emulator.snapshot import SparseMemoryImage
 from repro.guestos.addrspace import VirtualArea
 from repro.isa.cpu import AccessKind
 from repro.isa.errors import PageFault
 from repro.isa.memory import PAGE_SHIFT, PAGE_SIZE
 
-
-class _FrozenMemory:
-    """Read-only copy of physical memory at capture time."""
-
-    def __init__(self, data: bytes) -> None:
-        self._data = data
-        self.size = len(data)
-
-    def read_byte(self, paddr: int) -> int:
-        return self._data[paddr]
-
-    def read_bytes(self, paddr: int, n: int) -> bytes:
-        return self._data[paddr : paddr + n]
+#: Read-only view of physical memory at capture time.  Forensic reads
+#: go through the same sparse CoW capture the execution snapshots use
+#: -- a dump of a mostly-empty guest costs its resident pages, not its
+#: configured memory size.
+_FrozenMemory = SparseMemoryImage
 
 
 class _FrozenAddressSpace:
@@ -97,7 +93,7 @@ class MemorySnapshot:
     @classmethod
     def capture(cls, machine) -> "MemorySnapshot":
         """Dump *machine* right now (the 'stop the VM and dump' moment)."""
-        memory = _FrozenMemory(machine.memory.read_bytes(0, machine.memory.size))
+        memory = _FrozenMemory.capture(machine.memory)
         processes: Dict[int, _FrozenProcess] = {}
         for pid, proc in machine.kernel.processes.items():
             pages = {

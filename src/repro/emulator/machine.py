@@ -82,7 +82,8 @@ class RunStats:
 class Machine:
     """One emulated guest machine."""
 
-    def __init__(self, config: Optional[MachineConfig] = None) -> None:
+    def __init__(self, config: Optional[MachineConfig] = None,
+                 boot_kernel: bool = True) -> None:
         self.config = config or MachineConfig()
         self.memory = PhysicalMemory(self.config.mem_size)
         self.allocator = FrameAllocator(self.memory, reserved_low=layout.KERNEL_RESERVED)
@@ -97,11 +98,17 @@ class Machine:
         self.metrics = NULL_REGISTRY
         self._bind_metrics()
         self.allocator.on_free = self._frame_freed
-        # Imported here: Kernel and Machine are mutually aware, and the
-        # package must be importable from either end of that edge.
-        from repro.guestos.kernel import Kernel
+        if boot_kernel:
+            # Imported here: Kernel and Machine are mutually aware, and
+            # the package must be importable from either end of that edge.
+            from repro.guestos.kernel import Kernel
 
-        self.kernel = Kernel(self)
+            self.kernel = Kernel(self)
+        else:
+            # Snapshot-restore path: the caller installs a thawed kernel
+            # (and the rest of the frozen state) -- booting one here
+            # would only be thrown away.  See ``Machine.fork_from``.
+            self.kernel = None
         self._events: List[Tuple[int, int, object]] = []  # (at, seq, event) heap
         self._event_seq = 0
         #: Chronological record of delivered events: (instret, event).
@@ -116,6 +123,22 @@ class Machine:
         self._current_thread = None
         self._pending_fault: Optional[EmulatorFault] = None
         self._syscall_override: Optional[Tuple[str, object, str]] = None
+
+    @classmethod
+    def fork_from(cls, snapshot, plugins=(), metrics=None,
+                  verify: bool = True) -> "Machine":
+        """Materialize a runnable guest from a frozen
+        :class:`~repro.emulator.snapshot.MachineSnapshot`.
+
+        Restores the captured physical pages (CoW-shared ``bytes``
+        blitted into a fresh buffer), thaws the kernel/process/address-
+        space tree, registers *plugins*, and replays the captured boot
+        events so analysis state (FAROS export tags, interner counters)
+        ends bit-identical to a cold boot.  With *verify* (the default)
+        the snapshot's integrity digest is checked first and a mismatch
+        raises :class:`~repro.emulator.snapshot.SnapshotIntegrityError`.
+        """
+        return snapshot.fork(plugins=plugins, metrics=metrics, verify=verify)
 
     # ------------------------------------------------------------------
     # observability

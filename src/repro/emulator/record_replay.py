@@ -108,9 +108,14 @@ class Scenario:
 
 @dataclass
 class Recording:
-    """The artifact of :func:`record`: scenario + what actually happened."""
+    """The artifact of :func:`record`: scenario + what actually happened.
 
-    scenario: Scenario
+    ``scenario`` is None for warm recordings made from a machine
+    snapshot (:func:`repro.emulator.snapshot.snapshot_record`) -- those
+    replay through the snapshot, not by rebuilding a scenario.
+    """
+
+    scenario: Optional[Scenario]
     journal: List[Tuple[int, object]]
     final_instret: int
     stats: RunStats
@@ -152,29 +157,39 @@ def replay(
     machine = recording.scenario.build(plugins, metrics=metrics)
     machine.run(recording.scenario.max_instructions)
     if verify:
-        recorded = [(at, repr(ev)) for at, ev in recording.journal]
-        replayed = [(at, repr(ev)) for at, ev in machine.journal]
-        if machine.fault is not None or recording.stats.fault is not None:
-            # A faulted run stops at the fault, so the replay may retire
-            # fewer instructions than the recording did (analysis plugins
-            # can trip replay-only faults, e.g. a taint budget that only
-            # exists when FAROS is attached).  Determinism still requires
-            # the replayed execution to be a *prefix* of the recording.
-            if machine.now > recording.final_instret:
-                raise ReplayDivergence(
-                    f"faulted replay retired {machine.now} instructions, "
-                    f"past the recording's {recording.final_instret}"
-                )
-            if replayed != recorded[: len(replayed)]:
-                raise ReplayDivergence(
-                    "faulted replay delivered events the recording did not"
-                )
-        else:
-            if machine.now != recording.final_instret:
-                raise ReplayDivergence(
-                    f"replay retired {machine.now} instructions, "
-                    f"recording retired {recording.final_instret}"
-                )
-            if recorded != replayed:
-                raise ReplayDivergence("replay delivered a different event sequence")
+        verify_replay(recording, machine)
     return machine
+
+
+def verify_replay(recording: Recording, machine: Machine) -> None:
+    """The divergence check :func:`replay` applies, as a reusable piece.
+
+    Warm (snapshot-forked) replays share this exact logic -- including
+    the faulted-prefix rule -- via
+    :func:`repro.emulator.snapshot.snapshot_replay`.
+    """
+    recorded = [(at, repr(ev)) for at, ev in recording.journal]
+    replayed = [(at, repr(ev)) for at, ev in machine.journal]
+    if machine.fault is not None or recording.stats.fault is not None:
+        # A faulted run stops at the fault, so the replay may retire
+        # fewer instructions than the recording did (analysis plugins
+        # can trip replay-only faults, e.g. a taint budget that only
+        # exists when FAROS is attached).  Determinism still requires
+        # the replayed execution to be a *prefix* of the recording.
+        if machine.now > recording.final_instret:
+            raise ReplayDivergence(
+                f"faulted replay retired {machine.now} instructions, "
+                f"past the recording's {recording.final_instret}"
+            )
+        if replayed != recorded[: len(replayed)]:
+            raise ReplayDivergence(
+                "faulted replay delivered events the recording did not"
+            )
+    else:
+        if machine.now != recording.final_instret:
+            raise ReplayDivergence(
+                f"replay retired {machine.now} instructions, "
+                f"recording retired {recording.final_instret}"
+            )
+        if recorded != replayed:
+            raise ReplayDivergence("replay delivered a different event sequence")

@@ -162,10 +162,28 @@ FAULT_CLASSIFICATION = {
     "TaintPipelineOverflow": CLASS_DEGRADED,
     "InjectedFault": CLASS_DEGRADED,
     "EmulatorFault": CLASS_DEGRADED,
+    # A machine snapshot failed its integrity digest: the frozen state
+    # is corrupt and every fork from it would be equally corrupt, so
+    # there is nothing to retry -- the pool degrades the job to a cold
+    # boot and reports how it got there.
+    "SnapshotIntegrityError": CLASS_DEGRADED,
+    # The warm pool could not serve a fork (corrupt snapshot, capture
+    # failure, exhaustion past its degradation threshold) and the job
+    # ran from a cold boot instead.  The *result* is complete -- the
+    # record documents the degraded path, so retrying it would only
+    # repeat the cold boot.
+    "DegradedPool": CLASS_DEGRADED,
     # host-transient: worth another attempt (with backoff)
     "WorkerCrash": CLASS_RETRYABLE,
     "Timeout": CLASS_RETRYABLE,
     "HostError": CLASS_RETRYABLE,
+    # A pool worker stopped publishing progress (wedged host process);
+    # the supervisor killed and restarted it.  Host-side, so retryable.
+    "WorkerStalled": CLASS_RETRYABLE,
+    # The triage run was interrupted (SIGINT/SIGTERM) before this job
+    # finished; the row carries the worker's last published progress.
+    # Resubmitting after restart is exactly the right move.
+    "Shutdown": CLASS_RETRYABLE,
 }
 
 

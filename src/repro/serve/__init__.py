@@ -1,0 +1,38 @@
+"""Triage as a service: warm snapshot pool, supervised workers, and a
+journaled job queue behind ``repro serve``.
+
+The layering, bottom-up:
+
+* :mod:`repro.serve.journal` -- the crash-safe NDJSON job journal
+  (accept before execute, checkpoint on completion, exactly-once
+  resume).
+* :mod:`repro.serve.supervisor` -- ``os.fork``-based workers with
+  heartbeats, per-job watchdogs, and a restarting supervisor that
+  classifies deaths through the :mod:`repro.faults` taxonomy.
+* :mod:`repro.serve.pool` -- the warm :class:`SnapshotPool` of
+  pre-forked guests, degrading to cold boots under a ``DegradedPool``
+  fault record.
+* :mod:`repro.serve.service` -- the async socket service: priority
+  lanes, per-tenant quotas, backpressure, streaming NDJSON results,
+  health/metrics.
+
+See ``docs/triage_service.md`` for the full architecture.
+"""
+
+from repro.serve.journal import JobJournal, JournalState
+from repro.serve.pool import SnapshotPool, warm_attack_outcome
+from repro.serve.service import ServeClient, ServeConfig, TriageService, run_smoke
+from repro.serve.supervisor import SupervisedWorker, WorkerPool
+
+__all__ = [
+    "JobJournal",
+    "JournalState",
+    "SnapshotPool",
+    "warm_attack_outcome",
+    "ServeClient",
+    "ServeConfig",
+    "TriageService",
+    "run_smoke",
+    "SupervisedWorker",
+    "WorkerPool",
+]

@@ -1,0 +1,204 @@
+"""The crash-safe job journal: accept before execute, checkpoint on done.
+
+The service's exactly-once contract rests on a write ordering, not on
+any clever recovery logic:
+
+1. An ``accept`` record is appended **and flushed** before the job is
+   acknowledged to the client or dispatched to a worker.
+2. A ``done`` record -- carrying the full serialized
+   :class:`~repro.analysis.triage.TriageResult` -- is appended before
+   the result row is emitted to any subscriber.
+
+Kill the process anywhere and :meth:`JobJournal.replay` partitions the
+accepted set into *done* (their results are on disk, re-emittable
+verbatim, never re-executed) and *pending* (accepted but unfinished,
+re-enqueued in acceptance order).  A torn final line -- the crash landed
+mid-``write`` -- fails JSON parsing and is ignored: a torn ``accept``
+was never acknowledged, a torn ``done`` re-executes its job, and both
+re-appends are idempotent at the row level because results key by
+``job_id``.
+
+Format: newline-delimited JSON, one self-describing record per line::
+
+    {"rec": "journal", "version": 1}
+    {"rec": "accept", "job": {...}, "priority": "normal", "tenant": "t0", "seq": 0}
+    {"rec": "done", "job_id": 7, "result": {...}, "seq": 1}
+
+Plain NDJSON keeps the journal greppable and append-only -- no index,
+no compaction; restart cost is one linear scan.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TextIO
+
+from repro.analysis.triage import TriageJob, TriageResult
+
+JOURNAL_VERSION = 1
+
+REC_HEADER = "journal"
+REC_ACCEPT = "accept"
+REC_DONE = "done"
+
+
+def job_to_json_dict(job: TriageJob) -> dict:
+    return {
+        "job_id": job.job_id,
+        "name": job.name,
+        "kind": job.kind,
+        "params": dict(job.params),
+    }
+
+
+def job_from_json_dict(d: dict) -> TriageJob:
+    return TriageJob(
+        job_id=d["job_id"], name=d["name"], kind=d["kind"],
+        params=dict(d.get("params") or {}),
+    )
+
+
+@dataclass
+class AcceptedJob:
+    """One accepted-but-possibly-unfinished journal entry."""
+
+    job: TriageJob
+    priority: str = "normal"
+    tenant: str = "default"
+    seq: int = 0
+
+
+@dataclass
+class JournalState:
+    """What a replayed journal says about the world."""
+
+    #: job_id -> accepted entry, in acceptance order.
+    accepted: Dict[int, AcceptedJob] = field(default_factory=dict)
+    #: job_id -> serialized TriageResult dict, completion order.
+    done: Dict[int, dict] = field(default_factory=dict)
+    #: Lines that failed to parse (at most the torn tail; more than one
+    #: bad line means the file was corrupted, not torn).
+    torn_lines: int = 0
+
+    @property
+    def pending(self) -> List[AcceptedJob]:
+        """Accepted jobs with no completion record, acceptance order."""
+        return [e for jid, e in self.accepted.items() if jid not in self.done]
+
+    def results(self) -> List[TriageResult]:
+        """Completed results, rebuilt, in completion order."""
+        return [TriageResult.from_json_dict(d) for d in self.done.values()]
+
+
+class JournalCorrupt(Exception):
+    """The journal contains garbage that is not a torn tail."""
+
+
+class JobJournal:
+    """Append-only NDJSON journal with explicit flush points.
+
+    One instance owns the file handle for the life of the service; the
+    classmethod :meth:`replay` reads without owning.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._seq = 0
+        existing = os.path.exists(path) and os.path.getsize(path) > 0
+        self._fh: TextIO = open(path, "a", encoding="utf-8")
+        if not existing:
+            self._append({"rec": REC_HEADER, "version": JOURNAL_VERSION})
+
+    # -- writing -----------------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        record["seq"] = self._seq
+        self._seq += 1
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def append_accept(self, job: TriageJob, priority: str = "normal",
+                      tenant: str = "default") -> None:
+        """Durably record *job* as accepted.  MUST precede dispatch/ack."""
+        self._append({
+            "rec": REC_ACCEPT,
+            "job": job_to_json_dict(job),
+            "priority": priority,
+            "tenant": tenant,
+        })
+
+    def append_done(self, result: TriageResult) -> None:
+        """Durably checkpoint *result*.  MUST precede emitting the row."""
+        self._append({
+            "rec": REC_DONE,
+            "job_id": result.job_id,
+            "result": result.to_json_dict(),
+        })
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- reading -----------------------------------------------------------------
+
+    @classmethod
+    def replay(cls, path: str) -> JournalState:
+        """Scan *path* into a :class:`JournalState`.
+
+        Unparseable lines are tolerated only at the tail (the torn
+        write of the crash itself); garbage followed by valid records
+        raises :class:`JournalCorrupt` -- that file did not fail the way
+        this journal can fail, and silently skipping records would
+        break exactly-once.
+        """
+        state = JournalState()
+        if not os.path.exists(path):
+            return state
+        torn_at: Optional[int] = None
+        with open(path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh):
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    if torn_at is not None:
+                        raise JournalCorrupt(
+                            f"{path}: unparseable lines at {torn_at} and {lineno}"
+                        )
+                    torn_at = lineno
+                    state.torn_lines += 1
+                    continue
+                if torn_at is not None:
+                    raise JournalCorrupt(
+                        f"{path}: valid record at line {lineno} after torn line {torn_at}"
+                    )
+                kind = record.get("rec")
+                if kind == REC_HEADER:
+                    continue
+                if kind == REC_ACCEPT:
+                    entry = AcceptedJob(
+                        job=job_from_json_dict(record["job"]),
+                        priority=record.get("priority", "normal"),
+                        tenant=record.get("tenant", "default"),
+                        seq=record.get("seq", 0),
+                    )
+                    # Duplicate accepts (a resumed service re-journaling
+                    # its backlog) keep the first entry: acceptance
+                    # order is the original order.
+                    state.accepted.setdefault(entry.job.job_id, entry)
+                elif kind == REC_DONE:
+                    # Duplicate dones keep the first result: the row the
+                    # first completion emitted is the row of record.
+                    state.done.setdefault(record["job_id"], record["result"])
+                else:
+                    raise JournalCorrupt(f"{path}: unknown record type {kind!r}")
+        return state

@@ -1,0 +1,398 @@
+"""Supervised triage workers: heartbeats, watchdogs, restart-with-backoff.
+
+The triage pool in :mod:`repro.analysis.triage` is batch-shaped: it
+lives for one ``run_triage`` call and its crash handling is woven into
+the dispatch loop.  A long-running service needs the supervision
+concerns pulled out into a tree it can reason about:
+
+* :class:`SupervisedWorker` -- one child process executing one job at a
+  time, built on raw ``os.fork`` rather than :mod:`multiprocessing`
+  processes.  That choice is load-bearing twice over: forked children
+  are not "daemonic", so a supervised worker can itself run nested
+  worker pools (the chaos harness exercises exactly this), and fork
+  from a snapshot-primed parent shares the captured memory pages at
+  the OS CoW level across the whole fleet.
+* :class:`WorkerPool` -- N slots, each holding a worker.  ``poll()``
+  surfaces results, crashes, per-job watchdog expiries, and
+  heartbeat stalls as events; dead slots restart with exponential
+  backoff; every death is classified through the
+  :mod:`repro.faults` taxonomy (``WorkerCrash``/``WorkerStalled``/
+  ``Timeout``) so the caller's retry policy is one table lookup.
+
+The pool deliberately owns no retry policy and no queue -- those belong
+to the service's scheduler (:mod:`repro.serve.service`), which also
+journals them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _connection_wait
+from typing import Callable, List, Optional
+
+from repro.analysis.triage import TriageJob, TriageResult, execute_job
+from repro.faults.errors import FaultRecord
+from repro.faults.watchdog import (
+    PROGRESS_SLOTS,
+    SharedProgressSink,
+    read_progress,
+    set_progress_sink,
+)
+
+#: Default wall-clock staleness (seconds) of a worker's progress array
+#: before the supervisor declares it wedged.  Generous: a healthy guest
+#: publishes once per scheduler slice (~thousands of times a second).
+DEFAULT_HEARTBEAT_TIMEOUT = 30.0
+
+#: Restart backoff: base * 2**(consecutive_failures - 1), capped.
+DEFAULT_RESTART_BACKOFF = 0.05
+MAX_RESTART_BACKOFF = 5.0
+
+
+def _child_main(conn, progress, run_job: Callable) -> None:
+    """The forked worker body.  Never returns -- exits the process."""
+    set_progress_sink(SharedProgressSink(progress))
+    # The service parent handles SIGINT/SIGTERM itself; workers must not
+    # die to a Ctrl-C aimed at the foreground process group.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    code = 0
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            if msg is None:
+                break
+            job, attempt = msg
+            result = run_job(job, attempt=attempt)
+            # Heartbeat for jobs that never enter the machine run loop
+            # (pyfunc jobs): completing a job is progress too.
+            progress[3] = 1
+            try:
+                conn.send(result)
+            except (BrokenPipeError, OSError):
+                break
+    except BaseException:  # pragma: no cover - crash visibility
+        import traceback
+
+        traceback.print_exc()
+        code = 1
+    finally:
+        # _exit: no atexit handlers, no flushing parent-inherited state.
+        os._exit(code)
+
+
+class SupervisedWorker:
+    """One ``os.fork`` worker executing one job at a time.
+
+    The pipe and progress array are created *before* the fork so both
+    sides inherit them; the parent keeps one end, the child the other.
+    """
+
+    def __init__(self, run_job: Callable = execute_job) -> None:
+        self._run_job = run_job
+        self.conn, child_conn = multiprocessing.Pipe()
+        self.progress = multiprocessing.Array("q", PROGRESS_SLOTS, lock=False)
+        SharedProgressSink(self.progress).reset()
+        pid = os.fork()
+        if pid == 0:
+            # Child: drop the parent's pipe end and serve jobs forever.
+            self.conn.close()
+            _child_main(child_conn, self.progress, run_job)
+            os._exit(0)  # pragma: no cover - _child_main never returns
+        child_conn.close()
+        self.pid = pid
+        self.job: Optional[TriageJob] = None
+        self.attempt = 0
+        self.deadline: Optional[float] = None
+        self.submitted_at: Optional[float] = None
+        self._last_beat: Optional[dict] = None
+        self._last_beat_at: float = time.monotonic()
+        self._reaped: Optional[int] = None
+
+    # -- job lifecycle -----------------------------------------------------------
+
+    def submit(self, job: TriageJob, attempt: int = 1,
+               timeout: Optional[float] = None) -> None:
+        if self.job is not None:
+            raise RuntimeError(f"worker {self.pid} already has a job in flight")
+        SharedProgressSink(self.progress).reset()
+        self._last_beat = None
+        self._last_beat_at = time.monotonic()
+        self.conn.send((job, attempt))
+        self.job, self.attempt = job, attempt
+        self.submitted_at = time.monotonic()
+        self.deadline = time.monotonic() + timeout if timeout else None
+
+    def finish(self) -> None:
+        self.job, self.attempt = None, 0
+        self.deadline = self.submitted_at = None
+
+    def last_progress(self) -> Optional[dict]:
+        return read_progress(self.progress)
+
+    # -- health ------------------------------------------------------------------
+
+    def heartbeat_age(self) -> float:
+        """Seconds since the worker last *advanced* its progress."""
+        current = self.last_progress()
+        if current != self._last_beat:
+            self._last_beat = current
+            self._last_beat_at = time.monotonic()
+        return time.monotonic() - self._last_beat_at
+
+    def alive(self) -> bool:
+        if self._reaped is not None:
+            return False
+        pid, status = os.waitpid(self.pid, os.WNOHANG)
+        if pid == self.pid:
+            self._reaped = status
+            return False
+        return True
+
+    @property
+    def exit_status(self) -> Optional[int]:
+        return self._reaped
+
+    # -- teardown ----------------------------------------------------------------
+
+    def kill(self) -> None:
+        """SIGKILL and reap.  Safe to call repeatedly."""
+        if self._reaped is None:
+            try:
+                os.kill(self.pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+            try:
+                _, self._reaped = os.waitpid(self.pid, 0)
+            except ChildProcessError:  # pragma: no cover - reaped elsewhere
+                self._reaped = -1
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def close(self) -> None:
+        """Graceful stop: sentinel, short grace, then kill."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        deadline = time.monotonic() + 1.0
+        while time.monotonic() < deadline:
+            if not self.alive():
+                try:
+                    self.conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+                return
+            time.sleep(0.005)
+        self.kill()
+
+
+@dataclass
+class WorkerEvent:
+    """One thing the pool observed during :meth:`WorkerPool.poll`.
+
+    ``kind`` is ``"result"`` (``result`` set) or one of the death kinds
+    ``"crash"`` / ``"timeout"`` / ``"stalled"`` (``fault`` set, carrying
+    the worker's last published guest state).  Death events always mean
+    the in-flight ``job`` did not produce a result; the pool has already
+    scheduled the slot's replacement.
+    """
+
+    kind: str
+    job: Optional[TriageJob] = None
+    attempt: int = 0
+    result: Optional[TriageResult] = None
+    fault: Optional[FaultRecord] = None
+
+
+@dataclass
+class _Slot:
+    worker: Optional[SupervisedWorker] = None
+    failures: int = 0
+    restart_at: float = 0.0
+    restarts: int = 0
+
+
+class WorkerPool:
+    """N supervised slots with restart-on-death and health surfacing.
+
+    The pool is a mechanism, not a policy: :meth:`poll` reports what
+    happened and keeps every slot eventually-alive; deciding whether a
+    dead job is retried (its fault is ``retryable``) or becomes an
+    ERROR row is the caller's move.
+    """
+
+    def __init__(self, size: int,
+                 timeout: Optional[float] = None,
+                 heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+                 restart_backoff: float = DEFAULT_RESTART_BACKOFF,
+                 run_job: Callable = execute_job) -> None:
+        self.size = max(1, size)
+        self.timeout = timeout
+        self.heartbeat_timeout = heartbeat_timeout
+        self.restart_backoff = restart_backoff
+        self._run_job = run_job
+        self._slots: List[_Slot] = []
+        for _ in range(self.size):
+            slot = _Slot()
+            self._spawn(slot)
+            self._slots.append(slot)
+
+    # -- slot management ---------------------------------------------------------
+
+    def _spawn(self, slot: _Slot) -> None:
+        slot.worker = SupervisedWorker(self._run_job)
+
+    def _schedule_restart(self, slot: _Slot) -> None:
+        slot.worker = None
+        slot.failures += 1
+        slot.restarts += 1
+        delay = min(
+            self.restart_backoff * (2 ** (slot.failures - 1)),
+            MAX_RESTART_BACKOFF,
+        )
+        slot.restart_at = time.monotonic() + delay
+
+    def _restart_due(self) -> None:
+        now = time.monotonic()
+        for slot in self._slots:
+            if slot.worker is None and slot.restart_at <= now:
+                self._spawn(slot)
+
+    # -- capacity ----------------------------------------------------------------
+
+    def idle_workers(self) -> List[SupervisedWorker]:
+        self._restart_due()
+        return [s.worker for s in self._slots
+                if s.worker is not None and s.worker.job is None]
+
+    def busy_count(self) -> int:
+        return sum(1 for s in self._slots
+                   if s.worker is not None and s.worker.job is not None)
+
+    def in_flight(self) -> List[TriageJob]:
+        return [s.worker.job for s in self._slots
+                if s.worker is not None and s.worker.job is not None]
+
+    def stats(self) -> dict:
+        return {
+            "size": self.size,
+            "busy": self.busy_count(),
+            "idle": len(self.idle_workers()),
+            "restarts": sum(s.restarts for s in self._slots),
+            "pending_restarts": sum(1 for s in self._slots if s.worker is None),
+        }
+
+    # -- the supervision pass ----------------------------------------------------
+
+    def submit(self, job: TriageJob, attempt: int = 1) -> bool:
+        """Hand *job* to an idle worker; False when none is available."""
+        idle = self.idle_workers()
+        if not idle:
+            return False
+        idle[0].submit(job, attempt, timeout=self.timeout)
+        return True
+
+    def poll(self, wait: float = 0.1) -> List[WorkerEvent]:
+        """One supervision pass: collect results, detect deaths.
+
+        Blocks up to *wait* seconds for pipe activity, then sweeps
+        watchdog deadlines and heartbeats.  Every event about an
+        in-flight job is returned exactly once; dead slots are already
+        scheduled for backoff restart when this returns.
+        """
+        events: List[WorkerEvent] = []
+        self._restart_due()
+        busy = {s.worker.conn: s for s in self._slots
+                if s.worker is not None and s.worker.job is not None}
+        if busy:
+            budget = wait
+            now = time.monotonic()
+            deadlines = [
+                max(0.0, w.deadline - now)
+                for w in (s.worker for s in busy.values())
+                if w.deadline is not None
+            ]
+            if deadlines:
+                budget = min(budget, min(deadlines))
+            ready = _connection_wait(list(busy), timeout=budget)
+        else:
+            time.sleep(min(wait, 0.01))
+            ready = []
+        for conn in ready:
+            slot = busy[conn]
+            worker = slot.worker
+            try:
+                result = conn.recv()
+            except (EOFError, OSError):
+                events.append(self._death(slot, "crash"))
+                continue
+            job, attempt = worker.job, worker.attempt
+            worker.finish()
+            slot.failures = 0  # a completed job proves the slot healthy
+            events.append(WorkerEvent(kind="result", job=job,
+                                      attempt=attempt, result=result))
+        now = time.monotonic()
+        for slot in self._slots:
+            worker = slot.worker
+            if worker is None or worker.job is None:
+                continue
+            if worker.deadline is not None and now >= worker.deadline:
+                events.append(self._death(slot, "timeout"))
+            elif not worker.alive():
+                events.append(self._death(slot, "crash"))
+            elif (self.heartbeat_timeout
+                  and worker.heartbeat_age() > self.heartbeat_timeout):
+                events.append(self._death(slot, "stalled"))
+        return events
+
+    def _death(self, slot: _Slot, kind: str) -> WorkerEvent:
+        worker = slot.worker
+        job, attempt = worker.job, worker.attempt
+        progress = worker.last_progress() or {}
+        exit_status = worker.exit_status
+        worker.kill()
+        self._schedule_restart(slot)
+        fault_kind, detail = {
+            "crash": ("WorkerCrash",
+                      f"worker pid {worker.pid} died"
+                      f" (wait status {exit_status})"),
+            "timeout": ("Timeout",
+                        f"exceeded {self.timeout:g}s wall clock"
+                        if self.timeout else "deadline exceeded"),
+            "stalled": ("WorkerStalled",
+                        f"no progress for {self.heartbeat_timeout:g}s"),
+        }[kind]
+        fault = FaultRecord(
+            kind=fault_kind, detail=detail,
+            tick=progress.get("tick"), pc=progress.get("pc"),
+            syscall=progress.get("syscall"),
+        )
+        return WorkerEvent(kind=kind, job=job, attempt=attempt, fault=fault)
+
+    # -- teardown ----------------------------------------------------------------
+
+    def shutdown(self, graceful: bool = True) -> None:
+        for slot in self._slots:
+            worker = slot.worker
+            slot.worker = None
+            if worker is None:
+                continue
+            if graceful and worker.job is None:
+                worker.close()
+            else:
+                worker.kill()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown(graceful=exc[0] is None)

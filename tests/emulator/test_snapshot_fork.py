@@ -1,0 +1,107 @@
+"""The snapshot differential harness: forks are bit-identical to cold boots.
+
+The warm path (:mod:`repro.emulator.snapshot`) is only allowed to exist
+because nothing downstream can tell it happened.  For each attack this
+harness runs the sample twice -- once from a cold scenario boot, once
+forked from a captured post-boot snapshot -- under a full FAROS stack
+with a *per-run* provenance interner, and demands equality of:
+
+* the record journal (event-for-event, by repr) and final instret;
+* the serialized :class:`~repro.faros.report.FarosReport`;
+* the interner's hit/miss counters (the taint engine took the exact
+  same provenance path, not merely one with the same verdict).
+
+One roster member runs in tier-1; the full roster plus double-fork
+reuse is the slow suite.
+"""
+
+import pytest
+
+from repro.analysis.triage import ATTACK_BUILDER_REGISTRY
+from repro.emulator.record_replay import record, replay
+from repro.emulator.snapshot import (
+    MachineSnapshot,
+    SnapshotIntegrityError,
+    snapshot_record,
+    snapshot_replay,
+)
+from repro.faros import Faros
+from repro.taint.intern import ProvInterner
+from repro.taint.tracker import TaintTracker
+
+ATTACKS = tuple(ATTACK_BUILDER_REGISTRY)
+
+
+def _tracker_cls(policy, tags, **kw):
+    # A private interner per run: global-singleton hit/miss counters
+    # would smear across the cold and warm runs being compared.
+    return TaintTracker(policy=policy, tags=tags, interner=ProvInterner(),
+                        **kw)
+
+
+def _fingerprint(recording, faros):
+    return {
+        "final_instret": recording.final_instret,
+        "journal": [(tick, repr(event)) for tick, event in recording.journal],
+        "report": faros.report().to_json_dict(),
+        "interner": (faros.tracker.interner.hits,
+                     faros.tracker.interner.misses),
+    }
+
+
+def _cold_run(attack: str) -> dict:
+    scenario = ATTACK_BUILDER_REGISTRY[attack]().scenario
+    recording = record(scenario)
+    faros = Faros(tracker_cls=_tracker_cls)
+    replay(recording, plugins=[faros])
+    return _fingerprint(recording, faros)
+
+
+def _warm_run(snapshot: MachineSnapshot) -> dict:
+    recording = snapshot_record(snapshot)
+    faros = Faros(tracker_cls=_tracker_cls)
+    snapshot_replay(snapshot, recording, plugins=[faros])
+    return _fingerprint(recording, faros)
+
+
+def _assert_identical(cold: dict, warm: dict, attack: str) -> None:
+    assert cold["final_instret"] == warm["final_instret"], attack
+    assert cold["journal"] == warm["journal"], f"{attack}: journals diverge"
+    assert cold["report"] == warm["report"], f"{attack}: reports diverge"
+    assert cold["interner"] == warm["interner"], \
+        f"{attack}: taint provenance path diverged"
+
+
+def test_fork_matches_cold_boot_code_injection():
+    attack = "code_injection"
+    snapshot = MachineSnapshot.capture(
+        ATTACK_BUILDER_REGISTRY[attack]().scenario)
+    _assert_identical(_cold_run(attack), _warm_run(snapshot), attack)
+
+
+def test_second_fork_from_same_snapshot_is_identical():
+    """Forking must not consume the snapshot: run N == run 1."""
+    attack = "code_injection"
+    snapshot = MachineSnapshot.capture(
+        ATTACK_BUILDER_REGISTRY[attack]().scenario)
+    first, second = _warm_run(snapshot), _warm_run(snapshot)
+    _assert_identical(first, second, attack)
+
+
+def test_corrupted_snapshot_fails_closed():
+    attack = "code_injection"
+    snapshot = MachineSnapshot.capture(
+        ATTACK_BUILDER_REGISTRY[attack]().scenario)
+    blob = bytearray(snapshot.state_blob)
+    blob[len(blob) // 2] ^= 0xFF
+    snapshot.state_blob = bytes(blob)
+    with pytest.raises(SnapshotIntegrityError):
+        snapshot.materialize()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("attack", ATTACKS)
+def test_fork_matches_cold_boot_full_roster(attack):
+    snapshot = MachineSnapshot.capture(
+        ATTACK_BUILDER_REGISTRY[attack]().scenario)
+    _assert_identical(_cold_run(attack), _warm_run(snapshot), attack)

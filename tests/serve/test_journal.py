@@ -1,0 +1,206 @@
+"""The journal's exactly-once contract, under arbitrary kill points.
+
+The service relies on two properties of :class:`repro.serve.journal.
+JobJournal`:
+
+* **Write ordering**: ``accept`` lands (fsynced) before dispatch,
+  ``done`` lands before emission.  The journal just appends; the
+  ordering itself lives in the service and is exercised by
+  ``run_smoke``.
+* **Replay soundness**: for *any* byte-truncation of a valid journal
+  (a SIGKILL can land mid-``write``), replay recovers a consistent
+  prefix -- every surviving ``done`` row verbatim, every
+  accepted-but-unfinished job pending in acceptance order, at most one
+  torn line, and never an exception.  Hypothesis drives the truncation
+  point across generated accept/done histories.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.triage import TriageJob, TriageResult
+from repro.serve.journal import (
+    JobJournal,
+    JournalCorrupt,
+    job_from_json_dict,
+    job_to_json_dict,
+)
+
+
+def _job(jid: int) -> TriageJob:
+    return TriageJob(job_id=jid, name=f"job-{jid}", kind="pyfunc",
+                     params={"target": "t", "kwargs": {"n": jid}})
+
+
+def _result(jid: int) -> TriageResult:
+    return TriageResult(job_id=jid, name=f"job-{jid}", kind="pyfunc",
+                        status="OK", verdict=True, attempts=1)
+
+
+def test_job_round_trips_through_json():
+    job = _job(7)
+    assert job_from_json_dict(job_to_json_dict(job)) == job
+
+
+def test_new_journal_writes_header(tmp_path):
+    path = str(tmp_path / "j.ndjson")
+    with JobJournal(path):
+        pass
+    lines = open(path).read().splitlines()
+    assert json.loads(lines[0])["rec"] == "journal"
+    # Re-opening an existing journal must not write a second header.
+    with JobJournal(path):
+        pass
+    assert len(open(path).read().splitlines()) == 1
+
+
+def test_replay_partitions_done_and_pending(tmp_path):
+    path = str(tmp_path / "j.ndjson")
+    with JobJournal(path) as journal:
+        for jid in (3, 1, 2):
+            journal.append_accept(_job(jid), priority="high", tenant="t0")
+        journal.append_done(_result(1))
+    state = JobJournal.replay(path)
+    assert set(state.accepted) == {1, 2, 3}
+    assert set(state.done) == {1}
+    # Pending preserves acceptance order, not job_id order.
+    assert [e.job.job_id for e in state.pending] == [3, 2]
+    assert all(e.priority == "high" and e.tenant == "t0"
+               for e in state.accepted.values())
+    (rebuilt,) = state.results()
+    assert rebuilt == _result(1)
+
+
+def test_replay_of_missing_file_is_empty(tmp_path):
+    state = JobJournal.replay(str(tmp_path / "absent"))
+    assert not state.accepted and not state.done and state.torn_lines == 0
+
+
+def test_torn_tail_is_tolerated(tmp_path):
+    path = str(tmp_path / "j.ndjson")
+    with JobJournal(path) as journal:
+        journal.append_accept(_job(1))
+        journal.append_done(_result(1))
+        journal.append_accept(_job(2))
+    blob = open(path, "rb").read()
+    open(path, "wb").write(blob[:-5])  # shear the last record mid-line
+    state = JobJournal.replay(path)
+    assert state.torn_lines == 1
+    assert set(state.accepted) == {1}
+    assert set(state.done) == {1}
+
+
+def test_garbage_followed_by_records_is_corruption(tmp_path):
+    path = str(tmp_path / "j.ndjson")
+    with JobJournal(path) as journal:
+        journal.append_accept(_job(1))
+    with open(path, "r+") as fh:
+        lines = fh.read().splitlines()
+        fh.seek(0)
+        fh.truncate()
+        fh.write(lines[0] + "\n{not json\n" + lines[1] + "\n")
+    with pytest.raises(JournalCorrupt):
+        JobJournal.replay(path)
+
+
+def test_unknown_record_type_is_corruption(tmp_path):
+    path = str(tmp_path / "j.ndjson")
+    with JobJournal(path):
+        pass
+    with open(path, "a") as fh:
+        fh.write(json.dumps({"rec": "mystery"}) + "\n")
+    with pytest.raises(JournalCorrupt):
+        JobJournal.replay(path)
+
+
+def test_duplicate_records_keep_the_first(tmp_path):
+    path = str(tmp_path / "j.ndjson")
+    with JobJournal(path) as journal:
+        journal.append_accept(_job(1), priority="high")
+        journal.append_accept(_job(1), priority="low")
+        first = _result(1)
+        journal.append_done(first)
+        second = TriageResult(job_id=1, name="other", kind="pyfunc",
+                              status="ERROR", verdict=None, attempts=2)
+        journal.append_done(second)
+    state = JobJournal.replay(path)
+    assert state.accepted[1].priority == "high"
+    assert state.done[1] == first.to_json_dict()
+
+
+# ----------------------------------------------------------------------
+# the property: exactly-once under arbitrary kill points
+# ----------------------------------------------------------------------
+
+@st.composite
+def _histories(draw):
+    """A valid service history: dones only for already-accepted jobs."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    ops = []
+    accepted, done = [], set()
+    for jid in range(n):
+        ops.append(("accept", jid))
+        accepted.append(jid)
+        # Interleave completions of any accepted-but-unfinished job.
+        candidates = [j for j in accepted if j not in done]
+        if candidates and draw(st.booleans()):
+            victim = draw(st.sampled_from(candidates))
+            ops.append(("done", victim))
+            done.add(victim)
+    return ops
+
+
+@given(ops=_histories(), data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_replay_survives_any_truncation(tmp_path_factory, ops, data):
+    """Truncate a journal at *any* byte; replay stays consistent.
+
+    The invariants (for every kill point): no exception, at most one
+    torn line, every recovered ``done`` has its ``accept``, pending is
+    exactly accepted-minus-done in acceptance order, and surviving
+    ``done`` rows are byte-for-byte the rows that were written.
+    """
+    path = str(tmp_path_factory.mktemp("journal") / "j.ndjson")
+    with JobJournal(path) as journal:
+        for op, jid in ops:
+            if op == "accept":
+                journal.append_accept(_job(jid))
+            else:
+                journal.append_done(_result(jid))
+    blob = open(path, "rb").read()
+    cut = data.draw(st.integers(min_value=0, max_value=len(blob)),
+                    label="truncation point")
+    open(path, "wb").write(blob[:cut])
+
+    state = JobJournal.replay(path)
+    assert state.torn_lines <= 1
+    assert set(state.done) <= set(state.accepted), \
+        "a done row survived without its accept"
+    assert [e.job.job_id for e in state.pending] == [
+        jid for jid in state.accepted if jid not in state.done
+    ]
+    for jid, row in state.done.items():
+        assert row == _result(jid).to_json_dict()
+    # Determinism: replaying the same bytes yields the same state.
+    again = JobJournal.replay(path)
+    assert again.accepted == state.accepted and again.done == state.done
+
+
+@given(ops=_histories())
+@settings(max_examples=20, deadline=None)
+def test_full_journal_replay_is_lossless(tmp_path_factory, ops):
+    path = str(tmp_path_factory.mktemp("journal") / "j.ndjson")
+    with JobJournal(path) as journal:
+        for op, jid in ops:
+            if op == "accept":
+                journal.append_accept(_job(jid))
+            else:
+                journal.append_done(_result(jid))
+    state = JobJournal.replay(path)
+    assert set(state.accepted) == {jid for op, jid in ops if op == "accept"}
+    assert set(state.done) == {jid for op, jid in ops if op == "done"}
+    assert state.torn_lines == 0
